@@ -1,0 +1,78 @@
+// Ablation: probe rate vs completeness and stealth.
+//
+// The paper notes scanners rate-limit "to reduce the effects to normal
+// traffic ... or avoid triggering intrusion-detection systems" and that
+// Nmap has modes that "intentionally slow their probe rate to conceal
+// their behavior" (§2.3). Slower scans take longer, so transient hosts
+// have more chances to disconnect mid-scan; faster scans snapshot the
+// population. This bench sweeps the per-machine probe rate for a single
+// scan and reports duration and servers found, split by transience.
+#include <cstdio>
+
+#include "analysis/table.h"
+#include "bench_common.h"
+#include "core/report.h"
+
+namespace svcdisc {
+
+int run() {
+  std::printf("== Ablation: probe rate (one DTCP1 scan) ==\n\n");
+  analysis::TextTable table({"rate/machine", "duration", "servers",
+                             "static", "transient"});
+  bench::Stopwatch watch;
+
+  for (const double rate : {1.0, 3.0, 7.5, 25.0, 100.0}) {
+    auto campus_cfg = workload::CampusConfig::dtcp1_18d();
+    campus_cfg.duration = util::days(2);
+    core::EngineConfig engine_cfg;
+    engine_cfg.scan_count = 0;
+    auto campaign = bench::make_campaign(campus_cfg, engine_cfg);
+    campaign.c().start();
+    campaign.c().simulator().run_until(util::kEpoch + util::hours(1));
+
+    active::ScanSpec spec;
+    spec.targets = campaign.c().scan_targets();
+    spec.tcp_ports = campaign.c().tcp_ports();
+    spec.probes_per_sec = rate;
+    double minutes = 0;
+    bool done = false;
+    campaign.e().prober().start_scan(spec,
+                                     [&](const active::ScanRecord& r) {
+                                       done = true;
+                                       minutes = static_cast<double>(
+                                                     (r.finished - r.started)
+                                                         .usec) /
+                                                 6e7;
+                                     });
+    while (!done && campaign.c().simulator().step()) {
+    }
+
+    auto* campus = campaign.campus.get();
+    const auto now = campaign.c().simulator().now();
+    const auto all =
+        core::addresses_found(campaign.e().prober().table(), now);
+    std::size_t transient = 0;
+    for (const net::Ipv4 addr : all) {
+      transient += host::is_transient(campus->class_of(addr));
+    }
+    char rate_text[24], dur_text[24];
+    std::snprintf(rate_text, sizeof rate_text, "%.1f/s", rate);
+    std::snprintf(dur_text, sizeof dur_text, "%.0f min", minutes);
+    table.add_row({rate_text, dur_text, analysis::fmt_count(all.size()),
+                   analysis::fmt_count(all.size() - transient),
+                   analysis::fmt_count(transient)});
+  }
+  watch.report("five single-scan campaigns");
+  std::fputs(table.render().c_str(), stdout);
+  std::printf(
+      "\nstatic coverage is rate-insensitive (always-on hosts answer\n"
+      "whenever probed); transient coverage shifts with duration — a\n"
+      "longer scan window samples more of the connect/disconnect churn,\n"
+      "trading per-snapshot accuracy for accumulation, which is why the\n"
+      "paper's 90-120-minute scans behave like population snapshots.\n");
+  return 0;
+}
+
+}  // namespace svcdisc
+
+int main() { return svcdisc::run(); }

@@ -1,0 +1,90 @@
+// Ablation: sampling strategy grid (the paper's §5.3 future work).
+//
+// The paper evaluates only fixed-period sampling and names two
+// alternatives — count-based and probabilistic — as future work. This
+// bench runs all three strategy families at matched capture shares over
+// one campaign and compares discovery completeness, showing why
+// per-packet strategies degrade more gracefully: a fixed window either
+// contains a whole scan burst or misses it.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "analysis/table.h"
+#include "bench_common.h"
+#include "capture/sampler.h"
+#include "core/report.h"
+
+namespace svcdisc {
+
+int run() {
+  std::printf("== Ablation: sampling strategies at matched shares ==\n\n");
+
+  auto campaign = bench::make_campaign(workload::CampusConfig::dtcp1_18d(),
+                                       bench::dtcp1_engine_config());
+
+  struct Cell {
+    std::string label;
+    passive::PassiveMonitor* monitor;
+  };
+  std::vector<Cell> cells;
+  const int kMinutes[] = {2, 5, 10, 30};
+  for (const int m : kMinutes) {
+    cells.push_back(
+        {"fixed " + std::to_string(m) + "min/h",
+         &campaign.e().add_sampled_monitor(
+             std::make_unique<capture::FixedPeriodSampler>(
+                 util::minutes(m), util::hours(1)))});
+    const double share = m / 60.0;
+    cells.push_back(
+        {"probabilistic p=" + std::to_string(m) + "/60",
+         &campaign.e().add_sampled_monitor(
+             std::make_unique<capture::ProbabilisticSampler>(
+                 share, 0x5A17 + static_cast<std::uint64_t>(m)))});
+    cells.push_back(
+        {"count 1-in-" + std::to_string(60 / m),
+         &campaign.e().add_sampled_monitor(
+             std::make_unique<capture::CountSampler>(
+                 1, static_cast<std::uint64_t>(60 / m - 1)))});
+  }
+
+  bench::Stopwatch watch;
+  campaign.e().run();
+  watch.report("DTCP1-18d campaign with 12 sampled monitors");
+
+  const auto end = util::kEpoch + campaign.c().config().duration;
+  const double denom = static_cast<double>(
+      core::addresses_found(campaign.e().monitor().table(), end).size());
+
+  analysis::TextTable table({"share", "fixed-period", "probabilistic",
+                             "count-based"});
+  for (std::size_t row = 0; row < std::size(kMinutes); ++row) {
+    char share_text[16];
+    std::snprintf(share_text, sizeof share_text, "%d min/h (%.0f%%)",
+                  kMinutes[row], kMinutes[row] / 60.0 * 100);
+    std::vector<std::string> cols{share_text};
+    for (std::size_t kind = 0; kind < 3; ++kind) {
+      const auto& cell = cells[row * 3 + kind];
+      const double found = static_cast<double>(
+          core::addresses_found(cell.monitor->table(), end).size());
+      cols.push_back(analysis::fmt_pct(100.0 * found / denom));
+    }
+    table.add_row(std::move(cols));
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  std::printf(
+      "\nvalues are %% of the unsampled monitor's %0.f servers.\n"
+      "fixed windows win when whole scan bursts land inside a window and\n"
+      "lose badly when they don't; per-packet strategies see a thin slice\n"
+      "of *every* burst, so they keep the popular-traffic servers but\n"
+      "convert each sweep into a partial sweep. The paper's observation\n"
+      "that the sampling/coverage relationship is non-linear (§5.3) holds\n"
+      "for all three families.\n",
+      denom);
+  return 0;
+}
+
+}  // namespace svcdisc
+
+int main() { return svcdisc::run(); }

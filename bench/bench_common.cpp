@@ -1,0 +1,86 @@
+#include "bench_common.h"
+
+#include <chrono>
+#include <cstdlib>
+
+namespace svcdisc::bench {
+
+Campaign make_campaign(workload::CampusConfig campus_cfg,
+                       core::EngineConfig engine_cfg) {
+  Campaign campaign;
+  campaign.campus =
+      std::make_unique<workload::Campus>(apply_scale(std::move(campus_cfg)));
+  campaign.engine = std::make_unique<core::DiscoveryEngine>(*campaign.campus,
+                                                            engine_cfg);
+  return campaign;
+}
+
+core::EngineConfig dtcp1_engine_config() {
+  core::EngineConfig cfg;
+  cfg.scan_count = 35;
+  cfg.scan_period = util::hours(12);
+  cfg.first_scan_offset = util::hours(1);  // 11:00 for a 10:00 start
+  return cfg;
+}
+
+workload::CampusConfig apply_scale(workload::CampusConfig cfg) {
+  const char* env = std::getenv("SVCDISC_SCALE");
+  if (!env) return cfg;
+  const double scale = std::atof(env);
+  if (scale <= 0 || scale >= 1.0) return cfg;
+  const auto s = [scale](std::uint32_t v) {
+    return static_cast<std::uint32_t>(v * scale);
+  };
+  cfg.static_plain = s(cfg.static_plain);
+  cfg.web_custom = s(cfg.web_custom);
+  cfg.web_default = s(cfg.web_default);
+  cfg.web_minimal = s(cfg.web_minimal);
+  cfg.web_config = s(cfg.web_config);
+  cfg.web_database = s(cfg.web_database);
+  cfg.web_restricted = s(cfg.web_restricted);
+  cfg.ssh_only = s(cfg.ssh_only);
+  cfg.ftp_only = s(cfg.ftp_only);
+  cfg.mysql_only = s(cfg.mysql_only);
+  cfg.births = s(cfg.births);
+  cfg.deaths = s(cfg.deaths);
+  cfg.firewalled = s(cfg.firewalled);
+  cfg.hot_services = s(cfg.hot_services);
+  cfg.steady_services = s(cfg.steady_services);
+  cfg.oneshot_services = s(cfg.oneshot_services);
+  cfg.dhcp_hosts = s(cfg.dhcp_hosts);
+  cfg.ppp_hosts = s(cfg.ppp_hosts);
+  cfg.vpn_hosts = s(cfg.vpn_hosts);
+  cfg.wireless_hosts = s(cfg.wireless_hosts);
+  cfg.small_sweeps = s(cfg.small_sweeps);
+  cfg.traffic_scale *= scale;
+  return cfg;
+}
+
+void print_header(const std::string& experiment, const Campaign& campaign) {
+  const auto& cfg = campaign.campus->config();
+  std::printf("== %s ==\n", experiment.c_str());
+  std::printf(
+      "scenario: %zu probe targets, %.0f-day campaign, seed %llu\n\n",
+      campaign.campus->scan_targets().size(), cfg.duration.days(),
+      static_cast<unsigned long long>(cfg.seed));
+}
+
+Stopwatch::Stopwatch()
+    : start_ns_(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now().time_since_epoch())
+                    .count()) {}
+
+double Stopwatch::elapsed_sec() const {
+  const long long now =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+  return static_cast<double>(now - start_ns_) / 1e9;
+}
+
+void Stopwatch::report(const std::string& label) const {
+  std::fprintf(stderr, "[bench] %s took %.1f s\n", label.c_str(),
+               elapsed_sec());
+}
+
+}  // namespace svcdisc::bench

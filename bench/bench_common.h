@@ -1,0 +1,55 @@
+// Shared campaign plumbing for the table/figure benches.
+//
+// Each bench binary reproduces one table or figure of the paper. They
+// share the scenario presets and an already-wired DiscoveryEngine; this
+// header holds the glue so each bench stays a thin report generator.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/engine.h"
+#include "workload/campus.h"
+
+namespace svcdisc::bench {
+
+/// A campus + engine pair kept alive together.
+struct Campaign {
+  std::unique_ptr<workload::Campus> campus;
+  std::unique_ptr<core::DiscoveryEngine> engine;
+
+  workload::Campus& c() { return *campus; }
+  core::DiscoveryEngine& e() { return *engine; }
+};
+
+/// Builds (without running) a campaign for the given scenario/engine
+/// configs.
+Campaign make_campaign(workload::CampusConfig campus_cfg,
+                       core::EngineConfig engine_cfg);
+
+/// DTCP1-18d with the paper's schedule: 35 scans every 12 h starting
+/// 11:00. `scale` < 1 shrinks the population for quick runs
+/// (SVCDISC_SCALE env var, default 1).
+core::EngineConfig dtcp1_engine_config();
+
+/// Reads SVCDISC_SCALE (default 1.0) and shrinks a config's populations
+/// proportionally — used by CI-sized bench runs.
+workload::CampusConfig apply_scale(workload::CampusConfig cfg);
+
+/// Prints the standard bench header: what is being reproduced and the
+/// scenario parameters.
+void print_header(const std::string& experiment, const Campaign& campaign);
+
+/// Wall-clock section timer for long simulations (stderr).
+class Stopwatch {
+ public:
+  Stopwatch();
+  double elapsed_sec() const;
+  void report(const std::string& label) const;
+
+ private:
+  long long start_ns_;
+};
+
+}  // namespace svcdisc::bench

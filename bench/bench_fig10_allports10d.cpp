@@ -1,0 +1,74 @@
+// Figure 10: cumulative server discovery over all ten days of DTCPall
+// (all known ports, one active scan, ten days of passive monitoring).
+#include <cstdio>
+
+#include "analysis/export.h"
+#include "analysis/table.h"
+#include "bench_common.h"
+#include "core/report.h"
+#include "core/weighted.h"
+
+namespace svcdisc {
+
+int run() {
+  core::EngineConfig engine_cfg;
+  engine_cfg.scan_count = 1;
+  engine_cfg.first_scan_offset = util::minutes(30);
+  auto campaign =
+      bench::make_campaign(workload::CampusConfig::dtcp_all(), engine_cfg);
+  bench::print_header("Figure 10: all-port discovery over 10 days (DTCPall)",
+                      campaign);
+
+  bench::Stopwatch watch;
+  campaign.e().run();
+  watch.report("DTCPall campaign");
+
+  const auto end = util::kEpoch + campaign.c().config().duration;
+  const auto passive = core::discovery_curve(
+      core::address_discovery_times(campaign.e().monitor().table(), end));
+  const auto active = core::discovery_curve(core::address_times_from_scans(
+      campaign.e().prober().scans(), nullptr));
+
+  analysis::TextTable table({"date", "Passive", "Active"});
+  const auto& cal = campaign.c().calendar();
+  for (int d = 0; d <= 10; ++d) {
+    const auto t = util::kEpoch + util::days(d);
+    table.add_row(
+        {cal.month_day(t),
+         analysis::fmt_count(static_cast<std::uint64_t>(passive.at(t))),
+         analysis::fmt_count(static_cast<std::uint64_t>(active.at(t)))});
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  const double p_total = passive.at(end);
+  const double a_total = active.at(end);
+  const double union_estimate =
+      static_cast<double>([&] {
+        std::unordered_set<net::Ipv4> u;
+        for (const auto& [addr, t] : core::address_discovery_times(
+                 campaign.e().monitor().table(), end)) {
+          u.insert(addr);
+        }
+        for (const auto& [addr, t] : core::address_times_from_scans(
+                 campaign.e().prober().scans(), nullptr)) {
+          u.insert(addr);
+        }
+        return u.size();
+      }());
+  std::printf(
+      "\nat 10 days: passive %.0f, active(1 scan) %.0f, union %.0f servers:\n"
+      "passive tops out around %.0f%% of the union (paper: 131 servers,\n"
+      "slightly over 50%%), because all-port mode exposes many local-only\n"
+      "NT/epmap services passive can never see at the border.\n",
+      p_total, a_total, union_estimate, 100.0 * p_total / union_estimate);
+
+  analysis::export_figure("fig10_allports10d", "Figure 10: all-port discovery over 10 days",
+                       {{"passive", &passive, 0}, {"active", &active, 0}},
+                       util::kEpoch, end, 120, cal);
+  std::printf("series written to fig10_allports10d.tsv (+ fig10_allports10d.gp)\n");
+  return 0;
+}
+
+}  // namespace svcdisc
+
+int main() { return svcdisc::run(); }

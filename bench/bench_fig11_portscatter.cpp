@@ -1,0 +1,80 @@
+// Figure 11: scatter plot of open ports in DTCPall — per host, which TCP
+// ports were found open, and by which method. Emitted as a TSV scatter
+// (host index, port, method) plus a per-port summary table.
+#include <cstdio>
+#include <fstream>
+#include <map>
+
+#include "analysis/table.h"
+#include "bench_common.h"
+#include "core/report.h"
+
+namespace svcdisc {
+
+int run() {
+  core::EngineConfig engine_cfg;
+  engine_cfg.scan_count = 1;
+  engine_cfg.first_scan_offset = util::minutes(30);
+  auto campaign =
+      bench::make_campaign(workload::CampusConfig::dtcp_all(), engine_cfg);
+  bench::print_header("Figure 11: open-port scatter (DTCPall)", campaign);
+
+  bench::Stopwatch watch;
+  campaign.e().run();
+  watch.report("DTCPall campaign");
+
+  // Collect (addr, port) -> method bitmask (1=active, 2=passive).
+  std::map<std::pair<std::uint32_t, net::Port>, int> found;
+  campaign.e().prober().table().for_each(
+      [&](const passive::ServiceKey& key, const passive::ServiceRecord&) {
+        found[{key.addr.value(), key.port}] |= 1;
+      });
+  campaign.e().monitor().table().for_each(
+      [&](const passive::ServiceKey& key, const passive::ServiceRecord&) {
+        found[{key.addr.value(), key.port}] |= 2;
+      });
+
+  // Host numbering: randomized order (the paper randomizes to preserve
+  // privacy); we map by address offset scrambled with a fixed multiplier.
+  const std::uint32_t base = campaign.c().config().campus_base.value();
+  const auto host_number = [base](std::uint32_t addr) {
+    return (addr - base) * 151 % 256;
+  };
+
+  std::ofstream tsv("fig11_portscatter.tsv");
+  tsv << "# host\tport\tmethod\n";
+  std::map<net::Port, std::array<int, 3>> per_port;  // active/passive/both
+  for (const auto& [key, mask] : found) {
+    const char* method = mask == 1 ? "active" : mask == 2 ? "passive" : "both";
+    tsv << host_number(key.first) << '\t' << key.second << '\t' << method
+        << '\n';
+    auto& counts = per_port[key.second];
+    counts[0] += (mask & 1) != 0;
+    counts[1] += (mask & 2) != 0;
+    counts[2] += mask == 3;
+  }
+
+  analysis::TextTable table({"port", "service", "active", "passive", "both"});
+  for (const auto& [port, counts] : per_port) {
+    if (counts[0] + counts[1] < 3) continue;  // summarize common ports only
+    std::string name(net::port_name(port));
+    if (name.empty()) name = "-";
+    table.add_row({std::to_string(port), name, std::to_string(counts[0]),
+                   std::to_string(counts[1]), std::to_string(counts[2])});
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  std::printf(
+      "\ntotal open (host,port) pairs: %zu; scatter written to\n"
+      "fig11_portscatter.tsv\n"
+      "paper shape checks: passive sees every SSH/FTP server (two external\n"
+      "sweeps), misses the NT-only services (epmap & friends: local-only\n"
+      "traffic never crosses the border) and catches a few web servers\n"
+      "born after the scan finished.\n",
+      found.size());
+  return 0;
+}
+
+}  // namespace svcdisc
+
+int main() { return svcdisc::run(); }

@@ -1,0 +1,85 @@
+// Figure 12: cumulative server discovery over 11 days during winter
+// break (DTCPbreak): reduced student population, collapsed transient
+// blocks, Internet2 monitored but excluded from ground truth as in §5.5.
+#include <cstdio>
+
+#include "analysis/export.h"
+#include "analysis/table.h"
+#include "bench_common.h"
+#include "core/report.h"
+#include "core/weighted.h"
+
+namespace svcdisc {
+
+int run() {
+  auto engine_cfg = bench::dtcp1_engine_config();
+  engine_cfg.scan_count = 22;  // every 12 h over 11 days
+  auto campaign =
+      bench::make_campaign(workload::CampusConfig::dtcp_break(), engine_cfg);
+  bench::print_header("Figure 12: winter-break discovery (DTCPbreak)",
+                      campaign);
+
+  bench::Stopwatch watch;
+  campaign.e().run();
+  watch.report("DTCPbreak campaign");
+
+  const auto end = util::kEpoch + campaign.c().config().duration;
+  auto* campus = campaign.campus.get();
+  core::ServiceFilter static_only;
+  static_only.address_pred = [campus](net::Ipv4 addr) {
+    return campus->class_of(addr) == host::AddressClass::kStatic;
+  };
+
+  const auto p_all = core::discovery_curve(
+      core::address_discovery_times(campaign.e().monitor().table(), end));
+  const auto a_all = core::discovery_curve(core::address_times_from_scans(
+      campaign.e().prober().scans(), nullptr));
+  const auto p_static = core::discovery_curve(core::address_discovery_times(
+      campaign.e().monitor().table(), end, static_only));
+  const auto a_static = core::discovery_curve(core::address_times_from_scans(
+      campaign.e().prober().scans(), nullptr, static_only));
+
+  analysis::TextTable table({"date", "Passive(all)", "Active(all)",
+                             "Passive(static)", "Active(static)"});
+  const auto& cal = campaign.c().calendar();
+  for (int d = 0; d <= 11; ++d) {
+    const auto t = util::kEpoch + util::days(d);
+    table.add_row(
+        {cal.month_day(t),
+         analysis::fmt_count(static_cast<std::uint64_t>(p_all.at(t))),
+         analysis::fmt_count(static_cast<std::uint64_t>(a_all.at(t))),
+         analysis::fmt_count(static_cast<std::uint64_t>(p_static.at(t))),
+         analysis::fmt_count(static_cast<std::uint64_t>(a_static.at(t)))});
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  // Completeness comparison against the in-semester scenario (§5.5).
+  std::unordered_set<net::Ipv4> truth;
+  for (const auto& [addr, t] :
+       core::address_discovery_times(campaign.e().monitor().table(), end)) {
+    truth.insert(addr);
+  }
+  for (const auto& [addr, t] : core::address_times_from_scans(
+           campaign.e().prober().scans(), nullptr)) {
+    truth.insert(addr);
+  }
+  std::printf(
+      "\nat 11 days: passive %.0f%% of the union (paper: 82%% during break\n"
+      "vs 73%% in-semester), active %.0f%% — both curves level off because\n"
+      "the transient population (VPN/PPP/dorm DHCP) is largely gone.\n",
+      100.0 * p_all.at(end) / static_cast<double>(truth.size()),
+      100.0 * a_all.at(end) / static_cast<double>(truth.size()));
+
+  analysis::export_figure("fig12_break", "Figure 12: winter-break discovery",
+                       {{"passive_all", &p_all, 0},
+                        {"active_all", &a_all, 0},
+                        {"passive_static", &p_static, 0},
+                        {"active_static", &a_static, 0}},
+                       util::kEpoch, end, 11 * 8, cal);
+  std::printf("series written to fig12_break.tsv (+ fig12_break.gp)\n");
+  return 0;
+}
+
+}  // namespace svcdisc
+
+int main() { return svcdisc::run(); }

@@ -1,0 +1,83 @@
+// Figure 3: cumulative passive server discovery over 90 days (DTCP1-90d)
+// compared with the 18-day window, over all and non-transient addresses.
+#include <cstdio>
+
+#include "analysis/export.h"
+#include "analysis/table.h"
+#include "bench_common.h"
+#include "core/report.h"
+#include "core/weighted.h"
+
+namespace svcdisc {
+
+int run() {
+  // The paper's 35 scans all fall inside the first 18 days of the 90-day
+  // passive window.
+  auto campaign = bench::make_campaign(workload::CampusConfig::dtcp1_90d(),
+                                       bench::dtcp1_engine_config());
+  bench::print_header("Figure 3: 90-day vs 18-day passive discovery "
+                      "(DTCP1-90d)",
+                      campaign);
+
+  bench::Stopwatch watch;
+  campaign.e().run();
+  watch.report("DTCP1-90d campaign");
+
+  const auto end = util::kEpoch + campaign.c().config().duration;
+  auto* campus = campaign.campus.get();
+  core::ServiceFilter static_only;
+  static_only.address_pred = [campus](net::Ipv4 addr) {
+    return campus->class_of(addr) == host::AddressClass::kStatic;
+  };
+
+  const auto p_all = core::discovery_curve(
+      core::address_discovery_times(campaign.e().monitor().table(), end));
+  const auto p_static = core::discovery_curve(core::address_discovery_times(
+      campaign.e().monitor().table(), end, static_only));
+
+  analysis::TextTable table({"date", "Passive 90d (all)",
+                             "Passive 90d (static)"});
+  const auto& cal = campaign.c().calendar();
+  for (int d = 0; d <= 90; d += 9) {
+    const auto t = util::kEpoch + util::days(d);
+    table.add_row(
+        {cal.month_day(t),
+         analysis::fmt_count(static_cast<std::uint64_t>(p_all.at(t))),
+         analysis::fmt_count(static_cast<std::uint64_t>(p_static.at(t)))});
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  const auto tail_rate_per_12h = [&](const analysis::StepCurve& curve,
+                                     util::TimePoint at) {
+    const double n = curve.at(at) - curve.at(at - util::days(5));
+    return n / 10.0;  // per 12 hours
+  };
+  std::printf(
+      "\ntail rates in the last 5 days: static %.2f per 12 h (paper ~1 per\n"
+      "12 h), all %.2f per 12 h (paper ~8 per 12 h, one every ~1.5 h):\n"
+      "transient churn keeps all-host discovery from levelling off while\n"
+      "static-only flattens.\n",
+      tail_rate_per_12h(p_static, end), tail_rate_per_12h(p_all, end));
+  std::printf(
+      "18-day marks: all %s vs 90-day %s; static %s vs %s.\n",
+      analysis::fmt_count(
+          static_cast<std::uint64_t>(p_all.at(util::kEpoch + util::days(18))))
+          .c_str(),
+      analysis::fmt_count(static_cast<std::uint64_t>(p_all.at(end))).c_str(),
+      analysis::fmt_count(static_cast<std::uint64_t>(
+                              p_static.at(util::kEpoch + util::days(18))))
+          .c_str(),
+      analysis::fmt_count(static_cast<std::uint64_t>(p_static.at(end)))
+          .c_str());
+
+  analysis::export_figure("fig3_discovery90d", "Figure 3: 90-day passive discovery",
+                       {{"passive_all", &p_all, 0},
+                        {"passive_static", &p_static, 0}},
+                       util::kEpoch, end, 180, cal);
+  std::printf("series written to fig3_discovery90d.tsv (+ fig3_discovery90d.gp)\n");
+  return 0;
+}
+
+}  // namespace svcdisc
+
+int main() { return svcdisc::run(); }

@@ -1,0 +1,86 @@
+// Figure 4: cumulative passive server discovery with and without the
+// effect of external network scans. The "without" monitor suppresses
+// discoveries whose triggering response answered a source flagged by the
+// scan detector (the paper's 100-target/100-RST rule).
+#include <cstdio>
+
+#include "analysis/export.h"
+#include "analysis/table.h"
+#include "bench_common.h"
+#include "core/report.h"
+#include "core/weighted.h"
+
+namespace svcdisc {
+
+int run() {
+  auto engine_cfg = bench::dtcp1_engine_config();
+  engine_cfg.scanner_excluded_monitor = true;
+  auto campaign = bench::make_campaign(workload::CampusConfig::dtcp1_18d(),
+                                       engine_cfg);
+  bench::print_header(
+      "Figure 4: passive discovery with/without external scans (DTCP1-18d)",
+      campaign);
+
+  bench::Stopwatch watch;
+  campaign.e().run();
+  watch.report("DTCP1-18d campaign");
+
+  const auto end = util::kEpoch + campaign.c().config().duration;
+  const auto with_scans = core::discovery_curve(
+      core::address_discovery_times(campaign.e().monitor().table(), end));
+  const auto without_scans = core::discovery_curve(
+      core::address_discovery_times(campaign.e().excluded_monitor()->table(),
+                                    end));
+
+  analysis::TextTable table({"date", "with external scans",
+                             "scans mitigated"});
+  const auto& cal = campaign.c().calendar();
+  for (int d = 0; d <= 18; d += 1) {
+    const auto t = util::kEpoch + util::days(d);
+    table.add_row(
+        {cal.month_day(t),
+         analysis::fmt_count(static_cast<std::uint64_t>(with_scans.at(t))),
+         analysis::fmt_count(
+             static_cast<std::uint64_t>(without_scans.at(t)))});
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  const double with_total = with_scans.at(end);
+  const double without_total = without_scans.at(end);
+  std::printf(
+      "\nat 18 days: %0.f with scans vs %0.f without: removing %u flagged\n"
+      "scanner sources costs %.0f%% of passive discoveries (paper: 36%%,\n"
+      "2,111 vs 1,332, 65 scanners).\n",
+      with_total, without_total,
+      static_cast<unsigned>(campaign.e().scan_detector().scanner_count()),
+      100.0 * (with_total - without_total) / with_total);
+
+  // "Equivalent days of monitoring" the scans buy: when does the
+  // no-scans curve reach the with-scans day-3 level?
+  const double day3 = with_scans.at(util::kEpoch + util::days(3));
+  const auto catch_up = without_scans.time_to_reach(day3);
+  if (catch_up <= end) {
+    std::printf(
+        "the with-scans day-3 level (%.0f servers) takes the mitigated\n"
+        "monitor %.1f days to reach: external scans bought ~%.0f days\n"
+        "(paper: 9-15 days of equivalent observation).\n",
+        day3, catch_up.days(), catch_up.days() - 3.0);
+  } else {
+    std::printf(
+        "the mitigated monitor never reaches the with-scans day-3 level\n"
+        "(%.0f servers) within 18 days (paper: equivalent to 9-15 days of\n"
+        "extra observation).\n",
+        day3);
+  }
+
+  analysis::export_figure("fig4_external_scans", "Figure 4: passive discovery with/without external scans",
+                       {{"with_scans", &with_scans, 0},
+                        {"scans_mitigated", &without_scans, 0}},
+                       util::kEpoch, end, 18 * 8, cal);
+  std::printf("series written to fig4_external_scans.tsv (+ fig4_external_scans.gp)\n");
+  return 0;
+}
+
+}  // namespace svcdisc
+
+int main() { return svcdisc::run(); }

@@ -1,0 +1,91 @@
+// Figure 5: server discovery grouped by transience of address block
+// (DHCP, PPP, VPN), as percent of each block's union ground truth
+// (DTCP1-18d-trans).
+#include <cstdio>
+
+#include "analysis/export.h"
+#include "analysis/table.h"
+#include "bench_common.h"
+#include "core/completeness.h"
+#include "core/report.h"
+#include "core/weighted.h"
+
+namespace svcdisc {
+
+int run() {
+  auto campaign = bench::make_campaign(workload::CampusConfig::dtcp1_18d(),
+                                       bench::dtcp1_engine_config());
+  bench::print_header(
+      "Figure 5: discovery by address transience (DTCP1-18d-trans)",
+      campaign);
+
+  bench::Stopwatch watch;
+  campaign.e().run();
+  watch.report("DTCP1-18d campaign");
+
+  const auto end = util::kEpoch + campaign.c().config().duration;
+  auto* campus = campaign.campus.get();
+
+  struct Block {
+    const char* name;
+    host::AddressClass cls;
+  };
+  const Block blocks[] = {{"DHCP", host::AddressClass::kDhcp},
+                          {"PPP", host::AddressClass::kPpp},
+                          {"VPN", host::AddressClass::kVpn}};
+
+  analysis::TextTable table({"block", "union", "Active", "Passive",
+                             "Active %", "Passive %"});
+  std::vector<analysis::StepCurve> curves;
+  std::vector<std::string> names;
+  std::vector<double> denominators;
+
+  for (const Block& block : blocks) {
+    core::ServiceFilter filter;
+    const auto cls = block.cls;
+    filter.address_pred = [campus, cls](net::Ipv4 addr) {
+      return campus->class_of(addr) == cls;
+    };
+    const auto p_times = core::address_discovery_times(
+        campaign.e().monitor().table(), end, filter);
+    const auto a_times = core::address_times_from_scans(
+        campaign.e().prober().scans(), nullptr, filter);
+    std::unordered_set<net::Ipv4> p_set, a_set;
+    for (const auto& [addr, t] : p_times) p_set.insert(addr);
+    for (const auto& [addr, t] : a_times) a_set.insert(addr);
+    const auto c = core::completeness(p_set, a_set);
+    table.add_row({block.name, analysis::fmt_count(c.union_count),
+                   analysis::fmt_count(c.active_total),
+                   analysis::fmt_count(c.passive_total),
+                   analysis::fmt_pct(c.active_pct()),
+                   analysis::fmt_pct(c.passive_pct())});
+
+    curves.push_back(core::discovery_curve(a_times));
+    names.push_back(std::string("active_") + block.name);
+    denominators.push_back(static_cast<double>(c.union_count));
+    curves.push_back(core::discovery_curve(p_times));
+    names.push_back(std::string("passive_") + block.name);
+    denominators.push_back(static_cast<double>(c.union_count));
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  std::printf(
+      "\npaper shape checks: DHCP mirrors the overall result (sticky\n"
+      "residence-hall leases); PPP is the inversion where passive finds\n"
+      "~15%% more than active (short online windows between scans); VPN\n"
+      "is found actively (~100 servers) but almost never passively (~10):\n"
+      "tunnel addresses carry no client traffic past the tap.\n");
+
+  std::vector<analysis::NamedCurve> named;
+  for (std::size_t i = 0; i < curves.size(); ++i) {
+    named.push_back({names[i], &curves[i], denominators[i]});
+  }
+  analysis::export_figure("fig5_transient", "Figure 5: discovery by address transience", named, util::kEpoch, end,
+                       18 * 8, campaign.c().calendar());
+  std::printf("series written to fig5_transient.tsv (+ fig5_transient.gp)\n");
+  return 0;
+}
+
+}  // namespace svcdisc
+
+int main() { return svcdisc::run(); }

@@ -1,0 +1,89 @@
+// Figure 6: server discovery over time broken down by protocol (Web,
+// FTP, SSH, MySQL), as percent of each service's union ground truth.
+#include <cstdio>
+
+#include "analysis/export.h"
+#include "analysis/table.h"
+#include "bench_common.h"
+#include "core/completeness.h"
+#include "core/report.h"
+#include "core/weighted.h"
+
+namespace svcdisc {
+
+int run() {
+  auto campaign = bench::make_campaign(workload::CampusConfig::dtcp1_18d(),
+                                       bench::dtcp1_engine_config());
+  bench::print_header("Figure 6: discovery by protocol (DTCP1-18d)",
+                      campaign);
+
+  bench::Stopwatch watch;
+  campaign.e().run();
+  watch.report("DTCP1-18d campaign");
+
+  const auto end = util::kEpoch + campaign.c().config().duration;
+  struct Proto {
+    const char* name;
+    net::Port port;
+  };
+  const Proto protos[] = {{"Web", net::kPortHttp},
+                          {"FTP", net::kPortFtp},
+                          {"SSH", net::kPortSsh},
+                          {"MySQL", net::kPortMysql}};
+
+  std::vector<analysis::StepCurve> curves;
+  std::vector<analysis::NamedCurve> named;
+  std::vector<double> unions;
+  curves.reserve(8);
+  for (const Proto& proto : protos) {
+    core::ServiceFilter filter;
+    filter.port = proto.port;
+    const auto p_times = core::address_discovery_times(
+        campaign.e().monitor().table(), end, filter);
+    const auto a_times = core::address_times_from_scans(
+        campaign.e().prober().scans(), nullptr, filter);
+    std::unordered_set<net::Ipv4> u;
+    for (const auto& [addr, t] : p_times) u.insert(addr);
+    for (const auto& [addr, t] : a_times) u.insert(addr);
+    unions.push_back(static_cast<double>(u.size()));
+    curves.push_back(core::discovery_curve(a_times));
+    curves.push_back(core::discovery_curve(p_times));
+  }
+
+  analysis::TextTable table({"date", "A Web", "P Web", "A FTP", "P FTP",
+                             "A SSH", "P SSH", "A MySQL", "P MySQL"});
+  const auto& cal = campaign.c().calendar();
+  for (int d = 0; d <= 18; d += 3) {
+    const auto t = util::kEpoch + util::days(d);
+    std::vector<std::string> cells{cal.month_day(t)};
+    for (std::size_t i = 0; i < 4; ++i) {
+      cells.push_back(analysis::fmt_pct(
+          unions[i] > 0 ? 100.0 * curves[2 * i].at(t) / unions[i] : 0));
+      cells.push_back(analysis::fmt_pct(
+          unions[i] > 0 ? 100.0 * curves[2 * i + 1].at(t) / unions[i] : 0));
+    }
+    table.add_row(std::move(cells));
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  std::printf(
+      "\npaper shape checks: stepped jumps in passive MySQL discovery at\n"
+      "external sweeps, but blocked-external servers keep passive MySQL\n"
+      "lowest (~52%%); SSH/FTP reach ~100%% actively while passive trails\n"
+      "(~70-76%%): idle workstation/legacy servers.\n");
+
+  for (std::size_t i = 0; i < 4; ++i) {
+    named.push_back({std::string("active_") + protos[i].name,
+                     &curves[2 * i], unions[i]});
+    named.push_back({std::string("passive_") + protos[i].name,
+                     &curves[2 * i + 1], unions[i]});
+  }
+  analysis::export_figure("fig6_protocols", "Figure 6: discovery by protocol", named, util::kEpoch, end,
+                       18 * 8, cal);
+  std::printf("series written to fig6_protocols.tsv (+ fig6_protocols.gp)\n");
+  return 0;
+}
+
+}  // namespace svcdisc
+
+int main() { return svcdisc::run(); }

@@ -1,0 +1,90 @@
+// Figure 8: cumulative passive server discovery under fixed-period
+// sampling (first 2/5/10/30 minutes of every hour) versus continuous
+// monitoring, plus the count-based and probabilistic samplers the paper
+// leaves as future work.
+#include <cstdio>
+
+#include "analysis/export.h"
+#include "analysis/table.h"
+#include "bench_common.h"
+#include "capture/sampler.h"
+#include "core/report.h"
+#include "core/weighted.h"
+
+namespace svcdisc {
+
+int run() {
+  auto campaign = bench::make_campaign(workload::CampusConfig::dtcp1_18d(),
+                                       bench::dtcp1_engine_config());
+
+  const int kMinutes[] = {2, 5, 10, 30};
+  std::vector<passive::PassiveMonitor*> sampled;
+  for (const int m : kMinutes) {
+    sampled.push_back(&campaign.e().add_sampled_monitor(
+        std::make_unique<capture::FixedPeriodSampler>(util::minutes(m),
+                                                      util::hours(1))));
+  }
+  // Future-work samplers at ~16% coverage for comparison with 10 min/h.
+  auto& probabilistic = campaign.e().add_sampled_monitor(
+      std::make_unique<capture::ProbabilisticSampler>(10.0 / 60.0, 7));
+  auto& count_based = campaign.e().add_sampled_monitor(
+      std::make_unique<capture::CountSampler>(1, 5));
+
+  bench::print_header("Figure 8: fixed-period sampling (DTCP1-18d)",
+                      campaign);
+  bench::Stopwatch watch;
+  campaign.e().run();
+  watch.report("DTCP1-18d campaign");
+
+  const auto end = util::kEpoch + campaign.c().config().duration;
+  const auto full = core::addresses_found(campaign.e().monitor().table(), end);
+  const double denom = static_cast<double>(full.size());
+
+  analysis::TextTable table({"sampling", "capture share", "servers",
+                             "% of continuous"});
+  std::vector<analysis::StepCurve> curves;
+  const auto add = [&](const std::string& name, double share,
+                       passive::PassiveMonitor& monitor) {
+    const auto times =
+        core::address_discovery_times(monitor.table(), end);
+    char share_text[16];
+    std::snprintf(share_text, sizeof share_text, "%.0f%%", 100 * share);
+    table.add_row({name, share_text,
+                   analysis::fmt_count(times.size()),
+                   analysis::fmt_pct(100.0 * static_cast<double>(times.size()) /
+                                     denom)});
+    curves.push_back(core::discovery_curve(times));
+  };
+  for (std::size_t i = 0; i < sampled.size(); ++i) {
+    add(std::to_string(kMinutes[i]) + " min/hour", kMinutes[i] / 60.0,
+        *sampled[i]);
+  }
+  add("probabilistic p=1/6", 1.0 / 6.0, probabilistic);
+  add("count-based 1-in-6", 1.0 / 6.0, count_based);
+  table.add_rule();
+  table.add_row({"no sampling", "100%", analysis::fmt_count(full.size()),
+                 "100%"});
+  std::fputs(table.render().c_str(), stdout);
+
+  std::printf(
+      "\npaper shape checks: 30 min/h loses only ~5%% of servers; 10 min/h\n"
+      "~11%%: the relationship is far from linear because short wide scans\n"
+      "either land inside a capture window (full credit) or miss it\n"
+      "entirely. Per-packet samplers at the same share spread the loss:\n"
+      "they thin every sweep instead of gambling on window alignment\n"
+      "(see bench_ablation_sampling for the full strategy grid).\n");
+
+  std::vector<analysis::NamedCurve> named;
+  const char* names[] = {"min2", "min5", "min10", "min30", "prob", "count"};
+  for (std::size_t i = 0; i < curves.size(); ++i) {
+    named.push_back({names[i], &curves[i], denom});
+  }
+  analysis::export_figure("fig8_sampling", "Figure 8: fixed-period sampling", named, util::kEpoch, end, 18 * 8,
+                       campaign.c().calendar());
+  std::printf("series written to fig8_sampling.tsv (+ fig8_sampling.gp)\n");
+  return 0;
+}
+
+}  // namespace svcdisc
+
+int main() { return svcdisc::run(); }

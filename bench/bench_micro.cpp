@@ -1,0 +1,156 @@
+// Microbenchmarks (google-benchmark) for the hot paths: wire
+// serialization/parsing, filter compilation and evaluation, passive
+// monitor ingest, event-queue throughput, and the distributions driving
+// the workload. These back the DESIGN.md performance claims (the
+// simulator processes tens of millions of events per campaign).
+#include <benchmark/benchmark.h>
+
+#include "capture/filter.h"
+#include "capture/tap.h"
+#include "host/address_pool.h"
+#include "net/packet.h"
+#include "net/wire.h"
+#include "passive/monitor.h"
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+#include "util/distributions.h"
+#include "util/rng.h"
+
+namespace svcdisc {
+namespace {
+
+using net::Ipv4;
+using net::Packet;
+
+Packet sample_synack() {
+  Packet p = net::make_tcp(Ipv4::from_octets(128, 125, 3, 7), 80,
+                           Ipv4::from_octets(66, 55, 44, 33), 40001,
+                           net::flags_syn_ack());
+  p.seq = 12345;
+  p.ack_no = 999;
+  return p;
+}
+
+void BM_WireSerialize(benchmark::State& state) {
+  const Packet p = sample_synack();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::serialize(p));
+  }
+}
+BENCHMARK(BM_WireSerialize);
+
+void BM_WireParse(benchmark::State& state) {
+  const auto bytes = net::serialize(sample_synack());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::parse(bytes));
+  }
+}
+BENCHMARK(BM_WireParse);
+
+void BM_FilterCompile(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(capture::Filter::compile(
+        "(tcp and (syn or rst)) or udp or (icmp and not src host 10.0.0.1)"));
+  }
+}
+BENCHMARK(BM_FilterCompile);
+
+void BM_FilterEval(benchmark::State& state) {
+  const auto filter = capture::Tap::paper_default_filter();
+  const Packet p = sample_synack();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.matches(p));
+  }
+}
+BENCHMARK(BM_FilterEval);
+
+void BM_MonitorIngestSynAck(benchmark::State& state) {
+  passive::MonitorConfig cfg;
+  cfg.internal_prefixes = {net::Prefix(Ipv4::from_octets(128, 125, 0, 0), 16)};
+  cfg.tcp_ports = net::selected_tcp_ports();
+  passive::PassiveMonitor monitor(cfg);
+  Packet p = sample_synack();
+  std::uint32_t n = 0;
+  for (auto _ : state) {
+    // Rotate through server addresses so the table keeps growing like a
+    // real campaign.
+    p.src = Ipv4(Ipv4::from_octets(128, 125, 0, 0).value() + (n++ % 16384));
+    monitor.observe(p);
+  }
+  benchmark::DoNotOptimize(monitor.table().size());
+}
+BENCHMARK(BM_MonitorIngestSynAck);
+
+void BM_MonitorIngestFlowSyn(benchmark::State& state) {
+  passive::MonitorConfig cfg;
+  cfg.internal_prefixes = {net::Prefix(Ipv4::from_octets(128, 125, 0, 0), 16)};
+  cfg.tcp_ports = net::selected_tcp_ports();
+  passive::PassiveMonitor monitor(cfg);
+  Packet p = net::make_tcp(Ipv4::from_octets(66, 1, 2, 3), 999,
+                           Ipv4::from_octets(128, 125, 3, 7), 80,
+                           net::flags_syn());
+  std::uint32_t n = 0;
+  for (auto _ : state) {
+    p.src = Ipv4(Ipv4::from_octets(66, 0, 0, 0).value() + (n++ % 4096));
+    monitor.observe(p);
+  }
+}
+BENCHMARK(BM_MonitorIngestFlowSyn);
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  sim::EventQueue queue;
+  util::Rng rng(1);
+  std::int64_t drained = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      queue.push(util::TimePoint{static_cast<std::int64_t>(rng.below(1u << 20))},
+                 [&drained] { ++drained; });
+    }
+    while (!queue.empty()) queue.pop()();
+  }
+  benchmark::DoNotOptimize(drained);
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EventQueuePushPop);
+
+void BM_SimulatorSelfScheduling(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int count = 0;
+    std::function<void()> step = [&] {
+      if (++count < 1000) sim.after(util::usec(10), step);
+    };
+    sim.after(util::usec(10), step);
+    sim.run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorSelfScheduling);
+
+void BM_ZipfSample(benchmark::State& state) {
+  util::Zipf zipf(static_cast<std::size_t>(state.range(0)), 1.1);
+  util::Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.sample(rng));
+  }
+}
+BENCHMARK(BM_ZipfSample)->Arg(100)->Arg(10000);
+
+void BM_PoolAcquireRelease(benchmark::State& state) {
+  host::AddressPool pool(host::AddressClass::kDhcp,
+                         net::Prefix(Ipv4::from_octets(128, 125, 56, 0), 22),
+                         false, 7);
+  std::uint32_t id = 0;
+  for (auto _ : state) {
+    const auto addr = pool.acquire(id);
+    if (addr) pool.release(id, *addr);
+    ++id;
+  }
+}
+BENCHMARK(BM_PoolAcquireRelease);
+
+}  // namespace
+}  // namespace svcdisc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// Table 6: server discovery broken down by service type (Web, FTP, SSH,
+// MySQL) over DTCP1-18d.
+#include <cstdio>
+
+#include "analysis/table.h"
+#include "bench_common.h"
+#include "core/completeness.h"
+#include "core/report.h"
+
+namespace svcdisc {
+
+int run() {
+  auto campaign = bench::make_campaign(workload::CampusConfig::dtcp1_18d(),
+                                       bench::dtcp1_engine_config());
+  bench::print_header("Table 6: discovery by service type (DTCP1-18d)",
+                      campaign);
+
+  bench::Stopwatch watch;
+  campaign.e().run();
+  watch.report("DTCP1-18d campaign");
+
+  struct Row {
+    const char* name;
+    net::Port port;
+    const char* paper;  // union / P&A / A-only / P-only / A% / P%
+  };
+  const Row rows[] = {
+      {"Web", net::kPortHttp, "2,120 / 1,428 / 497 / 195 / 91% / 77%"},
+      {"FTP", net::kPortFtp, "815 / 566 / 241 / 8 / 99% / 70%"},
+      {"SSH", net::kPortSsh, "925 / 701 / 221 / 3 / 100% / 76%"},
+      {"MySQL", net::kPortMysql, "164 / 78 / 79 / 7 / 96% / 52%"},
+  };
+
+  const auto end = util::kEpoch + campaign.c().config().duration;
+  analysis::TextTable table({"Service", "Total", "P&A", "Active only",
+                             "Passive only", "Active", "Passive"});
+  for (const Row& row : rows) {
+    core::ServiceFilter filter;
+    filter.port = row.port;
+    const auto passive =
+        core::addresses_found(campaign.e().monitor().table(), end, filter);
+    const auto active =
+        core::addresses_found(campaign.e().prober().table(), end, filter);
+    const auto c = core::completeness(passive, active);
+    table.add_row({row.name,
+                   analysis::fmt_count_pct(c.union_count, c.union_count),
+                   analysis::fmt_count_pct(c.both, c.union_count),
+                   analysis::fmt_count_pct(c.active_only, c.union_count),
+                   analysis::fmt_count_pct(c.passive_only, c.union_count),
+                   analysis::fmt_count_pct(c.active_total, c.union_count),
+                   analysis::fmt_count_pct(c.passive_total, c.union_count)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  std::printf("\npaper (union / P&A / A-only / P-only / A / P):\n");
+  for (const Row& row : rows) {
+    std::printf("  %-6s %s\n", row.name, row.paper);
+  }
+  std::printf(
+      "\nshape checks: MySQL has the worst passive completeness (~52%%,\n"
+      "blocked-external servers hide from the border even during the\n"
+      "MySQL sweep); active finds ~all FTP and SSH.\n");
+  return 0;
+}
+
+}  // namespace svcdisc
+
+int main() { return svcdisc::run(); }

@@ -1,0 +1,104 @@
+// Table 8: servers found on each monitored peering link, duplicative and
+// exclusive — DTCP1-18d (two commercial links) and DTCPbreak (plus
+// Internet2).
+#include <cstdio>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/table.h"
+#include "bench_common.h"
+#include "core/report.h"
+
+namespace svcdisc {
+namespace {
+
+struct LinkResult {
+  std::string name;
+  std::uint64_t duplicative{0};
+  std::uint64_t exclusive{0};
+};
+
+struct DatasetResult {
+  std::vector<LinkResult> links;
+  std::uint64_t all{0};
+};
+
+DatasetResult run_dataset(workload::CampusConfig cfg,
+                          core::EngineConfig engine_cfg,
+                          const char* label) {
+  auto campaign = bench::make_campaign(std::move(cfg), engine_cfg);
+  bench::Stopwatch watch;
+  campaign.e().run();
+  watch.report(label);
+
+  const auto end = util::kEpoch + campaign.c().config().duration;
+  DatasetResult result;
+  std::vector<std::unordered_set<net::Ipv4>> per_link;
+  for (std::size_t i = 0; i < campaign.e().link_monitor_count(); ++i) {
+    per_link.push_back(
+        core::addresses_found(campaign.e().link_monitor(i).table(), end));
+  }
+  result.all =
+      core::addresses_found(campaign.e().monitor().table(), end).size();
+
+  for (std::size_t i = 0; i < per_link.size(); ++i) {
+    LinkResult link;
+    link.name = campaign.e().tap(i).name();
+    link.duplicative = per_link[i].size();
+    for (const net::Ipv4 addr : per_link[i]) {
+      bool elsewhere = false;
+      for (std::size_t j = 0; j < per_link.size(); ++j) {
+        if (j != i && per_link[j].contains(addr)) elsewhere = true;
+      }
+      link.exclusive += !elsewhere;
+    }
+    result.links.push_back(std::move(link));
+  }
+  return result;
+}
+
+void print_dataset(const char* title, const DatasetResult& result) {
+  std::printf("%s\n", title);
+  analysis::TextTable table({"link", "duplicative", "exclusive"});
+  for (const LinkResult& link : result.links) {
+    table.add_row({link.name,
+                   analysis::fmt_count_pct(link.duplicative, result.all),
+                   analysis::fmt_count_pct(link.exclusive, result.all)});
+  }
+  table.add_rule();
+  table.add_row({"all", analysis::fmt_count(result.all), "-"});
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int run() {
+  std::printf("== Table 8: servers found per monitored peering ==\n\n");
+
+  auto engine_cfg = bench::dtcp1_engine_config();
+  engine_cfg.per_link_monitors = true;
+  const auto d18 = run_dataset(workload::CampusConfig::dtcp1_18d(),
+                               engine_cfg, "DTCP1-18d campaign");
+  print_dataset("DTCP1-18d (two commercial peerings):", d18);
+
+  auto break_engine = engine_cfg;
+  break_engine.scan_count = 22;  // every 12 h over 11 days
+  const auto brk = run_dataset(workload::CampusConfig::dtcp_break(),
+                               break_engine, "DTCPbreak campaign");
+  print_dataset("DTCPbreak (commercial + Internet2):", brk);
+
+  std::printf(
+      "paper: DTCP1-18d commercial1 1,874 (89%%)/201 (9.5%%), commercial2\n"
+      "1,874 (89%%)/39 (1.8%%), all 2,111; DTCPbreak commercial1 1,770\n"
+      "(96%%)/59, commercial2 1,711 (93%%)/1, Internet2 669 (36%%)/3,\n"
+      "all 1,835.\n"
+      "shape checks: any single commercial link sees ~90%% of servers;\n"
+      "Internet2's AUP-limited clients see far fewer; exclusive servers\n"
+      "are the rarely-contacted ones.\n");
+  return 0;
+}
+
+}  // namespace svcdisc
+
+int main() { return svcdisc::run(); }

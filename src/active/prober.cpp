@@ -1,0 +1,286 @@
+#include "active/prober.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace svcdisc::active {
+
+std::size_t ScanRecord::count(ProbeStatus status) const {
+  return static_cast<std::size_t>(
+      std::count_if(outcomes.begin(), outcomes.end(),
+                    [&](const ProbeOutcome& o) { return o.status == status; }));
+}
+
+std::vector<passive::ServiceKey> ScanRecord::open_services() const {
+  std::vector<passive::ServiceKey> open;
+  for (const ProbeOutcome& o : outcomes) {
+    if (o.status == ProbeStatus::kOpen || o.status == ProbeStatus::kOpenUdp) {
+      open.push_back(o.key);
+    }
+  }
+  return open;
+}
+
+Prober::Prober(sim::Network& network, ProberConfig config)
+    : network_(network), config_(std::move(config)) {
+  if (config_.source_addrs.empty()) {
+    throw std::invalid_argument("Prober: need at least one source address");
+  }
+  for (const net::Ipv4 addr : config_.source_addrs) {
+    network_.attach(addr, this);
+  }
+}
+
+Prober::~Prober() {
+  for (const net::Ipv4 addr : config_.source_addrs) {
+    network_.detach(addr, this);
+  }
+}
+
+void Prober::start_scan(ScanSpec spec,
+                        std::function<void(const ScanRecord&)> on_complete) {
+  if (in_progress_) throw std::logic_error("Prober: scan already in flight");
+  in_progress_ = true;
+  spec_ = std::move(spec);
+  on_complete_ = std::move(on_complete);
+  current_ = ScanRecord{};
+  current_.index = static_cast<int>(scans_.size());
+  current_.started = network_.simulator().now();
+  pending_.clear();
+  alive_hosts_.clear();
+  unresolved_ = 0;
+
+  const std::size_t machines = config_.source_addrs.size();
+  work_.assign(machines, {});
+  cursor_.assign(machines, 0);
+  machines_done_ = 0;
+
+  if (spec_.host_discovery) {
+    // Phase 1: one ICMP echo per target address; port probes follow for
+    // responders only.
+    pinging_ = true;
+    current_.hosts_pinged =
+        static_cast<std::uint32_t>(spec_.targets.size());
+    const std::size_t per_machine =
+        (spec_.targets.size() + machines - 1) /
+        std::max<std::size_t>(machines, 1);
+    for (std::size_t m = 0; m < machines; ++m) {
+      const std::size_t begin = m * per_machine;
+      const std::size_t end =
+          std::min(spec_.targets.size(), begin + per_machine);
+      for (std::size_t i = begin; i < end; ++i) {
+        work_[m].push_back({spec_.targets[i], 0, net::Proto::kIcmp});
+      }
+    }
+  } else {
+    pinging_ = false;
+    build_port_work(spec_.targets);
+  }
+
+  bool any = false;
+  for (std::size_t m = 0; m < machines; ++m) {
+    if (work_[m].empty()) {
+      ++machines_done_;
+    } else {
+      any = true;
+      send_next(m);
+    }
+  }
+  if (!any) {
+    // Degenerate scan with no probes: complete immediately.
+    pinging_ = false;
+    network_.simulator().after(util::usec(0), [this] { finalize_scan(); });
+  }
+}
+
+void Prober::build_port_work(const std::vector<net::Ipv4>& targets) {
+  // Split targets evenly across prober machines, preserving probe order
+  // within each machine's share (address-major, port-minor).
+  const std::size_t machines = work_.size();
+  const std::size_t per_machine =
+      (targets.size() + machines - 1) / std::max<std::size_t>(machines, 1);
+  std::size_t total = 0;
+  for (std::size_t m = 0; m < machines; ++m) {
+    const std::size_t begin = m * per_machine;
+    const std::size_t end = std::min(targets.size(), begin + per_machine);
+    auto& tasks = work_[m];
+    tasks.clear();
+    tasks.reserve((end > begin ? end - begin : 0) *
+                  (spec_.tcp_ports.size() + spec_.udp_ports.size()));
+    for (std::size_t i = begin; i < end; ++i) {
+      for (const net::Port port : spec_.tcp_ports) {
+        tasks.push_back({targets[i], port, net::Proto::kTcp});
+      }
+      for (const net::Port port : spec_.udp_ports) {
+        tasks.push_back({targets[i], port, net::Proto::kUdp});
+      }
+    }
+    total += tasks.size();
+  }
+  current_.outcomes.reserve(current_.outcomes.size() + total);
+}
+
+void Prober::begin_port_phase() {
+  pinging_ = false;
+  current_.hosts_alive = static_cast<std::uint32_t>(alive_hosts_.size());
+  // Keep the original target order, filtered to responding hosts.
+  std::vector<net::Ipv4> alive;
+  alive.reserve(alive_hosts_.size());
+  for (const net::Ipv4 addr : spec_.targets) {
+    if (alive_hosts_.contains(addr)) alive.push_back(addr);
+  }
+  build_port_work(alive);
+  cursor_.assign(work_.size(), 0);
+  machines_done_ = 0;
+  bool any = false;
+  for (std::size_t m = 0; m < work_.size(); ++m) {
+    if (work_[m].empty()) {
+      ++machines_done_;
+    } else {
+      any = true;
+      send_next(m);
+    }
+  }
+  if (!any) {
+    network_.simulator().after(util::usec(0), [this] { finalize_scan(); });
+  }
+}
+
+void Prober::send_next(std::size_t machine) {
+  auto& tasks = work_[machine];
+  std::size_t& cursor = cursor_[machine];
+  const ProbeTask task = tasks[cursor];
+  const net::Ipv4 source = config_.source_addrs[machine];
+  const util::TimePoint now = network_.simulator().now();
+
+  if (task.proto == net::Proto::kIcmp) {
+    net::Packet ping;
+    ping.src = source;
+    ping.dst = task.addr;
+    ping.proto = net::Proto::kIcmp;
+    ping.icmp_type = net::IcmpType::kEchoRequest;
+    network_.send(ping);
+  } else {
+    const PendingKey pkey{task.addr, task.port, task.proto};
+    // A scan probes each (addr, port, proto) once, so insertion is
+    // always fresh; duplicated targets in the spec are tolerated by
+    // keeping the first pending entry.
+    if (!pending_.contains(pkey)) {
+      pending_[pkey] = current_.outcomes.size();
+      ++unresolved_;
+      current_.outcomes.push_back(
+          {{task.addr, task.proto, task.port}, ProbeStatus::kPending, now});
+    }
+
+    next_ephemeral_ = next_ephemeral_ >= 60000
+                          ? net::Port{40000}
+                          : net::Port(next_ephemeral_ + 1);
+    if (task.proto == net::Proto::kTcp) {
+      network_.send(net::make_tcp(source, next_ephemeral_, task.addr,
+                                  task.port, net::flags_syn()));
+    } else {
+      // Generic (zero-payload) UDP probe by default (§4.5); a
+      // service-specific probe carries a well-formed application request
+      // that any live implementation answers.
+      const std::uint16_t payload = spec_.udp_service_probes ? 48 : 0;
+      network_.send(net::make_udp(source, next_ephemeral_, task.addr,
+                                  task.port, payload));
+    }
+  }
+
+  ++cursor;
+  if (cursor >= tasks.size()) {
+    if (++machines_done_ == work_.size()) {
+      // All packets of this phase sent; allow stragglers to answer.
+      if (pinging_) {
+        network_.simulator().after(spec_.timeout + util::msec(100),
+                                   [this] { begin_port_phase(); });
+      } else {
+        network_.simulator().after(spec_.timeout + util::msec(100),
+                                   [this] { finalize_scan(); });
+      }
+    }
+    return;
+  }
+  const double gap_sec = 1.0 / spec_.probes_per_sec;
+  network_.simulator().after(util::seconds_f(gap_sec),
+                             [this, machine] { send_next(machine); });
+}
+
+void Prober::resolve(const PendingKey& key, ProbeStatus status) {
+  const auto it = pending_.find(key);
+  if (it == pending_.end()) return;  // late/duplicate response
+  ProbeOutcome& outcome = current_.outcomes[it->second];
+  outcome.status = status;
+  outcome.when = network_.simulator().now();
+  pending_.erase(it);
+  --unresolved_;
+
+  if (status == ProbeStatus::kOpen || status == ProbeStatus::kOpenUdp) {
+    if (table_.discover(outcome.key, outcome.when) && on_discovery) {
+      on_discovery(outcome.key, outcome.when);
+    }
+  }
+}
+
+void Prober::on_packet(const net::Packet& p) {
+  if (!in_progress_) return;
+  switch (p.proto) {
+    case net::Proto::kTcp: {
+      const PendingKey key{p.src, p.sport, net::Proto::kTcp};
+      if (p.flags.is_syn_ack()) {
+        resolve(key, ProbeStatus::kOpen);
+      } else if (p.flags.rst()) {
+        resolve(key, ProbeStatus::kClosed);
+      }
+      return;
+    }
+    case net::Proto::kUdp: {
+      resolve({p.src, p.sport, net::Proto::kUdp}, ProbeStatus::kOpenUdp);
+      return;
+    }
+    case net::Proto::kIcmp: {
+      if (p.icmp_type == net::IcmpType::kEchoReply) {
+        if (pinging_) alive_hosts_.insert(p.src);
+      } else if (p.icmp_type == net::IcmpType::kDestUnreachable &&
+                 p.icmp_code == net::IcmpCode::kPortUnreachable) {
+        resolve({p.src, p.icmp_orig_dport, p.icmp_orig_proto},
+                ProbeStatus::kClosed);
+      }
+      return;
+    }
+  }
+}
+
+void Prober::finalize_scan() {
+  // Hosts that answered anything are alive; their unanswered UDP probes
+  // are "possibly open", everyone else's are "no host" (§4.5).
+  std::unordered_set<net::Ipv4> alive;
+  for (const ProbeOutcome& o : current_.outcomes) {
+    if (o.status != ProbeStatus::kPending) alive.insert(o.key.addr);
+  }
+  for (auto& outcome : current_.outcomes) {
+    if (outcome.status != ProbeStatus::kPending) continue;
+    if (outcome.key.proto == net::Proto::kTcp) {
+      outcome.status = ProbeStatus::kFiltered;
+    } else {
+      outcome.status = alive.contains(outcome.key.addr)
+                           ? ProbeStatus::kMaybeOpen
+                           : ProbeStatus::kNoHost;
+    }
+  }
+  pending_.clear();
+  unresolved_ = 0;
+  current_.finished = network_.simulator().now();
+  in_progress_ = false;
+  scans_.push_back(std::move(current_));
+  SVCDISC_LOG(kInfo) << "scan " << scans_.back().index << " finished: "
+                     << scans_.back().count(ProbeStatus::kOpen)
+                     << " open TCP services";
+  if (on_complete_) on_complete_(scans_.back());
+}
+
+}  // namespace svcdisc::active

@@ -1,0 +1,33 @@
+#include "active/rate_limiter.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace svcdisc::active {
+
+TokenBucket::TokenBucket(double rate_per_sec, double burst)
+    : rate_(rate_per_sec), burst_(burst), tokens_(burst) {
+  if (rate_ <= 0 || burst_ < 1) {
+    throw std::invalid_argument("TokenBucket: rate > 0 and burst >= 1");
+  }
+}
+
+double TokenBucket::tokens_at(util::TimePoint t) const {
+  const double elapsed_sec =
+      static_cast<double>((t - last_refill_).usec) / 1e6;
+  return std::min(burst_, tokens_ + elapsed_sec * rate_);
+}
+
+util::TimePoint TokenBucket::next_available(util::TimePoint now) const {
+  const double available = tokens_at(now);
+  if (available >= 1.0) return now;
+  const double deficit_sec = (1.0 - available) / rate_;
+  return now + util::seconds_f(deficit_sec);
+}
+
+void TokenBucket::consume(util::TimePoint t) {
+  tokens_ = tokens_at(t) - 1.0;
+  last_refill_ = t;
+}
+
+}  // namespace svcdisc::active

@@ -1,0 +1,39 @@
+// Token-bucket rate limiting for probe pacing.
+//
+// Scanners rate-limit "to reduce the effects to normal traffic, to avoid
+// flooding hosts, or avoid triggering intrusion-detection systems"
+// (§4.1.2) — which is also why a full scan of 16k addresses takes one to
+// two hours. The bucket answers "when may the next probe go out?" in
+// simulated time, so the prober can schedule sends exactly.
+#pragma once
+
+#include <cstdint>
+
+#include "util/sim_time.h"
+
+namespace svcdisc::active {
+
+class TokenBucket {
+ public:
+  /// `rate_per_sec` sustained probes/second, bursting up to `burst`
+  /// tokens.
+  TokenBucket(double rate_per_sec, double burst);
+
+  /// Earliest time at or after `now` when one token is available.
+  util::TimePoint next_available(util::TimePoint now) const;
+
+  /// Consumes one token at time `t` (must be >= next_available(t)'s
+  /// result for exact pacing; over-consumption drives the deficit
+  /// negative and delays later probes, which is still correct).
+  void consume(util::TimePoint t);
+
+  double tokens_at(util::TimePoint t) const;
+
+ private:
+  double rate_;
+  double burst_;
+  double tokens_;
+  util::TimePoint last_refill_{};
+};
+
+}  // namespace svcdisc::active

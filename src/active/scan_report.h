@@ -1,0 +1,32 @@
+// Human-readable scan reports, in the spirit of Nmap's output: one block
+// per responding host listing port states, plus a scan summary line.
+#pragma once
+
+#include <string>
+
+#include "active/prober.h"
+
+namespace svcdisc::active {
+
+/// Options for format_scan_report.
+struct ReportOptions {
+  /// Include per-port "closed" lines (noisy on big scans; summarized
+  /// otherwise).
+  bool show_closed{false};
+  /// Cap on hosts printed (0 = all).
+  std::size_t max_hosts{0};
+};
+
+/// Formats `record` like a scanner's console output:
+///
+///   scan #3: 2006-ish 09-20 11:00 -> 12:27, 78,090 probes
+///   host 128.125.3.7: 2 open, 3 closed
+///     22/tcp  open   ssh
+///     80/tcp  open   web
+///   ...
+///   1,707 hosts with open services; 4,743 responding, 9,168 silent
+std::string format_scan_report(const ScanRecord& record,
+                               const util::Calendar& calendar,
+                               const ReportOptions& options = {});
+
+}  // namespace svcdisc::active

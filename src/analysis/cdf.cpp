@@ -1,0 +1,86 @@
+#include "analysis/cdf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace svcdisc::analysis {
+
+Cdf::Cdf(std::vector<double> samples) : samples_(std::move(samples)) {
+  sorted_ = std::is_sorted(samples_.begin(), samples_.end());
+}
+
+void Cdf::add(double x) {
+  if (!samples_.empty() && x < samples_.back()) sorted_ = false;
+  samples_.push_back(x);
+}
+
+void Cdf::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Cdf::at(double x) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+double Cdf::quantile(double q) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  q = std::clamp(q, 0.0, 1.0);
+  const auto idx = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(samples_.size())));
+  return samples_[idx == 0 ? 0 : idx - 1];
+}
+
+double Cdf::min() const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  return samples_.front();
+}
+
+double Cdf::max() const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  return samples_.back();
+}
+
+std::vector<std::pair<double, double>> Cdf::curve(std::size_t points) const {
+  std::vector<std::pair<double, double>> out;
+  if (samples_.empty() || points == 0) return out;
+  ensure_sorted();
+  const std::size_t stride =
+      std::max<std::size_t>(1, samples_.size() / points);
+  for (std::size_t i = 0; i < samples_.size(); i += stride) {
+    const double frac = static_cast<double>(i + 1) /
+                        static_cast<double>(samples_.size());
+    if (!out.empty() && out.back().first == samples_[i]) {
+      out.back().second = frac;
+    } else {
+      out.emplace_back(samples_[i], frac);
+    }
+  }
+  if (out.empty() || out.back().first != samples_.back()) {
+    out.emplace_back(samples_.back(), 1.0);
+  } else {
+    out.back().second = 1.0;
+  }
+  return out;
+}
+
+std::string Cdf::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "n=%zu min=%.3g q50=%.3g q90=%.3g q99=%.3g max=%.3g",
+                samples_.size(), min(), quantile(0.5), quantile(0.9),
+                quantile(0.99), max());
+  return buf;
+}
+
+}  // namespace svcdisc::analysis

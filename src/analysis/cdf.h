@@ -1,0 +1,40 @@
+// Empirical CDF helpers for distributional reporting (e.g. per-server
+// client counts, probe response times).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace svcdisc::analysis {
+
+/// Empirical cumulative distribution over a sample set.
+class Cdf {
+ public:
+  Cdf() = default;
+  explicit Cdf(std::vector<double> samples);
+
+  void add(double x);
+  std::size_t size() const { return samples_.size(); }
+
+  /// Fraction of samples <= x (0 for empty).
+  double at(double x) const;
+  /// Smallest sample value v with at(v) >= q, q in [0,1]; 0 for empty.
+  double quantile(double q) const;
+  double min() const;
+  double max() const;
+
+  /// Evenly spaced (value, cumulative fraction) points, suitable for
+  /// gnuplot; at most `points` entries, deduplicated.
+  std::vector<std::pair<double, double>> curve(std::size_t points = 100) const;
+
+  /// Multi-line "q50=… q90=… q99=… max=…" summary.
+  std::string summary() const;
+
+ private:
+  void ensure_sorted() const;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_{true};
+};
+
+}  // namespace svcdisc::analysis

@@ -1,0 +1,65 @@
+#include "analysis/export.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace svcdisc::analysis {
+
+bool export_tsv(const std::string& path, const std::vector<NamedCurve>& curves,
+                util::TimePoint start, util::TimePoint end,
+                std::size_t samples, const util::Calendar& calendar) {
+  std::ofstream out(path);
+  if (!out) return false;
+
+  out << "# days\tlabel";
+  for (const auto& c : curves) out << '\t' << c.name;
+  out << '\n';
+
+  if (samples < 2) samples = 2;
+  const std::int64_t span = (end - start).usec;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const util::TimePoint t =
+        start + util::usec(span * static_cast<std::int64_t>(i) /
+                           static_cast<std::int64_t>(samples - 1));
+    char days[32];
+    std::snprintf(days, sizeof days, "%.4f", (t - start).usec / 86.4e9);
+    out << days << '\t' << calendar.month_day_time(t);
+    for (const auto& c : curves) {
+      double v = c.curve->at(t);
+      if (c.denominator > 0) v = 100.0 * v / c.denominator;
+      char value[32];
+      std::snprintf(value, sizeof value, "%.4f", v);
+      out << '\t' << value;
+    }
+    out << '\n';
+  }
+  return true;
+}
+
+bool export_figure(const std::string& base, const std::string& title,
+                   const std::vector<NamedCurve>& curves,
+                   util::TimePoint start, util::TimePoint end,
+                   std::size_t samples, const util::Calendar& calendar) {
+  if (!export_tsv(base + ".tsv", curves, start, end, samples, calendar)) {
+    return false;
+  }
+  std::ofstream gp(base + ".gp");
+  if (!gp) return false;
+  gp << "# gnuplot script regenerating \"" << title << "\"\n";
+  gp << "set terminal pngcairo size 900,600\n";
+  gp << "set output '" << base << ".png'\n";
+  gp << "set title '" << title << "'\n";
+  gp << "set xlabel 'days since campaign start'\n";
+  gp << "set key left top\n";
+  gp << "set grid\n";
+  gp << "plot";
+  for (std::size_t i = 0; i < curves.size(); ++i) {
+    if (i > 0) gp << ",";
+    gp << " '" << base << ".tsv' using 1:" << (i + 3) << " with lines title '"
+       << curves[i].name << "'";
+  }
+  gp << "\n";
+  return true;
+}
+
+}  // namespace svcdisc::analysis

@@ -1,0 +1,38 @@
+// Gnuplot-ready series export: one TSV per figure, columns
+// time(label) <series...>.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/timeseries.h"
+#include "util/sim_time.h"
+
+namespace svcdisc::analysis {
+
+/// A named curve bundled for export.
+struct NamedCurve {
+  std::string name;
+  const StepCurve* curve;
+  /// Divisor turning counts into percentages (0 = export raw counts).
+  double denominator{0};
+};
+
+/// Writes `curves` sampled at `samples` points over [start, end] to a TSV
+/// file. The first column is fractional days since campaign start, the
+/// second a "MM-DD hh:mm" label, then one column per curve. Returns false
+/// if the file could not be opened.
+bool export_tsv(const std::string& path, const std::vector<NamedCurve>& curves,
+                util::TimePoint start, util::TimePoint end,
+                std::size_t samples, const util::Calendar& calendar);
+
+/// Writes `base`.tsv via export_tsv plus a ready-to-run gnuplot script
+/// `base`.gp that renders `base`.png — regenerating a paper figure is
+/// then `gnuplot base.gp`. Returns false if either file fails.
+bool export_figure(const std::string& base, const std::string& title,
+                   const std::vector<NamedCurve>& curves,
+                   util::TimePoint start, util::TimePoint end,
+                   std::size_t samples, const util::Calendar& calendar);
+
+}  // namespace svcdisc::analysis

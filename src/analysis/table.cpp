@@ -1,0 +1,102 @@
+#include "analysis/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace svcdisc::analysis {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::add_rule() { rows_.emplace_back(); }
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::string out;
+  const auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      if (c == 0) {
+        out += cell;
+        out.append(widths[c] - cell.size(), ' ');
+      } else {
+        out.append(widths[c] - cell.size(), ' ');
+        out += cell;
+      }
+      out += c + 1 < headers_.size() ? "  " : "";
+    }
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out += '\n';
+  };
+  const auto emit_rule = [&] {
+    std::size_t total = 0;
+    for (const std::size_t w : widths) total += w;
+    total += 2 * (headers_.size() - 1);
+    out.append(total, '-');
+    out += '\n';
+  };
+
+  emit_row(headers_);
+  emit_rule();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      emit_rule();
+    } else {
+      emit_row(row);
+    }
+  }
+  return out;
+}
+
+std::string fmt_count(std::uint64_t n) {
+  std::string digits = std::to_string(n);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  const std::size_t lead = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - lead) % 3 == 0 && i >= lead) out += ',';
+    out += digits[i];
+  }
+  return out;
+}
+
+std::string fmt_pct(double percent) {
+  char buf[32];
+  if (percent >= 9.95) {
+    std::snprintf(buf, sizeof buf, "%.0f%%", percent);
+  } else if (percent >= 0.995) {
+    std::snprintf(buf, sizeof buf, "%.1f%%", percent);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f%%", percent);
+  }
+  return buf;
+}
+
+std::string fmt_count_pct(std::uint64_t n, std::uint64_t denom) {
+  const double share =
+      denom == 0 ? 0.0
+                 : 100.0 * static_cast<double>(n) / static_cast<double>(denom);
+  return fmt_count(n) + " (" + fmt_pct(share) + ")";
+}
+
+std::string fmt_double(double value, int digits) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, value);
+  return buf;
+}
+
+}  // namespace svcdisc::analysis

@@ -1,0 +1,37 @@
+// Plain-text table rendering for bench output, mirroring the paper's
+// table layout (counts with percentages of a stated union).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace svcdisc::analysis {
+
+/// Column-aligned text table. First column is left-aligned, the rest
+/// right-aligned (matching the paper's tables of labeled counts).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  /// Inserts a horizontal rule before the next row.
+  void add_rule();
+
+  std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;  // empty row = rule
+};
+
+/// "1,748" style thousands separation.
+std::string fmt_count(std::uint64_t n);
+/// "1,748 (100%)" style count-with-share; share of `denom`.
+std::string fmt_count_pct(std::uint64_t n, std::uint64_t denom);
+/// "98%" / "2.3%" — two significant digits like the paper.
+std::string fmt_pct(double percent);
+/// Fixed-precision double.
+std::string fmt_double(double value, int digits);
+
+}  // namespace svcdisc::analysis

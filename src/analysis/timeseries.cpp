@@ -1,0 +1,81 @@
+#include "analysis/timeseries.h"
+
+#include <algorithm>
+
+namespace svcdisc::analysis {
+
+void StepCurve::add(util::TimePoint t, double weight) {
+  if (!points_.empty() && t < points_.back().first) sorted_ = false;
+  points_.emplace_back(t, weight);
+  total_ += weight;
+}
+
+void StepCurve::ensure_sorted() const {
+  if (!sorted_) {
+    std::stable_sort(points_.begin(), points_.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    sorted_ = true;
+    cumulative_.clear();
+  }
+  if (cumulative_.size() != points_.size()) {
+    cumulative_.resize(points_.size());
+    double acc = 0;
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+      acc += points_[i].second;
+      cumulative_[i] = acc;
+    }
+  }
+}
+
+double StepCurve::at(util::TimePoint t) const {
+  if (points_.empty()) return 0;
+  ensure_sorted();
+  const auto it = std::upper_bound(
+      points_.begin(), points_.end(), t,
+      [](util::TimePoint value, const auto& p) { return value < p.first; });
+  if (it == points_.begin()) return 0;
+  return cumulative_[static_cast<std::size_t>(it - points_.begin()) - 1];
+}
+
+util::TimePoint StepCurve::first_time() const {
+  if (points_.empty()) return util::kEpoch;
+  ensure_sorted();
+  return points_.front().first;
+}
+
+util::TimePoint StepCurve::last_time() const {
+  if (points_.empty()) return util::kEpoch;
+  ensure_sorted();
+  return points_.back().first;
+}
+
+std::vector<std::pair<util::TimePoint, double>> StepCurve::sampled(
+    util::TimePoint start, util::TimePoint end, std::size_t count) const {
+  std::vector<std::pair<util::TimePoint, double>> out;
+  if (count == 0) return out;
+  out.reserve(count);
+  if (count == 1) {
+    out.emplace_back(end, at(end));
+    return out;
+  }
+  const std::int64_t span = (end - start).usec;
+  for (std::size_t i = 0; i < count; ++i) {
+    const util::TimePoint t =
+        start + util::usec(span * static_cast<std::int64_t>(i) /
+                           static_cast<std::int64_t>(count - 1));
+    out.emplace_back(t, at(t));
+  }
+  return out;
+}
+
+util::TimePoint StepCurve::time_to_reach(double target) const {
+  ensure_sorted();
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    if (cumulative_[i] >= target) return points_[i].first;
+  }
+  return last_time() + util::usec(1);
+}
+
+}  // namespace svcdisc::analysis

@@ -1,0 +1,52 @@
+// Cumulative step curves for discovery-over-time figures.
+//
+// Every figure in the paper's evaluation is a cumulative count (or
+// percentage) of discoveries against time; StepCurve accumulates
+// (time, weight) events and answers "how much had been seen by t?".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/sim_time.h"
+
+namespace svcdisc::analysis {
+
+class StepCurve {
+ public:
+  /// Records an event of `weight` at time `t`. Events may arrive in any
+  /// order.
+  void add(util::TimePoint t, double weight = 1.0);
+
+  /// Cumulative weight of events with time <= t.
+  double at(util::TimePoint t) const;
+  /// Total weight of all events.
+  double total() const { return total_; }
+  /// Number of events.
+  std::size_t events() const { return points_.size(); }
+  /// Time of the first/last event (kEpoch when empty).
+  util::TimePoint first_time() const;
+  util::TimePoint last_time() const;
+
+  /// The curve sampled at `count` evenly spaced times across
+  /// [start, end], inclusive of both ends.
+  std::vector<std::pair<util::TimePoint, double>> sampled(
+      util::TimePoint start, util::TimePoint end, std::size_t count) const;
+
+  /// Earliest time at which the cumulative weight reaches `target`
+  /// (useful for "found 99% within N minutes" statements); returns
+  /// nullopt-like sentinel last_time()+1us when never reached.
+  util::TimePoint time_to_reach(double target) const;
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<std::pair<util::TimePoint, double>> points_;
+  mutable std::vector<double> cumulative_;
+  mutable bool sorted_{true};
+  double total_{0};
+};
+
+}  // namespace svcdisc::analysis

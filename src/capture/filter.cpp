@@ -1,0 +1,261 @@
+#include "capture/filter.h"
+
+#include <cctype>
+#include <charconv>
+
+namespace svcdisc::capture {
+namespace {
+
+/// Splits the expression into word/punctuation tokens.
+std::vector<std::string_view> tokenize(std::string_view text) {
+  std::vector<std::string_view> tokens;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    const char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+    } else if (c == '(' || c == ')') {
+      tokens.push_back(text.substr(i, 1));
+      ++i;
+    } else {
+      std::size_t j = i;
+      while (j < text.size() &&
+             !std::isspace(static_cast<unsigned char>(text[j])) &&
+             text[j] != '(' && text[j] != ')') {
+        ++j;
+      }
+      tokens.push_back(text.substr(i, j - i));
+      i = j;
+    }
+  }
+  return tokens;
+}
+
+}  // namespace
+
+/// Recursive-descent compiler emitting postfix instructions.
+class FilterCompiler {
+ public:
+  explicit FilterCompiler(std::vector<std::string_view> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  std::optional<Filter> compile(std::string* error) {
+    Filter f;
+    if (!parse_expr(f.program_) || pos_ != tokens_.size()) {
+      if (error) {
+        *error = error_.empty()
+                     ? "unexpected token: " + std::string(peek())
+                     : error_;
+      }
+      return std::nullopt;
+    }
+    return f;
+  }
+
+ private:
+  using Instr = Filter::Instr;
+  using Op = Filter::Op;
+
+  std::string_view peek() const {
+    return pos_ < tokens_.size() ? tokens_[pos_] : std::string_view{};
+  }
+  bool accept(std::string_view token) {
+    if (peek() == token) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool fail(std::string msg) {
+    if (error_.empty()) error_ = std::move(msg);
+    return false;
+  }
+
+  bool parse_expr(std::vector<Instr>& out) {
+    if (!parse_and(out)) return false;
+    while (accept("or")) {
+      if (!parse_and(out)) return false;
+      out.push_back({Op::kOr});
+    }
+    return true;
+  }
+
+  bool parse_and(std::vector<Instr>& out) {
+    if (!parse_unary(out)) return false;
+    while (accept("and")) {
+      if (!parse_unary(out)) return false;
+      out.push_back({Op::kAnd});
+    }
+    return true;
+  }
+
+  bool parse_unary(std::vector<Instr>& out) {
+    if (accept("not")) {
+      if (!parse_unary(out)) return false;
+      out.push_back({Op::kNot});
+      return true;
+    }
+    if (accept("(")) {
+      if (!parse_expr(out)) return false;
+      if (!accept(")")) return fail("expected ')'");
+      return true;
+    }
+    return parse_predicate(out);
+  }
+
+  bool parse_predicate(std::vector<Instr>& out) {
+    const std::string_view tok = peek();
+    if (tok == "tcp") { ++pos_; out.push_back({Op::kProtoTcp}); return true; }
+    if (tok == "udp") { ++pos_; out.push_back({Op::kProtoUdp}); return true; }
+    if (tok == "icmp") { ++pos_; out.push_back({Op::kProtoIcmp}); return true; }
+    if (tok == "syn") { ++pos_; out.push_back({Op::kSyn}); return true; }
+    if (tok == "ack") { ++pos_; out.push_back({Op::kAck}); return true; }
+    if (tok == "rst") { ++pos_; out.push_back({Op::kRst}); return true; }
+    if (tok == "fin") { ++pos_; out.push_back({Op::kFin}); return true; }
+    if (tok == "synack") { ++pos_; out.push_back({Op::kSynAck}); return true; }
+
+    int direction = 0;  // 0 = any, 1 = src, 2 = dst
+    if (accept("src")) direction = 1;
+    else if (accept("dst")) direction = 2;
+
+    if (accept("host")) {
+      const auto addr = net::Ipv4::parse(peek());
+      if (!addr) return fail("bad host address");
+      ++pos_;
+      out.push_back({direction == 1   ? Op::kSrcHost
+                     : direction == 2 ? Op::kDstHost
+                                      : Op::kAnyHost,
+                     *addr, 0});
+      return true;
+    }
+    if (accept("net")) {
+      const auto prefix = net::Prefix::parse(peek());
+      if (!prefix) return fail("bad CIDR prefix");
+      ++pos_;
+      out.push_back({direction == 1   ? Op::kSrcNet
+                     : direction == 2 ? Op::kDstNet
+                                      : Op::kAnyNet,
+                     prefix->base(), static_cast<std::uint32_t>(prefix->bits())});
+      return true;
+    }
+    if (accept("port")) {
+      const std::string_view num = peek();
+      std::uint32_t port = 0;
+      const auto [ptr, ec] =
+          std::from_chars(num.data(), num.data() + num.size(), port);
+      if (ec != std::errc{} || ptr != num.data() + num.size() || port > 65535) {
+        return fail("bad port number");
+      }
+      ++pos_;
+      out.push_back({direction == 1   ? Op::kSrcPort
+                     : direction == 2 ? Op::kDstPort
+                                      : Op::kAnyPort,
+                     net::Ipv4{}, port});
+      return true;
+    }
+    if (direction != 0) return fail("expected host/net/port after src/dst");
+    return fail("unknown predicate: " + std::string(tok));
+  }
+
+  std::vector<std::string_view> tokens_;
+  std::size_t pos_{0};
+  std::string error_;
+};
+
+std::optional<Filter> Filter::compile(std::string_view expression,
+                                      std::string* error) {
+  auto tokens = tokenize(expression);
+  if (tokens.empty()) return Filter{};  // empty expression = match all
+  return FilterCompiler(std::move(tokens)).compile(error);
+}
+
+std::string Filter::disassemble() const {
+  if (program_.empty()) return "<all>";
+  std::string out;
+  for (const Instr& ins : program_) {
+    if (!out.empty()) out += ' ';
+    switch (ins.op) {
+      case Op::kProtoTcp: out += "tcp"; break;
+      case Op::kProtoUdp: out += "udp"; break;
+      case Op::kProtoIcmp: out += "icmp"; break;
+      case Op::kSyn: out += "syn"; break;
+      case Op::kAck: out += "ack"; break;
+      case Op::kRst: out += "rst"; break;
+      case Op::kFin: out += "fin"; break;
+      case Op::kSynAck: out += "synack"; break;
+      case Op::kSrcHost: out += "src-host " + ins.addr.to_string(); break;
+      case Op::kDstHost: out += "dst-host " + ins.addr.to_string(); break;
+      case Op::kAnyHost: out += "host " + ins.addr.to_string(); break;
+      case Op::kSrcNet:
+        out += "src-net " + ins.addr.to_string() + "/" +
+               std::to_string(ins.arg);
+        break;
+      case Op::kDstNet:
+        out += "dst-net " + ins.addr.to_string() + "/" +
+               std::to_string(ins.arg);
+        break;
+      case Op::kAnyNet:
+        out += "net " + ins.addr.to_string() + "/" + std::to_string(ins.arg);
+        break;
+      case Op::kSrcPort: out += "src-port " + std::to_string(ins.arg); break;
+      case Op::kDstPort: out += "dst-port " + std::to_string(ins.arg); break;
+      case Op::kAnyPort: out += "port " + std::to_string(ins.arg); break;
+      case Op::kAnd: out += "and"; break;
+      case Op::kOr: out += "or"; break;
+      case Op::kNot: out += "not"; break;
+    }
+  }
+  return out;
+}
+
+bool Filter::matches(const net::Packet& p) const {
+  if (program_.empty()) return true;
+  // Postfix evaluation over a small fixed stack; filters are shallow.
+  bool stack[64];
+  std::size_t top = 0;
+  const auto in_net = [](net::Ipv4 addr, net::Ipv4 base, std::uint32_t bits) {
+    return net::Prefix(base, static_cast<int>(bits)).contains(addr);
+  };
+  for (const Instr& ins : program_) {
+    bool v = false;
+    switch (ins.op) {
+      case Op::kProtoTcp: v = p.proto == net::Proto::kTcp; break;
+      case Op::kProtoUdp: v = p.proto == net::Proto::kUdp; break;
+      case Op::kProtoIcmp: v = p.proto == net::Proto::kIcmp; break;
+      case Op::kSyn: v = p.proto == net::Proto::kTcp && p.flags.syn(); break;
+      case Op::kAck: v = p.proto == net::Proto::kTcp && p.flags.ack(); break;
+      case Op::kRst: v = p.proto == net::Proto::kTcp && p.flags.rst(); break;
+      case Op::kFin: v = p.proto == net::Proto::kTcp && p.flags.fin(); break;
+      case Op::kSynAck:
+        v = p.proto == net::Proto::kTcp && p.flags.is_syn_ack();
+        break;
+      case Op::kSrcHost: v = p.src == ins.addr; break;
+      case Op::kDstHost: v = p.dst == ins.addr; break;
+      case Op::kAnyHost: v = p.src == ins.addr || p.dst == ins.addr; break;
+      case Op::kSrcNet: v = in_net(p.src, ins.addr, ins.arg); break;
+      case Op::kDstNet: v = in_net(p.dst, ins.addr, ins.arg); break;
+      case Op::kAnyNet:
+        v = in_net(p.src, ins.addr, ins.arg) || in_net(p.dst, ins.addr, ins.arg);
+        break;
+      case Op::kSrcPort: v = p.sport == ins.arg; break;
+      case Op::kDstPort: v = p.dport == ins.arg; break;
+      case Op::kAnyPort: v = p.sport == ins.arg || p.dport == ins.arg; break;
+      case Op::kAnd:
+        v = stack[top - 1] && stack[top - 2];
+        top -= 2;
+        break;
+      case Op::kOr:
+        v = stack[top - 1] || stack[top - 2];
+        top -= 2;
+        break;
+      case Op::kNot:
+        v = !stack[top - 1];
+        top -= 1;
+        break;
+    }
+    if (top < sizeof stack) stack[top++] = v;
+  }
+  return top > 0 && stack[top - 1];
+}
+
+}  // namespace svcdisc::capture

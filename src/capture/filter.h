@@ -1,0 +1,78 @@
+// A BPF-style capture filter language.
+//
+// The monitoring infrastructure in the paper records "all TCP SYN,
+// SYN-ACK and RST packets, as well as all UDP traffic" (§3.2) — i.e. it
+// filters at the tap. This module provides a small, safe filter language
+// compiled to a postfix program evaluated against in-memory packets:
+//
+//   tcp and (syn or rst)
+//   udp and dst net 128.125.0.0/16
+//   synack or (icmp and not src host 10.0.0.1)
+//
+// Grammar (case-sensitive keywords):
+//   expr    := and_expr ("or" and_expr)*
+//   and_expr:= unary ("and" unary)*
+//   unary   := "not" unary | "(" expr ")" | predicate
+//   predicate :=
+//       "tcp" | "udp" | "icmp"
+//     | "syn" | "ack" | "rst" | "fin" | "synack"
+//     | ["src"|"dst"] "host" IPv4
+//     | ["src"|"dst"] "net" CIDR
+//     | ["src"|"dst"] "port" NUMBER
+// Unqualified host/net/port match either direction.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "net/packet.h"
+
+namespace svcdisc::capture {
+
+/// Compiled filter: a postfix program over boolean predicates.
+class Filter {
+ public:
+  /// Compiles `expression`; returns nullopt (with a diagnostic retrievable
+  /// via `error`) on syntax errors.
+  static std::optional<Filter> compile(std::string_view expression,
+                                       std::string* error = nullptr);
+
+  /// An always-true filter.
+  Filter() = default;
+
+  /// Evaluates the program against one packet.
+  bool matches(const net::Packet& p) const;
+
+  /// Number of instructions (0 = match-all); exposed for tests/benches.
+  std::size_t program_size() const { return program_.size(); }
+
+  /// Disassembles the compiled postfix program, one mnemonic per
+  /// instruction ("tcp syn or"), for debugging and tests. "<all>" for
+  /// the empty program.
+  std::string disassemble() const;
+
+ private:
+  enum class Op : std::uint8_t {
+    kProtoTcp, kProtoUdp, kProtoIcmp,
+    kSyn, kAck, kRst, kFin, kSynAck,
+    kSrcHost, kDstHost, kAnyHost,
+    kSrcNet, kDstNet, kAnyNet,
+    kSrcPort, kDstPort, kAnyPort,
+    kAnd, kOr, kNot,
+  };
+  struct Instr {
+    Op op;
+    net::Ipv4 addr{};   // host/net base
+    std::uint32_t arg{0};  // prefix bits or port
+  };
+
+  std::vector<Instr> program_;
+
+  friend class FilterCompiler;
+};
+
+}  // namespace svcdisc::capture

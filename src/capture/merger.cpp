@@ -1,0 +1,69 @@
+#include "capture/merger.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace svcdisc::capture {
+namespace {
+
+bool is_sorted_by_time(const std::vector<net::Packet>& v) {
+  return std::is_sorted(v.begin(), v.end(),
+                        [](const net::Packet& a, const net::Packet& b) {
+                          return a.time < b.time;
+                        });
+}
+
+}  // namespace
+
+std::vector<net::Packet> merge_streams(
+    std::span<const std::vector<net::Packet>> streams) {
+  struct Cursor {
+    const std::vector<net::Packet>* stream;
+    std::size_t index;
+    std::size_t stream_id;
+  };
+  struct Later {
+    bool operator()(const Cursor& a, const Cursor& b) const {
+      const auto ta = (*a.stream)[a.index].time;
+      const auto tb = (*b.stream)[b.index].time;
+      if (ta != tb) return ta > tb;
+      return a.stream_id > b.stream_id;  // stable across streams
+    }
+  };
+
+  // Pre-sort any unsorted input (copied once, merged from the copy).
+  std::vector<std::vector<net::Packet>> sorted_copies;
+  std::vector<const std::vector<net::Packet>*> sources;
+  sources.reserve(streams.size());
+  for (const auto& s : streams) {
+    if (is_sorted_by_time(s)) {
+      sources.push_back(&s);
+    } else {
+      sorted_copies.push_back(s);
+      std::stable_sort(sorted_copies.back().begin(), sorted_copies.back().end(),
+                       [](const net::Packet& a, const net::Packet& b) {
+                         return a.time < b.time;
+                       });
+      sources.push_back(&sorted_copies.back());
+    }
+  }
+
+  std::size_t total = 0;
+  std::priority_queue<Cursor, std::vector<Cursor>, Later> heap;
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    total += sources[i]->size();
+    if (!sources[i]->empty()) heap.push({sources[i], 0, i});
+  }
+
+  std::vector<net::Packet> merged;
+  merged.reserve(total);
+  while (!heap.empty()) {
+    Cursor c = heap.top();
+    heap.pop();
+    merged.push_back((*c.stream)[c.index]);
+    if (++c.index < c.stream->size()) heap.push(c);
+  }
+  return merged;
+}
+
+}  // namespace svcdisc::capture

@@ -1,0 +1,22 @@
+// K-way time-ordered merge of capture streams.
+//
+// A multi-homed site produces one capture per peering (paper §5.2); for
+// offline analysis they must be merged into a single chronological
+// stream. Equal timestamps preserve stream order (stable).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "net/packet.h"
+
+namespace svcdisc::capture {
+
+/// Merges time-sorted packet vectors into one time-sorted vector.
+/// Inputs that are not sorted are handled correctly but cost an extra
+/// sort. O(total log k) for sorted inputs.
+std::vector<net::Packet> merge_streams(
+    std::span<const std::vector<net::Packet>> streams);
+
+}  // namespace svcdisc::capture

@@ -1,0 +1,110 @@
+#include "capture/pcap_file.h"
+
+#include "net/wire.h"
+
+namespace svcdisc::capture {
+namespace {
+
+void put32le(std::ofstream& out, std::uint32_t v) {
+  const char bytes[4] = {
+      static_cast<char>(v & 0xff), static_cast<char>((v >> 8) & 0xff),
+      static_cast<char>((v >> 16) & 0xff), static_cast<char>((v >> 24) & 0xff)};
+  out.write(bytes, 4);
+}
+
+void put16le(std::ofstream& out, std::uint16_t v) {
+  const char bytes[2] = {static_cast<char>(v & 0xff),
+                         static_cast<char>((v >> 8) & 0xff)};
+  out.write(bytes, 2);
+}
+
+bool get32le(std::ifstream& in, std::uint32_t& v) {
+  unsigned char bytes[4];
+  if (!in.read(reinterpret_cast<char*>(bytes), 4)) return false;
+  v = std::uint32_t{bytes[0]} | (std::uint32_t{bytes[1]} << 8) |
+      (std::uint32_t{bytes[2]} << 16) | (std::uint32_t{bytes[3]} << 24);
+  return true;
+}
+
+bool get16le(std::ifstream& in, std::uint16_t& v) {
+  unsigned char bytes[2];
+  if (!in.read(reinterpret_cast<char*>(bytes), 2)) return false;
+  v = static_cast<std::uint16_t>(bytes[0] | (bytes[1] << 8));
+  return true;
+}
+
+}  // namespace
+
+PcapWriter::PcapWriter(const std::string& path,
+                       std::uint64_t epoch_offset_sec)
+    : out_(path, std::ios::binary), epoch_offset_sec_(epoch_offset_sec) {
+  if (!out_) return;
+  put32le(out_, kPcapMagicUsec);
+  put16le(out_, 2);   // version major
+  put16le(out_, 4);   // version minor
+  put32le(out_, 0);   // thiszone
+  put32le(out_, 0);   // sigfigs
+  put32le(out_, 65535);  // snaplen
+  put32le(out_, kLinktypeRaw);
+}
+
+void PcapWriter::write(const net::Packet& p) {
+  if (!out_) return;
+  const auto bytes = net::serialize(p);
+  const std::uint64_t usec_total =
+      static_cast<std::uint64_t>(p.time.usec) + epoch_offset_sec_ * 1'000'000ULL;
+  put32le(out_, static_cast<std::uint32_t>(usec_total / 1'000'000ULL));
+  put32le(out_, static_cast<std::uint32_t>(usec_total % 1'000'000ULL));
+  put32le(out_, static_cast<std::uint32_t>(bytes.size()));  // incl_len
+  put32le(out_, static_cast<std::uint32_t>(bytes.size()));  // orig_len
+  out_.write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+  ++written_;
+}
+
+PcapReader::Result PcapReader::read_file(const std::string& path,
+                                         std::uint64_t epoch_offset_sec) {
+  Result result;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return result;
+
+  std::uint32_t magic = 0;
+  std::uint16_t vmaj = 0, vmin = 0;
+  std::uint32_t zone = 0, sigfigs = 0, snaplen = 0, linktype = 0;
+  if (!get32le(in, magic) || magic != kPcapMagicUsec) return result;
+  if (!get16le(in, vmaj) || !get16le(in, vmin)) return result;
+  if (!get32le(in, zone) || !get32le(in, sigfigs) || !get32le(in, snaplen) ||
+      !get32le(in, linktype)) {
+    return result;
+  }
+  if (linktype != kLinktypeRaw) return result;
+
+  result.ok = true;
+  std::vector<std::uint8_t> buf;
+  while (true) {
+    std::uint32_t ts_sec = 0, ts_usec = 0, incl = 0, orig = 0;
+    if (!get32le(in, ts_sec)) break;  // clean EOF
+    if (!get32le(in, ts_usec) || !get32le(in, incl) || !get32le(in, orig)) {
+      result.ok = false;  // truncated record header
+      break;
+    }
+    buf.resize(incl);
+    if (!in.read(reinterpret_cast<char*>(buf.data()), incl)) {
+      result.ok = false;  // truncated payload
+      break;
+    }
+    auto packet = net::parse(buf);
+    if (!packet) {
+      ++result.skipped;
+      continue;
+    }
+    const std::int64_t usec_total =
+        static_cast<std::int64_t>(ts_sec) * 1'000'000LL + ts_usec -
+        static_cast<std::int64_t>(epoch_offset_sec) * 1'000'000LL;
+    packet->time = util::TimePoint{usec_total};
+    result.packets.push_back(*packet);
+  }
+  return result;
+}
+
+}  // namespace svcdisc::capture

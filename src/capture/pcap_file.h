@@ -1,0 +1,67 @@
+// pcap(3) file reader/writer (LINKTYPE_RAW, microsecond timestamps).
+//
+// Simulated captures can be persisted as standard pcap files — readable
+// by tcpdump/wireshark — and read back for offline analysis, proving the
+// passive pipeline is trace-format-agnostic. Packets are serialized as
+// real checksummed IPv4 datagrams (net/wire.h).
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/packet.h"
+#include "sim/node.h"
+#include "util/sim_time.h"
+
+namespace svcdisc::capture {
+
+/// pcap global-header constants.
+inline constexpr std::uint32_t kPcapMagicUsec = 0xa1b2c3d4;
+inline constexpr std::uint32_t kLinktypeRaw = 101;  // raw IPv4/IPv6
+
+/// Streams packets to a pcap file. Also usable as a tap consumer.
+class PcapWriter final : public sim::PacketObserver {
+ public:
+  /// Opens `path` and writes the global header. `epoch_offset_sec` is
+  /// added to simulated timestamps to place them at a plausible calendar
+  /// time (default: 2006-09-19, the DTCP1-18d start).
+  explicit PcapWriter(const std::string& path,
+                      std::uint64_t epoch_offset_sec = 1158663600ULL);
+
+  /// True when the file opened and the header was written.
+  bool ok() const { return static_cast<bool>(out_); }
+
+  /// Appends one packet record.
+  void write(const net::Packet& p);
+  /// Tap-consumer entry point (same as write()).
+  void observe(const net::Packet& p) override { write(p); }
+
+  std::uint64_t written() const { return written_; }
+  void flush() { out_.flush(); }
+
+ private:
+  std::ofstream out_;
+  std::uint64_t epoch_offset_sec_;
+  std::uint64_t written_{0};
+};
+
+/// Reads a whole pcap file back into Packet values. Packets that fail to
+/// parse (unsupported protocol/linktype) are counted and skipped.
+class PcapReader {
+ public:
+  struct Result {
+    std::vector<net::Packet> packets;  ///< timestamps relative to epoch
+    std::uint64_t skipped{0};
+    bool ok{false};  ///< header valid and no framing error
+  };
+
+  /// `epoch_offset_sec` must match the writer's to recover simulated
+  /// timestamps.
+  static Result read_file(const std::string& path,
+                          std::uint64_t epoch_offset_sec = 1158663600ULL);
+};
+
+}  // namespace svcdisc::capture

@@ -1,0 +1,39 @@
+#include "capture/ring_buffer.h"
+
+#include <stdexcept>
+
+namespace svcdisc::capture {
+
+RingBuffer::RingBuffer(std::size_t capacity) : buffer_(capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("RingBuffer: capacity must be >= 1");
+  }
+}
+
+bool RingBuffer::push(const net::Packet& p) {
+  if (full()) {
+    ++dropped_;
+    return false;
+  }
+  buffer_[(head_ + size_) % buffer_.size()] = p;
+  ++size_;
+  ++pushed_;
+  return true;
+}
+
+std::optional<net::Packet> RingBuffer::pop() {
+  if (empty()) return std::nullopt;
+  net::Packet p = buffer_[head_];
+  head_ = (head_ + 1) % buffer_.size();
+  --size_;
+  return p;
+}
+
+std::vector<net::Packet> RingBuffer::drain() {
+  std::vector<net::Packet> out;
+  out.reserve(size_);
+  while (auto p = pop()) out.push_back(*p);
+  return out;
+}
+
+}  // namespace svcdisc::capture

@@ -1,0 +1,50 @@
+// A bounded packet ring buffer with drop accounting.
+//
+// Real capture stacks buffer packets between the NIC and the analyzer;
+// when the analyzer falls behind, the ring overwrites-or-drops and the
+// loss must be visible (the paper's §5.3 motivates sampling precisely
+// because full capture "becomes hard at very high bitrates"). This ring
+// drops *new* packets when full (libpcap semantics) and counts them.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "net/packet.h"
+#include "sim/node.h"
+
+namespace svcdisc::capture {
+
+class RingBuffer final : public sim::PacketObserver {
+ public:
+  /// `capacity` must be at least 1.
+  explicit RingBuffer(std::size_t capacity);
+
+  /// Enqueues `p`; returns false (and counts a drop) when full.
+  bool push(const net::Packet& p);
+  /// Tap-consumer entry point: push, dropping on overflow.
+  void observe(const net::Packet& p) override { push(p); }
+
+  /// Dequeues the oldest packet, or nullopt when empty.
+  std::optional<net::Packet> pop();
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return buffer_.size(); }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == buffer_.size(); }
+  std::uint64_t pushed() const { return pushed_; }
+  std::uint64_t dropped() const { return dropped_; }
+
+  /// Drains everything into a vector (oldest first).
+  std::vector<net::Packet> drain();
+
+ private:
+  std::vector<net::Packet> buffer_;
+  std::size_t head_{0};  // next pop
+  std::size_t size_{0};
+  std::uint64_t pushed_{0};
+  std::uint64_t dropped_{0};
+};
+
+}  // namespace svcdisc::capture

@@ -1,0 +1,44 @@
+#include "capture/sampler.h"
+
+#include <stdexcept>
+
+namespace svcdisc::capture {
+
+FixedPeriodSampler::FixedPeriodSampler(util::Duration on,
+                                       util::Duration period)
+    : on_usec_(on.usec), period_usec_(period.usec) {
+  if (period_usec_ <= 0 || on_usec_ < 0 || on_usec_ > period_usec_) {
+    throw std::invalid_argument("FixedPeriodSampler: need 0 <= on <= period");
+  }
+}
+
+bool FixedPeriodSampler::keep(const net::Packet& p) {
+  return p.time.usec % period_usec_ < on_usec_;
+}
+
+CountSampler::CountSampler(std::uint64_t capture, std::uint64_t skip)
+    : capture_(capture), skip_(skip) {
+  if (capture_ + skip_ == 0) {
+    throw std::invalid_argument("CountSampler: capture+skip must be > 0");
+  }
+}
+
+bool CountSampler::keep(const net::Packet&) {
+  const bool kept = position_ < capture_;
+  position_ = (position_ + 1) % (capture_ + skip_);
+  return kept;
+}
+
+ProbabilisticSampler::ProbabilisticSampler(double probability,
+                                           std::uint64_t seed)
+    : probability_(probability), rng_(seed) {
+  if (probability < 0.0 || probability > 1.0) {
+    throw std::invalid_argument("ProbabilisticSampler: p outside [0,1]");
+  }
+}
+
+bool ProbabilisticSampler::keep(const net::Packet&) {
+  return rng_.chance(probability_);
+}
+
+}  // namespace svcdisc::capture

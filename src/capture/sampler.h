@@ -1,0 +1,69 @@
+// Packet sampling strategies for high-rate links (paper §5.3).
+//
+// The paper evaluates fixed-period sampling (capture the first k minutes
+// of every hour) and names two alternatives — count-based and
+// probabilistic — that it leaves as future work; all three are
+// implemented here so the sampling bench can compare them.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "net/packet.h"
+#include "util/rng.h"
+#include "util/sim_time.h"
+
+namespace svcdisc::capture {
+
+/// Decides, per packet, whether the monitor keeps it.
+class Sampler {
+ public:
+  virtual ~Sampler() = default;
+  virtual bool keep(const net::Packet& p) = 0;
+};
+
+/// Keeps every packet (the "no sampling" baseline).
+class KeepAllSampler final : public Sampler {
+ public:
+  bool keep(const net::Packet&) override { return true; }
+};
+
+/// Fixed-period sampling: capture during the first `on` of every
+/// `period`, idle for the rest. The paper's 2/5/10/30-minutes-per-hour
+/// configurations are FixedPeriodSampler(minutes(k), hours(1)).
+class FixedPeriodSampler final : public Sampler {
+ public:
+  FixedPeriodSampler(util::Duration on, util::Duration period);
+  bool keep(const net::Packet& p) override;
+
+ private:
+  std::int64_t on_usec_;
+  std::int64_t period_usec_;
+};
+
+/// Count-based sampling: keep `capture` packets, then skip `skip`,
+/// repeating.
+class CountSampler final : public Sampler {
+ public:
+  CountSampler(std::uint64_t capture, std::uint64_t skip);
+  bool keep(const net::Packet& p) override;
+
+ private:
+  std::uint64_t capture_;
+  std::uint64_t skip_;
+  std::uint64_t position_{0};
+};
+
+/// Probabilistic sampling: keep each packet independently with
+/// probability `p`.
+class ProbabilisticSampler final : public Sampler {
+ public:
+  ProbabilisticSampler(double probability, std::uint64_t seed);
+  bool keep(const net::Packet& p) override;
+
+ private:
+  double probability_;
+  util::Rng rng_;
+};
+
+}  // namespace svcdisc::capture

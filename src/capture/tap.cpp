@@ -1,0 +1,27 @@
+#include "capture/tap.h"
+
+namespace svcdisc::capture {
+
+Filter Tap::paper_default_filter() {
+  // "we collected all TCP SYN, SYN-ACK and RST packets, as well as all
+  // UDP traffic" (§3.2); ICMP is included for the UDP prober's
+  // port-unreachable interpretation.
+  auto filter = Filter::compile("(tcp and (syn or rst)) or udp or icmp");
+  return filter ? *filter : Filter{};
+}
+
+void Tap::observe(const net::Packet& p) {
+  ++seen_;
+  if (!filter_.matches(p)) {
+    ++filtered_out_;
+    return;
+  }
+  if (sampler_ && !sampler_->keep(p)) {
+    ++sampled_out_;
+    return;
+  }
+  ++delivered_;
+  for (sim::PacketObserver* consumer : consumers_) consumer->observe(p);
+}
+
+}  // namespace svcdisc::capture

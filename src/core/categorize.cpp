@@ -1,0 +1,110 @@
+#include "core/categorize.h"
+
+namespace svcdisc::core {
+namespace {
+
+struct CategoryRow {
+  std::string_view pattern;  ///< p12 a12 pFull aFull transient, '*' = any
+  std::string_view label;
+};
+
+// Paper Table 4, row for row. Matched top to bottom; '*' is a wildcard.
+constexpr CategoryRow kRows[] = {
+    {"yes yes yes yes *", "active server address"},
+    {"yes yes no no *", "server death"},
+    {"yes yes yes no *", "intermittent"},
+    {"yes yes no yes *", "mostly idle"},
+    {"no yes * * yes", "idle/intermittent"},
+    {"no yes yes * no", "semi-idle"},
+    {"no yes no * no", "idle"},
+    {"yes no * * yes", "intermittent"},
+    {"yes no yes yes no", "birth"},
+    {"yes no yes no no", "possible firewall"},
+    {"yes no no no no", "death"},
+    {"yes no no yes no", "birth/mostly idle"},
+    {"no no no no *", "non-server address"},
+    {"no no yes yes yes", "intermittent/active"},
+    {"no no yes yes no", "birth"},
+    {"no no no yes yes", "intermittent/idle"},
+    {"no no no yes no", "birth/idle"},
+    {"no no yes no yes", "possible firewall/intermittent"},
+    {"no no yes no no", "possible firewall/birth"},
+};
+
+std::string pattern_of(const ObservationVector& v) {
+  const auto word = [](bool b) { return b ? std::string("yes") : std::string("no"); };
+  return word(v.passive_12h) + " " + word(v.active_12h) + " " +
+         word(v.passive_full) + " " + word(v.active_full) + " " +
+         word(v.transient);
+}
+
+bool matches(std::string_view pattern, const std::string& concrete) {
+  // Both strings are five space-separated fields; '*' matches anything.
+  std::size_t pi = 0, ci = 0;
+  for (int field = 0; field < 5; ++field) {
+    const std::size_t pe = pattern.find(' ', pi);
+    const std::size_t ce = concrete.find(' ', ci);
+    const std::string_view pf = pattern.substr(
+        pi, pe == std::string_view::npos ? pattern.size() - pi : pe - pi);
+    const std::string_view cf = std::string_view(concrete).substr(
+        ci, ce == std::string::npos ? concrete.size() - ci : ce - ci);
+    if (pf != "*" && pf != cf) return false;
+    pi = pe == std::string_view::npos ? pattern.size() : pe + 1;
+    ci = ce == std::string::npos ? concrete.size() : ce + 1;
+  }
+  return true;
+}
+
+const CategoryRow& row_for(const ObservationVector& v) {
+  const std::string concrete = pattern_of(v);
+  for (const CategoryRow& row : kRows) {
+    if (matches(row.pattern, concrete)) return row;
+  }
+  // Unreachable: the table covers all 32 combinations.
+  static constexpr CategoryRow kFallback{"*", "unclassified"};
+  return kFallback;
+}
+
+}  // namespace
+
+ShortCategory short_category(bool passive, bool active) {
+  if (passive && active) return ShortCategory::kActiveServer;
+  if (!passive && active) return ShortCategory::kIdleServer;
+  if (passive && !active) return ShortCategory::kFirewallOrBirth;
+  return ShortCategory::kNonServer;
+}
+
+std::string_view short_category_label(ShortCategory category) {
+  switch (category) {
+    case ShortCategory::kActiveServer: return "active server address";
+    case ShortCategory::kIdleServer: return "idle server address";
+    case ShortCategory::kFirewallOrBirth: return "firewalled address or birth";
+    case ShortCategory::kNonServer: return "non-server address";
+  }
+  return "?";
+}
+
+std::string_view extended_category_label(const ObservationVector& v) {
+  return row_for(v).label;
+}
+
+void ExtendedCategorization::add(const ObservationVector& v) {
+  const CategoryRow& row = row_for(v);
+  auto& entry = counts_[std::string(row.pattern)];
+  entry.first = std::string(row.label);
+  ++entry.second;
+  ++total_;
+}
+
+std::vector<ExtendedCategorization::Row> ExtendedCategorization::rows() const {
+  std::vector<Row> out;
+  out.reserve(std::size(kRows));
+  for (const CategoryRow& row : kRows) {
+    const auto it = counts_.find(std::string(row.pattern));
+    out.push_back({std::string(row.pattern), std::string(row.label),
+                   it == counts_.end() ? 0 : it->second.second});
+  }
+  return out;
+}
+
+}  // namespace svcdisc::core

@@ -1,0 +1,62 @@
+// Address categorization (paper Tables 3 and 4).
+//
+// Table 3 interprets the four combinations of (passive, active) findings
+// from a short survey; Table 4 refines each group using the full
+// campaign's observations plus address transience, yielding 19 labeled
+// categories ("semi-idle", "possible firewall/birth", ...).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace svcdisc::core {
+
+/// Table 3 categories.
+enum class ShortCategory : std::uint8_t {
+  kActiveServer,     ///< passive yes, active yes
+  kIdleServer,       ///< passive no,  active yes
+  kFirewallOrBirth,  ///< passive yes, active no
+  kNonServer,        ///< passive no,  active no
+};
+
+ShortCategory short_category(bool passive, bool active);
+std::string_view short_category_label(ShortCategory category);
+
+/// One address's observation vector for the extended (Table 4)
+/// classification.
+struct ObservationVector {
+  bool passive_12h{false};
+  bool active_12h{false};   ///< first scan
+  bool passive_full{false}; ///< remainder of the campaign
+  bool active_full{false};  ///< any later scan
+  bool transient{false};
+};
+
+/// Table 4 label for an observation vector, e.g. "semi-idle" or
+/// "possible firewall/birth". Labels match the paper row for row; rows
+/// the paper collapses with a '*' wildcard collapse identically here.
+std::string_view extended_category_label(const ObservationVector& v);
+
+/// Aggregated Table 4: label -> count, in the paper's row order.
+class ExtendedCategorization {
+ public:
+  void add(const ObservationVector& v);
+
+  /// Rows in paper order (label, observation pattern string, count).
+  struct Row {
+    std::string pattern;  ///< "yes yes no no *" style
+    std::string label;
+    std::uint64_t count;
+  };
+  std::vector<Row> rows() const;
+  std::uint64_t total() const { return total_; }
+
+ private:
+  std::map<std::string, std::pair<std::string, std::uint64_t>> counts_;
+  std::uint64_t total_{0};
+};
+
+}  // namespace svcdisc::core

@@ -1,0 +1,32 @@
+#include "core/completeness.h"
+
+#include "util/stats.h"
+
+namespace svcdisc::core {
+
+double Completeness::active_pct() const {
+  return util::pct(active_total, union_count);
+}
+
+double Completeness::passive_pct() const {
+  return util::pct(passive_total, union_count);
+}
+
+Completeness completeness(const std::unordered_set<net::Ipv4>& passive,
+                          const std::unordered_set<net::Ipv4>& active) {
+  Completeness c;
+  c.active_total = active.size();
+  c.passive_total = passive.size();
+  for (const net::Ipv4 addr : passive) {
+    if (active.contains(addr)) {
+      ++c.both;
+    } else {
+      ++c.passive_only;
+    }
+  }
+  c.active_only = c.active_total - c.both;
+  c.union_count = c.both + c.active_only + c.passive_only;
+  return c;
+}
+
+}  // namespace svcdisc::core

@@ -1,0 +1,28 @@
+// Completeness accounting (paper §4.1, Table 2): how much of the union
+// ground truth each method found, plus the overlap decomposition.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "net/ipv4.h"
+
+namespace svcdisc::core {
+
+/// Overlap summary of two address sets against their union.
+struct Completeness {
+  std::uint64_t union_count{0};   ///< ground truth (active OR passive)
+  std::uint64_t both{0};          ///< found by both methods
+  std::uint64_t active_only{0};
+  std::uint64_t passive_only{0};
+  std::uint64_t active_total{0};  ///< both + active_only
+  std::uint64_t passive_total{0};
+
+  double active_pct() const;
+  double passive_pct() const;
+};
+
+Completeness completeness(const std::unordered_set<net::Ipv4>& passive,
+                          const std::unordered_set<net::Ipv4>& active);
+
+}  // namespace svcdisc::core

@@ -1,0 +1,102 @@
+#include "core/engine.h"
+
+#include <stdexcept>
+
+namespace svcdisc::core {
+
+DiscoveryEngine::DiscoveryEngine(workload::Campus& campus, EngineConfig config)
+    : campus_(campus), config_(config) {
+  const auto& internal = campus_.internal_prefixes();
+  detector_ = std::make_shared<passive::ScanDetector>(
+      passive::ScanDetectorConfig{}, internal);
+
+  // One tap per peering, each with the paper's capture filter.
+  auto& border = campus_.network().border();
+  for (std::size_t i = 0; i < border.peering_count(); ++i) {
+    auto tap = std::make_unique<capture::Tap>(border.peering(i).name);
+    tap->set_filter(capture::Tap::paper_default_filter());
+    border.add_tap(i, tap.get());
+    taps_.push_back(std::move(tap));
+  }
+
+  monitor_ =
+      std::make_unique<passive::PassiveMonitor>(monitor_config(false));
+  monitor_->set_scan_detector(detector_);
+  for (auto& tap : taps_) tap->add_consumer(monitor_.get());
+
+  if (config_.scanner_excluded_monitor) {
+    excluded_monitor_ =
+        std::make_unique<passive::PassiveMonitor>(monitor_config(true));
+    excluded_monitor_->set_scan_detector(detector_);
+    for (auto& tap : taps_) tap->add_consumer(excluded_monitor_.get());
+  }
+
+  if (config_.per_link_monitors) {
+    for (auto& tap : taps_) {
+      auto link_monitor =
+          std::make_unique<passive::PassiveMonitor>(monitor_config(false));
+      tap->add_consumer(link_monitor.get());
+      link_monitors_.push_back(std::move(link_monitor));
+    }
+  }
+
+  active::ProberConfig prober_config;
+  prober_config.source_addrs = campus_.prober_sources();
+  prober_ = std::make_unique<active::Prober>(campus_.network(), prober_config);
+
+  if (config_.scan_count > 0) {
+    active::ScanSpec spec;
+    spec.targets = campus_.scan_targets();
+    spec.tcp_ports = campus_.tcp_ports();
+    spec.udp_ports = campus_.udp_ports();
+    spec.probes_per_sec = campus_.config().probe_rate_per_sec;
+    active::ScheduleConfig schedule;
+    schedule.first_scan = util::kEpoch + config_.first_scan_offset;
+    schedule.period = config_.scan_period;
+    schedule.count = config_.scan_count;
+    scheduler_ = std::make_unique<active::ScanScheduler>(
+        campus_.simulator(), *prober_, std::move(spec), schedule);
+    scheduler_->arm();
+  }
+}
+
+DiscoveryEngine::~DiscoveryEngine() = default;
+
+passive::MonitorConfig DiscoveryEngine::monitor_config(
+    bool exclude_scanners) const {
+  passive::MonitorConfig cfg;
+  cfg.internal_prefixes = campus_.internal_prefixes();
+  // DTCPall studies all ports: the campus then reports its scan port
+  // list but the monitor must stay unrestricted.
+  if (!campus_.config().all_ports_mode) {
+    cfg.tcp_ports = campus_.tcp_ports();
+    cfg.udp_ports = campus_.udp_ports();
+  }
+  cfg.detect_udp = campus_.config().udp_mode;
+  cfg.exclude_scanner_triggered = exclude_scanners;
+  return cfg;
+}
+
+passive::PassiveMonitor& DiscoveryEngine::link_monitor(std::size_t peering) {
+  return *link_monitors_.at(peering);
+}
+
+passive::PassiveMonitor& DiscoveryEngine::add_sampled_monitor(
+    std::unique_ptr<capture::Sampler> sampler) {
+  auto monitor =
+      std::make_unique<passive::PassiveMonitor>(monitor_config(false));
+  auto stream = std::make_unique<capture::SampledStream>(std::move(sampler),
+                                                         monitor.get());
+  for (auto& tap : taps_) tap->add_consumer(stream.get());
+  sampled_streams_.push_back(std::move(stream));
+  sampled_monitors_.push_back(std::move(monitor));
+  return *sampled_monitors_.back();
+}
+
+void DiscoveryEngine::add_tap_consumer(sim::PacketObserver* consumer) {
+  for (auto& tap : taps_) tap->add_consumer(consumer);
+}
+
+void DiscoveryEngine::run() { campus_.run_all(); }
+
+}  // namespace svcdisc::core

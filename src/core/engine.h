@@ -1,0 +1,101 @@
+// DiscoveryEngine: the public entry point wiring a measurement campaign.
+//
+// Given a Campus scenario, the engine sets up the full paper apparatus:
+//   * one capture Tap per border peering, with the paper's capture
+//     filter (TCP SYN/SYN-ACK/RST + UDP + ICMP);
+//   * a combined passive monitor over all taps, an optional
+//     scanner-excluded twin (§4.3), optional per-peering monitors
+//     (§5.2), and optional sampled monitors (§5.3);
+//   * an internal Prober and a periodic ScanScheduler (§3.1);
+//   * a shared external-scan detector.
+// After run(), the monitors' service tables and the prober's scan
+// records hold everything the paper's tables and figures are computed
+// from (core/report.h, core/completeness.h, ...).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "active/prober.h"
+#include "active/scan_scheduler.h"
+#include "capture/sampler.h"
+#include "capture/tap.h"
+#include "passive/monitor.h"
+#include "passive/scan_detector.h"
+#include "workload/campus.h"
+
+namespace svcdisc::core {
+
+struct EngineConfig {
+  /// Number of periodic scans (0 disables active probing).
+  int scan_count{35};
+  util::Duration scan_period{util::hours(12)};
+  /// Offset of the first scan from campaign start (paper: campaigns
+  /// start 10:00, scans fire at 11:00/23:00).
+  util::Duration first_scan_offset{util::hours(1)};
+  /// Build a second monitor that suppresses scanner-elicited discoveries.
+  bool scanner_excluded_monitor{false};
+  /// Build one extra monitor per peering link (Table 8).
+  bool per_link_monitors{false};
+};
+
+class DiscoveryEngine {
+ public:
+  DiscoveryEngine(workload::Campus& campus, EngineConfig config);
+  ~DiscoveryEngine();
+
+  DiscoveryEngine(const DiscoveryEngine&) = delete;
+  DiscoveryEngine& operator=(const DiscoveryEngine&) = delete;
+
+  /// The combined passive monitor (all peerings).
+  passive::PassiveMonitor& monitor() { return *monitor_; }
+  const passive::PassiveMonitor& monitor() const { return *monitor_; }
+  /// The scanner-excluded twin, or nullptr when not configured.
+  passive::PassiveMonitor* excluded_monitor() {
+    return excluded_monitor_.get();
+  }
+  /// Per-peering monitor (requires per_link_monitors).
+  passive::PassiveMonitor& link_monitor(std::size_t peering);
+  std::size_t link_monitor_count() const { return link_monitors_.size(); }
+
+  active::Prober& prober() { return *prober_; }
+  const active::Prober& prober() const { return *prober_; }
+  active::ScanScheduler* scheduler() { return scheduler_.get(); }
+
+  const passive::ScanDetector& scan_detector() const { return *detector_; }
+
+  capture::Tap& tap(std::size_t peering) { return *taps_.at(peering); }
+  std::size_t tap_count() const { return taps_.size(); }
+
+  /// Adds a monitor fed through `sampler` (call before run()). Returns
+  /// the new monitor; the engine keeps ownership.
+  passive::PassiveMonitor& add_sampled_monitor(
+      std::unique_ptr<capture::Sampler> sampler);
+
+  /// Attaches an arbitrary extra consumer to every tap (e.g. a
+  /// PcapWriter). Not owned.
+  void add_tap_consumer(sim::PacketObserver* consumer);
+
+  /// Starts the campus and runs the campaign to its configured duration.
+  void run();
+
+  workload::Campus& campus() { return campus_; }
+
+ private:
+  passive::MonitorConfig monitor_config(bool exclude_scanners) const;
+
+  workload::Campus& campus_;
+  EngineConfig config_;
+  std::shared_ptr<passive::ScanDetector> detector_;
+  std::vector<std::unique_ptr<capture::Tap>> taps_;
+  std::unique_ptr<passive::PassiveMonitor> monitor_;
+  std::unique_ptr<passive::PassiveMonitor> excluded_monitor_;
+  std::vector<std::unique_ptr<passive::PassiveMonitor>> link_monitors_;
+  std::vector<std::unique_ptr<capture::SampledStream>> sampled_streams_;
+  std::vector<std::unique_ptr<passive::PassiveMonitor>> sampled_monitors_;
+  std::unique_ptr<active::Prober> prober_;
+  std::unique_ptr<active::ScanScheduler> scheduler_;
+};
+
+}  // namespace svcdisc::core

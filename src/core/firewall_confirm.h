@@ -1,0 +1,35 @@
+// Firewall confirmation (paper §4.2.4).
+//
+// Candidate firewalled servers are those seen passively but never
+// actively. The paper confirms them two ways:
+//   1. mixed probe responses in a single scan — RSTs from some ports but
+//     silence from others means the host is up and selectively dropping;
+//   2. passive activity observed during a scan whose probes to the same
+//     service got no response — the server was demonstrably available
+//     while ignoring the prober.
+#pragma once
+
+#include <span>
+#include <unordered_set>
+
+#include "active/prober.h"
+#include "net/ipv4.h"
+#include "passive/service_table.h"
+
+namespace svcdisc::core {
+
+struct FirewallConfirmation {
+  std::unordered_set<net::Ipv4> candidates;        ///< passive-only servers
+  std::unordered_set<net::Ipv4> by_mixed_response; ///< method 1
+  std::unordered_set<net::Ipv4> by_activity;       ///< method 2
+  /// Candidates confirmed by at least one method.
+  std::unordered_set<net::Ipv4> confirmed() const;
+};
+
+/// Runs both confirmation methods over the campaign's scans.
+FirewallConfirmation confirm_firewalls(
+    const std::unordered_set<net::Ipv4>& passive_only_addresses,
+    const passive::ServiceTable& passive_table,
+    std::span<const active::ScanRecord> scans);
+
+}  // namespace svcdisc::core

@@ -1,0 +1,30 @@
+#include "core/weighted.h"
+
+namespace svcdisc::core {
+
+analysis::StepCurve discovery_curve(
+    const std::unordered_map<net::Ipv4, util::TimePoint>& times,
+    const std::unordered_map<net::Ipv4, double>* weights) {
+  analysis::StepCurve curve;
+  for (const auto& [addr, t] : times) {
+    double w = 1.0;
+    if (weights) {
+      const auto it = weights->find(addr);
+      w = it == weights->end() ? 0.0 : it->second;
+    }
+    if (w > 0) curve.add(t, w);
+  }
+  return curve;
+}
+
+WeightedCurves weighted_curves(
+    const std::unordered_map<net::Ipv4, util::TimePoint>& times,
+    const AddressWeights& weights) {
+  WeightedCurves curves;
+  curves.unweighted = discovery_curve(times);
+  curves.flow_weighted = discovery_curve(times, &weights.flows);
+  curves.client_weighted = discovery_curve(times, &weights.clients);
+  return curves;
+}
+
+}  // namespace svcdisc::core

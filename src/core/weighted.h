@@ -1,0 +1,36 @@
+// Weighted completeness (paper §4.1.2, Figures 1 and 9).
+//
+// Discovery curves where each server address counts not as 1 but as its
+// share of campaign-wide flows or unique clients: "if there were only
+// servers A and B, with 9 and 1 clients respectively, we would discover
+// 90% of the client-weighted servers when we detect server A."
+#pragma once
+
+#include <unordered_map>
+
+#include "analysis/timeseries.h"
+#include "core/report.h"
+#include "net/ipv4.h"
+#include "util/sim_time.h"
+
+namespace svcdisc::core {
+
+/// Builds a discovery StepCurve from per-address discovery times. With a
+/// null `weights` map every address weighs 1 (unweighted); otherwise an
+/// address weighs its entry (absent = 0).
+analysis::StepCurve discovery_curve(
+    const std::unordered_map<net::Ipv4, util::TimePoint>& times,
+    const std::unordered_map<net::Ipv4, double>* weights = nullptr);
+
+/// The three curves of Figure 1 for one method.
+struct WeightedCurves {
+  analysis::StepCurve unweighted;
+  analysis::StepCurve flow_weighted;
+  analysis::StepCurve client_weighted;
+};
+
+WeightedCurves weighted_curves(
+    const std::unordered_map<net::Ipv4, util::TimePoint>& times,
+    const AddressWeights& weights);
+
+}  // namespace svcdisc::core

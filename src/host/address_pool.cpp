@@ -1,0 +1,69 @@
+#include "host/address_pool.h"
+
+namespace svcdisc::host {
+
+std::string_view address_class_name(AddressClass cls) {
+  switch (cls) {
+    case AddressClass::kStatic: return "static";
+    case AddressClass::kDhcp: return "dhcp";
+    case AddressClass::kWireless: return "wireless";
+    case AddressClass::kPpp: return "ppp";
+    case AddressClass::kVpn: return "vpn";
+  }
+  return "?";
+}
+
+AddressPool::AddressPool(AddressClass cls, net::Prefix prefix, bool sticky,
+                         std::uint64_t seed)
+    : cls_(cls), prefix_(prefix), sticky_(sticky), rng_(seed) {
+  const std::uint64_t n = prefix.size();
+  free_.reserve(n);
+  free_index_.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const net::Ipv4 addr = prefix.at(i);
+    free_index_[addr] = free_.size();
+    free_.push_back(addr);
+  }
+}
+
+void AddressPool::remove_free(net::Ipv4 addr) {
+  const auto it = free_index_.find(addr);
+  if (it == free_index_.end()) return;
+  const std::size_t idx = it->second;
+  const net::Ipv4 last = free_.back();
+  free_[idx] = last;
+  free_index_[last] = idx;
+  free_.pop_back();
+  free_index_.erase(it);
+}
+
+std::optional<net::Ipv4> AddressPool::acquire(std::uint32_t host_id) {
+  if (sticky_) {
+    const auto it = reservations_.find(host_id);
+    if (it != reservations_.end()) {
+      // Reserved addresses were never put back on the free list.
+      return it->second;
+    }
+  }
+  if (free_.empty()) return std::nullopt;
+  const std::size_t pick =
+      static_cast<std::size_t>(rng_.below(free_.size()));
+  const net::Ipv4 addr = free_[pick];
+  remove_free(addr);
+  if (sticky_) reservations_[host_id] = addr;
+  return addr;
+}
+
+void AddressPool::release(std::uint32_t host_id, net::Ipv4 addr) {
+  if (sticky_) {
+    // Keep the reservation: the address stays out of the free list so the
+    // same host gets it back on its next connect.
+    const auto it = reservations_.find(host_id);
+    if (it != reservations_.end() && it->second == addr) return;
+  }
+  if (!prefix_.contains(addr) || free_index_.contains(addr)) return;
+  free_index_[addr] = free_.size();
+  free_.push_back(addr);
+}
+
+}  // namespace svcdisc::host

@@ -1,0 +1,79 @@
+// Typed address pools: static, DHCP, wireless, PPP, and VPN blocks.
+//
+// The paper's population (§4.4.2) draws from known address blocks with
+// different transience semantics; which block a server's address comes
+// from is the strongest determinant of whether passive or active
+// discovery finds it. Pools hand out leases to hosts; "sticky" pools
+// (residence-hall DHCP, where a student keeps one IP all semester)
+// reserve the address across disconnects, while non-sticky pools (PPP,
+// wireless, VPN) reassign freely, producing the address-reuse churn the
+// paper observes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "util/rng.h"
+
+namespace svcdisc::host {
+
+/// Transience class of an address block (paper Figure 5 grouping).
+enum class AddressClass : std::uint8_t {
+  kStatic,
+  kDhcp,
+  kWireless,
+  kPpp,
+  kVpn,
+};
+
+std::string_view address_class_name(AddressClass cls);
+
+/// True for classes the paper treats as transient (everything but
+/// static).
+constexpr bool is_transient(AddressClass cls) {
+  return cls != AddressClass::kStatic;
+}
+
+/// A lease-granting address block.
+class AddressPool {
+ public:
+  /// `sticky` pools remember each host's address across releases.
+  AddressPool(AddressClass cls, net::Prefix prefix, bool sticky,
+              std::uint64_t seed);
+
+  AddressClass cls() const { return cls_; }
+  const net::Prefix& prefix() const { return prefix_; }
+  bool sticky() const { return sticky_; }
+  bool contains(net::Ipv4 addr) const { return prefix_.contains(addr); }
+
+  /// Grants a lease to `host_id`: the reserved address for sticky pools,
+  /// a uniformly random free address otherwise. nullopt when exhausted.
+  std::optional<net::Ipv4> acquire(std::uint32_t host_id);
+
+  /// Returns `addr` to the pool. Sticky pools keep the reservation, so a
+  /// reacquire by the same host gets the same address.
+  void release(std::uint32_t host_id, net::Ipv4 addr);
+
+  /// Addresses currently leasable.
+  std::size_t free_count() const { return free_.size(); }
+  std::size_t size() const { return static_cast<std::size_t>(prefix_.size()); }
+
+ private:
+  // Swap-remove free list with an index map for O(1) acquire/release of
+  // arbitrary addresses.
+  void remove_free(net::Ipv4 addr);
+
+  AddressClass cls_;
+  net::Prefix prefix_;
+  bool sticky_;
+  util::Rng rng_;
+  std::vector<net::Ipv4> free_;
+  std::unordered_map<net::Ipv4, std::size_t> free_index_;
+  std::unordered_map<std::uint32_t, net::Ipv4> reservations_;
+};
+
+}  // namespace svcdisc::host

@@ -1,0 +1,4 @@
+#include "host/firewall.h"
+
+// Firewall is header-only today; this TU anchors the library target.
+namespace svcdisc::host {}

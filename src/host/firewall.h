@@ -1,0 +1,107 @@
+// Host firewall policies.
+//
+// The paper distinguishes services by who can elicit a response:
+//   * open services answer everyone;
+//   * "possible firewall" services (Table 4) drop the campus prober's
+//     probes but accept genuine clients — found passively, missed
+//     actively;
+//   * the MySQL population (§4.4.3) blocks *external* sources but answers
+//     internal probes — found actively, hidden from the border tap even
+//     when external scans sweep the port.
+// A firewall decides per packet; "drop" means no response of any kind
+// (indistinguishable from a dead address, which is what makes firewalls
+// ambiguous for active probing).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "net/ipv4.h"
+#include "net/packet.h"
+#include "net/ports.h"
+#include "util/sim_time.h"
+
+namespace svcdisc::host {
+
+enum class FirewallMode : std::uint8_t {
+  kOpen,           ///< no filtering
+  kBlockProbers,   ///< drop packets from designated prober addresses
+  kBlockExternal,  ///< drop packets from off-campus sources
+  kBlockAll,       ///< drop everything unsolicited (fully stealthed)
+  kPortKnock,      ///< drop unless the source recently knocked (§2.3 [11])
+};
+
+/// Per-packet admission decision. Mostly stateless — the study's
+/// detection methods only depend on whether an unsolicited first packet
+/// gets an answer — except for port knocking, which remembers recent
+/// knocks per source.
+class Firewall {
+ public:
+  Firewall() = default;
+  explicit Firewall(FirewallMode mode) : mode_(mode) {}
+
+  FirewallMode mode() const { return mode_; }
+  void set_mode(FirewallMode mode) { mode_ = mode; }
+
+  /// Registers an address as a known prober (used by kBlockProbers).
+  void add_prober(net::Ipv4 addr) { probers_.insert(addr); }
+
+  /// Overrides the host-wide mode for a single destination port. This
+  /// models e.g. MySQL servers that block only 3306 from external
+  /// sources while their web front-end stays reachable (§4.4.3).
+  void set_port_mode(net::Port port, FirewallMode mode) {
+    port_modes_[port] = mode;
+  }
+
+  /// Protects `service` behind a knock: sources must hit `knock_port`
+  /// first; admission lasts `window` from the knock. Implies
+  /// kPortKnock on `service`.
+  void set_knock(net::Port service, net::Port knock_port,
+                 util::Duration window = util::seconds(30)) {
+    port_modes_[service] = FirewallMode::kPortKnock;
+    knock_port_ = knock_port;
+    knock_window_ = window;
+  }
+  net::Port knock_port() const { return knock_port_; }
+
+  /// Observes an arriving packet *before* the admission decision so the
+  /// firewall can record knocks. Hosts call this for every packet.
+  void note_packet(net::Ipv4 src, net::Port dport, util::TimePoint t) {
+    if (knock_port_ != 0 && dport == knock_port_) knocks_[src] = t;
+  }
+
+  /// Returns true when a packet from `src` to destination port `dport`
+  /// at time `t` should reach the host's network stack. `src_internal`
+  /// says whether `src` is on campus.
+  bool allows(net::Ipv4 src, bool src_internal, net::Port dport,
+              util::TimePoint t = {}) const {
+    FirewallMode mode = mode_;
+    if (!port_modes_.empty()) {
+      const auto it = port_modes_.find(dport);
+      if (it != port_modes_.end()) mode = it->second;
+    }
+    switch (mode) {
+      case FirewallMode::kOpen: return true;
+      case FirewallMode::kBlockProbers: return !probers_.contains(src);
+      case FirewallMode::kBlockExternal: return src_internal;
+      case FirewallMode::kBlockAll: return false;
+      case FirewallMode::kPortKnock: {
+        const auto it = knocks_.find(src);
+        return it != knocks_.end() && t - it->second <= knock_window_ &&
+               t >= it->second;
+      }
+    }
+    return true;
+  }
+
+ private:
+  FirewallMode mode_{FirewallMode::kOpen};
+  std::unordered_set<net::Ipv4> probers_;
+  std::unordered_map<net::Port, FirewallMode> port_modes_;
+  net::Port knock_port_{0};
+  util::Duration knock_window_{util::seconds(30)};
+  std::unordered_map<net::Ipv4, util::TimePoint> knocks_;
+};
+
+}  // namespace svcdisc::host

@@ -1,0 +1,156 @@
+#include "host/host.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/logging.h"
+
+namespace svcdisc::host {
+
+Host::Host(HostId id, sim::Network& network, AddressPool* pool,
+           std::optional<net::Ipv4> static_addr, LifecycleConfig lifecycle,
+           util::Rng rng)
+    : id_(id),
+      network_(network),
+      pool_(pool),
+      static_addr_(static_addr),
+      lifecycle_(lifecycle),
+      rng_(rng) {
+  if ((pool_ == nullptr) == !static_addr_.has_value()) {
+    throw std::invalid_argument(
+        "Host: provide exactly one of pool or static address");
+  }
+}
+
+Host::~Host() {
+  if (online_ && address_) network_.detach(*address_, this);
+}
+
+const Service* Host::find_service(net::Proto proto, net::Port port,
+                                  util::TimePoint t) const {
+  for (const Service& s : services_) {
+    if (s.proto == proto && s.port == port && s.alive_at(t)) return &s;
+  }
+  return nullptr;
+}
+
+void Host::start() {
+  if (lifecycle_.kind == LifecycleKind::kAlwaysOn) {
+    connect();
+    return;
+  }
+  // Spread initial transient connects over roughly one offline period so
+  // the campaign doesn't start with a synchronized wave.
+  network_.simulator().after(draw_offline_gap(), [this] { connect(); });
+}
+
+void Host::connect() {
+  if (online_) return;
+  if (pool_) {
+    const auto lease = pool_->acquire(id_);
+    if (!lease) {
+      // Pool exhausted: retry after a fresh gap, like a failed DHCP bind.
+      SVCDISC_LOG(kDebug) << "host " << id_ << ": pool exhausted";
+      network_.simulator().after(draw_offline_gap(), [this] { connect(); });
+      return;
+    }
+    address_ = *lease;
+  } else {
+    address_ = static_addr_;
+  }
+  ++lease_count_;
+  online_ = true;
+  network_.attach(*address_, this);
+  if (on_state_change) on_state_change(*this, true);
+
+  if (lifecycle_.kind == LifecycleKind::kTransient) {
+    const double secs = static_cast<double>(lifecycle_.mean_online.seconds());
+    const auto session = util::seconds_f(
+        -std::log(1.0 - rng_.uniform()) * secs);
+    network_.simulator().after(session, [this] { disconnect(); });
+  }
+}
+
+void Host::disconnect() {
+  if (!online_) return;
+  online_ = false;
+  // Notify while address() is still valid so trackers can unindex it.
+  if (on_state_change) on_state_change(*this, false);
+  if (address_) {
+    network_.detach(*address_, this);
+    if (pool_) pool_->release(id_, *address_);
+  }
+  address_.reset();
+  schedule_next_connect();
+}
+
+void Host::schedule_next_connect() {
+  network_.simulator().after(draw_offline_gap(), [this] { connect(); });
+}
+
+util::Duration Host::draw_offline_gap() {
+  const double mean = static_cast<double>(lifecycle_.mean_offline.seconds());
+  util::Duration gap = util::seconds_f(-std::log(1.0 - rng_.uniform()) * mean);
+  if (!lifecycle_.diurnal) return gap;
+  // Resample up to three times until the reconnect would land between
+  // 08:00 and 22:00; keeps the draw cheap while biasing toward daytime.
+  const util::Calendar cal;
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    const double h =
+        cal.hour_of_day(network_.simulator().now() + gap);
+    if (h >= 8.0 && h < 22.0) break;
+    gap = util::seconds_f(-std::log(1.0 - rng_.uniform()) * mean);
+  }
+  return gap;
+}
+
+void Host::on_packet(const net::Packet& p) {
+  if (!online_ || !address_) return;
+  const util::TimePoint now = network_.simulator().now();
+  const bool src_internal = network_.is_internal(p.src);
+  firewall_.note_packet(p.src, p.dport, now);
+  if (!firewall_.allows(p.src, src_internal, p.dport, now)) return;
+
+  switch (p.proto) {
+    case net::Proto::kTcp: {
+      if (!p.flags.is_syn_only()) return;  // only handshake opens matter
+      if (find_service(net::Proto::kTcp, p.dport, now)) {
+        net::Packet reply =
+            net::make_tcp(p.dst, p.dport, p.src, p.sport, net::flags_syn_ack());
+        reply.ack_no = p.seq + 1;
+        network_.send(reply);
+      } else {
+        net::Packet reply =
+            net::make_tcp(p.dst, p.dport, p.src, p.sport, net::flags_rst());
+        network_.send(reply);
+      }
+      return;
+    }
+    case net::Proto::kUdp: {
+      if (const Service* s = find_service(net::Proto::kUdp, p.dport, now)) {
+        // Genuine client datagrams (payload > 0) always get an answer; a
+        // generic zero-payload probe only if the implementation replies
+        // to malformed input (DNS, NetBIOS).
+        if (p.payload_len > 0 || s->udp_replies_to_generic_probe) {
+          network_.send(net::make_udp(p.dst, p.dport, p.src, p.sport, 64));
+        }
+      } else if (udp_icmp_) {
+        network_.send(net::make_icmp_port_unreachable(p));
+      }
+      return;
+    }
+    case net::Proto::kIcmp: {
+      if (p.icmp_type == net::IcmpType::kEchoRequest && icmp_echo_) {
+        net::Packet reply;
+        reply.src = p.dst;
+        reply.dst = p.src;
+        reply.proto = net::Proto::kIcmp;
+        reply.icmp_type = net::IcmpType::kEchoReply;
+        network_.send(reply);
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace svcdisc::host

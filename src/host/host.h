@@ -1,0 +1,128 @@
+// The campus host model: a network stack with services, a firewall, an
+// address lease, and an on/off lifecycle.
+//
+// Response semantics implement exactly what the discovery methods rely on
+// (§2.1/§2.2):
+//   * TCP SYN to an open, firewall-admitted service -> SYN-ACK;
+//   * TCP SYN to a closed port -> RST (confirms "no service here");
+//   * firewall-dropped packets -> silence (ambiguous for the prober);
+//   * UDP to an open service -> reply iff genuine client traffic
+//     (payload > 0) or the implementation answers generic probes;
+//   * UDP to a closed port -> ICMP port-unreachable when the host
+//     generates them (most kernels do, §4.5);
+//   * offline hosts are detached from the network and answer nothing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "host/address_pool.h"
+#include "host/firewall.h"
+#include "host/service.h"
+#include "net/packet.h"
+#include "sim/network.h"
+#include "sim/node.h"
+#include "util/rng.h"
+#include "util/sim_time.h"
+
+namespace svcdisc::host {
+
+using HostId = std::uint32_t;
+
+/// How a host comes and goes.
+enum class LifecycleKind : std::uint8_t {
+  kAlwaysOn,   ///< online for the whole campaign (servers, lab machines)
+  kTransient,  ///< alternates online/offline periods (laptops, dial-up)
+};
+
+struct LifecycleConfig {
+  LifecycleKind kind{LifecycleKind::kAlwaysOn};
+  /// Mean online session length for transient hosts.
+  util::Duration mean_online{util::hours(4)};
+  /// Mean gap between sessions.
+  util::Duration mean_offline{util::hours(12)};
+  /// Bias session starts toward daytime (08:00-22:00); matches the
+  /// paper's observed diurnal availability (§5.1).
+  bool diurnal{true};
+};
+
+class Host final : public sim::PacketSink {
+ public:
+  /// A host gets addresses either from `pool` (dynamic classes) or from
+  /// the fixed `static_addr`. Exactly one of the two must be provided.
+  Host(HostId id, sim::Network& network, AddressPool* pool,
+       std::optional<net::Ipv4> static_addr, LifecycleConfig lifecycle,
+       util::Rng rng);
+
+  Host(const Host&) = delete;
+  Host& operator=(const Host&) = delete;
+  ~Host() override;
+
+  HostId id() const { return id_; }
+  AddressClass address_class() const {
+    return pool_ ? pool_->cls() : AddressClass::kStatic;
+  }
+
+  /// Adds a service the host offers.
+  void add_service(Service service) { services_.push_back(service); }
+  const std::vector<Service>& services() const { return services_; }
+  /// Mutable access (scenario builders patch birth/death in place).
+  std::vector<Service>& services() { return services_; }
+  /// The service listening on (proto, port) and alive at `t`, or nullptr.
+  const Service* find_service(net::Proto proto, net::Port port,
+                              util::TimePoint t) const;
+
+  Firewall& firewall() { return firewall_; }
+  const Firewall& firewall() const { return firewall_; }
+
+  /// Whether closed UDP ports elicit ICMP port-unreachable (default on).
+  void set_udp_icmp(bool enabled) { udp_icmp_ = enabled; }
+
+  /// Whether ICMP echo requests are answered (default on). Hosts that
+  /// drop pings are invisible to ping-based host discovery even though
+  /// their TCP services respond — the classic blind spot of that
+  /// optimization.
+  void set_icmp_echo(bool enabled) { icmp_echo_ = enabled; }
+  bool icmp_echo_enabled() const { return icmp_echo_; }
+
+  /// Begins the lifecycle: always-on hosts connect immediately; transient
+  /// hosts connect after a randomized initial delay.
+  void start();
+
+  bool online() const { return online_; }
+  /// The host's current lease, if online.
+  std::optional<net::Ipv4> address() const { return address_; }
+  /// Number of distinct leases held so far (address-churn metric).
+  std::uint32_t lease_count() const { return lease_count_; }
+
+  /// Invoked after every connect/disconnect with the new state.
+  std::function<void(Host&, bool /*online*/)> on_state_change;
+
+  // sim::PacketSink
+  void on_packet(const net::Packet& p) override;
+
+ private:
+  void connect();
+  void disconnect();
+  void schedule_next_connect();
+  /// A sample of the offline gap, resampled to bias starts into daytime.
+  util::Duration draw_offline_gap();
+
+  HostId id_;
+  sim::Network& network_;
+  AddressPool* pool_;  // nullable; static hosts use static_addr_
+  std::optional<net::Ipv4> static_addr_;
+  LifecycleConfig lifecycle_;
+  util::Rng rng_;
+  Firewall firewall_;
+  std::vector<Service> services_;
+  bool udp_icmp_{true};
+  bool icmp_echo_{true};
+  bool online_{false};
+  std::optional<net::Ipv4> address_;
+  std::uint32_t lease_count_{0};
+};
+
+}  // namespace svcdisc::host

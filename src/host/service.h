@@ -1,0 +1,61 @@
+// Service descriptors: what a host offers on a (proto, port).
+//
+// A service's observable behaviour is governed by three things:
+//   * reachability (the host's firewall and lifecycle),
+//   * popularity (how much genuine client traffic it attracts — zero for
+//     the paper's large population of idle/accidental servers),
+//   * UDP probe semantics (whether a generic probe elicits a reply).
+#pragma once
+
+#include <cstdint>
+
+#include "net/packet.h"
+#include "net/ports.h"
+#include "util/sim_time.h"
+
+namespace svcdisc::host {
+
+/// Content class of a web service's root page (paper Table 5). Used by
+/// the webcat module to synthesize/categorize pages; kUnspecified for
+/// non-web services.
+enum class WebContent : std::uint8_t {
+  kUnspecified,
+  kCustom,       ///< unique, globally interesting content
+  kDefault,      ///< stock "It works!" style install page
+  kMinimal,      ///< fewer than 100 bytes
+  kConfigStatus, ///< printer/device configuration or status page
+  kDatabase,     ///< database front-end
+  kRestricted,   ///< login-gated content
+  kNoResponse,   ///< server gone by fetch time (common on transient hosts)
+};
+
+/// One service offered by a host.
+struct Service {
+  net::Proto proto{net::Proto::kTcp};
+  net::Port port{net::kPortHttp};
+
+  /// Relative intensity of genuine client flows (0 = idle server that no
+  /// client ever contacts — the dominant population in the paper).
+  double popularity{0.0};
+
+  /// Expected distinct external clients over a campaign; used to size the
+  /// per-service client pool for client-weighted completeness.
+  std::uint32_t client_pool{0};
+
+  /// Service appears/disappears at these times (birth/death). Defaults
+  /// cover the whole campaign.
+  util::TimePoint birth{util::kEpoch};
+  util::TimePoint death{util::TimePoint{INT64_MAX}};
+
+  /// UDP only: whether the implementation replies to a generic
+  /// (malformed) probe, as DNS and NetBIOS commonly do (§2.1).
+  bool udp_replies_to_generic_probe{false};
+
+  /// Web only: what the root page looks like.
+  WebContent web{WebContent::kUnspecified};
+
+  /// True when the service exists (has been born, not yet dead) at `t`.
+  bool alive_at(util::TimePoint t) const { return birth <= t && t < death; }
+};
+
+}  // namespace svcdisc::host

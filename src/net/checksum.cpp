@@ -1,0 +1,40 @@
+#include "net/checksum.h"
+
+namespace svcdisc::net {
+
+std::uint32_t checksum_partial(std::span<const std::uint8_t> data) {
+  std::uint32_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += (std::uint32_t{data[i]} << 8) | data[i + 1];
+  }
+  if (i < data.size()) sum += std::uint32_t{data[i]} << 8;
+  return sum;
+}
+
+std::uint32_t checksum_combine(std::uint32_t a, std::uint32_t b) {
+  return a + b;
+}
+
+std::uint16_t checksum_finish(std::uint32_t partial) {
+  while (partial >> 16) partial = (partial & 0xffff) + (partial >> 16);
+  return static_cast<std::uint16_t>(~partial & 0xffff);
+}
+
+std::uint16_t checksum(std::span<const std::uint8_t> data) {
+  return checksum_finish(checksum_partial(data));
+}
+
+std::uint32_t pseudo_header_partial(std::uint32_t src, std::uint32_t dst,
+                                    std::uint8_t proto, std::uint16_t l4_len) {
+  std::uint32_t sum = 0;
+  sum += src >> 16;
+  sum += src & 0xffff;
+  sum += dst >> 16;
+  sum += dst & 0xffff;
+  sum += proto;  // zero byte + protocol
+  sum += l4_len;
+  return sum;
+}
+
+}  // namespace svcdisc::net

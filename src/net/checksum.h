@@ -1,0 +1,30 @@
+// RFC 1071 Internet checksum, used by the wire-format serializer so that
+// exported pcaps carry valid IPv4/TCP/UDP/ICMP checksums.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace svcdisc::net {
+
+/// One's-complement sum of 16-bit words over `data` (odd trailing byte is
+/// zero-padded), folded to 16 bits but NOT complemented — compose multiple
+/// regions by summing their partials with `checksum_combine`.
+std::uint32_t checksum_partial(std::span<const std::uint8_t> data);
+
+/// Adds two partial sums.
+std::uint32_t checksum_combine(std::uint32_t a, std::uint32_t b);
+
+/// Folds a partial sum and returns the final complemented checksum.
+std::uint16_t checksum_finish(std::uint32_t partial);
+
+/// Convenience: full checksum of one contiguous region.
+std::uint16_t checksum(std::span<const std::uint8_t> data);
+
+/// Partial sum of a TCP/UDP pseudo-header (src, dst in host order; proto;
+/// l4 length in bytes).
+std::uint32_t pseudo_header_partial(std::uint32_t src_host_order,
+                                    std::uint32_t dst_host_order,
+                                    std::uint8_t proto, std::uint16_t l4_len);
+
+}  // namespace svcdisc::net

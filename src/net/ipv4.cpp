@@ -1,0 +1,67 @@
+#include "net/ipv4.h"
+
+#include <charconv>
+#include <cstdio>
+
+namespace svcdisc::net {
+namespace {
+
+// Parses a decimal integer in [0, max] from the front of `text`, advancing
+// it past the digits. Returns nullopt on failure.
+std::optional<std::uint32_t> parse_uint(std::string_view& text,
+                                        std::uint32_t max) {
+  std::uint32_t v = 0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, v);
+  if (ec != std::errc{} || ptr == begin || v > max) return std::nullopt;
+  text.remove_prefix(static_cast<std::size_t>(ptr - begin));
+  return v;
+}
+
+}  // namespace
+
+std::optional<Ipv4> Ipv4::parse(std::string_view text) {
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) {
+      if (text.empty() || text.front() != '.') return std::nullopt;
+      text.remove_prefix(1);
+    }
+    const auto octet = parse_uint(text, 255);
+    if (!octet) return std::nullopt;
+    value = (value << 8) | *octet;
+  }
+  if (!text.empty()) return std::nullopt;
+  return Ipv4(value);
+}
+
+std::string Ipv4::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", value_ >> 24,
+                (value_ >> 16) & 0xff, (value_ >> 8) & 0xff, value_ & 0xff);
+  return buf;
+}
+
+std::optional<Prefix> Prefix::parse(std::string_view text) {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto addr = Ipv4::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  std::string_view len_text = text.substr(slash + 1);
+  std::string_view cursor = len_text;
+  std::uint32_t bits = 0;
+  {
+    const char* begin = cursor.data();
+    const char* end = begin + cursor.size();
+    auto [ptr, ec] = std::from_chars(begin, end, bits);
+    if (ec != std::errc{} || ptr != end || bits > 32) return std::nullopt;
+  }
+  return Prefix(*addr, static_cast<int>(bits));
+}
+
+std::string Prefix::to_string() const {
+  return base_.to_string() + "/" + std::to_string(bits_);
+}
+
+}  // namespace svcdisc::net

@@ -1,0 +1,94 @@
+// IPv4 address and prefix value types.
+//
+// Addresses are strong types around a host-order uint32 so arithmetic on
+// address-space walks (scans, pool allocation) is explicit and cheap.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace svcdisc::net {
+
+/// An IPv4 address, stored in host byte order.
+class Ipv4 {
+ public:
+  constexpr Ipv4() = default;
+  constexpr explicit Ipv4(std::uint32_t host_order) : value_(host_order) {}
+  /// Builds from dotted-quad octets, e.g. Ipv4::from_octets(10,0,0,1).
+  static constexpr Ipv4 from_octets(std::uint8_t a, std::uint8_t b,
+                                    std::uint8_t c, std::uint8_t d) {
+    return Ipv4((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+                (std::uint32_t{c} << 8) | d);
+  }
+  /// Parses "a.b.c.d"; nullopt on malformed input.
+  static std::optional<Ipv4> parse(std::string_view text);
+
+  constexpr std::uint32_t value() const { return value_; }
+  std::string to_string() const;
+
+  constexpr bool operator==(const Ipv4&) const = default;
+  constexpr auto operator<=>(const Ipv4&) const = default;
+
+  /// Address arithmetic for scanning/pool walks.
+  constexpr Ipv4 operator+(std::uint32_t n) const { return Ipv4(value_ + n); }
+  constexpr std::uint32_t operator-(Ipv4 o) const { return value_ - o.value_; }
+
+ private:
+  std::uint32_t value_{0};
+};
+
+/// A CIDR prefix, e.g. 10.1.0.0/22. The base address is masked on
+/// construction so `contains` and iteration are well-defined.
+class Prefix {
+ public:
+  constexpr Prefix() = default;
+  constexpr Prefix(Ipv4 base, int bits)
+      : base_(Ipv4(bits == 0 ? 0 : (base.value() & mask_for(bits)))),
+        bits_(bits) {}
+  /// Parses "a.b.c.d/len"; nullopt on malformed input.
+  static std::optional<Prefix> parse(std::string_view text);
+
+  constexpr Ipv4 base() const { return base_; }
+  constexpr int bits() const { return bits_; }
+  /// Number of addresses covered (2^(32-bits)).
+  constexpr std::uint64_t size() const {
+    return std::uint64_t{1} << (32 - bits_);
+  }
+  constexpr bool contains(Ipv4 addr) const {
+    if (bits_ == 0) return true;
+    return (addr.value() & mask_for(bits_)) == base_.value();
+  }
+  /// i-th address within the prefix; requires i < size().
+  constexpr Ipv4 at(std::uint64_t i) const {
+    return Ipv4(base_.value() + static_cast<std::uint32_t>(i));
+  }
+  /// One past the last covered address (for iteration).
+  constexpr Ipv4 end() const {
+    return Ipv4(base_.value() + static_cast<std::uint32_t>(size()));
+  }
+
+  std::string to_string() const;
+  constexpr bool operator==(const Prefix&) const = default;
+
+ private:
+  static constexpr std::uint32_t mask_for(int bits) {
+    return bits == 0 ? 0 : ~std::uint32_t{0} << (32 - bits);
+  }
+  Ipv4 base_{};
+  int bits_{32};
+};
+
+}  // namespace svcdisc::net
+
+template <>
+struct std::hash<svcdisc::net::Ipv4> {
+  std::size_t operator()(const svcdisc::net::Ipv4& a) const noexcept {
+    // Fibonacci scramble: pool addresses are sequential, so identity
+    // hashing would pile them into consecutive buckets.
+    return a.value() * 0x9E3779B97F4A7C15ULL >> 16;
+  }
+};

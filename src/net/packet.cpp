@@ -1,0 +1,92 @@
+#include "net/packet.h"
+
+#include <cstdio>
+
+namespace svcdisc::net {
+
+std::string_view proto_name(Proto proto) {
+  switch (proto) {
+    case Proto::kIcmp: return "icmp";
+    case Proto::kTcp: return "tcp";
+    case Proto::kUdp: return "udp";
+  }
+  return "?";
+}
+
+std::string Packet::to_string() const {
+  char buf[160];
+  if (proto == Proto::kTcp) {
+    std::snprintf(buf, sizeof buf, "tcp %s:%u > %s:%u [%s%s%s%s]",
+                  src.to_string().c_str(), sport, dst.to_string().c_str(),
+                  dport, flags.syn() ? "S" : "", flags.ack() ? "A" : "",
+                  flags.rst() ? "R" : "", flags.fin() ? "F" : "");
+  } else if (proto == Proto::kUdp) {
+    std::snprintf(buf, sizeof buf, "udp %s:%u > %s:%u len=%u",
+                  src.to_string().c_str(), sport, dst.to_string().c_str(),
+                  dport, payload_len);
+  } else {
+    std::snprintf(buf, sizeof buf, "icmp %s > %s type=%u code=%u",
+                  src.to_string().c_str(), dst.to_string().c_str(),
+                  static_cast<unsigned>(icmp_type),
+                  static_cast<unsigned>(icmp_code));
+  }
+  return buf;
+}
+
+Packet make_tcp(Ipv4 src, Port sport, Ipv4 dst, Port dport, TcpFlags flags) {
+  Packet p;
+  p.src = src;
+  p.sport = sport;
+  p.dst = dst;
+  p.dport = dport;
+  p.proto = Proto::kTcp;
+  p.flags = flags;
+  return p;
+}
+
+Packet make_udp(Ipv4 src, Port sport, Ipv4 dst, Port dport,
+                std::uint16_t payload_len) {
+  Packet p;
+  p.src = src;
+  p.sport = sport;
+  p.dst = dst;
+  p.dport = dport;
+  p.proto = Proto::kUdp;
+  p.payload_len = payload_len;
+  return p;
+}
+
+Packet make_icmp_port_unreachable(const Packet& offending) {
+  Packet p;
+  p.src = offending.dst;
+  p.dst = offending.src;
+  p.proto = Proto::kIcmp;
+  p.icmp_type = IcmpType::kDestUnreachable;
+  p.icmp_code = IcmpCode::kPortUnreachable;
+  p.icmp_orig_dst = offending.dst;
+  p.icmp_orig_dport = offending.dport;
+  p.icmp_orig_proto = offending.proto;
+  return p;
+}
+
+FlowKey FlowKey::of(const Packet& p) {
+  // Canonical order: smaller (address, port) endpoint first.
+  const bool swap = (p.src.value() > p.dst.value()) ||
+                    (p.src == p.dst && p.sport > p.dport);
+  FlowKey k;
+  if (swap) {
+    k.a = p.dst;
+    k.ap = p.dport;
+    k.b = p.src;
+    k.bp = p.sport;
+  } else {
+    k.a = p.src;
+    k.ap = p.sport;
+    k.b = p.dst;
+    k.bp = p.dport;
+  }
+  k.proto = p.proto;
+  return k;
+}
+
+}  // namespace svcdisc::net

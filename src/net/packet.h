@@ -1,0 +1,129 @@
+// The in-simulation packet value type and flow identification.
+//
+// The simulator moves Packet values (not serialized bytes) for speed; the
+// wire module (wire.h) converts to/from real IPv4/TCP/UDP/ICMP wire format
+// for pcap export and for parser tests. Only the fields the discovery
+// methods inspect are modeled: addresses, ports, TCP flags, and the ICMP
+// port-unreachable payload summary.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/ipv4.h"
+#include "net/ports.h"
+#include "util/sim_time.h"
+
+namespace svcdisc::net {
+
+/// IP protocol numbers for the protocols the study observes.
+enum class Proto : std::uint8_t {
+  kIcmp = 1,
+  kTcp = 6,
+  kUdp = 17,
+};
+
+std::string_view proto_name(Proto proto);
+
+/// TCP control flags, stored as a bitmask.
+struct TcpFlags {
+  static constexpr std::uint8_t kFin = 0x01;
+  static constexpr std::uint8_t kSyn = 0x02;
+  static constexpr std::uint8_t kRst = 0x04;
+  static constexpr std::uint8_t kAck = 0x10;
+
+  std::uint8_t bits{0};
+
+  constexpr bool syn() const { return bits & kSyn; }
+  constexpr bool ack() const { return bits & kAck; }
+  constexpr bool rst() const { return bits & kRst; }
+  constexpr bool fin() const { return bits & kFin; }
+  /// SYN set, ACK clear: a connection request.
+  constexpr bool is_syn_only() const { return syn() && !ack(); }
+  /// SYN and ACK set: a positive response from a listening service.
+  constexpr bool is_syn_ack() const { return syn() && ack(); }
+
+  constexpr bool operator==(const TcpFlags&) const = default;
+};
+
+constexpr TcpFlags flags_syn() { return {TcpFlags::kSyn}; }
+constexpr TcpFlags flags_syn_ack() { return {static_cast<std::uint8_t>(
+    TcpFlags::kSyn | TcpFlags::kAck)}; }
+constexpr TcpFlags flags_rst() { return {TcpFlags::kRst}; }
+constexpr TcpFlags flags_ack() { return {TcpFlags::kAck}; }
+
+/// ICMP messages the probers interpret.
+enum class IcmpType : std::uint8_t {
+  kEchoReply = 0,
+  kDestUnreachable = 3,
+  kEchoRequest = 8,
+};
+
+/// ICMP code under kDestUnreachable.
+enum class IcmpCode : std::uint8_t {
+  kNetUnreachable = 0,
+  kHostUnreachable = 1,
+  kPortUnreachable = 3,
+};
+
+/// A captured/simulated packet. Plain value type; cheap to copy.
+struct Packet {
+  util::TimePoint time{};  ///< capture/delivery timestamp
+  Ipv4 src{};
+  Ipv4 dst{};
+  Proto proto{Proto::kTcp};
+  Port sport{0};
+  Port dport{0};
+  TcpFlags flags{};               ///< TCP only
+  std::uint32_t seq{0};           ///< TCP only
+  std::uint32_t ack_no{0};        ///< TCP only
+  IcmpType icmp_type{IcmpType::kEchoReply};   ///< ICMP only
+  IcmpCode icmp_code{IcmpCode::kNetUnreachable};  ///< ICMP only
+  // For ICMP destination-unreachable, the summary of the offending
+  // datagram (who we tried to reach, and how), as carried in the real
+  // ICMP payload.
+  Ipv4 icmp_orig_dst{};
+  Port icmp_orig_dport{0};
+  Proto icmp_orig_proto{Proto::kUdp};
+  std::uint16_t payload_len{0};
+
+  /// One-line rendering for logs/tests.
+  std::string to_string() const;
+};
+
+/// Convenience constructors for the packet shapes the system exchanges.
+Packet make_tcp(Ipv4 src, Port sport, Ipv4 dst, Port dport, TcpFlags flags);
+Packet make_udp(Ipv4 src, Port sport, Ipv4 dst, Port dport,
+                std::uint16_t payload_len);
+/// ICMP port-unreachable in response to `offending` (src/dst swapped).
+Packet make_icmp_port_unreachable(const Packet& offending);
+
+/// Unordered 5-tuple key identifying a flow regardless of direction:
+/// the endpoints are ordered canonically so both directions map to the
+/// same key.
+struct FlowKey {
+  Ipv4 a{};
+  Port ap{0};
+  Ipv4 b{};
+  Port bp{0};
+  Proto proto{Proto::kTcp};
+
+  /// Canonical key for `p` (direction-insensitive).
+  static FlowKey of(const Packet& p);
+
+  bool operator==(const FlowKey&) const = default;
+};
+
+}  // namespace svcdisc::net
+
+template <>
+struct std::hash<svcdisc::net::FlowKey> {
+  std::size_t operator()(const svcdisc::net::FlowKey& k) const noexcept {
+    std::uint64_t h = k.a.value();
+    h = h * 0x9E3779B97F4A7C15ULL ^ k.b.value();
+    h = h * 0x9E3779B97F4A7C15ULL ^ (std::uint64_t{k.ap} << 16 | k.bp);
+    h = h * 0x9E3779B97F4A7C15ULL ^ static_cast<std::uint8_t>(k.proto);
+    return h;
+  }
+};

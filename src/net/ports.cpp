@@ -1,0 +1,42 @@
+#include "net/ports.h"
+
+namespace svcdisc::net {
+
+const std::vector<Port>& selected_tcp_ports() {
+  static const std::vector<Port> kPorts{kPortFtp, kPortSsh, kPortHttp,
+                                        kPortHttps, kPortMysql};
+  return kPorts;
+}
+
+const std::vector<Port>& selected_udp_ports() {
+  static const std::vector<Port> kPorts{kPortHttp, kPortDns, kPortNetbiosNs,
+                                        kPortGame};
+  return kPorts;
+}
+
+std::string_view port_name(Port port) {
+  switch (port) {
+    case kPortDiscard: return "discard";
+    case kPortDaytime: return "daytime";
+    case kPortFtp: return "ftp";
+    case kPortSsh: return "ssh";
+    case kPortSmtp: return "smtp";
+    case kPortTime: return "time";
+    case kPortDns: return "dns";
+    case kPortHttp: return "web";
+    case kPortSunRpc: return "sunrpc";
+    case kPortEpmap: return "epmap";
+    case kPortNetbiosNs: return "netbios-ns";
+    case kPortHttps: return "https";
+    case kPortMysql: return "mysql";
+    case kPortXFonts: return "xfonts";
+    case kPortGame: return "game";
+    default: return "";
+  }
+}
+
+bool is_well_known(Port port) { return port < 1024 || port == kPortMysql ||
+                                        port == kPortGame ||
+                                        port == kPortXFonts; }
+
+}  // namespace svcdisc::net

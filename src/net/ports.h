@@ -1,0 +1,46 @@
+// Well-known port registry for the services studied in the paper, plus
+// service-name lookup for reports.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace svcdisc::net {
+
+using Port = std::uint16_t;
+
+/// TCP ports studied in the paper's main datasets (§3.1).
+inline constexpr Port kPortFtp = 21;
+inline constexpr Port kPortSsh = 22;
+inline constexpr Port kPortSmtp = 25;
+inline constexpr Port kPortDns = 53;
+inline constexpr Port kPortHttp = 80;
+inline constexpr Port kPortNetbiosNs = 137;
+inline constexpr Port kPortEpmap = 135;
+inline constexpr Port kPortHttps = 443;
+inline constexpr Port kPortMysql = 3306;
+inline constexpr Port kPortGame = 27015;
+inline constexpr Port kPortSunRpc = 111;
+inline constexpr Port kPortXFonts = 7100;
+inline constexpr Port kPortDiscard = 9;
+inline constexpr Port kPortDaytime = 13;
+inline constexpr Port kPortTime = 37;
+
+/// The paper's selected TCP service set: 21, 22, 80, 443, 3306.
+const std::vector<Port>& selected_tcp_ports();
+
+/// The paper's selected UDP service set: 80, 53, 137, 27015.
+const std::vector<Port>& selected_udp_ports();
+
+/// Human-readable name for a well-known port ("ssh", "mysql", ...);
+/// returns "port-N" style via the out-param free function below if
+/// unknown.
+std::string_view port_name(Port port);
+
+/// True when `port` is conventionally a server-side well-known port
+/// (needed for the passive UDP heuristic of §3.2: traffic *from* a
+/// well-known port implies a service).
+bool is_well_known(Port port);
+
+}  // namespace svcdisc::net

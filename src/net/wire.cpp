@@ -1,0 +1,196 @@
+#include "net/wire.h"
+
+#include "net/checksum.h"
+
+namespace svcdisc::net {
+namespace {
+
+void put16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+}
+
+void put32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  put16(out, static_cast<std::uint16_t>(v >> 16));
+  put16(out, static_cast<std::uint16_t>(v & 0xffff));
+}
+
+std::uint16_t get16(std::span<const std::uint8_t> b, std::size_t off) {
+  return static_cast<std::uint16_t>((b[off] << 8) | b[off + 1]);
+}
+
+std::uint32_t get32(std::span<const std::uint8_t> b, std::size_t off) {
+  return (std::uint32_t{b[off]} << 24) | (std::uint32_t{b[off + 1]} << 16) |
+         (std::uint32_t{b[off + 2]} << 8) | b[off + 3];
+}
+
+void patch16(std::vector<std::uint8_t>& buf, std::size_t off,
+             std::uint16_t v) {
+  buf[off] = static_cast<std::uint8_t>(v >> 8);
+  buf[off + 1] = static_cast<std::uint8_t>(v & 0xff);
+}
+
+// Appends a 20-byte IPv4 header with a valid checksum.
+void append_ipv4_header(std::vector<std::uint8_t>& out, const Packet& p,
+                        std::size_t total_len) {
+  const std::size_t start = out.size();
+  out.push_back(0x45);  // version 4, IHL 5
+  out.push_back(0);     // TOS
+  put16(out, static_cast<std::uint16_t>(total_len));
+  put16(out, 0);        // identification
+  put16(out, 0x4000);   // flags: DF
+  out.push_back(64);    // TTL
+  out.push_back(static_cast<std::uint8_t>(p.proto));
+  put16(out, 0);  // checksum placeholder
+  put32(out, p.src.value());
+  put32(out, p.dst.value());
+  const std::uint16_t csum = checksum(
+      std::span<const std::uint8_t>(out.data() + start, kIpv4HeaderLen));
+  patch16(out, start + 10, csum);
+}
+
+// Serializes the transport portion of the *embedded* datagram carried in
+// an ICMP destination-unreachable message: original IP header + 8 bytes.
+void append_icmp_embedded(std::vector<std::uint8_t>& out, const Packet& p) {
+  Packet orig;
+  orig.src = p.dst;  // the ICMP receiver originally sent the datagram
+  orig.dst = p.icmp_orig_dst;
+  orig.proto = p.icmp_orig_proto;
+  const std::size_t l4 =
+      orig.proto == Proto::kUdp ? kUdpHeaderLen : kTcpHeaderLen;
+  append_ipv4_header(out, orig, kIpv4HeaderLen + l4);
+  // First 8 bytes of the original transport header: sport (unknown -> 0),
+  // dport, then len/checksum (UDP) or seq (TCP).
+  put16(out, 0);
+  put16(out, p.icmp_orig_dport);
+  put32(out, 0);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize(const Packet& p) {
+  std::vector<std::uint8_t> out;
+  std::size_t l4_len = 0;
+  switch (p.proto) {
+    case Proto::kTcp: l4_len = kTcpHeaderLen; break;
+    case Proto::kUdp: l4_len = kUdpHeaderLen + p.payload_len; break;
+    case Proto::kIcmp:
+      // header + embedded IP header + 8 bytes of embedded transport
+      l4_len = kIcmpHeaderLen + kIpv4HeaderLen + 8;
+      break;
+  }
+  out.reserve(kIpv4HeaderLen + l4_len);
+  append_ipv4_header(out, p, kIpv4HeaderLen + l4_len);
+  const std::size_t l4_start = out.size();
+
+  switch (p.proto) {
+    case Proto::kTcp: {
+      put16(out, p.sport);
+      put16(out, p.dport);
+      put32(out, p.seq);
+      put32(out, p.ack_no);
+      out.push_back(0x50);  // data offset 5
+      out.push_back(p.flags.bits);
+      put16(out, 65535);  // window
+      put16(out, 0);      // checksum placeholder
+      put16(out, 0);      // urgent
+      break;
+    }
+    case Proto::kUdp: {
+      put16(out, p.sport);
+      put16(out, p.dport);
+      put16(out, static_cast<std::uint16_t>(kUdpHeaderLen + p.payload_len));
+      put16(out, 0);  // checksum placeholder
+      out.insert(out.end(), p.payload_len, 0);
+      break;
+    }
+    case Proto::kIcmp: {
+      out.push_back(static_cast<std::uint8_t>(p.icmp_type));
+      out.push_back(static_cast<std::uint8_t>(p.icmp_code));
+      put16(out, 0);  // checksum placeholder
+      put32(out, 0);  // unused
+      append_icmp_embedded(out, p);
+      break;
+    }
+  }
+
+  // Transport checksum.
+  const std::span<const std::uint8_t> l4(out.data() + l4_start,
+                                         out.size() - l4_start);
+  std::uint32_t partial = checksum_partial(l4);
+  if (p.proto != Proto::kIcmp) {
+    partial = checksum_combine(
+        partial, pseudo_header_partial(p.src.value(), p.dst.value(),
+                                       static_cast<std::uint8_t>(p.proto),
+                                       static_cast<std::uint16_t>(l4.size())));
+  }
+  const std::size_t csum_off =
+      l4_start + (p.proto == Proto::kUdp ? 6 : p.proto == Proto::kTcp ? 16 : 2);
+  patch16(out, csum_off, checksum_finish(partial));
+  return out;
+}
+
+bool ipv4_checksum_ok(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kIpv4HeaderLen) return false;
+  return checksum(bytes.subspan(0, kIpv4HeaderLen)) == 0;
+}
+
+std::optional<Packet> parse(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kIpv4HeaderLen) return std::nullopt;
+  if ((bytes[0] >> 4) != 4) return std::nullopt;
+  const std::size_t ihl = (bytes[0] & 0x0f) * std::size_t{4};
+  if (ihl < kIpv4HeaderLen || bytes.size() < ihl) return std::nullopt;
+  if (!ipv4_checksum_ok(bytes)) return std::nullopt;
+  const std::size_t total_len = get16(bytes, 2);
+  if (total_len < ihl || total_len > bytes.size()) return std::nullopt;
+
+  Packet p;
+  p.src = Ipv4(get32(bytes, 12));
+  p.dst = Ipv4(get32(bytes, 16));
+  const auto l4 = bytes.subspan(ihl, total_len - ihl);
+
+  switch (bytes[9]) {
+    case 6: {
+      p.proto = Proto::kTcp;
+      if (l4.size() < kTcpHeaderLen) return std::nullopt;
+      p.sport = get16(l4, 0);
+      p.dport = get16(l4, 2);
+      p.seq = get32(l4, 4);
+      p.ack_no = get32(l4, 8);
+      p.flags.bits = l4[13];
+      break;
+    }
+    case 17: {
+      p.proto = Proto::kUdp;
+      if (l4.size() < kUdpHeaderLen) return std::nullopt;
+      p.sport = get16(l4, 0);
+      p.dport = get16(l4, 2);
+      const std::uint16_t udp_len = get16(l4, 4);
+      if (udp_len < kUdpHeaderLen || udp_len > l4.size()) return std::nullopt;
+      p.payload_len = static_cast<std::uint16_t>(udp_len - kUdpHeaderLen);
+      break;
+    }
+    case 1: {
+      p.proto = Proto::kIcmp;
+      if (l4.size() < kIcmpHeaderLen) return std::nullopt;
+      p.icmp_type = static_cast<IcmpType>(l4[0]);
+      p.icmp_code = static_cast<IcmpCode>(l4[1]);
+      if (p.icmp_type == IcmpType::kDestUnreachable &&
+          l4.size() >= kIcmpHeaderLen + kIpv4HeaderLen + 8) {
+        const auto emb = l4.subspan(kIcmpHeaderLen);
+        p.icmp_orig_proto = static_cast<Proto>(emb[9]);
+        p.icmp_orig_dst = Ipv4(get32(emb, 16));
+        const std::size_t emb_ihl = (emb[0] & 0x0f) * std::size_t{4};
+        if (emb.size() >= emb_ihl + 4) {
+          p.icmp_orig_dport = get16(emb, emb_ihl + 2);
+        }
+      }
+      break;
+    }
+    default:
+      return std::nullopt;
+  }
+  return p;
+}
+
+}  // namespace svcdisc::net

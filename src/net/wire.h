@@ -1,0 +1,38 @@
+// Wire-format serialization: Packet <-> raw IPv4 bytes.
+//
+// Serialized packets are real, checksummed IPv4 datagrams (no link-layer
+// header; pcap export uses LINKTYPE_RAW). This keeps exported captures
+// readable by standard tooling and gives the parser tests a ground truth
+// independent of the in-memory representation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/packet.h"
+
+namespace svcdisc::net {
+
+/// Fixed header sizes (no IPv4 options, no TCP options).
+inline constexpr std::size_t kIpv4HeaderLen = 20;
+inline constexpr std::size_t kTcpHeaderLen = 20;
+inline constexpr std::size_t kUdpHeaderLen = 8;
+inline constexpr std::size_t kIcmpHeaderLen = 8;
+
+/// Serializes `p` as an IPv4 datagram with valid checksums. UDP payload
+/// bytes are zeros of length p.payload_len. ICMP destination-unreachable
+/// carries the embedded original IPv4 header + 8 transport bytes, as on
+/// the real wire.
+std::vector<std::uint8_t> serialize(const Packet& p);
+
+/// Parses an IPv4 datagram back into a Packet (timestamp is left zero;
+/// capture layers stamp it). Returns nullopt for truncated/invalid input,
+/// unsupported protocols, or bad checksums.
+std::optional<Packet> parse(std::span<const std::uint8_t> bytes);
+
+/// Validates only the IPv4 header checksum (cheap pre-check).
+bool ipv4_checksum_ok(std::span<const std::uint8_t> bytes);
+
+}  // namespace svcdisc::net

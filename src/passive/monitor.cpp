@@ -1,0 +1,90 @@
+#include "passive/monitor.h"
+
+#include <algorithm>
+
+namespace svcdisc::passive {
+
+PassiveMonitor::PassiveMonitor(MonitorConfig config)
+    : config_(std::move(config)) {}
+
+bool PassiveMonitor::is_internal(net::Ipv4 addr) const {
+  for (const auto& prefix : config_.internal_prefixes) {
+    if (prefix.contains(addr)) return true;
+  }
+  return false;
+}
+
+bool PassiveMonitor::tcp_port_selected(net::Port port) const {
+  if (config_.tcp_ports.empty()) return true;
+  return std::find(config_.tcp_ports.begin(), config_.tcp_ports.end(),
+                   port) != config_.tcp_ports.end();
+}
+
+bool PassiveMonitor::udp_port_selected(net::Port port) const {
+  if (config_.udp_ports.empty()) return net::is_well_known(port);
+  return std::find(config_.udp_ports.begin(), config_.udp_ports.end(),
+                   port) != config_.udp_ports.end();
+}
+
+void PassiveMonitor::observe(const net::Packet& p) {
+  ++packets_seen_;
+  if (scan_detector_) scan_detector_->observe(p);
+
+  switch (p.proto) {
+    case net::Proto::kTcp: {
+      if (p.flags.is_syn_ack()) {
+        // A positive response from an internal address: service present.
+        if (!is_internal(p.src) || !tcp_port_selected(p.sport)) return;
+        if (config_.exclude_scanner_triggered && scan_detector_ &&
+            scan_detector_->is_scanner(p.dst)) {
+          ++suppressed_;
+          return;
+        }
+        if (config_.require_syn_before_synack &&
+            pending_syns_.erase(net::FlowKey::of(p)) == 0) {
+          ++unmatched_syn_acks_;
+          return;
+        }
+        const ServiceKey key{p.src, net::Proto::kTcp, p.sport};
+        if (table_.discover(key, p.time)) {
+          if (on_discovery) on_discovery(key, p.time);
+        } else {
+          table_.touch(key, p.time);  // renewed evidence (Table 4)
+        }
+      } else if (p.flags.is_syn_only()) {
+        // Inbound connection attempt: a flow toward a (possible) server.
+        if (is_internal(p.src) || !is_internal(p.dst)) return;
+        if (!tcp_port_selected(p.dport)) return;
+        if (config_.require_syn_before_synack) {
+          pending_syns_.insert(net::FlowKey::of(p));
+        }
+        if (scan_detector_ && scan_detector_->is_scanner(p.src)) return;
+        table_.count_flow({p.dst, net::Proto::kTcp, p.dport}, p.src, p.time);
+      }
+      return;
+    }
+    case net::Proto::kUdp: {
+      if (!config_.detect_udp) return;
+      // Traffic *from* a well-known port on an internal host.
+      if (is_internal(p.src) && udp_port_selected(p.sport)) {
+        if (config_.exclude_scanner_triggered && scan_detector_ &&
+            scan_detector_->is_scanner(p.dst)) {
+          ++suppressed_;
+          return;
+        }
+        const ServiceKey key{p.src, net::Proto::kUdp, p.sport};
+        if (table_.discover(key, p.time) && on_discovery) {
+          on_discovery(key, p.time);
+        }
+      } else if (!is_internal(p.src) && is_internal(p.dst) &&
+                 udp_port_selected(p.dport)) {
+        table_.count_flow({p.dst, net::Proto::kUdp, p.dport}, p.src, p.time);
+      }
+      return;
+    }
+    case net::Proto::kIcmp:
+      return;  // passive TCP/UDP discovery ignores ICMP
+  }
+}
+
+}  // namespace svcdisc::passive

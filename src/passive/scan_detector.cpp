@@ -1,0 +1,53 @@
+#include "passive/scan_detector.h"
+
+namespace svcdisc::passive {
+
+ScanDetector::ScanDetector(ScanDetectorConfig config,
+                           std::vector<net::Prefix> internal_prefixes)
+    : config_(config), internal_(std::move(internal_prefixes)) {}
+
+bool ScanDetector::is_internal(net::Ipv4 addr) const {
+  for (const auto& prefix : internal_) {
+    if (prefix.contains(addr)) return true;
+  }
+  return false;
+}
+
+void ScanDetector::roll_window(util::TimePoint t) {
+  const std::int64_t window = t.usec / config_.window.usec;
+  if (window != current_window_) {
+    current_window_ = window;
+    window_state_.clear();
+  }
+}
+
+void ScanDetector::observe(const net::Packet& p) {
+  if (p.proto != net::Proto::kTcp) return;
+  roll_window(p.time);
+
+  if (p.flags.is_syn_only()) {
+    // Inbound connection attempt: external source -> internal target.
+    if (is_internal(p.src) || !is_internal(p.dst)) return;
+    if (scanners_.contains(p.src)) return;  // already flagged
+    SourceState& state = window_state_[p.src];
+    state.targets.insert(p.dst);
+    if (state.targets.size() >= config_.target_threshold &&
+        state.rst_from.size() >= config_.rst_threshold) {
+      scanners_.insert(p.src);
+      window_state_.erase(p.src);
+    }
+  } else if (p.flags.rst()) {
+    // Refusal flowing back out: internal host -> external source.
+    if (!is_internal(p.src) || is_internal(p.dst)) return;
+    if (scanners_.contains(p.dst)) return;
+    SourceState& state = window_state_[p.dst];
+    state.rst_from.insert(p.src);
+    if (state.targets.size() >= config_.target_threshold &&
+        state.rst_from.size() >= config_.rst_threshold) {
+      scanners_.insert(p.dst);
+      window_state_.erase(p.dst);
+    }
+  }
+}
+
+}  // namespace svcdisc::passive

@@ -1,0 +1,71 @@
+#include "passive/service_table.h"
+
+#include <algorithm>
+
+namespace svcdisc::passive {
+
+bool ServiceTable::discover(const ServiceKey& key, util::TimePoint t) {
+  Entry& e = services_[key];
+  if (e.discovered) return false;
+  e.discovered = true;
+  e.record.first_seen = t;
+  if (e.record.last_activity < t) e.record.last_activity = t;
+  ++discovered_count_;
+  return true;
+}
+
+void ServiceTable::count_flow(const ServiceKey& key, net::Ipv4 client,
+                              util::TimePoint t) {
+  Entry& e = services_[key];
+  ++e.record.flows;
+  auto [it, inserted] = e.record.clients.emplace(client, t);
+  if (!inserted && it->second < t) it->second = t;
+  if (e.record.last_activity < t) e.record.last_activity = t;
+  if (e.record.last_flow < t) e.record.last_flow = t;
+}
+
+void ServiceTable::touch(const ServiceKey& key, util::TimePoint t) {
+  const auto it = services_.find(key);
+  if (it == services_.end()) return;
+  if (it->second.record.last_activity < t) it->second.record.last_activity = t;
+}
+
+const ServiceRecord* ServiceTable::find(const ServiceKey& key) const {
+  const auto it = services_.find(key);
+  if (it == services_.end() || !it->second.discovered) return nullptr;
+  return &it->second.record;
+}
+
+std::size_t ServiceTable::address_count() const {
+  std::unordered_set<net::Ipv4> addrs;
+  addrs.reserve(services_.size());
+  for (const auto& [key, entry] : services_) {
+    if (entry.discovered) addrs.insert(key.addr);
+  }
+  return addrs.size();
+}
+
+void ServiceTable::for_each(
+    const std::function<void(const ServiceKey&, const ServiceRecord&)>& fn)
+    const {
+  for (const auto& [key, entry] : services_) {
+    if (entry.discovered) fn(key, entry.record);
+  }
+}
+
+std::vector<std::pair<ServiceKey, util::TimePoint>>
+ServiceTable::chronological() const {
+  std::vector<std::pair<ServiceKey, util::TimePoint>> out;
+  out.reserve(discovered_count_);
+  for (const auto& [key, entry] : services_) {
+    if (entry.discovered) out.emplace_back(key, entry.record.first_seen);
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second < b.second;
+    if (a.first.addr != b.first.addr) return a.first.addr < b.first.addr;
+    return a.first.port < b.first.port;
+  });
+  return out;
+}
+
+}  // namespace svcdisc::passive

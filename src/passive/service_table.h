@@ -1,0 +1,111 @@
+// The discovered-service table shared by both discovery methods.
+//
+// Keys are (address, proto, port) — the paper counts *server IP
+// addresses* (an address offering several studied ports appears once per
+// service, and "servers found" aggregates by address). The table records
+// first-discovery timestamps plus the per-service flow and unique-client
+// tallies that drive the weighted completeness metrics (§4.1.2).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "net/packet.h"
+#include "util/sim_time.h"
+
+namespace svcdisc::passive {
+
+/// Identity of one service instance.
+struct ServiceKey {
+  net::Ipv4 addr{};
+  net::Proto proto{net::Proto::kTcp};
+  net::Port port{0};
+
+  bool operator==(const ServiceKey&) const = default;
+};
+
+struct ServiceKeyHash {
+  std::size_t operator()(const ServiceKey& k) const noexcept {
+    std::uint64_t h = k.addr.value();
+    h = h * 0x9E3779B97F4A7C15ULL ^ (std::uint64_t{k.port} << 8 |
+                                     static_cast<std::uint8_t>(k.proto));
+    return h;
+  }
+};
+
+/// What is known about one discovered service.
+struct ServiceRecord {
+  util::TimePoint first_seen{};
+  /// Most recent observed activity (discovery or inbound flow); drives
+  /// the firewall-confirmation check "activity observed during a scan
+  /// that got no probe response" (§4.2.4).
+  util::TimePoint last_activity{};
+  /// Most recent inbound client flow (sources already flagged as
+  /// scanners are never counted; sources flagged *later* can be cleaned
+  /// retroactively via `clients`, as the paper does in §4.3).
+  util::TimePoint last_flow{};
+  std::uint64_t flows{0};
+  /// Client address -> time of its most recent flow.
+  std::unordered_map<net::Ipv4, util::TimePoint> clients;
+
+  /// Latest flow from a client not in `exclude` (kEpoch when none) —
+  /// retroactive scanner cleaning for re-observation analyses.
+  util::TimePoint last_flow_excluding(
+      const std::unordered_set<net::Ipv4>& exclude) const {
+    util::TimePoint latest{};
+    for (const auto& [client, t] : clients) {
+      if (t > latest && !exclude.contains(client)) latest = t;
+    }
+    return latest;
+  }
+};
+
+/// Timestamped registry of discovered services with activity tallies.
+class ServiceTable {
+ public:
+  /// Marks `key` discovered at `t` (first call wins). Returns true when
+  /// this was a new discovery.
+  bool discover(const ServiceKey& key, util::TimePoint t);
+
+  /// Attributes one inbound flow from `client` at time `t` to `key`
+  /// (independent of discovery state — activity seen before discovery
+  /// still weighs).
+  void count_flow(const ServiceKey& key, net::Ipv4 client, util::TimePoint t);
+
+  /// Marks renewed evidence of `key` at `t` (e.g. another SYN-ACK after
+  /// discovery). Advances last_activity only.
+  void touch(const ServiceKey& key, util::TimePoint t);
+
+  /// True when `key` has been *discovered* (flow-only entries don't
+  /// count).
+  bool contains(const ServiceKey& key) const { return find(key) != nullptr; }
+  const ServiceRecord* find(const ServiceKey& key) const;
+
+  /// Number of discovered services.
+  std::size_t size() const { return discovered_count_; }
+  /// Number of distinct server addresses discovered.
+  std::size_t address_count() const;
+
+  /// Visits every discovered service (key, record).
+  void for_each(
+      const std::function<void(const ServiceKey&, const ServiceRecord&)>& fn)
+      const;
+
+  /// All discoveries sorted by first_seen (for time-series plots).
+  std::vector<std::pair<ServiceKey, util::TimePoint>> chronological() const;
+
+ private:
+  struct Entry {
+    ServiceRecord record;
+    bool discovered{false};
+  };
+  std::unordered_map<ServiceKey, Entry, ServiceKeyHash> services_;
+  std::size_t discovered_count_{0};
+};
+
+}  // namespace svcdisc::passive

@@ -1,0 +1,118 @@
+#include "passive/table_io.h"
+
+#include <algorithm>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace svcdisc::passive {
+namespace {
+
+bool parse_u64(const std::string& text, std::uint64_t& out) {
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), out);
+  return ec == std::errc{} && ptr == text.data() + text.size();
+}
+
+bool parse_i64(const std::string& text, std::int64_t& out) {
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), out);
+  return ec == std::errc{} && ptr == text.data() + text.size();
+}
+
+}  // namespace
+
+bool save_table(const ServiceTable& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "# addr\tproto\tport\tfirst_seen_usec\tlast_activity_usec\tflows\t"
+         "clients\n";
+  // Chronological order keeps diffs stable across identical campaigns.
+  for (const auto& [key, first_seen] : table.chronological()) {
+    const ServiceRecord* record = table.find(key);
+    if (!record) continue;
+    out << key.addr.to_string() << '\t'
+        << (key.proto == net::Proto::kTcp   ? "tcp"
+            : key.proto == net::Proto::kUdp ? "udp"
+                                            : "icmp")
+        << '\t' << key.port << '\t' << record->first_seen.usec << '\t'
+        << record->last_activity.usec << '\t' << record->flows << '\t'
+        << record->clients.size() << '\n';
+  }
+  return out.good();
+}
+
+LoadResult load_table(const std::string& path) {
+  LoadResult result;
+  std::ifstream in(path);
+  if (!in) return result;
+  result.ok = true;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::vector<std::string> cols;
+    std::string col;
+    while (std::getline(fields, col, '\t')) cols.push_back(col);
+    if (cols.size() != 7) {
+      ++result.malformed;
+      continue;
+    }
+    const auto addr = net::Ipv4::parse(cols[0]);
+    std::int64_t first_seen = 0, last_activity = 0;
+    std::uint64_t port = 0, flows = 0, clients = 0;
+    const bool fields_ok = addr.has_value() && parse_u64(cols[2], port) &&
+                           port <= 65535 && parse_i64(cols[3], first_seen) &&
+                           parse_i64(cols[4], last_activity) &&
+                           parse_u64(cols[5], flows) &&
+                           parse_u64(cols[6], clients);
+    const net::Proto proto = cols[1] == "tcp"   ? net::Proto::kTcp
+                             : cols[1] == "udp" ? net::Proto::kUdp
+                                                : net::Proto::kIcmp;
+    if (!fields_ok || (cols[1] != "tcp" && cols[1] != "udp")) {
+      ++result.malformed;
+      continue;
+    }
+
+    const ServiceKey key{*addr, proto, static_cast<net::Port>(port)};
+    result.table.discover(key, util::TimePoint{first_seen});
+    // Restore tallies: placeholder clients stand in for anonymized ones.
+    for (std::uint64_t i = 0; i < clients; ++i) {
+      result.table.count_flow(key, net::Ipv4(static_cast<std::uint32_t>(i)),
+                              util::TimePoint{first_seen});
+    }
+    for (std::uint64_t i = clients; i < flows; ++i) {
+      result.table.count_flow(key, net::Ipv4(0),
+                              util::TimePoint{first_seen});
+    }
+    result.table.touch(key, util::TimePoint{last_activity});
+    ++result.rows;
+  }
+  return result;
+}
+
+TableDiff diff_tables(const ServiceTable& before, const ServiceTable& after) {
+  TableDiff diff;
+  after.for_each([&](const ServiceKey& key, const ServiceRecord&) {
+    if (before.contains(key)) {
+      ++diff.unchanged;
+    } else {
+      diff.appeared.push_back(key);
+    }
+  });
+  before.for_each([&](const ServiceKey& key, const ServiceRecord&) {
+    if (!after.contains(key)) diff.disappeared.push_back(key);
+  });
+  const auto by_addr_port = [](const ServiceKey& a, const ServiceKey& b) {
+    if (a.addr != b.addr) return a.addr < b.addr;
+    if (a.port != b.port) return a.port < b.port;
+    return a.proto < b.proto;
+  };
+  std::sort(diff.appeared.begin(), diff.appeared.end(), by_addr_port);
+  std::sort(diff.disappeared.begin(), diff.disappeared.end(), by_addr_port);
+  return diff;
+}
+
+}  // namespace svcdisc::passive

@@ -1,0 +1,49 @@
+// ServiceTable persistence: save/load the discovered-service registry as
+// TSV, so a long-running monitor can checkpoint its state and offline
+// analyses can resume or merge campaigns.
+//
+// Format (one row per discovered service; header line starts with '#'):
+//   addr <tab> proto <tab> port <tab> first_seen_usec <tab>
+//   last_activity_usec <tab> flows <tab> client_count
+// Per-client detail is intentionally dropped: the paper anonymizes
+// clients before analysis, and operators care about counts.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "passive/service_table.h"
+
+namespace svcdisc::passive {
+
+/// Writes every discovered service in `table` to `path`. Returns false
+/// if the file cannot be opened.
+bool save_table(const ServiceTable& table, const std::string& path);
+
+struct LoadResult {
+  ServiceTable table;
+  std::size_t rows{0};
+  std::size_t malformed{0};
+  bool ok{false};
+};
+
+/// Reads a table written by save_table. Client identities are not
+/// preserved (counts are restored as synthetic placeholder clients so
+/// weighted analyses keep working).
+LoadResult load_table(const std::string& path);
+
+/// Difference between two survey snapshots — the paper's first
+/// motivation is exactly this: "preemptive surveys can track an
+/// organization's service 'surface area'" (§1). `appeared` holds
+/// services in `after` but not `before`; `disappeared` the reverse.
+struct TableDiff {
+  std::vector<ServiceKey> appeared;
+  std::vector<ServiceKey> disappeared;
+  std::size_t unchanged{0};
+};
+
+/// Computes the service-set difference (sorted by address then port for
+/// stable output).
+TableDiff diff_tables(const ServiceTable& before, const ServiceTable& after);
+
+}  // namespace svcdisc::passive

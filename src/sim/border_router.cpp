@@ -1,0 +1,42 @@
+#include "sim/border_router.h"
+
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace svcdisc::sim {
+
+std::size_t BorderRouter::add_peering(std::string name, double weight) {
+  if (weight <= 0) throw std::invalid_argument("peering weight must be > 0");
+  peerings_.push_back(Peering{std::move(name), weight, {}, 0});
+  total_weight_ += weight;
+  return peerings_.size() - 1;
+}
+
+void BorderRouter::add_tap(std::size_t idx, PacketObserver* tap) {
+  peerings_.at(idx).taps.push_back(tap);
+}
+
+std::size_t BorderRouter::default_peering_for(net::Ipv4 external) const {
+  if (peerings_.empty()) throw std::logic_error("no peerings configured");
+  // Stable hash of the address into [0,1), then a weighted bucket walk.
+  std::uint64_t state = external.value();
+  const double u = static_cast<double>(util::splitmix64(state) >> 11) *
+                   0x1.0p-53;
+  double acc = 0;
+  for (std::size_t i = 0; i < peerings_.size(); ++i) {
+    acc += peerings_[i].weight / total_weight_;
+    if (u < acc) return i;
+  }
+  return peerings_.size() - 1;
+}
+
+void BorderRouter::carry(const net::Packet& p, net::Ipv4 external) {
+  const std::size_t idx =
+      policy_ ? policy_(external) : default_peering_for(external);
+  Peering& link = peerings_.at(idx);
+  ++link.packets;
+  for (PacketObserver* tap : link.taps) tap->observe(p);
+}
+
+}  // namespace svcdisc::sim

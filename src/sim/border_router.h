@@ -1,0 +1,62 @@
+// The campus border router: multi-homed peering links with passive taps.
+//
+// Every packet crossing the campus border (internal<->external) is routed
+// over exactly one peering link, chosen by a pluggable policy keyed on the
+// external endpoint — by default a stable weighted hash, so a given
+// external host always uses the same peering (which is what makes some
+// servers visible on only one link, paper §5.2 / Table 8). Taps attached
+// to a peering observe only that link's packets; internal-to-internal
+// traffic (e.g. active probes) never reaches the border and is invisible
+// to every tap, matching the paper's probing setup (§3.1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "net/packet.h"
+#include "sim/node.h"
+
+namespace svcdisc::sim {
+
+/// A single peering link with its attached observers.
+struct Peering {
+  std::string name;
+  double weight{1.0};  ///< share of external hosts defaulting to this link
+  std::vector<PacketObserver*> taps;
+  std::uint64_t packets{0};  ///< packets carried (both directions)
+};
+
+class BorderRouter {
+ public:
+  /// Chooses a peering index for an external endpoint; set a custom policy
+  /// to model e.g. Internet2's academic-only acceptable-use routing.
+  using Policy = std::function<std::size_t(net::Ipv4 external)>;
+
+  /// Adds a peering; returns its index.
+  std::size_t add_peering(std::string name, double weight = 1.0);
+  /// Attaches a tap (observer) to peering `idx`.
+  void add_tap(std::size_t idx, PacketObserver* tap);
+
+  std::size_t peering_count() const { return peerings_.size(); }
+  const Peering& peering(std::size_t idx) const { return peerings_[idx]; }
+
+  /// Overrides the default weighted-hash policy.
+  void set_policy(Policy policy) { policy_ = std::move(policy); }
+
+  /// Routes one border-crossing packet; `external` is the off-campus
+  /// endpoint that determines the peering.
+  void carry(const net::Packet& p, net::Ipv4 external);
+
+  /// The default policy: stable weighted hash of the external address.
+  std::size_t default_peering_for(net::Ipv4 external) const;
+
+ private:
+  std::vector<Peering> peerings_;
+  Policy policy_;
+  double total_weight_{0};
+};
+
+}  // namespace svcdisc::sim

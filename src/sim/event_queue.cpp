@@ -1,0 +1,17 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+namespace svcdisc::sim {
+
+void EventQueue::push(util::TimePoint t, Callback fn) {
+  heap_.push(Entry{t, next_seq_++, std::move(fn)});
+}
+
+EventQueue::Callback EventQueue::pop() {
+  Callback fn = std::move(heap_.top().fn);
+  heap_.pop();
+  return fn;
+}
+
+}  // namespace svcdisc::sim

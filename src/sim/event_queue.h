@@ -1,0 +1,49 @@
+// A deterministic discrete-event queue.
+//
+// Events at equal timestamps fire in insertion order (a monotonically
+// increasing sequence number breaks ties), which makes runs reproducible
+// regardless of heap internals.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/sim_time.h"
+
+namespace svcdisc::sim {
+
+/// Min-heap of timestamped callbacks with FIFO tie-breaking.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Enqueue `fn` to fire at time `t`.
+  void push(util::TimePoint t, Callback fn);
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Timestamp of the earliest event; undefined when empty.
+  util::TimePoint next_time() const { return heap_.top().time; }
+
+  /// Removes and returns the earliest event's callback.
+  Callback pop();
+
+ private:
+  struct Entry {
+    util::TimePoint time;
+    std::uint64_t seq;
+    mutable Callback fn;  // mutable: moved out on pop from top()
+
+    bool operator>(const Entry& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::uint64_t next_seq_{0};
+};
+
+}  // namespace svcdisc::sim

@@ -1,0 +1,55 @@
+#include "sim/network.h"
+
+#include <utility>
+
+namespace svcdisc::sim {
+
+Network::Network(Simulator& sim, std::vector<net::Prefix> internal)
+    : sim_(sim), internal_(std::move(internal)) {}
+
+void Network::attach(net::Ipv4 addr, PacketSink* sink) {
+  owners_[addr] = sink;
+}
+
+void Network::detach(net::Ipv4 addr, const PacketSink* sink) {
+  const auto it = owners_.find(addr);
+  if (it != owners_.end() && it->second == sink) owners_.erase(it);
+}
+
+PacketSink* Network::owner(net::Ipv4 addr) const {
+  const auto it = owners_.find(addr);
+  return it == owners_.end() ? nullptr : it->second;
+}
+
+bool Network::is_internal(net::Ipv4 addr) const {
+  for (const auto& prefix : internal_) {
+    if (prefix.contains(addr)) return true;
+  }
+  return false;
+}
+
+void Network::send(net::Packet p) {
+  ++packets_sent_;
+  const bool src_internal = is_internal(p.src);
+  const bool dst_internal = is_internal(p.dst);
+  const bool crossed = src_internal != dst_internal;
+  const net::Ipv4 external = src_internal ? p.dst : p.src;
+  const util::Duration latency =
+      crossed ? external_latency_ : internal_latency_;
+  sim_.after(latency, [this, p = std::move(p), crossed, external]() mutable {
+    deliver(std::move(p), crossed, external);
+  });
+}
+
+void Network::deliver(net::Packet p, bool crossed, net::Ipv4 external) {
+  p.time = sim_.now();
+  if (crossed && border_.peering_count() > 0) border_.carry(p, external);
+  if (PacketSink* sink = owner(p.dst)) {
+    ++packets_delivered_;
+    sink->on_packet(p);
+  } else {
+    ++packets_dropped_;
+  }
+}
+
+}  // namespace svcdisc::sim

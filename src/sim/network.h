@@ -1,0 +1,73 @@
+// The packet plane: address registration, routing, and border crossing.
+//
+// Network::send() models one-way delivery with a fixed latency per path
+// class (intra-campus vs across the border). On delivery the packet is
+// stamped with the arrival time, offered to the border taps if it crossed
+// the border, and handed to the sink registered for the destination
+// address (if any; otherwise it is dropped silently, like a packet to an
+// unused address).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "net/packet.h"
+#include "sim/border_router.h"
+#include "sim/node.h"
+#include "sim/simulator.h"
+
+namespace svcdisc::sim {
+
+class Network {
+ public:
+  /// `internal` lists the campus prefixes; everything else is "the
+  /// Internet".
+  Network(Simulator& sim, std::vector<net::Prefix> internal);
+
+  /// Registers `sink` as the owner of `addr`. A later attach for the same
+  /// address replaces the earlier one (address reuse in dynamic pools).
+  void attach(net::Ipv4 addr, PacketSink* sink);
+  /// Unregisters `addr` if owned by `sink` (no-op otherwise, so a host
+  /// releasing a reassigned lease cannot evict the new owner).
+  void detach(net::Ipv4 addr, const PacketSink* sink);
+  /// Current owner of `addr`, or nullptr.
+  PacketSink* owner(net::Ipv4 addr) const;
+
+  /// True when `addr` is inside a campus prefix.
+  bool is_internal(net::Ipv4 addr) const;
+
+  /// Sends `p`, scheduling delivery after the appropriate latency.
+  /// Border-crossing packets are observed by the chosen peering's taps at
+  /// delivery time.
+  void send(net::Packet p);
+
+  BorderRouter& border() { return border_; }
+  const BorderRouter& border() const { return border_; }
+  Simulator& simulator() { return sim_; }
+
+  /// One-way latencies (defaults: 1 ms on campus, 20 ms across the
+  /// border).
+  void set_internal_latency(util::Duration d) { internal_latency_ = d; }
+  void set_external_latency(util::Duration d) { external_latency_ = d; }
+
+  std::uint64_t packets_sent() const { return packets_sent_; }
+  std::uint64_t packets_delivered() const { return packets_delivered_; }
+  std::uint64_t packets_dropped() const { return packets_dropped_; }
+
+ private:
+  void deliver(net::Packet p, bool crossed, net::Ipv4 external);
+
+  Simulator& sim_;
+  std::vector<net::Prefix> internal_;
+  BorderRouter border_;
+  std::unordered_map<net::Ipv4, PacketSink*> owners_;
+  util::Duration internal_latency_{util::msec(1)};
+  util::Duration external_latency_{util::msec(20)};
+  std::uint64_t packets_sent_{0};
+  std::uint64_t packets_delivered_{0};
+  std::uint64_t packets_dropped_{0};
+};
+
+}  // namespace svcdisc::sim

@@ -1,0 +1,26 @@
+// Interfaces connecting simulation components to the packet plane.
+#pragma once
+
+#include "net/packet.h"
+
+namespace svcdisc::sim {
+
+/// A component that receives packets addressed to it (hosts, probers,
+/// flow generators' client endpoints).
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+  /// Called when a packet addressed to one of the sink's registered
+  /// addresses is delivered. `p.time` is the delivery time.
+  virtual void on_packet(const net::Packet& p) = 0;
+};
+
+/// A component that observes packets in flight (taps, monitors,
+/// samplers). Observation is copy-free and must not mutate the packet.
+class PacketObserver {
+ public:
+  virtual ~PacketObserver() = default;
+  virtual void observe(const net::Packet& p) = 0;
+};
+
+}  // namespace svcdisc::sim

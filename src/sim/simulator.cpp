@@ -1,0 +1,34 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+namespace svcdisc::sim {
+
+void Simulator::at(util::TimePoint t, EventQueue::Callback fn) {
+  queue_.push(t < now_ ? now_ : t, std::move(fn));
+}
+
+void Simulator::after(util::Duration d, EventQueue::Callback fn) {
+  at(now_ + d, std::move(fn));
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  now_ = queue_.next_time();
+  auto fn = queue_.pop();
+  ++processed_;
+  fn();
+  return true;
+}
+
+void Simulator::run_until(util::TimePoint t) {
+  while (!queue_.empty() && queue_.next_time() <= t) step();
+  if (now_ < t) now_ = t;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace svcdisc::sim

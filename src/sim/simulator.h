@@ -1,0 +1,41 @@
+// The discrete-event simulator driving a measurement campaign.
+//
+// Components schedule callbacks at absolute or relative simulated times;
+// run_until() advances the clock deterministically. There is no wall-clock
+// anywhere: a campaign is a pure function of (scenario config, seed).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/event_queue.h"
+#include "util/sim_time.h"
+
+namespace svcdisc::sim {
+
+class Simulator {
+ public:
+  /// Current simulated time.
+  util::TimePoint now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `t` (clamped to now if in the past).
+  void at(util::TimePoint t, EventQueue::Callback fn);
+  /// Schedule `fn` `d` after now.
+  void after(util::Duration d, EventQueue::Callback fn);
+
+  /// Runs events with time <= t, then advances the clock to exactly t.
+  void run_until(util::TimePoint t);
+  /// Runs until the queue drains.
+  void run();
+  /// Runs a single event if one exists; returns false when empty.
+  bool step();
+
+  std::size_t pending() const { return queue_.size(); }
+  std::uint64_t events_processed() const { return processed_; }
+
+ private:
+  EventQueue queue_;
+  util::TimePoint now_{};
+  std::uint64_t processed_{0};
+};
+
+}  // namespace svcdisc::sim

@@ -1,0 +1,65 @@
+#include "util/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace svcdisc::util {
+
+Zipf::Zipf(std::size_t n, double s) {
+  if (n == 0) throw std::invalid_argument("Zipf: n must be positive");
+  cdf_.resize(n);
+  double total = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+std::size_t Zipf::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double Zipf::pmf(std::size_t k) const {
+  if (k >= cdf_.size()) return 0.0;
+  return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+}
+
+double Exponential::sample(Rng& rng) const {
+  if (rate_ <= 0) return 1e18;
+  // -log(1-u)/rate; 1-u avoids log(0).
+  return -std::log(1.0 - rng.uniform()) / rate_;
+}
+
+double Pareto::sample(Rng& rng) const {
+  const double u = 1.0 - rng.uniform();  // in (0,1]
+  return x_min_ / std::pow(u, 1.0 / alpha_);
+}
+
+Discrete::Discrete(const std::vector<double>& weights) {
+  if (weights.empty())
+    throw std::invalid_argument("Discrete: weights must be non-empty");
+  cdf_.resize(weights.size());
+  double total = 0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] < 0)
+      throw std::invalid_argument("Discrete: negative weight");
+    total += weights[i];
+    cdf_[i] = total;
+  }
+  if (total <= 0) throw std::invalid_argument("Discrete: all weights zero");
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;
+}
+
+std::size_t Discrete::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+}  // namespace svcdisc::util

@@ -1,0 +1,76 @@
+// Random distributions used by the workload models.
+//
+// The paper's traffic has two load-bearing statistical properties that
+// these distributions provide:
+//   * heavy-tailed service popularity ("server request rates are heavy
+//     tailed, and so there is a number of very rarely accessed servers
+//     that require a very long time to discover", §4.2.1) — Zipf/Pareto;
+//   * memoryless flow interarrivals within a rate regime — Exponential.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace svcdisc::util {
+
+/// Samples from a Zipf distribution over ranks {0, ..., n-1} with exponent
+/// `s` (probability of rank k proportional to 1/(k+1)^s). Uses an inverse-
+/// CDF table; construction is O(n), sampling O(log n).
+class Zipf {
+ public:
+  Zipf(std::size_t n, double s);
+
+  /// Number of ranks.
+  std::size_t size() const { return cdf_.size(); }
+  /// Sample a rank in [0, size()).
+  std::size_t sample(Rng& rng) const;
+  /// Probability mass of rank k.
+  double pmf(std::size_t k) const;
+
+ private:
+  std::vector<double> cdf_;  // cumulative, cdf_.back() == 1.0
+};
+
+/// Exponential interarrival sampler: sample() returns a waiting time (in
+/// seconds) for a Poisson process of the given rate (events/second).
+class Exponential {
+ public:
+  explicit Exponential(double rate_per_sec) : rate_(rate_per_sec) {}
+
+  double rate() const { return rate_; }
+  /// Waiting time in seconds; returns +inf-ish large value for rate 0.
+  double sample(Rng& rng) const;
+
+ private:
+  double rate_;
+};
+
+/// Pareto (type I) sampler with scale x_m and shape alpha. Heavy-tailed
+/// for alpha <= 2; we use it for per-server client-population sizes.
+class Pareto {
+ public:
+  Pareto(double x_min, double alpha) : x_min_(x_min), alpha_(alpha) {}
+
+  double sample(Rng& rng) const;
+
+ private:
+  double x_min_;
+  double alpha_;
+};
+
+/// Weighted discrete choice over arbitrary non-negative weights.
+/// Construction O(n), sampling O(log n).
+class Discrete {
+ public:
+  explicit Discrete(const std::vector<double>& weights);
+
+  std::size_t size() const { return cdf_.size(); }
+  std::size_t sample(Rng& rng) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace svcdisc::util

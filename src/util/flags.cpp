@@ -1,0 +1,134 @@
+#include "util/flags.h"
+
+#include <charconv>
+#include <cstdio>
+
+namespace svcdisc::util {
+namespace {
+
+std::string bool_text(bool v) { return v ? "true" : "false"; }
+
+}  // namespace
+
+Flags::Flags(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void Flags::add_string(std::string name, std::string help, std::string* out) {
+  flags_.push_back({std::move(name), std::move(help), Kind::kString, out,
+                    *out});
+}
+
+void Flags::add_int64(std::string name, std::string help, std::int64_t* out) {
+  flags_.push_back({std::move(name), std::move(help), Kind::kInt64, out,
+                    std::to_string(*out)});
+}
+
+void Flags::add_double(std::string name, std::string help, double* out) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", *out);
+  flags_.push_back({std::move(name), std::move(help), Kind::kDouble, out,
+                    buf});
+}
+
+void Flags::add_bool(std::string name, std::string help, bool* out) {
+  flags_.push_back({std::move(name), std::move(help), Kind::kBool, out,
+                    bool_text(*out)});
+}
+
+Flags::Flag* Flags::find(std::string_view name) {
+  for (Flag& flag : flags_) {
+    if (flag.name == name) return &flag;
+  }
+  return nullptr;
+}
+
+bool Flags::assign(Flag& flag, std::string_view value) {
+  switch (flag.kind) {
+    case Kind::kString:
+      *static_cast<std::string*>(flag.out) = std::string(value);
+      return true;
+    case Kind::kInt64: {
+      auto* out = static_cast<std::int64_t*>(flag.out);
+      const auto [ptr, ec] =
+          std::from_chars(value.data(), value.data() + value.size(), *out);
+      if (ec != std::errc{} || ptr != value.data() + value.size()) {
+        error_ = "invalid integer for --" + flag.name + ": " +
+                 std::string(value);
+        return false;
+      }
+      return true;
+    }
+    case Kind::kDouble: {
+      // std::from_chars for double is available in libstdc++ 11+.
+      auto* out = static_cast<double*>(flag.out);
+      const auto [ptr, ec] =
+          std::from_chars(value.data(), value.data() + value.size(), *out);
+      if (ec != std::errc{} || ptr != value.data() + value.size()) {
+        error_ = "invalid number for --" + flag.name + ": " +
+                 std::string(value);
+        return false;
+      }
+      return true;
+    }
+    case Kind::kBool: {
+      auto* out = static_cast<bool*>(flag.out);
+      if (value == "true" || value == "1" || value == "yes") {
+        *out = true;
+      } else if (value == "false" || value == "0" || value == "no") {
+        *out = false;
+      } else {
+        error_ = "invalid boolean for --" + flag.name + ": " +
+                 std::string(value);
+        return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Flags::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      return false;
+    }
+    if (!arg.starts_with("--")) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    const auto eq = arg.find('=');
+    std::string_view name = arg.substr(0, eq);
+    Flag* flag = find(name);
+    if (!flag) {
+      error_ = "unknown flag --" + std::string(name);
+      return false;
+    }
+    if (eq != std::string_view::npos) {
+      if (!assign(*flag, arg.substr(eq + 1))) return false;
+    } else if (flag->kind == Kind::kBool) {
+      *static_cast<bool*>(flag->out) = true;
+    } else if (i + 1 < argc) {
+      if (!assign(*flag, argv[++i])) return false;
+    } else {
+      error_ = "missing value for --" + std::string(name);
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Flags::usage() const {
+  std::string out = program_ + " — " + description_ + "\n\nflags:\n";
+  for (const Flag& flag : flags_) {
+    out += "  --" + flag.name;
+    out.append(flag.name.size() < 18 ? 18 - flag.name.size() : 1, ' ');
+    out += flag.help + " (default: " + flag.default_text + ")\n";
+  }
+  out += "  --help              show this message\n";
+  return out;
+}
+
+}  // namespace svcdisc::util

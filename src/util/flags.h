@@ -1,0 +1,60 @@
+// Minimal command-line flag parsing for the tools/ binaries.
+//
+// Supports --name=value and --name value forms, boolean flags
+// (--verbose, --verbose=false), typed defaults, generated usage text,
+// and positional arguments. No global state: each parser instance owns
+// its registrations.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace svcdisc::util {
+
+class Flags {
+ public:
+  Flags(std::string program, std::string description);
+
+  /// Registers a typed flag bound to `*out` (which also provides the
+  /// default shown in usage). Names are given without the leading "--".
+  void add_string(std::string name, std::string help, std::string* out);
+  void add_int64(std::string name, std::string help, std::int64_t* out);
+  void add_double(std::string name, std::string help, double* out);
+  void add_bool(std::string name, std::string help, bool* out);
+
+  /// Parses argv. Returns false on malformed input (see error()) or when
+  /// --help was requested (help_requested() distinguishes the two).
+  bool parse(int argc, const char* const* argv);
+
+  const std::string& error() const { return error_; }
+  bool help_requested() const { return help_requested_; }
+  /// Non-flag arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+  /// Generated usage text listing every flag with its default.
+  std::string usage() const;
+
+ private:
+  enum class Kind { kString, kInt64, kDouble, kBool };
+  struct Flag {
+    std::string name;
+    std::string help;
+    Kind kind;
+    void* out;
+    std::string default_text;
+  };
+
+  Flag* find(std::string_view name);
+  bool assign(Flag& flag, std::string_view value);
+
+  std::string program_;
+  std::string description_;
+  std::vector<Flag> flags_;
+  std::vector<std::string> positional_;
+  std::string error_;
+  bool help_requested_{false};
+};
+
+}  // namespace svcdisc::util

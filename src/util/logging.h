@@ -1,0 +1,47 @@
+// Minimal leveled logging. The simulator is hot-path sensitive, so log
+// calls below the active level cost one branch. Output goes to stderr to
+// keep stdout clean for table/series output from benches.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace svcdisc::util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global log threshold; messages below it are discarded.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Emit a single log line (used by the LOG macro; callable directly).
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { log_line(level_, stream_.str()); }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace svcdisc::util
+
+/// Usage: SVCDISC_LOG(kInfo) << "scan finished, " << n << " services";
+#define SVCDISC_LOG(severity)                                         \
+  if (::svcdisc::util::LogLevel::severity < ::svcdisc::util::log_level()) \
+    ;                                                                 \
+  else                                                                \
+    ::svcdisc::util::detail::LogMessage(::svcdisc::util::LogLevel::severity)

@@ -1,0 +1,6 @@
+#include "util/rng.h"
+
+// Header-only implementation; this translation unit exists so the library
+// has a concrete object for the target and to hold future non-inline
+// additions.
+namespace svcdisc::util {}

@@ -1,0 +1,97 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// Every stochastic component takes an explicit Rng (or a seed used to
+// derive one), so identical seeds reproduce identical campaigns bit-for-
+// bit. The generator is xoshiro256** seeded via splitmix64 — fast, high
+// quality, and trivially forkable into independent streams.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace svcdisc::util {
+
+/// splitmix64 step; used for seeding and for cheap stateless hashing.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** deterministic generator. Satisfies the essentials of
+/// UniformRandomBitGenerator so it can drive <random> distributions too.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds all four lanes from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eedULL) {
+    std::uint64_t sm = seed;
+    for (auto& lane : s_) lane = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0,1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t below(std::uint64_t n) {
+    // Lemire's multiply-shift rejection method: unbiased and fast.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = -n % n;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Derive an independent child stream; mixing in `salt` lets callers
+  /// create reproducible per-entity streams (e.g. per host).
+  Rng fork(std::uint64_t salt) {
+    std::uint64_t sm = (*this)() ^ (salt * 0x9E3779B97F4A7C15ULL);
+    return Rng(splitmix64(sm));
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace svcdisc::util

@@ -1,0 +1,91 @@
+#include "util/sim_time.h"
+
+#include <array>
+#include <cstdio>
+
+namespace svcdisc::util {
+namespace {
+
+constexpr std::int64_t kUsecPerDay = 86'400'000'000LL;
+
+constexpr bool is_leap(int y) {
+  return (y % 4 == 0 && y % 100 != 0) || y % 400 == 0;
+}
+
+constexpr std::array<int, 12> kMonthDays{31, 28, 31, 30, 31, 30,
+                                         31, 31, 30, 31, 30, 31};
+
+// Days from 0001-01-01 to the start of `year` (proleptic Gregorian).
+constexpr std::int64_t days_before_year(int year) {
+  const std::int64_t y = year - 1;
+  return y * 365 + y / 4 - y / 100 + y / 400;
+}
+
+constexpr std::int64_t days_before_month(int year, int month) {
+  std::int64_t d = 0;
+  for (int m = 1; m < month; ++m) d += kMonthDays[static_cast<size_t>(m - 1)];
+  if (month > 2 && is_leap(year)) ++d;
+  return d;
+}
+
+struct Ymd {
+  int year, month, day;
+};
+
+// Inverse of the above: calendar date for a day count since 0001-01-01.
+Ymd date_from_days(std::int64_t days) {
+  int year = static_cast<int>(days / 366) + 1;  // lower bound, then walk up
+  while (days_before_year(year + 1) <= days) ++year;
+  std::int64_t rem = days - days_before_year(year);
+  int month = 1;
+  while (true) {
+    int len = kMonthDays[static_cast<size_t>(month - 1)];
+    if (month == 2 && is_leap(year)) ++len;
+    if (rem < len) break;
+    rem -= len;
+    ++month;
+  }
+  return {year, month, static_cast<int>(rem) + 1};
+}
+
+}  // namespace
+
+Calendar::Calendar(int year, int start_month, int start_day, int start_hour)
+    : start_days_(days_before_year(year) + days_before_month(year, start_month) +
+                  (start_day - 1)),
+      start_usec_of_day_(static_cast<std::int64_t>(start_hour) * 3'600'000'000LL) {}
+
+std::string Calendar::month_day(TimePoint t) const {
+  const std::int64_t total = start_usec_of_day_ + t.usec;
+  const auto d = date_from_days(start_days_ + total / kUsecPerDay);
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%02d-%02d", d.month, d.day);
+  return buf;
+}
+
+std::string Calendar::month_day_time(TimePoint t) const {
+  return month_day(t) + " " + time_of_day(t);
+}
+
+std::string Calendar::time_of_day(TimePoint t) const {
+  const std::int64_t total = start_usec_of_day_ + t.usec;
+  const std::int64_t of_day = ((total % kUsecPerDay) + kUsecPerDay) % kUsecPerDay;
+  const int hh = static_cast<int>(of_day / 3'600'000'000LL);
+  const int mm = static_cast<int>((of_day / 60'000'000LL) % 60);
+  char buf[8];
+  std::snprintf(buf, sizeof buf, "%02d:%02d", hh, mm);
+  return buf;
+}
+
+double Calendar::hour_of_day(TimePoint t) const {
+  const std::int64_t total = start_usec_of_day_ + t.usec;
+  const std::int64_t of_day = ((total % kUsecPerDay) + kUsecPerDay) % kUsecPerDay;
+  return static_cast<double>(of_day) / 3.6e9;
+}
+
+bool Calendar::is_daytime(TimePoint t) const {
+  const double h = hour_of_day(t);
+  return h >= 8.0 && h < 20.0;
+}
+
+}  // namespace svcdisc::util

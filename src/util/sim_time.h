@@ -1,0 +1,97 @@
+// Simulated time: a strongly typed microsecond counter since the start of
+// a measurement campaign, plus duration helpers and paper-style formatting
+// ("09-20 11:00" month-day labels as used in the paper's figures).
+//
+// All simulation components use TimePoint/Duration exclusively; wall-clock
+// time never enters the simulator, which keeps every run deterministic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace svcdisc::util {
+
+/// A duration in simulated microseconds. Signed so differences are safe.
+struct Duration {
+  std::int64_t usec{0};
+
+  constexpr bool operator==(const Duration&) const = default;
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  constexpr Duration operator+(Duration o) const { return {usec + o.usec}; }
+  constexpr Duration operator-(Duration o) const { return {usec - o.usec}; }
+  constexpr Duration operator*(std::int64_t k) const { return {usec * k}; }
+  constexpr Duration operator/(std::int64_t k) const { return {usec / k}; }
+
+  /// Total seconds, truncated toward zero.
+  constexpr std::int64_t seconds() const { return usec / 1'000'000; }
+  /// Total duration expressed in fractional hours.
+  constexpr double hours() const { return static_cast<double>(usec) / 3.6e9; }
+  /// Total duration expressed in fractional days.
+  constexpr double days() const { return static_cast<double>(usec) / 86.4e9; }
+};
+
+/// Construct a Duration from common units.
+constexpr Duration usec(std::int64_t n) { return {n}; }
+constexpr Duration msec(std::int64_t n) { return {n * 1'000}; }
+constexpr Duration seconds(std::int64_t n) { return {n * 1'000'000}; }
+constexpr Duration minutes(std::int64_t n) { return seconds(n * 60); }
+constexpr Duration hours(std::int64_t n) { return minutes(n * 60); }
+constexpr Duration days(std::int64_t n) { return hours(n * 24); }
+
+/// Fractional-unit constructors (useful for rate computations).
+constexpr Duration seconds_f(double s) {
+  return {static_cast<std::int64_t>(s * 1e6)};
+}
+
+/// A point in simulated time, measured as an offset from the campaign
+/// start. The campaign start's calendar date is carried separately by
+/// Calendar (below) purely for human-readable output.
+struct TimePoint {
+  std::int64_t usec{0};
+
+  constexpr bool operator==(const TimePoint&) const = default;
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  constexpr TimePoint operator+(Duration d) const { return {usec + d.usec}; }
+  constexpr TimePoint operator-(Duration d) const { return {usec - d.usec}; }
+  constexpr Duration operator-(TimePoint o) const { return {usec - o.usec}; }
+
+  /// Offset from campaign start in fractional hours/days.
+  constexpr double hours() const { return static_cast<double>(usec) / 3.6e9; }
+  constexpr double days() const { return static_cast<double>(usec) / 86.4e9; }
+};
+
+/// The simulation epoch (campaign start).
+inline constexpr TimePoint kEpoch{0};
+
+/// Maps simulated TimePoints onto a calendar for display: the paper labels
+/// its figures with month-day strings ("09-20") and times of day. The
+/// calendar also answers time-of-day questions for diurnal modulation.
+class Calendar {
+ public:
+  /// Campaign starts at `start_hour` o'clock on day `start_day` of
+  /// `start_month` (1-based), in year `year`. Default matches DTCP1-18d:
+  /// 19 Sept 2006, 10:00.
+  explicit Calendar(int year = 2006, int start_month = 9, int start_day = 19,
+                    int start_hour = 10);
+
+  /// "MM-DD" label for the simulated day containing `t`.
+  std::string month_day(TimePoint t) const;
+  /// "MM-DD hh:mm" label.
+  std::string month_day_time(TimePoint t) const;
+  /// "hh:mm" label.
+  std::string time_of_day(TimePoint t) const;
+  /// Hour of day in [0,24) as a double (for diurnal curves).
+  double hour_of_day(TimePoint t) const;
+  /// True when `t` falls between 08:00 and 20:00 local.
+  bool is_daytime(TimePoint t) const;
+
+ private:
+  // Days since a fixed reference (0001-01-01, proleptic Gregorian) for the
+  // campaign start, plus the intra-day offset.
+  std::int64_t start_days_;
+  std::int64_t start_usec_of_day_;
+};
+
+}  // namespace svcdisc::util

@@ -1,0 +1,36 @@
+// Small statistics helpers shared by the analysis layer and tests.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace svcdisc::util {
+
+/// Streaming mean/min/max/variance accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_{0};
+  double mean_{0}, m2_{0}, min_{0}, max_{0}, sum_{0};
+};
+
+/// Percentile of a sample set (linear interpolation between order
+/// statistics). `p` in [0,100]. Sorts a copy; O(n log n).
+double percentile(std::vector<double> values, double p);
+
+/// Ratio as a percentage, safe against zero denominators.
+double pct(std::uint64_t numer, std::uint64_t denom);
+
+}  // namespace svcdisc::util

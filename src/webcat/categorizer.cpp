@@ -1,0 +1,38 @@
+#include "webcat/categorizer.h"
+
+namespace svcdisc::webcat {
+
+Categorizer::Categorizer() : signatures_(default_signatures()) {}
+
+Categorizer::Categorizer(std::vector<Signature> signatures)
+    : signatures_(std::move(signatures)) {}
+
+const Signature* Categorizer::matching_signature(std::string_view page) const {
+  for (const Signature& sig : signatures_) {
+    if (signature_matches(sig, page)) return &sig;
+  }
+  return nullptr;
+}
+
+host::WebContent Categorizer::categorize(std::string_view page) const {
+  if (page.empty()) return host::WebContent::kNoResponse;
+  if (const Signature* sig = matching_signature(page)) return sig->category;
+  if (page.size() < 100) return host::WebContent::kMinimal;
+  return host::WebContent::kCustom;
+}
+
+std::string_view web_content_name(host::WebContent content) {
+  switch (content) {
+    case host::WebContent::kCustom: return "Custom content";
+    case host::WebContent::kDefault: return "Default content";
+    case host::WebContent::kMinimal: return "Minimal content";
+    case host::WebContent::kConfigStatus: return "Config/status pages";
+    case host::WebContent::kDatabase: return "Database interface";
+    case host::WebContent::kRestricted: return "Restricted content";
+    case host::WebContent::kNoResponse: return "No response";
+    case host::WebContent::kUnspecified: return "Unspecified";
+  }
+  return "?";
+}
+
+}  // namespace svcdisc::webcat

@@ -1,0 +1,41 @@
+// Root-page categorization (paper §4.4.1, Table 5).
+//
+// Categories, applied in order:
+//   1. empty page / fetch failure        -> no response
+//   2. signature hit (config/db/login/default archetypes)
+//   3. shorter than 100 bytes            -> minimal content
+//   4. anything else                     -> custom content
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "host/service.h"
+#include "webcat/signatures.h"
+
+namespace svcdisc::webcat {
+
+class Categorizer {
+ public:
+  /// Uses the built-in signature library.
+  Categorizer();
+  /// Uses a custom signature set (tests, extensions).
+  explicit Categorizer(std::vector<Signature> signatures);
+
+  /// Categorizes one page body (empty = no response).
+  host::WebContent categorize(std::string_view page) const;
+
+  /// The signature that fired for `page`, or nullptr.
+  const Signature* matching_signature(std::string_view page) const;
+
+  std::size_t signature_count() const { return signatures_.size(); }
+
+ private:
+  std::vector<Signature> signatures_;
+};
+
+/// Human-readable category name matching the paper's Table 5 rows.
+std::string_view web_content_name(host::WebContent content);
+
+}  // namespace svcdisc::webcat

@@ -1,0 +1,16 @@
+#include "webcat/fetcher.h"
+
+#include "net/ports.h"
+#include "webcat/page_generator.h"
+
+namespace svcdisc::webcat {
+
+std::string fetch_root_page(const host::Host* host, util::TimePoint now) {
+  if (host == nullptr || !host->online()) return {};
+  const host::Service* web =
+      host->find_service(net::Proto::kTcp, net::kPortHttp, now);
+  if (web == nullptr) return {};
+  return generate_root_page(web->web, host->id());
+}
+
+}  // namespace svcdisc::webcat

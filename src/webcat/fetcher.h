@@ -1,0 +1,23 @@
+// Root-page fetching against the simulated host population.
+//
+// The paper contacts every discovered web server "within a day of
+// discovery" (§4.4.1). At fetch time the address may be dead or
+// reassigned — a transient host's lease expired — which is exactly how
+// Table 5's large "no response" class arises. The fetcher encapsulates
+// that logic: resolve whoever holds the address *now*, check the web
+// service is alive, and synthesize its page.
+#pragma once
+
+#include <string>
+
+#include "host/host.h"
+#include "util/sim_time.h"
+
+namespace svcdisc::webcat {
+
+/// Returns the root page served by `host` at time `now`, or an empty
+/// string when the fetch fails (host null/offline, or no live web
+/// service on port 80).
+std::string fetch_root_page(const host::Host* host, util::TimePoint now);
+
+}  // namespace svcdisc::webcat

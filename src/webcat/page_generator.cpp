@@ -1,0 +1,137 @@
+#include "webcat/page_generator.h"
+
+#include <array>
+
+namespace svcdisc::webcat {
+namespace {
+
+using host::WebContent;
+
+std::string pick(util::Rng& rng, std::initializer_list<std::string_view> opts) {
+  const auto idx = rng.below(opts.size());
+  return std::string(*(opts.begin() + static_cast<std::ptrdiff_t>(idx)));
+}
+
+std::string custom_page(util::Rng& rng) {
+  const std::string topic = pick(
+      rng, {"Computational Biology Group", "Photonics Research Laboratory",
+            "Introduction to Operating Systems", "Graduate Student Council",
+            "Robotics Club Projects", "Conference on Network Measurement",
+            "Department Seminar Series", "Open Courseware Archive"});
+  std::string page = "<html><head><title>" + topic + "</title></head><body>";
+  page += "<h1>" + topic + "</h1>";
+  page += "<p>Welcome to our site. We publish datasets, publications and ";
+  page += "software developed by our members. Last updated " +
+          std::to_string(2000 + rng.below(7)) + ".</p>";
+  page += "<ul><li><a href=\"pubs.html\">Publications</a></li>";
+  page += "<li><a href=\"people.html\">People</a></li>";
+  page += "<li><a href=\"software.html\">Software</a></li></ul>";
+  page += "</body></html>";
+  return page;
+}
+
+std::string default_page(util::Rng& rng) {
+  switch (rng.below(4)) {
+    case 0:
+      return "<html><head><title>Test Page for Apache Installation</title>"
+             "</head><body><h1>It worked!</h1><p>Seeing this instead of the "
+             "website you expected? This page is here because the site "
+             "administrator has not yet uploaded content. Check "
+             "httpd.conf and the DocumentRoot setting.</p>"
+             "<img src=\"apache_pb.gif\" alt=\"powered by Apache\"/></body>"
+             "</html>";
+    case 1:
+      return "<html><head><title>Under Construction</title></head><body>"
+             "<h1>Under Construction</h1><p>The site you are trying to view "
+             "does not currently have a default page. It may be in the "
+             "process of being upgraded.</p><p>Microsoft Internet "
+             "Information Services (IIS)</p></body></html>";
+    case 2:
+      return "<html><head><title>Welcome to nginx!</title></head><body>"
+             "<h1>Welcome to nginx!</h1><p>If you see this page, the nginx "
+             "web server is successfully installed and working.</p></body>"
+             "</html>";
+    default:
+      return "<html><head><title>Apache Tomcat</title></head><body>"
+             "<h1>Apache Tomcat</h1><p>If you're seeing this page via a web "
+             "browser, it means you've setup Tomcat successfully. "
+             "Congratulations! You've successfully installed Tomcat.</p>"
+             "</body></html>";
+  }
+}
+
+std::string minimal_page(util::Rng& rng) {
+  // Fewer than 100 bytes by the paper's definition.
+  return pick(rng, {"<html><body>ok</body></html>", "hello",
+                    "<html></html>", "test", "<h1>up</h1>"});
+}
+
+std::string config_page(util::Rng& rng) {
+  switch (rng.below(3)) {
+    case 0:
+      return "<html><head><title>HP JetDirect</title></head><body>"
+             "<h1>hp LaserJet 4200</h1><table><tr><td>Printer Status</td>"
+             "<td>Ready</td></tr><tr><td>Toner Level</td><td>62%</td></tr>"
+             "<tr><td>Supplies Status</td><td>OK</td></tr></table>"
+             "<p>Device Status: online</p></body></html>";
+    case 1:
+      return "<html><head><title>AXIS 210 Network Camera</title></head>"
+             "<body><h1>AXIS Live View</h1><p>Camera Settings | "
+             "Video Stream | Event Configuration</p></body></html>";
+    default:
+      return "<html><head><title>APC Network Management</title></head>"
+             "<body><h1>UPS Status</h1><p>Battery Capacity: 100%</p>"
+             "<p>Runtime Remaining: 34 min</p></body></html>";
+  }
+}
+
+std::string database_page(util::Rng& rng) {
+  switch (rng.below(3)) {
+    case 0:
+      return "<html><head><title>phpMyAdmin 2.6.4</title></head><body>"
+             "<h1>Welcome to phpMyAdmin</h1><p>MySQL server version "
+             "4.1.22</p><form><input type=\"text\" name=\"user\"/></form>"
+             "</body></html>";
+    case 1:
+      return "<html><head><title>Oracle Application Server</title></head>"
+             "<body><h1>Oracle HTTP Server</h1><p>iSQL*Plus entry point</p>"
+             "</body></html>";
+    default:
+      return "<html><head><title>pgAdmin web</title></head><body>"
+             "<h1>PostgreSQL administration</h1></body></html>";
+  }
+}
+
+std::string restricted_page(util::Rng& rng) {
+  if (rng.below(2) == 0) {
+    return "<html><head><title>Members Area</title></head><body>"
+           "<h1>Log In</h1><form method=\"post\">Username: "
+           "<input type=\"text\" name=\"u\"/><br/>Password: "
+           "<input type=\"password\" name=\"p\"/><br/>"
+           "<input type=\"submit\" value=\"Sign in to continue\"/></form>"
+           "<a href=\"reset\">Forgot your password?</a></body></html>";
+  }
+  return "<html><head><title>401 Authorization Required</title></head>"
+         "<body><h1>401 Authorization Required</h1><p>This server could "
+         "not verify that you are authorized to access the document "
+         "requested.</p></body></html>";
+}
+
+}  // namespace
+
+std::string generate_root_page(WebContent content, std::uint64_t host_seed) {
+  util::Rng rng(host_seed ^ 0xC0FFEEULL);
+  switch (content) {
+    case WebContent::kCustom: return custom_page(rng);
+    case WebContent::kDefault: return default_page(rng);
+    case WebContent::kMinimal: return minimal_page(rng);
+    case WebContent::kConfigStatus: return config_page(rng);
+    case WebContent::kDatabase: return database_page(rng);
+    case WebContent::kRestricted: return restricted_page(rng);
+    case WebContent::kNoResponse: return {};
+    case WebContent::kUnspecified: return {};
+  }
+  return {};
+}
+
+}  // namespace svcdisc::webcat

@@ -1,0 +1,23 @@
+// Synthetic root-page generation.
+//
+// The paper downloads each discovered web server's root page within a day
+// of discovery and categorizes it. We have no real servers, so the page a
+// host "serves" is synthesized from its service's WebContent class, with
+// per-host variation so the categorizer sees realistic diversity instead
+// of identical strings.
+#pragma once
+
+#include <string>
+
+#include "host/service.h"
+#include "util/rng.h"
+
+namespace svcdisc::webcat {
+
+/// Generates the root page a server of class `content` would return.
+/// `host_seed` varies titles/banners between hosts deterministically.
+/// kNoResponse yields an empty string (connection failed).
+std::string generate_root_page(host::WebContent content,
+                               std::uint64_t host_seed);
+
+}  // namespace svcdisc::webcat

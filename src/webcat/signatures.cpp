@@ -1,0 +1,130 @@
+#include "webcat/signatures.h"
+
+#include <string_view>
+
+namespace svcdisc::webcat {
+namespace {
+
+using host::WebContent;
+
+void add(std::vector<Signature>& sigs, std::string name, WebContent category,
+         std::vector<std::string> needles, std::size_t min_matches = 1) {
+  sigs.push_back({std::move(name), category, std::move(needles), min_matches});
+}
+
+std::vector<Signature> build_signatures() {
+  std::vector<Signature> sigs;
+
+  // --- Default/stock install pages -------------------------------------
+  add(sigs, "apache-default", WebContent::kDefault,
+      {"Test Page for Apache", "It worked!", "this page is here because the",
+       "Apache HTTP Server", "httpd.conf", "apache_pb.gif",
+       "Seeing this instead", "DocumentRoot", "powered by Apache",
+       "website you just visited is either experiencing problems",
+       "Fedora Core Test Page", "Red Hat Enterprise Linux Test Page",
+       "placeholder page", "default web page"},
+      1);
+  add(sigs, "iis-default", WebContent::kDefault,
+      {"Under Construction", "Microsoft Internet Information Services",
+       "iisstart", "Welcome to IIS", "comingsoon.png", "localstart.asp"},
+      1);
+  add(sigs, "nginx-default", WebContent::kDefault,
+      {"Welcome to nginx", "If you see this page, the nginx web server"},
+      1);
+  add(sigs, "tomcat-default", WebContent::kDefault,
+      {"Apache Tomcat", "If you're seeing this page via a web browser",
+       "Congratulations! You've successfully installed Tomcat"},
+      1);
+  add(sigs, "debian-default", WebContent::kDefault,
+      {"Debian GNU/Linux, Apache", "replace this file",
+       "/var/www/index.html"},
+      1);
+  add(sigs, "directory-listing", WebContent::kDefault,
+      {"Index of /", "Parent Directory", "Last modified"}, 2);
+
+  // --- Device configuration / status pages ------------------------------
+  add(sigs, "hp-jetdirect", WebContent::kConfigStatus,
+      {"HP JetDirect", "Printer Status", "Toner Level", "hp LaserJet"},
+      1);
+  add(sigs, "xerox-printer", WebContent::kConfigStatus,
+      {"Xerox", "CentreWare", "Internet Services", "Tray Status"}, 2);
+  add(sigs, "cisco-device", WebContent::kConfigStatus,
+      {"Cisco Systems", "Level 15 access", "Interface Status",
+       "show running-config"},
+      1);
+  add(sigs, "ups-status", WebContent::kConfigStatus,
+      {"APC", "UPS Status", "Battery Capacity", "Runtime Remaining"}, 2);
+  add(sigs, "webcam-config", WebContent::kConfigStatus,
+      {"AXIS", "Live View", "Camera Settings", "Video Stream"}, 2);
+  add(sigs, "switch-admin", WebContent::kConfigStatus,
+      {"Switch Administration", "Port Configuration", "VLAN Setup",
+       "Spanning Tree"},
+      2);
+  add(sigs, "ilo-bmc", WebContent::kConfigStatus,
+      {"Integrated Lights-Out", "Remote Console", "Server Health"}, 1);
+
+  // --- Database front-ends ----------------------------------------------
+  add(sigs, "oracle-ias", WebContent::kDatabase,
+      {"Oracle Application Server", "Oracle HTTP Server", "iSQL*Plus"}, 1);
+  add(sigs, "phpmyadmin", WebContent::kDatabase,
+      {"phpMyAdmin", "Welcome to phpMyAdmin", "MySQL server"}, 1);
+  add(sigs, "postgres-admin", WebContent::kDatabase,
+      {"pgAdmin", "PostgreSQL administration"}, 1);
+  add(sigs, "mysql-web", WebContent::kDatabase,
+      {"MySQL Administrator", "Database Management", "Query Browser"}, 2);
+
+  // --- Restricted / login pages ------------------------------------------
+  add(sigs, "generic-login", WebContent::kRestricted,
+      {"type=\"password\"", "Log In", "Username:", "Password:",
+       "Sign in to continue", "Forgot your password"},
+      2);
+  add(sigs, "htaccess-401", WebContent::kRestricted,
+      {"401 Authorization Required", "This server could not verify that you"},
+      1);
+  add(sigs, "vpn-portal", WebContent::kRestricted,
+      {"SSL VPN Service", "Secure Access", "two-factor"}, 2);
+
+  // Per-product default-page variants. The paper's library contains 185
+  // signatures, most of which are vendor/version variations of the above
+  // archetypes; we synthesize the same breadth so categorizer behaviour
+  // (multiple overlapping candidate signatures per page) is realistic.
+  const std::string_view products[] = {
+      "Apache/1.3.33", "Apache/2.0.52", "Apache/2.2.3",  "IIS/5.0",
+      "IIS/6.0",       "nginx/0.3.19",  "Tomcat/5.5",    "Zope/2.8",
+      "lighttpd/1.4",  "Roxen/4.0",     "thttpd/2.25b",  "Boa/0.94",
+      "WebSTAR/5.3",   "Stronghold/4",  "Sambar/6.2",    "Jetty/5.1"};
+  for (const auto product : products) {
+    add(sigs, "server-banner-" + std::string(product), WebContent::kDefault,
+        {"Server at ", std::string(product) + " Server at",
+         "default page for " + std::string(product)},
+        1);
+  }
+  const std::string_view printers[] = {
+      "LaserJet 4200", "LaserJet 9050", "Phaser 8560", "OptraImage",
+      "imageRUNNER",   "DocuPrint",     "DeskJet",     "OfficeJet"};
+  for (const auto printer : printers) {
+    add(sigs, "printer-" + std::string(printer), WebContent::kConfigStatus,
+        {std::string(printer), "Device Status", "Supplies Status"}, 2);
+  }
+
+  return sigs;
+}
+
+}  // namespace
+
+const std::vector<Signature>& default_signatures() {
+  static const std::vector<Signature> kSignatures = build_signatures();
+  return kSignatures;
+}
+
+bool signature_matches(const Signature& sig, std::string_view page) {
+  std::size_t matches = 0;
+  for (const std::string& needle : sig.needles) {
+    if (page.find(needle) != std::string_view::npos) {
+      if (++matches >= sig.min_matches) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace svcdisc::webcat

@@ -1,0 +1,33 @@
+// Web page signatures (paper §4.4.1).
+//
+// "To categorize web pages we developed a set of 185 web page signatures,
+// which contain sets of strings commonly found in specific types of web
+// pages." A signature names a category and a set of needle strings; it
+// fires when at least `min_matches` needles occur in the page.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "host/service.h"
+
+namespace svcdisc::webcat {
+
+struct Signature {
+  std::string name;
+  host::WebContent category{host::WebContent::kUnspecified};
+  std::vector<std::string> needles;
+  /// Minimum number of distinct needles that must appear.
+  std::size_t min_matches{1};
+};
+
+/// The built-in signature library: stock server test pages (Apache, IIS,
+/// nginx, Tomcat, ...), printer/device configuration pages, database
+/// front-ends, and login/restricted pages, including generated
+/// per-product variants to mirror the paper's 185-signature breadth.
+const std::vector<Signature>& default_signatures();
+
+/// True when `page` satisfies `sig`.
+bool signature_matches(const Signature& sig, std::string_view page);
+
+}  // namespace svcdisc::webcat

@@ -1,0 +1,23 @@
+#include "workload/diurnal.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace svcdisc::workload {
+
+DiurnalCurve::DiurnalCurve(double amplitude, double peak_hour,
+                           util::Calendar calendar)
+    : amplitude_(amplitude), peak_hour_(peak_hour), calendar_(calendar) {
+  if (amplitude < 0 || amplitude >= 1) {
+    throw std::invalid_argument("DiurnalCurve: amplitude in [0,1)");
+  }
+}
+
+double DiurnalCurve::multiplier(util::TimePoint t) const {
+  const double h = calendar_.hour_of_day(t);
+  return 1.0 + amplitude_ * std::cos((h - peak_hour_) * 2.0 *
+                                     std::numbers::pi / 24.0);
+}
+
+}  // namespace svcdisc::workload

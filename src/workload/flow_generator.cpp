@@ -1,0 +1,70 @@
+#include "workload/flow_generator.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace svcdisc::workload {
+
+FlowGenerator::FlowGenerator(sim::Network& network, DiurnalCurve diurnal,
+                             util::Rng rng)
+    : network_(network), diurnal_(diurnal), rng_(rng) {}
+
+void FlowGenerator::add_target(TrafficTarget target) {
+  if (started_) {
+    throw std::logic_error("FlowGenerator: add_target after start");
+  }
+  targets_.push_back(std::move(target));
+}
+
+void FlowGenerator::start() {
+  started_ = true;
+  for (std::size_t i = 0; i < targets_.size(); ++i) {
+    if (targets_[i].flows_per_hour > 0 && !targets_[i].clients.empty()) {
+      schedule_next(i);
+    }
+  }
+}
+
+void FlowGenerator::schedule_next(std::size_t index) {
+  // Thinned (non-homogeneous) Poisson process: draw at the peak rate,
+  // accept with probability multiplier/max at firing time.
+  const TrafficTarget& t = targets_[index];
+  const double peak_rate_per_sec =
+      t.flows_per_hour * diurnal_.max_multiplier() / 3600.0;
+  const double gap_sec = -std::log(1.0 - rng_.uniform()) / peak_rate_per_sec;
+  network_.simulator().after(util::seconds_f(gap_sec),
+                             [this, index] { fire(index); });
+}
+
+void FlowGenerator::fire(std::size_t index) {
+  const TrafficTarget& t = targets_[index];
+  const util::TimePoint now = network_.simulator().now();
+  const bool accept =
+      rng_.uniform() <
+      diurnal_.multiplier(now) / diurnal_.max_multiplier();
+  if (accept && t.target->online()) {
+    const auto addr = t.target->address();
+    if (addr) {
+      const net::Ipv4 client =
+          t.clients[rng_.below(t.clients.size())];
+      next_client_port_ = next_client_port_ >= 60000
+                              ? net::Port{20000}
+                              : net::Port(next_client_port_ + 1);
+      if (t.proto == net::Proto::kTcp) {
+        net::Packet syn = net::make_tcp(client, next_client_port_, *addr,
+                                        t.port, net::flags_syn());
+        syn.seq = static_cast<std::uint32_t>(rng_());
+        network_.send(syn);
+      } else {
+        // A genuine application datagram (payload > 0 distinguishes it
+        // from a generic probe).
+        network_.send(
+            net::make_udp(client, next_client_port_, *addr, t.port, 128));
+      }
+      ++flows_generated_;
+    }
+  }
+  schedule_next(index);
+}
+
+}  // namespace svcdisc::workload

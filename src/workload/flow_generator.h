@@ -1,0 +1,67 @@
+// Client flow generation.
+//
+// Each target service gets an independent Poisson arrival process whose
+// base rate is the service's popularity, thinned against the diurnal
+// curve. An arrival picks a client from the service's dedicated external
+// client pool and opens a connection (TCP SYN, or a UDP request for UDP
+// services) toward the *current* address of the hosting machine — flows
+// only happen while the host is online, since real clients cannot reach
+// an unplugged laptop either.
+//
+// The resulting border-crossing packets are exactly what passive
+// discovery consumes: the SYN counts as a flow from a unique client, the
+// host's SYN-ACK (or UDP reply) reveals the service.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "host/host.h"
+#include "net/ipv4.h"
+#include "net/ports.h"
+#include "sim/network.h"
+#include "util/rng.h"
+#include "workload/diurnal.h"
+
+namespace svcdisc::workload {
+
+/// One client-driven traffic stream toward one service instance.
+struct TrafficTarget {
+  host::Host* target{nullptr};
+  net::Proto proto{net::Proto::kTcp};
+  net::Port port{net::kPortHttp};
+  /// Mean flows per hour at multiplier 1.
+  double flows_per_hour{0};
+  /// External client addresses that contact this service.
+  std::vector<net::Ipv4> clients;
+};
+
+class FlowGenerator {
+ public:
+  FlowGenerator(sim::Network& network, DiurnalCurve diurnal, util::Rng rng);
+
+  /// Registers a stream. Targets with zero rate or no clients are kept
+  /// (they model idle servers) but generate nothing.
+  void add_target(TrafficTarget target);
+
+  /// Schedules the first arrival of every stream. Call once before run.
+  void start();
+
+  std::uint64_t flows_generated() const { return flows_generated_; }
+  std::size_t target_count() const { return targets_.size(); }
+
+ private:
+  void schedule_next(std::size_t index);
+  void fire(std::size_t index);
+
+  sim::Network& network_;
+  DiurnalCurve diurnal_;
+  util::Rng rng_;
+  std::vector<TrafficTarget> targets_;
+  std::uint64_t flows_generated_{0};
+  net::Port next_client_port_{20000};
+  bool started_{false};
+};
+
+}  // namespace svcdisc::workload

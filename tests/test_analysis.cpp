@@ -1,0 +1,199 @@
+// Unit tests for analysis: step curves, table rendering, TSV export.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "analysis/export.h"
+#include "analysis/table.h"
+#include "analysis/timeseries.h"
+
+namespace svcdisc::analysis {
+namespace {
+
+using util::hours;
+using util::kEpoch;
+using util::minutes;
+
+// ------------------------------------------------------------- StepCurve --
+
+TEST(StepCurve, EmptyCurve) {
+  StepCurve c;
+  EXPECT_DOUBLE_EQ(c.at(kEpoch + hours(5)), 0.0);
+  EXPECT_DOUBLE_EQ(c.total(), 0.0);
+  EXPECT_EQ(c.events(), 0u);
+}
+
+TEST(StepCurve, CumulativeAt) {
+  StepCurve c;
+  c.add(kEpoch + hours(1));
+  c.add(kEpoch + hours(2));
+  c.add(kEpoch + hours(3));
+  EXPECT_DOUBLE_EQ(c.at(kEpoch), 0.0);
+  EXPECT_DOUBLE_EQ(c.at(kEpoch + hours(1)), 1.0);  // inclusive
+  EXPECT_DOUBLE_EQ(c.at(kEpoch + hours(2) + minutes(30)), 2.0);
+  EXPECT_DOUBLE_EQ(c.at(kEpoch + hours(10)), 3.0);
+}
+
+TEST(StepCurve, UnorderedInsertion) {
+  StepCurve c;
+  c.add(kEpoch + hours(3));
+  c.add(kEpoch + hours(1));
+  c.add(kEpoch + hours(2));
+  EXPECT_DOUBLE_EQ(c.at(kEpoch + hours(1)), 1.0);
+  EXPECT_EQ(c.first_time(), kEpoch + hours(1));
+  EXPECT_EQ(c.last_time(), kEpoch + hours(3));
+}
+
+TEST(StepCurve, Weights) {
+  StepCurve c;
+  c.add(kEpoch + hours(1), 9.0);
+  c.add(kEpoch + hours(2), 1.0);
+  EXPECT_DOUBLE_EQ(c.at(kEpoch + hours(1)), 9.0);
+  EXPECT_DOUBLE_EQ(c.total(), 10.0);
+}
+
+TEST(StepCurve, TimeToReach) {
+  StepCurve c;
+  c.add(kEpoch + minutes(5), 90.0);
+  c.add(kEpoch + minutes(14), 9.0);
+  c.add(kEpoch + hours(2), 1.0);
+  EXPECT_EQ(c.time_to_reach(50.0), kEpoch + minutes(5));
+  EXPECT_EQ(c.time_to_reach(99.0), kEpoch + minutes(14));
+  EXPECT_EQ(c.time_to_reach(100.0), kEpoch + hours(2));
+  // Unreachable target: sentinel beyond last event.
+  EXPECT_GT(c.time_to_reach(101.0), kEpoch + hours(2));
+}
+
+TEST(StepCurve, SampledEndpointsIncluded) {
+  StepCurve c;
+  c.add(kEpoch + hours(1));
+  const auto samples = c.sampled(kEpoch, kEpoch + hours(4), 5);
+  ASSERT_EQ(samples.size(), 5u);
+  EXPECT_EQ(samples.front().first, kEpoch);
+  EXPECT_EQ(samples.back().first, kEpoch + hours(4));
+  EXPECT_DOUBLE_EQ(samples.front().second, 0.0);
+  EXPECT_DOUBLE_EQ(samples.back().second, 1.0);
+}
+
+TEST(StepCurve, AddAfterQueryStillCorrect) {
+  StepCurve c;
+  c.add(kEpoch + hours(1));
+  EXPECT_DOUBLE_EQ(c.at(kEpoch + hours(1)), 1.0);
+  c.add(kEpoch + minutes(30));  // earlier event after a query
+  EXPECT_DOUBLE_EQ(c.at(kEpoch + minutes(45)), 1.0);
+  EXPECT_DOUBLE_EQ(c.at(kEpoch + hours(1)), 2.0);
+}
+
+// ------------------------------------------------------------- TextTable --
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"Service", "Total", "Passive"});
+  t.add_row({"Web", "2,120", "1,623"});
+  t.add_row({"FTP", "815", "574"});
+  const std::string out = t.render();
+  std::istringstream stream(out);
+  std::string header, rule, row1, row2;
+  std::getline(stream, header);
+  std::getline(stream, rule);
+  std::getline(stream, row1);
+  std::getline(stream, row2);
+  EXPECT_NE(header.find("Service"), std::string::npos);
+  EXPECT_EQ(rule.find_first_not_of('-'), std::string::npos);
+  EXPECT_NE(row1.find("2,120"), std::string::npos);
+  // Numeric columns right-aligned: "815" ends at same column as "2,120".
+  EXPECT_EQ(row1.find("2,120") + 5, row2.find("815") + 3);
+}
+
+TEST(TextTable, RuleBetweenSections) {
+  TextTable t({"a", "b"});
+  t.add_row({"x", "1"});
+  t.add_rule();
+  t.add_row({"y", "2"});
+  const std::string out = t.render();
+  // Header rule + section rule = at least two dashed lines.
+  int rules = 0;
+  std::istringstream stream(out);
+  std::string line;
+  while (std::getline(stream, line)) {
+    if (!line.empty() && line.find_first_not_of('-') == std::string::npos) {
+      ++rules;
+    }
+  }
+  EXPECT_EQ(rules, 2);
+}
+
+TEST(TextTable, ShortRowsPadded) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"only"});
+  EXPECT_NO_THROW(t.render());
+}
+
+// -------------------------------------------------------------- Formats --
+
+TEST(Formats, FmtCount) {
+  EXPECT_EQ(fmt_count(0), "0");
+  EXPECT_EQ(fmt_count(999), "999");
+  EXPECT_EQ(fmt_count(1000), "1,000");
+  EXPECT_EQ(fmt_count(16130), "16,130");
+  EXPECT_EQ(fmt_count(1234567), "1,234,567");
+}
+
+TEST(Formats, FmtPct) {
+  EXPECT_EQ(fmt_pct(98.4), "98%");
+  EXPECT_EQ(fmt_pct(2.34), "2.3%");
+  EXPECT_EQ(fmt_pct(0.39), "0.39%");
+  EXPECT_EQ(fmt_pct(100.0), "100%");
+}
+
+TEST(Formats, FmtCountPct) {
+  EXPECT_EQ(fmt_count_pct(286, 1748), "286 (16%)");
+  EXPECT_EQ(fmt_count_pct(41, 1748), "41 (2.3%)");
+  EXPECT_EQ(fmt_count_pct(5, 0), "5 (0.00%)");
+}
+
+TEST(Formats, FmtDouble) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(1.0, 0), "1");
+}
+
+// ---------------------------------------------------------------- Export --
+
+TEST(Export, WritesTsvSeries) {
+  StepCurve active, passive;
+  active.add(kEpoch + hours(1), 100);
+  passive.add(kEpoch + hours(2), 50);
+  const std::string path = ::testing::TempDir() + "/svcdisc_fig.tsv";
+  const util::Calendar cal(2006, 9, 19, 10);
+  ASSERT_TRUE(export_tsv(path,
+                         {{"active", &active, 0}, {"passive", &passive, 100}},
+                         kEpoch, kEpoch + hours(4), 5, cal));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "# days\tlabel\tactive\tpassive");
+  int rows = 0;
+  std::string line;
+  std::string last;
+  while (std::getline(in, line)) {
+    ++rows;
+    last = line;
+  }
+  EXPECT_EQ(rows, 5);
+  // Final row: active raw 100, passive as percent of 100 -> 50%.
+  EXPECT_NE(last.find("100.0000"), std::string::npos);
+  EXPECT_NE(last.find("50.0000"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Export, FailsOnBadPath) {
+  StepCurve c;
+  const util::Calendar cal;
+  EXPECT_FALSE(export_tsv("/nonexistent/dir/f.tsv", {{"c", &c, 0}}, kEpoch,
+                          kEpoch + hours(1), 2, cal));
+}
+
+}  // namespace
+}  // namespace svcdisc::analysis

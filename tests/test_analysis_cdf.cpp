@@ -1,0 +1,126 @@
+// Unit tests for analysis::Cdf and Filter::disassemble (small additions
+// grouped in one binary).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "analysis/cdf.h"
+#include "analysis/export.h"
+#include "analysis/timeseries.h"
+#include "capture/filter.h"
+
+namespace svcdisc {
+namespace {
+
+using analysis::Cdf;
+
+TEST(Cdf, Empty) {
+  Cdf cdf;
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 0.0);
+  EXPECT_TRUE(cdf.curve().empty());
+}
+
+TEST(Cdf, AtAndQuantiles) {
+  Cdf cdf({1, 2, 3, 4, 5, 6, 7, 8, 9, 10});
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(5.0), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.at(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.at(100.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.min(), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.max(), 10.0);
+}
+
+TEST(Cdf, UnsortedInsertionHandled) {
+  Cdf cdf;
+  for (const double v : {5.0, 1.0, 3.0, 2.0, 4.0}) cdf.add(v);
+  EXPECT_DOUBLE_EQ(cdf.at(3.0), 0.6);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.2), 1.0);
+}
+
+TEST(Cdf, DuplicateValues) {
+  Cdf cdf({2, 2, 2, 8});
+  EXPECT_DOUBLE_EQ(cdf.at(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.75), 2.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.76), 8.0);
+}
+
+TEST(Cdf, CurveEndsAtOne) {
+  Cdf cdf;
+  for (int i = 0; i < 1000; ++i) cdf.add(i);
+  const auto curve = cdf.curve(50);
+  ASSERT_FALSE(curve.empty());
+  EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+  EXPECT_LE(curve.size(), 52u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i - 1].first, curve[i].first);
+    EXPECT_LE(curve[i - 1].second, curve[i].second);
+  }
+}
+
+TEST(Cdf, SummaryMentionsQuantiles) {
+  Cdf cdf({1, 2, 3});
+  const std::string s = cdf.summary();
+  EXPECT_NE(s.find("n=3"), std::string::npos);
+  EXPECT_NE(s.find("q50=2"), std::string::npos);
+}
+
+// ------------------------------------------------------- export_figure --
+
+TEST(ExportFigure, WritesTsvAndRunnableGnuplotScript) {
+  analysis::StepCurve a, b;
+  a.add(util::kEpoch + util::hours(1), 10);
+  b.add(util::kEpoch + util::hours(2), 20);
+  const std::string base = ::testing::TempDir() + "/svcdisc_figX";
+  const util::Calendar cal;
+  ASSERT_TRUE(analysis::export_figure(base, "Test Figure",
+                                      {{"alpha", &a, 0}, {"beta", &b, 0}},
+                                      util::kEpoch,
+                                      util::kEpoch + util::hours(4), 5, cal));
+  std::ifstream tsv(base + ".tsv");
+  ASSERT_TRUE(tsv.good());
+  std::ifstream gp(base + ".gp");
+  ASSERT_TRUE(gp.good());
+  std::stringstream script;
+  script << gp.rdbuf();
+  const std::string text = script.str();
+  EXPECT_NE(text.find("set title 'Test Figure'"), std::string::npos);
+  EXPECT_NE(text.find("using 1:3"), std::string::npos);  // first series
+  EXPECT_NE(text.find("using 1:4"), std::string::npos);  // second series
+  EXPECT_NE(text.find("title 'alpha'"), std::string::npos);
+  EXPECT_NE(text.find(base + ".png"), std::string::npos);
+  std::remove((base + ".tsv").c_str());
+  std::remove((base + ".gp").c_str());
+}
+
+// ---------------------------------------------------- Filter disassembly
+
+TEST(FilterDisassemble, EmptyIsAll) {
+  EXPECT_EQ(capture::Filter::compile("")->disassemble(), "<all>");
+}
+
+TEST(FilterDisassemble, PostfixOrder) {
+  EXPECT_EQ(capture::Filter::compile("tcp and syn")->disassemble(),
+            "tcp syn and");
+  EXPECT_EQ(capture::Filter::compile("udp or tcp and rst")->disassemble(),
+            "udp tcp rst and or");
+  EXPECT_EQ(capture::Filter::compile("not icmp")->disassemble(), "icmp not");
+}
+
+TEST(FilterDisassemble, OperandsRendered) {
+  EXPECT_EQ(
+      capture::Filter::compile("src host 1.2.3.4")->disassemble(),
+      "src-host 1.2.3.4");
+  EXPECT_EQ(capture::Filter::compile("net 128.125.0.0/16")->disassemble(),
+            "net 128.125.0.0/16");
+  EXPECT_EQ(capture::Filter::compile("dst port 443")->disassemble(),
+            "dst-port 443");
+}
+
+}  // namespace
+}  // namespace svcdisc

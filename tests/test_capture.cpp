@@ -1,0 +1,369 @@
+// Unit tests for capture: filter language, samplers, taps, pcap I/O,
+// stream merging.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "capture/filter.h"
+#include "capture/merger.h"
+#include "capture/pcap_file.h"
+#include "capture/sampler.h"
+#include "capture/tap.h"
+#include "net/packet.h"
+
+namespace svcdisc::capture {
+namespace {
+
+using net::Ipv4;
+using net::Packet;
+using util::kEpoch;
+using util::minutes;
+
+Packet syn() {
+  return net::make_tcp(Ipv4::from_octets(6, 6, 6, 6), 1000,
+                       Ipv4::from_octets(128, 125, 1, 1), 80,
+                       net::flags_syn());
+}
+Packet synack() {
+  return net::make_tcp(Ipv4::from_octets(128, 125, 1, 1), 80,
+                       Ipv4::from_octets(6, 6, 6, 6), 1000,
+                       net::flags_syn_ack());
+}
+Packet plain_ack() {
+  return net::make_tcp(Ipv4::from_octets(6, 6, 6, 6), 1000,
+                       Ipv4::from_octets(128, 125, 1, 1), 80,
+                       net::flags_ack());
+}
+Packet udp_pkt() {
+  return net::make_udp(Ipv4::from_octets(6, 6, 6, 6), 53,
+                       Ipv4::from_octets(128, 125, 1, 1), 2000, 32);
+}
+
+// ---------------------------------------------------------------- Filter --
+
+TEST(Filter, EmptyMatchesAll) {
+  const auto f = Filter::compile("");
+  ASSERT_TRUE(f.has_value());
+  EXPECT_TRUE(f->matches(syn()));
+  EXPECT_TRUE(f->matches(udp_pkt()));
+}
+
+TEST(Filter, ProtoPredicates) {
+  EXPECT_TRUE(Filter::compile("tcp")->matches(syn()));
+  EXPECT_FALSE(Filter::compile("tcp")->matches(udp_pkt()));
+  EXPECT_TRUE(Filter::compile("udp")->matches(udp_pkt()));
+}
+
+TEST(Filter, FlagPredicates) {
+  EXPECT_TRUE(Filter::compile("syn")->matches(syn()));
+  EXPECT_TRUE(Filter::compile("syn")->matches(synack()));  // SYN bit set
+  EXPECT_TRUE(Filter::compile("synack")->matches(synack()));
+  EXPECT_FALSE(Filter::compile("synack")->matches(syn()));
+  EXPECT_FALSE(Filter::compile("rst")->matches(syn()));
+  EXPECT_TRUE(Filter::compile("ack")->matches(plain_ack()));
+}
+
+TEST(Filter, BooleanCombinators) {
+  const auto f = Filter::compile("tcp and (syn or rst)");
+  ASSERT_TRUE(f.has_value());
+  EXPECT_TRUE(f->matches(syn()));
+  EXPECT_FALSE(f->matches(plain_ack()));
+  EXPECT_FALSE(f->matches(udp_pkt()));
+
+  const auto g = Filter::compile("not tcp");
+  EXPECT_FALSE(g->matches(syn()));
+  EXPECT_TRUE(g->matches(udp_pkt()));
+}
+
+TEST(Filter, PrecedenceAndBeforeOr) {
+  // "udp or tcp and rst" must parse as "udp or (tcp and rst)".
+  const auto f = Filter::compile("udp or tcp and rst");
+  ASSERT_TRUE(f.has_value());
+  EXPECT_TRUE(f->matches(udp_pkt()));
+  EXPECT_FALSE(f->matches(syn()));
+}
+
+TEST(Filter, HostPredicates) {
+  EXPECT_TRUE(Filter::compile("src host 6.6.6.6")->matches(syn()));
+  EXPECT_FALSE(Filter::compile("dst host 6.6.6.6")->matches(syn()));
+  EXPECT_TRUE(Filter::compile("host 6.6.6.6")->matches(syn()));
+  EXPECT_TRUE(Filter::compile("host 6.6.6.6")->matches(synack()));
+}
+
+TEST(Filter, NetPredicates) {
+  EXPECT_TRUE(Filter::compile("dst net 128.125.0.0/16")->matches(syn()));
+  EXPECT_FALSE(Filter::compile("src net 128.125.0.0/16")->matches(syn()));
+  EXPECT_TRUE(Filter::compile("net 128.125.0.0/16")->matches(synack()));
+  EXPECT_FALSE(Filter::compile("net 10.0.0.0/8")->matches(syn()));
+}
+
+TEST(Filter, PortPredicates) {
+  EXPECT_TRUE(Filter::compile("dst port 80")->matches(syn()));
+  EXPECT_TRUE(Filter::compile("src port 80")->matches(synack()));
+  EXPECT_TRUE(Filter::compile("port 80")->matches(syn()));
+  EXPECT_FALSE(Filter::compile("port 443")->matches(syn()));
+}
+
+TEST(Filter, DeeplyNested) {
+  const auto f = Filter::compile(
+      "(tcp and (syn or (rst and not ack))) or (udp and port 53)");
+  ASSERT_TRUE(f.has_value());
+  EXPECT_TRUE(f->matches(syn()));
+  EXPECT_TRUE(f->matches(udp_pkt()));
+  EXPECT_FALSE(f->matches(plain_ack()));
+}
+
+TEST(Filter, SyntaxErrorsReported) {
+  std::string error;
+  EXPECT_FALSE(Filter::compile("tcp and", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(Filter::compile("(tcp", &error).has_value());
+  EXPECT_FALSE(Filter::compile("bogus", &error).has_value());
+  EXPECT_FALSE(Filter::compile("port notanumber", &error).has_value());
+  EXPECT_FALSE(Filter::compile("host 1.2.3", &error).has_value());
+  EXPECT_FALSE(Filter::compile("net 1.2.3.4", &error).has_value());
+  EXPECT_FALSE(Filter::compile("src", &error).has_value());
+  EXPECT_FALSE(Filter::compile("tcp tcp", &error).has_value());
+}
+
+TEST(Filter, PaperDefaultFilter) {
+  const Filter f = Tap::paper_default_filter();
+  EXPECT_TRUE(f.matches(syn()));
+  EXPECT_TRUE(f.matches(synack()));
+  EXPECT_TRUE(f.matches(udp_pkt()));
+  EXPECT_FALSE(f.matches(plain_ack()));  // data-path TCP is not captured
+  const Packet rst = net::make_tcp(Ipv4::from_octets(128, 125, 1, 1), 80,
+                                   Ipv4::from_octets(6, 6, 6, 6), 1000,
+                                   net::flags_rst());
+  EXPECT_TRUE(f.matches(rst));
+}
+
+// --------------------------------------------------------------- Sampler --
+
+TEST(FixedPeriodSampler, FirstMinutesOfEachHour) {
+  FixedPeriodSampler s(minutes(10), util::hours(1));
+  Packet p = syn();
+  p.time = kEpoch + minutes(5);
+  EXPECT_TRUE(s.keep(p));
+  p.time = kEpoch + minutes(15);
+  EXPECT_FALSE(s.keep(p));
+  p.time = kEpoch + util::hours(3) + minutes(9);
+  EXPECT_TRUE(s.keep(p));
+  p.time = kEpoch + util::hours(3) + minutes(10);
+  EXPECT_FALSE(s.keep(p));
+}
+
+TEST(FixedPeriodSampler, CoverageFractionRoughlyOnOverPeriod) {
+  FixedPeriodSampler s(minutes(30), util::hours(1));
+  int kept = 0;
+  Packet p = syn();
+  for (int i = 0; i < 6000; ++i) {
+    p.time = kEpoch + minutes(i);
+    kept += s.keep(p);
+  }
+  EXPECT_NEAR(kept, 3000, 10);
+}
+
+TEST(FixedPeriodSampler, RejectsBadConfig) {
+  EXPECT_THROW(FixedPeriodSampler(minutes(90), util::hours(1)),
+               std::invalid_argument);
+  EXPECT_THROW(FixedPeriodSampler(minutes(1), util::usec(0)),
+               std::invalid_argument);
+}
+
+TEST(CountSampler, PatternRepeats) {
+  CountSampler s(2, 3);
+  std::string pattern;
+  for (int i = 0; i < 10; ++i) pattern += s.keep(syn()) ? 'K' : '.';
+  EXPECT_EQ(pattern, "KK...KK...");
+}
+
+TEST(ProbabilisticSampler, MatchesProbability) {
+  ProbabilisticSampler s(0.25, 42);
+  int kept = 0;
+  for (int i = 0; i < 40000; ++i) kept += s.keep(syn());
+  EXPECT_NEAR(kept, 10000, 400);
+}
+
+TEST(ProbabilisticSampler, RejectsBadProbability) {
+  EXPECT_THROW(ProbabilisticSampler(1.5, 1), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------- Tap --
+
+class Counter : public sim::PacketObserver {
+ public:
+  void observe(const Packet&) override { ++count; }
+  int count{0};
+};
+
+TEST(Tap, FilterAndFanout) {
+  Tap tap("test");
+  tap.set_filter(*Filter::compile("tcp"));
+  Counter a, b;
+  tap.add_consumer(&a);
+  tap.add_consumer(&b);
+  tap.observe(syn());
+  tap.observe(udp_pkt());
+  EXPECT_EQ(a.count, 1);
+  EXPECT_EQ(b.count, 1);
+  EXPECT_EQ(tap.seen(), 2u);
+  EXPECT_EQ(tap.filtered_out(), 1u);
+  EXPECT_EQ(tap.delivered(), 1u);
+}
+
+TEST(Tap, SamplerAppliesAfterFilter) {
+  Tap tap("test");
+  tap.set_sampler(std::make_unique<CountSampler>(1, 1));  // every other
+  Counter c;
+  tap.add_consumer(&c);
+  for (int i = 0; i < 10; ++i) tap.observe(syn());
+  EXPECT_EQ(c.count, 5);
+  EXPECT_EQ(tap.sampled_out(), 5u);
+}
+
+TEST(SampledStream, IndependentOfTapSampler) {
+  Tap tap("test");
+  Counter full, sampled;
+  tap.add_consumer(&full);
+  SampledStream stream(std::make_unique<CountSampler>(1, 3), &sampled);
+  tap.add_consumer(&stream);
+  for (int i = 0; i < 8; ++i) tap.observe(syn());
+  EXPECT_EQ(full.count, 8);
+  EXPECT_EQ(sampled.count, 2);
+}
+
+// ------------------------------------------------------------------ Pcap --
+
+TEST(Pcap, RoundTripPreservesPacketsAndTimes) {
+  const std::string path = ::testing::TempDir() + "/svcdisc_roundtrip.pcap";
+  {
+    PcapWriter writer(path);
+    ASSERT_TRUE(writer.ok());
+    Packet a = syn();
+    a.time = kEpoch + minutes(1);
+    Packet b = udp_pkt();
+    b.time = kEpoch + minutes(2);
+    Packet c = net::make_icmp_port_unreachable(udp_pkt());
+    c.time = kEpoch + minutes(3);
+    writer.write(a);
+    writer.write(b);
+    writer.write(c);
+    EXPECT_EQ(writer.written(), 3u);
+  }
+  const auto result = PcapReader::read_file(path);
+  EXPECT_TRUE(result.ok);
+  ASSERT_EQ(result.packets.size(), 3u);
+  EXPECT_EQ(result.skipped, 0u);
+  EXPECT_EQ(result.packets[0].proto, net::Proto::kTcp);
+  EXPECT_TRUE(result.packets[0].flags.is_syn_only());
+  EXPECT_EQ(result.packets[0].time, kEpoch + minutes(1));
+  EXPECT_EQ(result.packets[1].proto, net::Proto::kUdp);
+  EXPECT_EQ(result.packets[2].proto, net::Proto::kIcmp);
+  std::remove(path.c_str());
+}
+
+TEST(Pcap, GlobalHeaderIsStandard) {
+  const std::string path = ::testing::TempDir() + "/svcdisc_header.pcap";
+  {
+    PcapWriter writer(path);
+    ASSERT_TRUE(writer.ok());
+  }
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  unsigned char header[24];
+  ASSERT_EQ(std::fread(header, 1, 24, f), 24u);
+  std::fclose(f);
+  // Little-endian magic 0xa1b2c3d4, version 2.4, linktype 101 (RAW).
+  EXPECT_EQ(header[0], 0xd4);
+  EXPECT_EQ(header[1], 0xc3);
+  EXPECT_EQ(header[2], 0xb2);
+  EXPECT_EQ(header[3], 0xa1);
+  EXPECT_EQ(header[4], 2);
+  EXPECT_EQ(header[6], 4);
+  EXPECT_EQ(header[20], 101);
+  std::remove(path.c_str());
+}
+
+TEST(Pcap, ReadMissingFileFails) {
+  const auto result = PcapReader::read_file("/nonexistent/file.pcap");
+  EXPECT_FALSE(result.ok);
+  EXPECT_TRUE(result.packets.empty());
+}
+
+TEST(Pcap, WriterAsTapConsumer) {
+  const std::string path = ::testing::TempDir() + "/svcdisc_tap.pcap";
+  {
+    Tap tap("border");
+    tap.set_filter(Tap::paper_default_filter());
+    PcapWriter writer(path);
+    tap.add_consumer(&writer);
+    tap.observe(syn());
+    tap.observe(plain_ack());  // filtered out: never written
+    tap.observe(synack());
+    EXPECT_EQ(writer.written(), 2u);
+  }
+  const auto result = PcapReader::read_file(path);
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.packets.size(), 2u);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------- Merger --
+
+TEST(Merger, MergesSortedStreamsChronologically) {
+  std::vector<std::vector<Packet>> streams(2);
+  for (int i = 0; i < 5; ++i) {
+    Packet p = syn();
+    p.time = kEpoch + minutes(2 * i);
+    streams[0].push_back(p);
+    Packet q = udp_pkt();
+    q.time = kEpoch + minutes(2 * i + 1);
+    streams[1].push_back(q);
+  }
+  const auto merged = merge_streams(streams);
+  ASSERT_EQ(merged.size(), 10u);
+  for (std::size_t i = 1; i < merged.size(); ++i) {
+    EXPECT_LE(merged[i - 1].time, merged[i].time);
+  }
+}
+
+TEST(Merger, HandlesUnsortedInput) {
+  std::vector<std::vector<Packet>> streams(1);
+  for (int i = 4; i >= 0; --i) {
+    Packet p = syn();
+    p.time = kEpoch + minutes(i);
+    streams[0].push_back(p);
+  }
+  const auto merged = merge_streams(streams);
+  ASSERT_EQ(merged.size(), 5u);
+  for (std::size_t i = 1; i < merged.size(); ++i) {
+    EXPECT_LE(merged[i - 1].time, merged[i].time);
+  }
+}
+
+TEST(Merger, EmptyInputs) {
+  EXPECT_TRUE(merge_streams({}).empty());
+  std::vector<std::vector<Packet>> streams(3);
+  EXPECT_TRUE(merge_streams(streams).empty());
+}
+
+TEST(Merger, StableAcrossStreamsAtEqualTimes) {
+  std::vector<std::vector<Packet>> streams(2);
+  Packet a = syn();
+  a.time = kEpoch;
+  a.sport = 1;
+  Packet b = syn();
+  b.time = kEpoch;
+  b.sport = 2;
+  streams[0].push_back(a);
+  streams[1].push_back(b);
+  const auto merged = merge_streams(streams);
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].sport, 1);
+  EXPECT_EQ(merged[1].sport, 2);
+}
+
+}  // namespace
+}  // namespace svcdisc::capture

@@ -1,0 +1,227 @@
+// Tests for the extension features: ping-based host discovery in the
+// prober, the strict handshake rule in the passive monitor, and the
+// ping-silent host behavior.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "active/prober.h"
+#include "host/host.h"
+#include "passive/monitor.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace svcdisc {
+namespace {
+
+using host::Host;
+using host::LifecycleConfig;
+using host::LifecycleKind;
+using host::Service;
+using net::Ipv4;
+using net::Packet;
+using net::Prefix;
+using util::kEpoch;
+using util::minutes;
+
+struct ExtFixture : ::testing::Test {
+  ExtFixture()
+      : network(sim, {Prefix(Ipv4::from_octets(128, 125, 0, 0), 16),
+                      Prefix(Ipv4::from_octets(10, 1, 0, 0), 24)}) {}
+
+  Host& add_host(Ipv4 addr, bool web = true) {
+    const host::HostId id = next_id++;
+    hosts.push_back(std::make_unique<Host>(
+        id, network, nullptr, addr,
+        LifecycleConfig{LifecycleKind::kAlwaysOn, {}, {}, false},
+        util::Rng(id)));
+    if (web) {
+      Service s;
+      s.proto = net::Proto::kTcp;
+      s.port = 80;
+      hosts.back()->add_service(s);
+    }
+    hosts.back()->start();
+    return *hosts.back();
+  }
+
+  sim::Simulator sim;
+  sim::Network network;
+  std::vector<std::unique_ptr<Host>> hosts;
+  host::HostId next_id{1};
+  const Ipv4 prober_addr = Ipv4::from_octets(10, 1, 0, 1);
+};
+
+// ------------------------------------------------------ host discovery --
+
+TEST_F(ExtFixture, HostDiscoverySkipsEmptyAddresses) {
+  add_host(Ipv4::from_octets(128, 125, 1, 1));
+  // Addresses .2-.9 are empty.
+  std::vector<Ipv4> targets;
+  for (int i = 1; i <= 9; ++i) {
+    targets.push_back(Ipv4::from_octets(128, 125, 1,
+                                        static_cast<std::uint8_t>(i)));
+  }
+  active::ScanSpec spec;
+  spec.targets = targets;
+  spec.tcp_ports = {80, 22};
+  spec.probes_per_sec = 100.0;
+  spec.host_discovery = true;
+
+  active::Prober prober(network, {{prober_addr}});
+  std::optional<active::ScanRecord> record;
+  prober.start_scan(spec, [&](const active::ScanRecord& r) { record = r; });
+  sim.run();
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->hosts_pinged, 9u);
+  EXPECT_EQ(record->hosts_alive, 1u);
+  // Only the live host's 2 ports were probed (9*2 without discovery).
+  EXPECT_EQ(record->outcomes.size(), 2u);
+  EXPECT_EQ(record->count(active::ProbeStatus::kOpen), 1u);
+}
+
+TEST_F(ExtFixture, HostDiscoveryFasterOnSparseSpace) {
+  add_host(Ipv4::from_octets(128, 125, 1, 1));
+  std::vector<Ipv4> targets;
+  for (int i = 0; i < 100; ++i) {
+    targets.push_back(Ipv4::from_octets(128, 125, 2,
+                                        static_cast<std::uint8_t>(i)));
+  }
+  targets.push_back(Ipv4::from_octets(128, 125, 1, 1));
+
+  const auto run_scan = [&](bool discovery) {
+    active::ScanSpec spec;
+    spec.targets = targets;
+    spec.tcp_ports = {80, 22, 21, 443, 3306};
+    spec.probes_per_sec = 10.0;
+    spec.host_discovery = discovery;
+    active::Prober prober(network, {{prober_addr}});
+    std::optional<active::ScanRecord> record;
+    prober.start_scan(spec, [&](const active::ScanRecord& r) { record = r; });
+    sim.run();
+    return (record->finished - record->started).usec;
+  };
+  const auto with = run_scan(true);
+  const auto without = run_scan(false);
+  // 101 pings + 5 probes vs 505 probes: at least 3x faster.
+  EXPECT_LT(with * 3, without);
+}
+
+TEST_F(ExtFixture, HostDiscoveryMissesPingSilentHosts) {
+  Host& silent = add_host(Ipv4::from_octets(128, 125, 1, 1));
+  silent.set_icmp_echo(false);
+  add_host(Ipv4::from_octets(128, 125, 1, 2));
+
+  active::ScanSpec spec;
+  spec.targets = {Ipv4::from_octets(128, 125, 1, 1),
+                  Ipv4::from_octets(128, 125, 1, 2)};
+  spec.tcp_ports = {80};
+  spec.probes_per_sec = 100.0;
+  spec.host_discovery = true;
+  active::Prober prober(network, {{prober_addr}});
+  prober.start_scan(spec);
+  sim.run();
+  // The ping-silent host's open web server was never probed.
+  EXPECT_EQ(prober.table().size(), 1u);
+  EXPECT_FALSE(prober.table().contains(
+      {Ipv4::from_octets(128, 125, 1, 1), net::Proto::kTcp, 80}));
+
+  // A plain scan finds both.
+  spec.host_discovery = false;
+  prober.start_scan(spec);
+  sim.run();
+  EXPECT_EQ(prober.table().size(), 2u);
+}
+
+TEST_F(ExtFixture, PingSilentHostStillServesTcp) {
+  Host& h = add_host(Ipv4::from_octets(128, 125, 1, 1));
+  h.set_icmp_echo(false);
+  class Rec : public sim::PacketSink {
+   public:
+    void on_packet(const Packet& p) override { got.push_back(p); }
+    std::vector<Packet> got;
+  } rec;
+  network.attach(prober_addr, &rec);
+
+  Packet ping;
+  ping.src = prober_addr;
+  ping.dst = *h.address();
+  ping.proto = net::Proto::kIcmp;
+  ping.icmp_type = net::IcmpType::kEchoRequest;
+  network.send(ping);
+  network.send(net::make_tcp(prober_addr, 1, *h.address(), 80,
+                             net::flags_syn()));
+  sim.run();
+  ASSERT_EQ(rec.got.size(), 1u);  // no echo reply, but a SYN-ACK
+  EXPECT_TRUE(rec.got[0].flags.is_syn_ack());
+}
+
+// ------------------------------------------------- strict handshake rule
+
+passive::MonitorConfig strict_config() {
+  passive::MonitorConfig cfg;
+  cfg.internal_prefixes = {Prefix(Ipv4::from_octets(128, 125, 0, 0), 16)};
+  cfg.tcp_ports = {80};
+  cfg.require_syn_before_synack = true;
+  return cfg;
+}
+
+Packet at(Packet p, util::TimePoint t) {
+  p.time = t;
+  return p;
+}
+
+TEST(StrictRule, PairedHandshakeDiscovered) {
+  passive::PassiveMonitor monitor(strict_config());
+  const Ipv4 server = Ipv4::from_octets(128, 125, 1, 1);
+  const Ipv4 client = Ipv4::from_octets(66, 1, 1, 1);
+  monitor.observe(at(net::make_tcp(client, 999, server, 80,
+                                   net::flags_syn()),
+                     kEpoch));
+  monitor.observe(at(net::make_tcp(server, 80, client, 999,
+                                   net::flags_syn_ack()),
+                     kEpoch + minutes(1)));
+  EXPECT_EQ(monitor.table().size(), 1u);
+  EXPECT_EQ(monitor.unmatched_syn_acks(), 0u);
+}
+
+TEST(StrictRule, OrphanSynAckRejected) {
+  passive::PassiveMonitor monitor(strict_config());
+  const Ipv4 server = Ipv4::from_octets(128, 125, 1, 1);
+  const Ipv4 client = Ipv4::from_octets(66, 1, 1, 1);
+  monitor.observe(at(net::make_tcp(server, 80, client, 999,
+                                   net::flags_syn_ack()),
+                     kEpoch));
+  EXPECT_EQ(monitor.table().size(), 0u);
+  EXPECT_EQ(monitor.unmatched_syn_acks(), 1u);
+}
+
+TEST(StrictRule, SynConsumedByMatch) {
+  passive::PassiveMonitor monitor(strict_config());
+  const Ipv4 server = Ipv4::from_octets(128, 125, 1, 1);
+  const Ipv4 client = Ipv4::from_octets(66, 1, 1, 1);
+  const Packet syn = net::make_tcp(client, 999, server, 80, net::flags_syn());
+  const Packet synack =
+      net::make_tcp(server, 80, client, 999, net::flags_syn_ack());
+  monitor.observe(at(syn, kEpoch));
+  monitor.observe(at(synack, kEpoch + minutes(1)));
+  EXPECT_EQ(monitor.table().size(), 1u);
+  // A second SYN-ACK without a fresh SYN is unmatched (the pending
+  // entry was consumed), though the service is already known.
+  monitor.observe(at(synack, kEpoch + minutes(2)));
+  EXPECT_EQ(monitor.unmatched_syn_acks(), 1u);
+}
+
+TEST(StrictRule, DefaultRuleAcceptsOrphans) {
+  passive::MonitorConfig cfg = strict_config();
+  cfg.require_syn_before_synack = false;
+  passive::PassiveMonitor monitor(cfg);
+  monitor.observe(at(net::make_tcp(Ipv4::from_octets(128, 125, 1, 1), 80,
+                                   Ipv4::from_octets(66, 1, 1, 1), 999,
+                                   net::flags_syn_ack()),
+                     kEpoch));
+  EXPECT_EQ(monitor.table().size(), 1u);
+}
+
+}  // namespace
+}  // namespace svcdisc

@@ -1,0 +1,149 @@
+// Property test: the compiled filter VM agrees with a straightforward
+// reference interpreter on randomized packets across a corpus of
+// expressions covering every operator and nesting shape.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "capture/filter.h"
+#include "net/packet.h"
+#include "util/rng.h"
+
+namespace svcdisc::capture {
+namespace {
+
+using net::Ipv4;
+using net::Packet;
+using net::Proto;
+
+// Reference semantics, written independently of the VM.
+struct Reference {
+  std::function<bool(const Packet&)> fn;
+};
+
+const Ipv4 kHostA = Ipv4::from_octets(128, 125, 1, 1);
+const net::Prefix kNet(Ipv4::from_octets(128, 125, 0, 0), 16);
+
+struct Case {
+  const char* expression;
+  std::function<bool(const Packet&)> reference;
+};
+
+const std::vector<Case>& cases() {
+  static const std::vector<Case> kCases{
+      {"tcp", [](const Packet& p) { return p.proto == Proto::kTcp; }},
+      {"udp", [](const Packet& p) { return p.proto == Proto::kUdp; }},
+      {"icmp", [](const Packet& p) { return p.proto == Proto::kIcmp; }},
+      {"syn",
+       [](const Packet& p) {
+         return p.proto == Proto::kTcp && p.flags.syn();
+       }},
+      {"synack",
+       [](const Packet& p) {
+         return p.proto == Proto::kTcp && p.flags.is_syn_ack();
+       }},
+      {"not tcp", [](const Packet& p) { return p.proto != Proto::kTcp; }},
+      {"tcp and syn",
+       [](const Packet& p) {
+         return p.proto == Proto::kTcp && p.flags.syn();
+       }},
+      {"tcp or udp",
+       [](const Packet& p) {
+         return p.proto == Proto::kTcp || p.proto == Proto::kUdp;
+       }},
+      {"udp or tcp and rst",
+       [](const Packet& p) {
+         return p.proto == Proto::kUdp ||
+                (p.proto == Proto::kTcp && p.flags.rst());
+       }},
+      {"(udp or tcp) and rst",
+       [](const Packet& p) {
+         return (p.proto == Proto::kUdp || p.proto == Proto::kTcp) &&
+                p.proto == Proto::kTcp && p.flags.rst();
+       }},
+      {"not (tcp and ack)",
+       [](const Packet& p) {
+         return !(p.proto == Proto::kTcp && p.flags.ack());
+       }},
+      {"src host 128.125.1.1",
+       [](const Packet& p) { return p.src == kHostA; }},
+      {"dst host 128.125.1.1",
+       [](const Packet& p) { return p.dst == kHostA; }},
+      {"host 128.125.1.1",
+       [](const Packet& p) { return p.src == kHostA || p.dst == kHostA; }},
+      {"src net 128.125.0.0/16",
+       [](const Packet& p) { return kNet.contains(p.src); }},
+      {"dst net 128.125.0.0/16",
+       [](const Packet& p) { return kNet.contains(p.dst); }},
+      {"net 128.125.0.0/16",
+       [](const Packet& p) {
+         return kNet.contains(p.src) || kNet.contains(p.dst);
+       }},
+      {"src port 80", [](const Packet& p) { return p.sport == 80; }},
+      {"dst port 80", [](const Packet& p) { return p.dport == 80; }},
+      {"port 80",
+       [](const Packet& p) { return p.sport == 80 || p.dport == 80; }},
+      {"(tcp and (syn or rst)) or udp or icmp",
+       [](const Packet& p) {
+         return (p.proto == Proto::kTcp &&
+                 (p.flags.syn() || p.flags.rst())) ||
+                p.proto == Proto::kUdp || p.proto == Proto::kIcmp;
+       }},
+      {"tcp and not (port 80 or port 22) and dst net 128.125.0.0/16",
+       [](const Packet& p) {
+         const bool port_match = p.sport == 80 || p.dport == 80 ||
+                                 p.sport == 22 || p.dport == 22;
+         return p.proto == Proto::kTcp && !port_match &&
+                kNet.contains(p.dst);
+       }},
+      {"not not tcp", [](const Packet& p) { return p.proto == Proto::kTcp; }},
+      {"tcp and syn and not ack and dst port 3306",
+       [](const Packet& p) {
+         return p.proto == Proto::kTcp && p.flags.syn() && !p.flags.ack() &&
+                p.dport == 3306;
+       }},
+  };
+  return kCases;
+}
+
+Packet random_packet(util::Rng& rng) {
+  Packet p;
+  switch (rng.below(3)) {
+    case 0: p.proto = Proto::kTcp; break;
+    case 1: p.proto = Proto::kUdp; break;
+    default: p.proto = Proto::kIcmp; break;
+  }
+  // Half the packets involve the campus net / the pinned host.
+  p.src = rng.chance(0.5) ? Ipv4(kNet.base().value() +
+                                 static_cast<std::uint32_t>(rng.below(65536)))
+                          : Ipv4(static_cast<std::uint32_t>(rng()));
+  p.dst = rng.chance(0.25) ? kHostA
+                           : Ipv4(static_cast<std::uint32_t>(rng()));
+  const net::Port ports[] = {22, 80, 443, 3306, 1234, 40000};
+  p.sport = ports[rng.below(6)];
+  p.dport = ports[rng.below(6)];
+  p.flags.bits = static_cast<std::uint8_t>(rng.below(32));
+  return p;
+}
+
+class FilterProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FilterProperty, VmMatchesReference) {
+  const Case& c = cases()[GetParam()];
+  const auto filter = Filter::compile(c.expression);
+  ASSERT_TRUE(filter.has_value()) << c.expression;
+  util::Rng rng(0xF1A7E5 + GetParam());
+  for (int i = 0; i < 4000; ++i) {
+    const Packet p = random_packet(rng);
+    ASSERT_EQ(filter->matches(p), c.reference(p))
+        << c.expression << " on " << p.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, FilterProperty,
+                         ::testing::Range<std::size_t>(0, cases().size()));
+
+}  // namespace
+}  // namespace svcdisc::capture

@@ -1,0 +1,129 @@
+// Unit tests for util::Flags (the tools' command-line parser).
+#include <gtest/gtest.h>
+
+#include "util/flags.h"
+
+namespace svcdisc::util {
+namespace {
+
+TEST(Flags, DefaultsSurviveEmptyArgv) {
+  std::string s = "preset";
+  std::int64_t n = 42;
+  double d = 1.5;
+  bool b = false;
+  Flags flags("test", "t");
+  flags.add_string("s", "", &s);
+  flags.add_int64("n", "", &n);
+  flags.add_double("d", "", &d);
+  flags.add_bool("b", "", &b);
+  const char* argv[] = {"test"};
+  EXPECT_TRUE(flags.parse(1, argv));
+  EXPECT_EQ(s, "preset");
+  EXPECT_EQ(n, 42);
+  EXPECT_DOUBLE_EQ(d, 1.5);
+  EXPECT_FALSE(b);
+}
+
+TEST(Flags, EqualsAndSpaceForms) {
+  std::string s;
+  std::int64_t n = 0;
+  Flags flags("test", "t");
+  flags.add_string("s", "", &s);
+  flags.add_int64("n", "", &n);
+  const char* argv[] = {"test", "--s=hello", "--n", "7"};
+  EXPECT_TRUE(flags.parse(4, argv));
+  EXPECT_EQ(s, "hello");
+  EXPECT_EQ(n, 7);
+}
+
+TEST(Flags, BoolForms) {
+  bool a = false, b = true, c = false;
+  Flags flags("test", "t");
+  flags.add_bool("a", "", &a);
+  flags.add_bool("b", "", &b);
+  flags.add_bool("c", "", &c);
+  const char* argv[] = {"test", "--a", "--b=false", "--c=yes"};
+  EXPECT_TRUE(flags.parse(4, argv));
+  EXPECT_TRUE(a);
+  EXPECT_FALSE(b);
+  EXPECT_TRUE(c);
+}
+
+TEST(Flags, NegativeAndDoubleValues) {
+  std::int64_t n = 0;
+  double d = 0;
+  Flags flags("test", "t");
+  flags.add_int64("n", "", &n);
+  flags.add_double("d", "", &d);
+  const char* argv[] = {"test", "--n=-12", "--d=-0.25"};
+  EXPECT_TRUE(flags.parse(3, argv));
+  EXPECT_EQ(n, -12);
+  EXPECT_DOUBLE_EQ(d, -0.25);
+}
+
+TEST(Flags, PositionalCollected) {
+  Flags flags("test", "t");
+  std::int64_t n = 0;
+  flags.add_int64("n", "", &n);
+  const char* argv[] = {"test", "first", "--n=1", "second"};
+  EXPECT_TRUE(flags.parse(4, argv));
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "first");
+  EXPECT_EQ(flags.positional()[1], "second");
+}
+
+TEST(Flags, Errors) {
+  std::int64_t n = 0;
+  bool b = false;
+  Flags flags("test", "t");
+  flags.add_int64("n", "", &n);
+  flags.add_bool("b", "", &b);
+  {
+    const char* argv[] = {"test", "--missing"};
+    EXPECT_FALSE(flags.parse(2, argv));
+    EXPECT_NE(flags.error().find("unknown flag"), std::string::npos);
+  }
+  {
+    Flags f2("test", "t");
+    f2.add_int64("n", "", &n);
+    const char* argv[] = {"test", "--n=abc"};
+    EXPECT_FALSE(f2.parse(2, argv));
+    EXPECT_NE(f2.error().find("invalid integer"), std::string::npos);
+  }
+  {
+    Flags f3("test", "t");
+    f3.add_int64("n", "", &n);
+    const char* argv[] = {"test", "--n"};
+    EXPECT_FALSE(f3.parse(2, argv));
+    EXPECT_NE(f3.error().find("missing value"), std::string::npos);
+  }
+  {
+    Flags f4("test", "t");
+    f4.add_bool("b", "", &b);
+    const char* argv[] = {"test", "--b=maybe"};
+    EXPECT_FALSE(f4.parse(2, argv));
+    EXPECT_NE(f4.error().find("invalid boolean"), std::string::npos);
+  }
+}
+
+TEST(Flags, HelpRequested) {
+  Flags flags("test", "t");
+  const char* argv[] = {"test", "--help"};
+  EXPECT_FALSE(flags.parse(2, argv));
+  EXPECT_TRUE(flags.help_requested());
+  EXPECT_TRUE(flags.error().empty());
+}
+
+TEST(Flags, UsageListsFlagsAndDefaults) {
+  std::string s = "xyz";
+  Flags flags("prog", "does things");
+  flags.add_string("scenario", "which scenario", &s);
+  const std::string usage = flags.usage();
+  EXPECT_NE(usage.find("prog"), std::string::npos);
+  EXPECT_NE(usage.find("--scenario"), std::string::npos);
+  EXPECT_NE(usage.find("xyz"), std::string::npos);
+  EXPECT_NE(usage.find("--help"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace svcdisc::util

@@ -1,0 +1,420 @@
+// Unit tests for host: response semantics, firewalls, address pools,
+// lifecycles.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "host/address_pool.h"
+#include "host/firewall.h"
+#include "host/host.h"
+#include "net/packet.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace svcdisc::host {
+namespace {
+
+using net::Ipv4;
+using net::Packet;
+using net::Prefix;
+using util::hours;
+using util::kEpoch;
+
+class Recorder : public sim::PacketSink {
+ public:
+  void on_packet(const Packet& p) override { received.push_back(p); }
+  std::vector<Packet> received;
+};
+
+struct HostFixture : ::testing::Test {
+  HostFixture()
+      : network(sim, {Prefix(Ipv4::from_octets(128, 125, 0, 0), 16),
+                      Prefix(Ipv4::from_octets(10, 1, 0, 0), 24)}) {}
+
+  Host make_host(Ipv4 addr) {
+    return Host(next_id++, network, nullptr, addr,
+                LifecycleConfig{LifecycleKind::kAlwaysOn, {}, {}, false},
+                util::Rng(99));
+  }
+
+  // Sends `p` to the host and runs the sim; returns the first packet the
+  // querier got back, if any.
+  std::optional<Packet> exchange(Host& host, Packet p, Ipv4 querier) {
+    (void)host;
+    Recorder rec;
+    network.attach(querier, &rec);
+    network.send(p);
+    sim.run();
+    network.detach(querier, &rec);
+    if (rec.received.empty()) return std::nullopt;
+    return rec.received.front();
+  }
+
+  sim::Simulator sim;
+  sim::Network network;
+  HostId next_id{1};
+  const Ipv4 host_addr = Ipv4::from_octets(128, 125, 5, 5);
+  const Ipv4 ext_client = Ipv4::from_octets(66, 2, 3, 4);
+  const Ipv4 prober = Ipv4::from_octets(10, 1, 0, 1);
+};
+
+Service tcp80() {
+  Service s;
+  s.proto = net::Proto::kTcp;
+  s.port = 80;
+  return s;
+}
+
+TEST_F(HostFixture, SynToOpenServiceGetsSynAck) {
+  Host h = make_host(host_addr);
+  h.add_service(tcp80());
+  h.start();
+  const auto reply = exchange(
+      h, net::make_tcp(ext_client, 1234, host_addr, 80, net::flags_syn()),
+      ext_client);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_TRUE(reply->flags.is_syn_ack());
+  EXPECT_EQ(reply->src, host_addr);
+  EXPECT_EQ(reply->sport, 80);
+}
+
+TEST_F(HostFixture, SynAckAcksIsn) {
+  Host h = make_host(host_addr);
+  h.add_service(tcp80());
+  h.start();
+  Packet syn = net::make_tcp(ext_client, 1234, host_addr, 80, net::flags_syn());
+  syn.seq = 1000;
+  const auto reply = exchange(h, syn, ext_client);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->ack_no, 1001u);
+}
+
+TEST_F(HostFixture, SynToClosedPortGetsRst) {
+  Host h = make_host(host_addr);
+  h.add_service(tcp80());
+  h.start();
+  const auto reply = exchange(
+      h, net::make_tcp(ext_client, 1234, host_addr, 22, net::flags_syn()),
+      ext_client);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_TRUE(reply->flags.rst());
+}
+
+TEST_F(HostFixture, NonSynTcpIgnored) {
+  Host h = make_host(host_addr);
+  h.add_service(tcp80());
+  h.start();
+  EXPECT_FALSE(exchange(
+      h, net::make_tcp(ext_client, 1234, host_addr, 80, net::flags_ack()),
+      ext_client));
+  EXPECT_FALSE(exchange(
+      h, net::make_tcp(ext_client, 1234, host_addr, 80, net::flags_rst()),
+      ext_client));
+}
+
+TEST_F(HostFixture, ServiceBirthAndDeathRespected) {
+  Host h = make_host(host_addr);
+  Service s = tcp80();
+  s.birth = kEpoch + hours(10);
+  s.death = kEpoch + hours(20);
+  h.add_service(s);
+  h.start();
+
+  auto probe = [&] {
+    return exchange(
+        h, net::make_tcp(ext_client, 1, host_addr, 80, net::flags_syn()),
+        ext_client);
+  };
+  // Before birth: RST (host alive, no service).
+  auto reply = probe();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_TRUE(reply->flags.rst());
+  // Alive window: SYN-ACK.
+  sim.run_until(kEpoch + hours(12));
+  reply = probe();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_TRUE(reply->flags.is_syn_ack());
+  // After death: RST again.
+  sim.run_until(kEpoch + hours(30));
+  reply = probe();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_TRUE(reply->flags.rst());
+}
+
+TEST_F(HostFixture, UdpServiceRepliesToClientTraffic) {
+  Host h = make_host(host_addr);
+  Service s;
+  s.proto = net::Proto::kUdp;
+  s.port = 53;
+  s.udp_replies_to_generic_probe = false;
+  h.add_service(s);
+  h.start();
+  // Payload > 0: genuine client datagram, always answered.
+  const auto reply = exchange(
+      h, net::make_udp(ext_client, 999, host_addr, 53, 64), ext_client);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->proto, net::Proto::kUdp);
+  EXPECT_EQ(reply->sport, 53);
+}
+
+TEST_F(HostFixture, UdpGenericProbeOnlyAnsweredWhenImplementationDoes) {
+  Host h = make_host(host_addr);
+  Service silent;
+  silent.proto = net::Proto::kUdp;
+  silent.port = 137;
+  silent.udp_replies_to_generic_probe = false;
+  h.add_service(silent);
+  Service chatty;
+  chatty.proto = net::Proto::kUdp;
+  chatty.port = 53;
+  chatty.udp_replies_to_generic_probe = true;
+  h.add_service(chatty);
+  h.start();
+
+  EXPECT_FALSE(exchange(h, net::make_udp(prober, 1, host_addr, 137, 0),
+                        prober));
+  const auto reply =
+      exchange(h, net::make_udp(prober, 1, host_addr, 53, 0), prober);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->proto, net::Proto::kUdp);
+}
+
+TEST_F(HostFixture, UdpClosedPortGetsIcmpUnreachable) {
+  Host h = make_host(host_addr);
+  h.start();
+  const auto reply =
+      exchange(h, net::make_udp(prober, 1, host_addr, 9999, 0), prober);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->proto, net::Proto::kIcmp);
+  EXPECT_EQ(reply->icmp_code, net::IcmpCode::kPortUnreachable);
+  EXPECT_EQ(reply->icmp_orig_dport, 9999);
+}
+
+TEST_F(HostFixture, UdpIcmpCanBeDisabled) {
+  Host h = make_host(host_addr);
+  h.set_udp_icmp(false);
+  h.start();
+  EXPECT_FALSE(
+      exchange(h, net::make_udp(prober, 1, host_addr, 9999, 0), prober));
+}
+
+TEST_F(HostFixture, EchoRequestAnswered) {
+  Host h = make_host(host_addr);
+  h.start();
+  Packet ping;
+  ping.src = ext_client;
+  ping.dst = host_addr;
+  ping.proto = net::Proto::kIcmp;
+  ping.icmp_type = net::IcmpType::kEchoRequest;
+  const auto reply = exchange(h, ping, ext_client);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->icmp_type, net::IcmpType::kEchoReply);
+}
+
+TEST_F(HostFixture, FirewallBlockProbersDropsOnlyProbers) {
+  Host h = make_host(host_addr);
+  h.add_service(tcp80());
+  h.firewall().set_mode(FirewallMode::kBlockProbers);
+  h.firewall().add_prober(prober);
+  h.start();
+  // Prober: silence.
+  EXPECT_FALSE(exchange(
+      h, net::make_tcp(prober, 1, host_addr, 80, net::flags_syn()), prober));
+  // Genuine client: answered.
+  const auto reply = exchange(
+      h, net::make_tcp(ext_client, 1, host_addr, 80, net::flags_syn()),
+      ext_client);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_TRUE(reply->flags.is_syn_ack());
+}
+
+TEST_F(HostFixture, FirewallBlockExternalAllowsInternal) {
+  Host h = make_host(host_addr);
+  h.add_service(tcp80());
+  h.firewall().set_mode(FirewallMode::kBlockExternal);
+  h.start();
+  EXPECT_FALSE(exchange(
+      h, net::make_tcp(ext_client, 1, host_addr, 80, net::flags_syn()),
+      ext_client));
+  const auto reply = exchange(
+      h, net::make_tcp(prober, 1, host_addr, 80, net::flags_syn()), prober);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_TRUE(reply->flags.is_syn_ack());
+}
+
+TEST_F(HostFixture, PortScopedFirewallOverride) {
+  // The MySQL pattern: 3306 blocked externally, web still open.
+  Host h = make_host(host_addr);
+  h.add_service(tcp80());
+  Service mysql;
+  mysql.proto = net::Proto::kTcp;
+  mysql.port = 3306;
+  h.add_service(mysql);
+  h.firewall().set_port_mode(3306, FirewallMode::kBlockExternal);
+  h.start();
+
+  EXPECT_FALSE(exchange(
+      h, net::make_tcp(ext_client, 1, host_addr, 3306, net::flags_syn()),
+      ext_client));
+  auto reply = exchange(
+      h, net::make_tcp(ext_client, 1, host_addr, 80, net::flags_syn()),
+      ext_client);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_TRUE(reply->flags.is_syn_ack());
+  reply = exchange(
+      h, net::make_tcp(prober, 1, host_addr, 3306, net::flags_syn()), prober);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_TRUE(reply->flags.is_syn_ack());
+}
+
+TEST_F(HostFixture, RequiresExactlyOneAddressSource) {
+  AddressPool pool(AddressClass::kDhcp,
+                   Prefix(Ipv4::from_octets(128, 125, 56, 0), 24), false, 1);
+  EXPECT_THROW(Host(1, network, nullptr, std::nullopt,
+                    LifecycleConfig{}, util::Rng(1)),
+               std::invalid_argument);
+  EXPECT_THROW(Host(1, network, &pool, host_addr, LifecycleConfig{},
+                    util::Rng(1)),
+               std::invalid_argument);
+}
+
+// ----------------------------------------------------------- AddressPool --
+
+TEST(AddressPool, GrantsDistinctAddresses) {
+  AddressPool pool(AddressClass::kPpp,
+                   Prefix(Ipv4::from_octets(128, 125, 60, 0), 28), false, 7);
+  std::vector<Ipv4> leased;
+  for (std::uint32_t id = 0; id < 16; ++id) {
+    const auto addr = pool.acquire(id);
+    ASSERT_TRUE(addr.has_value());
+    for (const Ipv4 prev : leased) EXPECT_NE(*addr, prev);
+    leased.push_back(*addr);
+  }
+  EXPECT_FALSE(pool.acquire(99).has_value());  // exhausted
+  EXPECT_EQ(pool.free_count(), 0u);
+}
+
+TEST(AddressPool, ReleaseRecycles) {
+  AddressPool pool(AddressClass::kPpp,
+                   Prefix(Ipv4::from_octets(128, 125, 60, 0), 30), false, 7);
+  const auto a = pool.acquire(1);
+  ASSERT_TRUE(a);
+  pool.release(1, *a);
+  EXPECT_EQ(pool.free_count(), 4u);
+}
+
+TEST(AddressPool, StickyPoolReturnsSameAddress) {
+  AddressPool pool(AddressClass::kDhcp,
+                   Prefix(Ipv4::from_octets(128, 125, 56, 0), 24), true, 7);
+  const auto first = pool.acquire(42);
+  ASSERT_TRUE(first);
+  pool.release(42, *first);
+  const auto second = pool.acquire(42);
+  ASSERT_TRUE(second);
+  EXPECT_EQ(*first, *second);
+}
+
+TEST(AddressPool, StickyReservationNotHandedToOthers) {
+  AddressPool pool(AddressClass::kDhcp,
+                   Prefix(Ipv4::from_octets(128, 125, 56, 0), 30), true, 7);
+  const auto a = pool.acquire(1);
+  ASSERT_TRUE(a);
+  pool.release(1, *a);
+  // Other hosts drain the pool; host 1's reservation survives.
+  for (std::uint32_t id = 2; id <= 4; ++id) {
+    const auto other = pool.acquire(id);
+    ASSERT_TRUE(other);
+    EXPECT_NE(*other, *a);
+  }
+  EXPECT_EQ(pool.acquire(1), a);
+}
+
+TEST(AddressPool, NonStickyReassignsAddresses) {
+  AddressPool pool(AddressClass::kPpp,
+                   Prefix(Ipv4::from_octets(128, 125, 60, 0), 30), false, 7);
+  const auto a = pool.acquire(1);
+  ASSERT_TRUE(a);
+  pool.release(1, *a);
+  // Another host can now get host 1's old address.
+  bool reused = false;
+  for (std::uint32_t id = 2; id <= 5; ++id) {
+    const auto other = pool.acquire(id);
+    if (other && *other == *a) reused = true;
+  }
+  EXPECT_TRUE(reused);
+}
+
+TEST(AddressPool, ForeignReleaseIgnored) {
+  AddressPool pool(AddressClass::kPpp,
+                   Prefix(Ipv4::from_octets(128, 125, 60, 0), 30), false, 7);
+  const std::size_t before = pool.free_count();
+  pool.release(1, Ipv4::from_octets(1, 2, 3, 4));  // not in prefix
+  EXPECT_EQ(pool.free_count(), before);
+}
+
+TEST(AddressPool, ClassNames) {
+  EXPECT_EQ(address_class_name(AddressClass::kStatic), "static");
+  EXPECT_EQ(address_class_name(AddressClass::kVpn), "vpn");
+  EXPECT_TRUE(is_transient(AddressClass::kPpp));
+  EXPECT_FALSE(is_transient(AddressClass::kStatic));
+}
+
+// -------------------------------------------------------------- Lifecycle --
+
+TEST_F(HostFixture, TransientHostCyclesOnAndOff) {
+  AddressPool pool(AddressClass::kPpp,
+                   Prefix(Ipv4::from_octets(128, 125, 60, 0), 23), false, 7);
+  Host h(500, network, &pool, std::nullopt,
+         LifecycleConfig{LifecycleKind::kTransient, hours(2), hours(4), false},
+         util::Rng(123));
+  int transitions = 0;
+  h.on_state_change = [&](Host&, bool) { ++transitions; };
+  h.start();
+  sim.run_until(kEpoch + util::days(10));
+  EXPECT_GT(transitions, 10);
+  EXPECT_GT(h.lease_count(), 5u);
+}
+
+TEST_F(HostFixture, OfflineHostUnreachable) {
+  AddressPool pool(AddressClass::kPpp,
+                   Prefix(Ipv4::from_octets(128, 125, 60, 0), 23), false, 7);
+  Host h(501, network, &pool, std::nullopt,
+         LifecycleConfig{LifecycleKind::kTransient, hours(2), hours(6), false},
+         util::Rng(9));
+  h.add_service(tcp80());
+  h.start();
+
+  // Wait until it is online, capture the address, then wait for offline.
+  std::optional<Ipv4> online_addr;
+  h.on_state_change = [&](Host& host, bool online) {
+    if (online && !online_addr) online_addr = host.address();
+  };
+  while (!h.online() && sim.step()) {
+  }
+  ASSERT_TRUE(h.online());
+  ASSERT_TRUE(h.address().has_value());
+  const Ipv4 addr = *h.address();
+
+  while (h.online() && sim.step()) {
+  }
+  ASSERT_FALSE(h.online());
+  // Probing the released address now elicits nothing.
+  Recorder rec;
+  network.attach(prober, &rec);
+  network.send(net::make_tcp(prober, 1, addr, 80, net::flags_syn()));
+  sim.run_until(sim.now() + hours(1));
+  EXPECT_TRUE(rec.received.empty());
+  network.detach(prober, &rec);
+}
+
+TEST_F(HostFixture, AlwaysOnHostStaysOnline) {
+  Host h = make_host(host_addr);
+  h.start();
+  sim.run_until(kEpoch + util::days(30));
+  EXPECT_TRUE(h.online());
+  EXPECT_EQ(h.lease_count(), 1u);
+}
+
+}  // namespace
+}  // namespace svcdisc::host

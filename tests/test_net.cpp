@@ -1,0 +1,316 @@
+// Unit tests for net: addresses, prefixes, ports, packets, checksums,
+// wire-format round trips.
+#include <gtest/gtest.h>
+
+#include "net/checksum.h"
+#include "net/ipv4.h"
+#include "net/packet.h"
+#include "net/ports.h"
+#include "net/wire.h"
+
+namespace svcdisc::net {
+namespace {
+
+// ----------------------------------------------------------------- Ipv4 --
+
+TEST(Ipv4, OctetsRoundTrip) {
+  const Ipv4 addr = Ipv4::from_octets(128, 125, 7, 9);
+  EXPECT_EQ(addr.value(), 0x807D0709u);
+  EXPECT_EQ(addr.to_string(), "128.125.7.9");
+}
+
+TEST(Ipv4, ParseValid) {
+  const auto addr = Ipv4::parse("10.0.255.1");
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(*addr, Ipv4::from_octets(10, 0, 255, 1));
+}
+
+TEST(Ipv4, ParseEdgeValues) {
+  EXPECT_EQ(Ipv4::parse("0.0.0.0")->value(), 0u);
+  EXPECT_EQ(Ipv4::parse("255.255.255.255")->value(), 0xFFFFFFFFu);
+}
+
+TEST(Ipv4, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv4::parse(""));
+  EXPECT_FALSE(Ipv4::parse("1.2.3"));
+  EXPECT_FALSE(Ipv4::parse("1.2.3.4.5"));
+  EXPECT_FALSE(Ipv4::parse("256.1.1.1"));
+  EXPECT_FALSE(Ipv4::parse("1.2.3.x"));
+  EXPECT_FALSE(Ipv4::parse("1..2.3"));
+  EXPECT_FALSE(Ipv4::parse("1.2.3.4 "));
+}
+
+TEST(Ipv4, ArithmeticAndOrdering) {
+  const Ipv4 base = Ipv4::from_octets(10, 0, 0, 250);
+  EXPECT_EQ((base + 10).to_string(), "10.0.1.4");
+  EXPECT_EQ((base + 10) - base, 10u);
+  EXPECT_LT(base, base + 1);
+}
+
+// --------------------------------------------------------------- Prefix --
+
+TEST(Prefix, MasksBaseOnConstruction) {
+  const Prefix p(Ipv4::from_octets(10, 1, 2, 3), 24);
+  EXPECT_EQ(p.base().to_string(), "10.1.2.0");
+  EXPECT_EQ(p.size(), 256u);
+}
+
+TEST(Prefix, Contains) {
+  const Prefix p(Ipv4::from_octets(128, 125, 0, 0), 16);
+  EXPECT_TRUE(p.contains(Ipv4::from_octets(128, 125, 200, 9)));
+  EXPECT_FALSE(p.contains(Ipv4::from_octets(128, 126, 0, 0)));
+}
+
+TEST(Prefix, ZeroBitsContainsEverything) {
+  const Prefix p(Ipv4::from_octets(1, 2, 3, 4), 0);
+  EXPECT_TRUE(p.contains(Ipv4::from_octets(255, 0, 0, 1)));
+  EXPECT_EQ(p.size(), std::uint64_t{1} << 32);
+}
+
+TEST(Prefix, HostRoute) {
+  const Prefix p(Ipv4::from_octets(9, 9, 9, 9), 32);
+  EXPECT_EQ(p.size(), 1u);
+  EXPECT_TRUE(p.contains(Ipv4::from_octets(9, 9, 9, 9)));
+  EXPECT_FALSE(p.contains(Ipv4::from_octets(9, 9, 9, 8)));
+}
+
+TEST(Prefix, ParseAndPrint) {
+  const auto p = Prefix::parse("128.125.56.0/22");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->to_string(), "128.125.56.0/22");
+  EXPECT_EQ(p->size(), 1024u);
+  EXPECT_FALSE(Prefix::parse("1.2.3.4"));
+  EXPECT_FALSE(Prefix::parse("1.2.3.4/33"));
+  EXPECT_FALSE(Prefix::parse("bogus/8"));
+}
+
+TEST(Prefix, AtWalksAddresses) {
+  const Prefix p(Ipv4::from_octets(10, 0, 0, 0), 30);
+  EXPECT_EQ(p.at(0).to_string(), "10.0.0.0");
+  EXPECT_EQ(p.at(3).to_string(), "10.0.0.3");
+  EXPECT_EQ(p.end().to_string(), "10.0.0.4");
+}
+
+// ---------------------------------------------------------------- Ports --
+
+TEST(Ports, SelectedSetsMatchPaper) {
+  EXPECT_EQ(selected_tcp_ports(),
+            (std::vector<Port>{21, 22, 80, 443, 3306}));
+  EXPECT_EQ(selected_udp_ports(), (std::vector<Port>{80, 53, 137, 27015}));
+}
+
+TEST(Ports, Names) {
+  EXPECT_EQ(port_name(22), "ssh");
+  EXPECT_EQ(port_name(3306), "mysql");
+  EXPECT_EQ(port_name(12345), "");
+}
+
+TEST(Ports, WellKnown) {
+  EXPECT_TRUE(is_well_known(80));
+  EXPECT_TRUE(is_well_known(3306));
+  EXPECT_TRUE(is_well_known(27015));
+  EXPECT_FALSE(is_well_known(5000));
+}
+
+// --------------------------------------------------------------- Packet --
+
+TEST(TcpFlags, Predicates) {
+  EXPECT_TRUE(flags_syn().is_syn_only());
+  EXPECT_FALSE(flags_syn().is_syn_ack());
+  EXPECT_TRUE(flags_syn_ack().is_syn_ack());
+  EXPECT_FALSE(flags_syn_ack().is_syn_only());
+  EXPECT_TRUE(flags_rst().rst());
+}
+
+TEST(Packet, MakersFillFields) {
+  const auto a = Ipv4::from_octets(1, 1, 1, 1);
+  const auto b = Ipv4::from_octets(2, 2, 2, 2);
+  const Packet syn = make_tcp(a, 1234, b, 80, flags_syn());
+  EXPECT_EQ(syn.proto, Proto::kTcp);
+  EXPECT_EQ(syn.src, a);
+  EXPECT_EQ(syn.dport, 80);
+
+  const Packet udp = make_udp(a, 53, b, 999, 64);
+  EXPECT_EQ(udp.proto, Proto::kUdp);
+  EXPECT_EQ(udp.payload_len, 64);
+
+  const Packet icmp = make_icmp_port_unreachable(udp);
+  EXPECT_EQ(icmp.proto, Proto::kIcmp);
+  EXPECT_EQ(icmp.src, b);
+  EXPECT_EQ(icmp.dst, a);
+  EXPECT_EQ(icmp.icmp_type, IcmpType::kDestUnreachable);
+  EXPECT_EQ(icmp.icmp_code, IcmpCode::kPortUnreachable);
+  EXPECT_EQ(icmp.icmp_orig_dport, 999);
+  EXPECT_EQ(icmp.icmp_orig_proto, Proto::kUdp);
+}
+
+TEST(FlowKey, DirectionInsensitive) {
+  const auto a = Ipv4::from_octets(1, 1, 1, 1);
+  const auto b = Ipv4::from_octets(2, 2, 2, 2);
+  const Packet fwd = make_tcp(a, 1234, b, 80, flags_syn());
+  const Packet rev = make_tcp(b, 80, a, 1234, flags_syn_ack());
+  EXPECT_EQ(FlowKey::of(fwd), FlowKey::of(rev));
+}
+
+TEST(FlowKey, DistinctFlowsDiffer) {
+  const auto a = Ipv4::from_octets(1, 1, 1, 1);
+  const auto b = Ipv4::from_octets(2, 2, 2, 2);
+  const Packet f1 = make_tcp(a, 1234, b, 80, flags_syn());
+  const Packet f2 = make_tcp(a, 1235, b, 80, flags_syn());
+  EXPECT_FALSE(FlowKey::of(f1) == FlowKey::of(f2));
+}
+
+// ------------------------------------------------------------- Checksum --
+
+TEST(Checksum, Rfc1071Example) {
+  // Classic example from RFC 1071 §3.
+  const std::uint8_t data[] = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  const std::uint32_t partial = checksum_partial(data);
+  EXPECT_EQ(checksum_finish(partial),
+            static_cast<std::uint16_t>(~0xddf2 & 0xffff));
+}
+
+TEST(Checksum, OddLengthPadsZero) {
+  const std::uint8_t data[] = {0xab};
+  EXPECT_EQ(checksum(data), static_cast<std::uint16_t>(~0xab00 & 0xffff));
+}
+
+TEST(Checksum, VerifyingIncludesChecksumYieldsZero) {
+  // A correct header checksummed over itself folds to zero.
+  Packet p = make_tcp(Ipv4::from_octets(1, 2, 3, 4), 10,
+                      Ipv4::from_octets(5, 6, 7, 8), 20, flags_syn());
+  const auto bytes = serialize(p);
+  EXPECT_TRUE(ipv4_checksum_ok(bytes));
+}
+
+// ------------------------------------------------------------------ Wire --
+
+TEST(Wire, TcpRoundTrip) {
+  Packet p = make_tcp(Ipv4::from_octets(128, 125, 1, 2), 80,
+                      Ipv4::from_octets(66, 77, 88, 99), 40001,
+                      flags_syn_ack());
+  p.seq = 0xDEADBEEF;
+  p.ack_no = 0x12345678;
+  const auto bytes = serialize(p);
+  EXPECT_EQ(bytes.size(), kIpv4HeaderLen + kTcpHeaderLen);
+  const auto parsed = parse(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->src, p.src);
+  EXPECT_EQ(parsed->dst, p.dst);
+  EXPECT_EQ(parsed->sport, p.sport);
+  EXPECT_EQ(parsed->dport, p.dport);
+  EXPECT_EQ(parsed->seq, p.seq);
+  EXPECT_EQ(parsed->ack_no, p.ack_no);
+  EXPECT_TRUE(parsed->flags.is_syn_ack());
+}
+
+TEST(Wire, UdpRoundTrip) {
+  const Packet p = make_udp(Ipv4::from_octets(4, 3, 2, 1), 53,
+                            Ipv4::from_octets(128, 125, 9, 9), 1234, 100);
+  const auto bytes = serialize(p);
+  EXPECT_EQ(bytes.size(), kIpv4HeaderLen + kUdpHeaderLen + 100);
+  const auto parsed = parse(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->proto, Proto::kUdp);
+  EXPECT_EQ(parsed->payload_len, 100);
+  EXPECT_EQ(parsed->sport, 53);
+}
+
+TEST(Wire, IcmpRoundTripRecoversEmbeddedSummary) {
+  const Packet probe = make_udp(Ipv4::from_octets(10, 1, 0, 1), 40000,
+                                Ipv4::from_octets(128, 125, 3, 3), 137, 0);
+  const Packet icmp = make_icmp_port_unreachable(probe);
+  const auto bytes = serialize(icmp);
+  const auto parsed = parse(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->proto, Proto::kIcmp);
+  EXPECT_EQ(parsed->icmp_type, IcmpType::kDestUnreachable);
+  EXPECT_EQ(parsed->icmp_code, IcmpCode::kPortUnreachable);
+  EXPECT_EQ(parsed->icmp_orig_dport, 137);
+  EXPECT_EQ(parsed->icmp_orig_proto, Proto::kUdp);
+  EXPECT_EQ(parsed->icmp_orig_dst, probe.dst);
+}
+
+TEST(Wire, RejectsTruncated) {
+  Packet p = make_tcp(Ipv4::from_octets(1, 2, 3, 4), 1,
+                      Ipv4::from_octets(5, 6, 7, 8), 2, flags_syn());
+  auto bytes = serialize(p);
+  for (const std::size_t len :
+       {std::size_t{0}, std::size_t{10}, kIpv4HeaderLen + 5}) {
+    EXPECT_FALSE(parse(std::span(bytes.data(), len)))
+        << "length " << len;
+  }
+}
+
+TEST(Wire, RejectsCorruptedChecksum) {
+  Packet p = make_tcp(Ipv4::from_octets(1, 2, 3, 4), 1,
+                      Ipv4::from_octets(5, 6, 7, 8), 2, flags_syn());
+  auto bytes = serialize(p);
+  bytes[12] ^= 0xff;  // flip a source-address byte
+  EXPECT_FALSE(parse(bytes));
+}
+
+TEST(Wire, RejectsNonIpv4) {
+  std::vector<std::uint8_t> bytes(40, 0);
+  bytes[0] = 0x60;  // IPv6 version nibble
+  EXPECT_FALSE(parse(bytes));
+}
+
+// Property sweep: every protocol/flag combination survives a round trip.
+struct WireCase {
+  Proto proto;
+  std::uint8_t flag_bits;
+  std::uint16_t payload;
+};
+
+class WireRoundTrip : public ::testing::TestWithParam<WireCase> {};
+
+TEST_P(WireRoundTrip, Survives) {
+  const WireCase wc = GetParam();
+  Packet p;
+  p.src = Ipv4::from_octets(128, 125, 200, 1);
+  p.dst = Ipv4::from_octets(99, 88, 77, 66);
+  p.proto = wc.proto;
+  p.sport = 4242;
+  p.dport = 80;
+  p.flags.bits = wc.flag_bits;
+  p.payload_len = wc.payload;
+  if (wc.proto == Proto::kIcmp) {
+    p.icmp_type = IcmpType::kDestUnreachable;
+    p.icmp_code = IcmpCode::kPortUnreachable;
+    p.icmp_orig_dst = p.src;
+    p.icmp_orig_dport = 3306;
+    p.icmp_orig_proto = Proto::kTcp;
+  }
+  const auto parsed = parse(serialize(p));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->proto, p.proto);
+  EXPECT_EQ(parsed->src, p.src);
+  EXPECT_EQ(parsed->dst, p.dst);
+  if (wc.proto == Proto::kTcp) {
+    EXPECT_EQ(parsed->flags.bits, p.flags.bits);
+  }
+  if (wc.proto == Proto::kUdp) {
+    EXPECT_EQ(parsed->payload_len, p.payload_len);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllShapes, WireRoundTrip,
+    ::testing::Values(WireCase{Proto::kTcp, TcpFlags::kSyn, 0},
+                      WireCase{Proto::kTcp,
+                               static_cast<std::uint8_t>(TcpFlags::kSyn |
+                                                         TcpFlags::kAck),
+                               0},
+                      WireCase{Proto::kTcp, TcpFlags::kRst, 0},
+                      WireCase{Proto::kTcp,
+                               static_cast<std::uint8_t>(TcpFlags::kFin |
+                                                         TcpFlags::kAck),
+                               0},
+                      WireCase{Proto::kUdp, 0, 0},
+                      WireCase{Proto::kUdp, 0, 1},
+                      WireCase{Proto::kUdp, 0, 1400},
+                      WireCase{Proto::kIcmp, 0, 0}));
+
+}  // namespace
+}  // namespace svcdisc::net

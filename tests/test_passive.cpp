@@ -1,0 +1,320 @@
+// Unit tests for passive: the service table, the monitor's detection
+// rules, and the external-scan detector.
+#include <gtest/gtest.h>
+
+#include "net/packet.h"
+#include "passive/monitor.h"
+#include "passive/scan_detector.h"
+#include "passive/service_table.h"
+
+namespace svcdisc::passive {
+namespace {
+
+using net::Ipv4;
+using net::Packet;
+using net::Prefix;
+using util::hours;
+using util::kEpoch;
+using util::minutes;
+
+const Ipv4 kServer = Ipv4::from_octets(128, 125, 1, 1);
+const Ipv4 kClient = Ipv4::from_octets(66, 1, 2, 3);
+const Prefix kCampus(Ipv4::from_octets(128, 125, 0, 0), 16);
+
+Packet at(Packet p, util::TimePoint t) {
+  p.time = t;
+  return p;
+}
+
+// ---------------------------------------------------------- ServiceTable --
+
+TEST(ServiceTable, FirstDiscoveryWins) {
+  ServiceTable table;
+  const ServiceKey key{kServer, net::Proto::kTcp, 80};
+  EXPECT_TRUE(table.discover(key, kEpoch + minutes(5)));
+  EXPECT_FALSE(table.discover(key, kEpoch + minutes(1)));
+  const ServiceRecord* record = table.find(key);
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(record->first_seen, kEpoch + minutes(5));
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(ServiceTable, FlowsAccumulateBeforeDiscovery) {
+  ServiceTable table;
+  const ServiceKey key{kServer, net::Proto::kTcp, 80};
+  table.count_flow(key, kClient, kEpoch);
+  table.count_flow(key, kClient, kEpoch + minutes(1));
+  table.count_flow(key, Ipv4::from_octets(66, 9, 9, 9), kEpoch + minutes(2));
+  EXPECT_FALSE(table.contains(key));
+  EXPECT_EQ(table.size(), 0u);
+  table.discover(key, kEpoch + minutes(3));
+  const ServiceRecord* record = table.find(key);
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(record->flows, 3u);
+  EXPECT_EQ(record->clients.size(), 2u);
+}
+
+TEST(ServiceTable, LastActivityTracksLatest) {
+  ServiceTable table;
+  const ServiceKey key{kServer, net::Proto::kTcp, 80};
+  table.discover(key, kEpoch + minutes(1));
+  table.count_flow(key, kClient, kEpoch + hours(5));
+  EXPECT_EQ(table.find(key)->last_activity, kEpoch + hours(5));
+}
+
+TEST(ServiceTable, AddressCountCollapsesPorts) {
+  ServiceTable table;
+  table.discover({kServer, net::Proto::kTcp, 80}, kEpoch);
+  table.discover({kServer, net::Proto::kTcp, 22}, kEpoch);
+  table.discover({Ipv4::from_octets(128, 125, 2, 2), net::Proto::kTcp, 80},
+                 kEpoch);
+  EXPECT_EQ(table.size(), 3u);
+  EXPECT_EQ(table.address_count(), 2u);
+}
+
+TEST(ServiceTable, ChronologicalSorted) {
+  ServiceTable table;
+  table.discover({kServer, net::Proto::kTcp, 80}, kEpoch + minutes(10));
+  table.discover({kServer, net::Proto::kTcp, 22}, kEpoch + minutes(2));
+  table.discover({kServer, net::Proto::kTcp, 21}, kEpoch + minutes(30));
+  const auto chrono = table.chronological();
+  ASSERT_EQ(chrono.size(), 3u);
+  EXPECT_EQ(chrono[0].first.port, 22);
+  EXPECT_EQ(chrono[1].first.port, 80);
+  EXPECT_EQ(chrono[2].first.port, 21);
+}
+
+// --------------------------------------------------------- PassiveMonitor --
+
+MonitorConfig selected_config() {
+  MonitorConfig cfg;
+  cfg.internal_prefixes = {kCampus};
+  cfg.tcp_ports = net::selected_tcp_ports();
+  return cfg;
+}
+
+TEST(PassiveMonitor, SynAckFromInternalDiscoversService) {
+  PassiveMonitor monitor(selected_config());
+  monitor.observe(at(net::make_tcp(kServer, 80, kClient, 999,
+                                   net::flags_syn_ack()),
+                     kEpoch + minutes(3)));
+  const ServiceKey key{kServer, net::Proto::kTcp, 80};
+  ASSERT_TRUE(monitor.table().contains(key));
+  EXPECT_EQ(monitor.table().find(key)->first_seen, kEpoch + minutes(3));
+}
+
+TEST(PassiveMonitor, SynAloneDoesNotDiscover) {
+  PassiveMonitor monitor(selected_config());
+  monitor.observe(at(net::make_tcp(kClient, 999, kServer, 80,
+                                   net::flags_syn()),
+                     kEpoch));
+  EXPECT_EQ(monitor.table().size(), 0u);
+}
+
+TEST(PassiveMonitor, SynAckFromExternalIgnored) {
+  PassiveMonitor monitor(selected_config());
+  monitor.observe(at(net::make_tcp(kClient, 80, kServer, 999,
+                                   net::flags_syn_ack()),
+                     kEpoch));
+  EXPECT_EQ(monitor.table().size(), 0u);
+}
+
+TEST(PassiveMonitor, UnselectedPortIgnored) {
+  PassiveMonitor monitor(selected_config());
+  monitor.observe(at(net::make_tcp(kServer, 8080, kClient, 999,
+                                   net::flags_syn_ack()),
+                     kEpoch));
+  EXPECT_EQ(monitor.table().size(), 0u);
+}
+
+TEST(PassiveMonitor, AllPortsModeRecordsEverything) {
+  MonitorConfig cfg;
+  cfg.internal_prefixes = {kCampus};
+  PassiveMonitor monitor(cfg);  // empty port list = all ports
+  monitor.observe(at(net::make_tcp(kServer, 8080, kClient, 999,
+                                   net::flags_syn_ack()),
+                     kEpoch));
+  EXPECT_EQ(monitor.table().size(), 1u);
+}
+
+TEST(PassiveMonitor, InboundSynCountsFlowAndClient) {
+  PassiveMonitor monitor(selected_config());
+  const ServiceKey key{kServer, net::Proto::kTcp, 80};
+  monitor.observe(at(net::make_tcp(kClient, 999, kServer, 80,
+                                   net::flags_syn()),
+                     kEpoch));
+  monitor.observe(at(net::make_tcp(kClient, 1000, kServer, 80,
+                                   net::flags_syn()),
+                     kEpoch + minutes(1)));
+  monitor.observe(at(net::make_tcp(kServer, 80, kClient, 999,
+                                   net::flags_syn_ack()),
+                     kEpoch + minutes(2)));
+  const ServiceRecord* record = monitor.table().find(key);
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(record->flows, 2u);
+  EXPECT_EQ(record->clients.size(), 1u);
+}
+
+TEST(PassiveMonitor, UdpWellKnownSourceDiscovers) {
+  MonitorConfig cfg;
+  cfg.internal_prefixes = {kCampus};
+  cfg.detect_udp = true;
+  cfg.udp_ports = net::selected_udp_ports();
+  PassiveMonitor monitor(cfg);
+  monitor.observe(at(net::make_udp(kServer, 53, kClient, 999, 64), kEpoch));
+  EXPECT_TRUE(
+      monitor.table().contains({kServer, net::Proto::kUdp, 53}));
+  // Client->server UDP counts a flow but does not discover.
+  monitor.observe(at(net::make_udp(kClient, 999, kServer, 137, 64), kEpoch));
+  EXPECT_FALSE(
+      monitor.table().contains({kServer, net::Proto::kUdp, 137}));
+}
+
+TEST(PassiveMonitor, UdpDisabledByDefault) {
+  PassiveMonitor monitor(selected_config());
+  monitor.observe(at(net::make_udp(kServer, 53, kClient, 999, 64), kEpoch));
+  EXPECT_EQ(monitor.table().size(), 0u);
+}
+
+TEST(PassiveMonitor, DiscoveryCallbackFires) {
+  PassiveMonitor monitor(selected_config());
+  int calls = 0;
+  monitor.on_discovery = [&](const ServiceKey& key, util::TimePoint) {
+    ++calls;
+    EXPECT_EQ(key.port, 80);
+  };
+  const Packet synack =
+      net::make_tcp(kServer, 80, kClient, 999, net::flags_syn_ack());
+  monitor.observe(at(synack, kEpoch));
+  monitor.observe(at(synack, kEpoch + minutes(1)));  // duplicate
+  EXPECT_EQ(calls, 1);
+}
+
+// ------------------------------------------------------------ ScanDetector
+
+ScanDetectorConfig tight_config() {
+  ScanDetectorConfig cfg;
+  cfg.target_threshold = 10;
+  cfg.rst_threshold = 10;
+  cfg.window = hours(12);
+  return cfg;
+}
+
+TEST(ScanDetector, FlagsWideScanner) {
+  ScanDetector detector(tight_config(), {kCampus});
+  const Ipv4 scanner = Ipv4::from_octets(7, 7, 7, 7);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    const Ipv4 target = Ipv4::from_octets(128, 125, 1, static_cast<uint8_t>(i));
+    detector.observe(at(net::make_tcp(scanner, 1, target, 22,
+                                      net::flags_syn()),
+                        kEpoch + minutes(i)));
+    detector.observe(at(net::make_tcp(target, 22, scanner, 1,
+                                      net::flags_rst()),
+                        kEpoch + minutes(i)));
+  }
+  EXPECT_TRUE(detector.is_scanner(scanner));
+  EXPECT_EQ(detector.scanner_count(), 1u);
+}
+
+TEST(ScanDetector, RequiresBothThresholds) {
+  ScanDetector detector(tight_config(), {kCampus});
+  const Ipv4 scanner = Ipv4::from_octets(7, 7, 7, 7);
+  // 20 SYNs but no RST responses (every port open or silent).
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    detector.observe(at(net::make_tcp(scanner, 1,
+                                      Ipv4::from_octets(128, 125, 2,
+                                                        static_cast<uint8_t>(i)),
+                                      22, net::flags_syn()),
+                        kEpoch));
+  }
+  EXPECT_FALSE(detector.is_scanner(scanner));
+}
+
+TEST(ScanDetector, NormalClientNotFlagged) {
+  ScanDetector detector(tight_config(), {kCampus});
+  // One client talking to one server repeatedly.
+  for (int i = 0; i < 100; ++i) {
+    detector.observe(at(net::make_tcp(kClient, 1, kServer, 80,
+                                      net::flags_syn()),
+                        kEpoch + minutes(i)));
+  }
+  EXPECT_FALSE(detector.is_scanner(kClient));
+}
+
+TEST(ScanDetector, WindowResetsCounts) {
+  ScanDetector detector(tight_config(), {kCampus});
+  const Ipv4 scanner = Ipv4::from_octets(7, 7, 7, 7);
+  // 6 targets in window 0, 6 more in window 2: never 10 in one window.
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    const Ipv4 target = Ipv4::from_octets(128, 125, 3, static_cast<uint8_t>(i));
+    detector.observe(at(net::make_tcp(scanner, 1, target, 22,
+                                      net::flags_syn()),
+                        kEpoch + minutes(i)));
+    detector.observe(at(net::make_tcp(target, 22, scanner, 1,
+                                      net::flags_rst()),
+                        kEpoch + minutes(i)));
+  }
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    const Ipv4 target =
+        Ipv4::from_octets(128, 125, 4, static_cast<uint8_t>(i));
+    detector.observe(at(net::make_tcp(scanner, 1, target, 22,
+                                      net::flags_syn()),
+                        kEpoch + hours(25) + minutes(i)));
+    detector.observe(at(net::make_tcp(target, 22, scanner, 1,
+                                      net::flags_rst()),
+                        kEpoch + hours(25) + minutes(i)));
+  }
+  EXPECT_FALSE(detector.is_scanner(scanner));
+}
+
+TEST(ScanDetector, InternalSourcesNeverFlagged) {
+  ScanDetector detector(tight_config(), {kCampus});
+  const Ipv4 internal_scanner = Ipv4::from_octets(128, 125, 9, 9);
+  for (std::uint32_t i = 0; i < 30; ++i) {
+    const Ipv4 target = Ipv4::from_octets(128, 125, 5, static_cast<uint8_t>(i));
+    detector.observe(at(net::make_tcp(internal_scanner, 1, target, 22,
+                                      net::flags_syn()),
+                        kEpoch));
+    detector.observe(at(net::make_tcp(target, 22, internal_scanner, 1,
+                                      net::flags_rst()),
+                        kEpoch));
+  }
+  EXPECT_FALSE(detector.is_scanner(internal_scanner));
+}
+
+TEST(PassiveMonitor, ScannerExclusionSuppressesDiscovery) {
+  MonitorConfig cfg = selected_config();
+  cfg.exclude_scanner_triggered = true;
+  PassiveMonitor monitor(cfg);
+  auto detector =
+      std::make_shared<ScanDetector>(tight_config(),
+                                     std::vector<Prefix>{kCampus});
+  monitor.set_scan_detector(detector);
+
+  const Ipv4 scanner = Ipv4::from_octets(7, 7, 7, 7);
+  // Scanner sweeps: targets RST back, crossing both thresholds.
+  for (std::uint32_t i = 0; i < 12; ++i) {
+    const Ipv4 target = Ipv4::from_octets(128, 125, 6, static_cast<uint8_t>(i));
+    monitor.observe(at(net::make_tcp(scanner, 1, target, 80,
+                                     net::flags_syn()),
+                       kEpoch + minutes(i)));
+    monitor.observe(at(net::make_tcp(target, 80, scanner, 1,
+                                     net::flags_rst()),
+                       kEpoch + minutes(i)));
+  }
+  ASSERT_TRUE(detector->is_scanner(scanner));
+  // A server now answers the flagged scanner: suppressed.
+  monitor.observe(at(net::make_tcp(kServer, 80, scanner, 1,
+                                   net::flags_syn_ack()),
+                     kEpoch + minutes(20)));
+  EXPECT_EQ(monitor.table().size(), 0u);
+  EXPECT_EQ(monitor.discoveries_suppressed(), 1u);
+  // The same server answering a genuine client is recorded.
+  monitor.observe(at(net::make_tcp(kServer, 80, kClient, 1,
+                                   net::flags_syn_ack()),
+                     kEpoch + minutes(21)));
+  EXPECT_EQ(monitor.table().size(), 1u);
+}
+
+}  // namespace
+}  // namespace svcdisc::passive

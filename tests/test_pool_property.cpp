@@ -1,0 +1,88 @@
+// Property tests for AddressPool: randomized acquire/release sequences
+// must preserve the pool invariants under every (class, sticky) combo.
+//
+// Invariants:
+//   * no address is leased to two holders at once;
+//   * every granted address lies inside the pool's prefix;
+//   * sticky pools return the same address to the same host forever;
+//   * free_count + outstanding (+ parked sticky reservations) == size.
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "host/address_pool.h"
+#include "util/rng.h"
+
+namespace svcdisc::host {
+namespace {
+
+using net::Ipv4;
+using net::Prefix;
+
+struct PoolCase {
+  AddressClass cls;
+  bool sticky;
+  int prefix_bits;
+  std::uint64_t seed;
+};
+
+class PoolProperty : public ::testing::TestWithParam<PoolCase> {};
+
+TEST_P(PoolProperty, RandomizedLifecyclePreservesInvariants) {
+  const PoolCase pc = GetParam();
+  const Prefix prefix(Ipv4::from_octets(128, 125, 56, 0), pc.prefix_bits);
+  AddressPool pool(pc.cls, prefix, pc.sticky, pc.seed);
+  util::Rng rng(pc.seed ^ 0xABCDEF);
+
+  constexpr std::uint32_t kHosts = 40;
+  std::unordered_map<std::uint32_t, Ipv4> held;           // host -> lease
+  std::unordered_map<std::uint32_t, Ipv4> ever_assigned;  // sticky memory
+  std::unordered_set<Ipv4> leased_now;
+
+  for (int step = 0; step < 4000; ++step) {
+    const auto host_id = static_cast<std::uint32_t>(rng.below(kHosts));
+    const auto it = held.find(host_id);
+    if (it == held.end()) {
+      const auto addr = pool.acquire(host_id);
+      if (!addr.has_value()) {
+        // Exhaustion is only legal when the free list is really empty.
+        ASSERT_EQ(pool.free_count(), 0u);
+        continue;
+      }
+      ASSERT_TRUE(prefix.contains(*addr)) << addr->to_string();
+      ASSERT_FALSE(leased_now.contains(*addr))
+          << "double lease of " << addr->to_string();
+      if (pc.sticky) {
+        const auto prev = ever_assigned.find(host_id);
+        if (prev != ever_assigned.end()) {
+          ASSERT_EQ(*addr, prev->second) << "sticky reassignment";
+        }
+        ever_assigned[host_id] = *addr;
+      }
+      leased_now.insert(*addr);
+      held[host_id] = *addr;
+    } else {
+      pool.release(host_id, it->second);
+      leased_now.erase(it->second);
+      held.erase(it);
+    }
+
+    // Accounting: every address is free, leased, or (sticky) parked.
+    const std::size_t parked =
+        pc.sticky ? ever_assigned.size() - leased_now.size() : 0;
+    ASSERT_EQ(pool.free_count() + leased_now.size() + parked, pool.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllShapes, PoolProperty,
+    ::testing::Values(PoolCase{AddressClass::kDhcp, true, 26, 1},
+                      PoolCase{AddressClass::kDhcp, true, 27, 2},
+                      PoolCase{AddressClass::kPpp, false, 26, 3},
+                      PoolCase{AddressClass::kVpn, false, 27, 4},
+                      PoolCase{AddressClass::kWireless, false, 28, 5},
+                      PoolCase{AddressClass::kDhcp, true, 28, 6}));
+
+}  // namespace
+}  // namespace svcdisc::host

@@ -1,0 +1,162 @@
+// Tests for port-knocking firewalls (§2.3 of the paper cites port
+// knocking as a mechanism that hides services even from active probing)
+// and for service-specific UDP probing.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "active/prober.h"
+#include "host/host.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace svcdisc {
+namespace {
+
+using host::Host;
+using host::LifecycleConfig;
+using host::LifecycleKind;
+using host::Service;
+using net::Ipv4;
+using net::Packet;
+using net::Prefix;
+using util::seconds;
+
+struct KnockFixture : ::testing::Test {
+  KnockFixture()
+      : network(sim, {Prefix(Ipv4::from_octets(128, 125, 0, 0), 16),
+                      Prefix(Ipv4::from_octets(10, 1, 0, 0), 24)}),
+        server(1, network, nullptr, server_addr,
+               LifecycleConfig{LifecycleKind::kAlwaysOn, {}, {}, false},
+               util::Rng(1)) {
+    Service ssh;
+    ssh.proto = net::Proto::kTcp;
+    ssh.port = 22;
+    server.add_service(ssh);
+    server.firewall().set_knock(22, 7000, seconds(30));
+    server.start();
+    network.attach(client, &rec);
+  }
+
+  std::optional<Packet> last_reply() {
+    if (rec.received.empty()) return std::nullopt;
+    return rec.received.back();
+  }
+
+  class Rec : public sim::PacketSink {
+   public:
+    void on_packet(const Packet& p) override { received.push_back(p); }
+    std::vector<Packet> received;
+  } rec;
+
+  sim::Simulator sim;
+  sim::Network network;
+  const Ipv4 server_addr = Ipv4::from_octets(128, 125, 9, 9);
+  const Ipv4 client = Ipv4::from_octets(66, 0, 0, 1);
+  Host server;
+};
+
+TEST_F(KnockFixture, NoKnockMeansSilence) {
+  network.send(net::make_tcp(client, 1000, server_addr, 22,
+                             net::flags_syn()));
+  sim.run();
+  EXPECT_TRUE(rec.received.empty());
+}
+
+TEST_F(KnockFixture, KnockOpensTheDoor) {
+  // Knock (gets a RST from the closed knock port — which is fine)...
+  network.send(net::make_tcp(client, 1000, server_addr, 7000,
+                             net::flags_syn()));
+  sim.run();
+  ASSERT_EQ(rec.received.size(), 1u);
+  EXPECT_TRUE(rec.received[0].flags.rst());
+  // ...then connect within the window.
+  network.send(net::make_tcp(client, 1001, server_addr, 22,
+                             net::flags_syn()));
+  sim.run();
+  ASSERT_EQ(rec.received.size(), 2u);
+  EXPECT_TRUE(rec.received[1].flags.is_syn_ack());
+}
+
+TEST_F(KnockFixture, KnockExpires) {
+  network.send(net::make_tcp(client, 1000, server_addr, 7000,
+                             net::flags_syn()));
+  sim.run();
+  sim.run_until(sim.now() + seconds(31));
+  network.send(net::make_tcp(client, 1001, server_addr, 22,
+                             net::flags_syn()));
+  sim.run();
+  EXPECT_EQ(rec.received.size(), 1u);  // only the knock's RST
+}
+
+TEST_F(KnockFixture, KnockIsPerSource) {
+  network.send(net::make_tcp(client, 1000, server_addr, 7000,
+                             net::flags_syn()));
+  sim.run();
+  // A different source that never knocked stays locked out.
+  const Ipv4 other = Ipv4::from_octets(66, 0, 0, 2);
+  Rec other_rec;
+  network.attach(other, &other_rec);
+  network.send(net::make_tcp(other, 1, server_addr, 22, net::flags_syn()));
+  sim.run();
+  EXPECT_TRUE(other_rec.received.empty());
+  network.detach(other, &other_rec);
+}
+
+TEST_F(KnockFixture, ActiveScanCannotSeeKnockedService) {
+  active::Prober prober(network, {{Ipv4::from_octets(10, 1, 0, 1)}});
+  active::ScanSpec spec;
+  spec.targets = {server_addr};
+  spec.tcp_ports = {22};
+  spec.probes_per_sec = 100.0;
+  std::optional<active::ScanRecord> record;
+  prober.start_scan(spec, [&](const active::ScanRecord& r) { record = r; });
+  sim.run();
+  ASSERT_TRUE(record.has_value());
+  // Dropped, not refused: the scan reports "filtered".
+  EXPECT_EQ(record->count(active::ProbeStatus::kFiltered), 1u);
+  EXPECT_EQ(prober.table().size(), 0u);
+}
+
+// ------------------------------------------- service-specific UDP probes
+
+TEST(UdpServiceProbes, SilentServiceAnswersRealRequest) {
+  sim::Simulator sim;
+  sim::Network network(sim,
+                       {Prefix(Ipv4::from_octets(128, 125, 0, 0), 16),
+                        Prefix(Ipv4::from_octets(10, 1, 0, 0), 24)});
+  Host h(1, network, nullptr, Ipv4::from_octets(128, 125, 1, 1),
+         LifecycleConfig{LifecycleKind::kAlwaysOn, {}, {}, false},
+         util::Rng(1));
+  Service netbios;
+  netbios.proto = net::Proto::kUdp;
+  netbios.port = 137;
+  netbios.udp_replies_to_generic_probe = false;  // silent to empty probes
+  h.add_service(netbios);
+  h.start();
+
+  active::Prober prober(network, {{Ipv4::from_octets(10, 1, 0, 1)}});
+  active::ScanSpec spec;
+  spec.targets = {Ipv4::from_octets(128, 125, 1, 1)};
+  spec.udp_ports = {137};
+  spec.probes_per_sec = 100.0;
+
+  // Generic probe: ambiguous (host alive via nothing else -> no-host
+  // here, since 137 was the only probed port and it stayed silent).
+  std::optional<active::ScanRecord> record;
+  prober.start_scan(spec, [&](const active::ScanRecord& r) { record = r; });
+  sim.run();
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->count(active::ProbeStatus::kOpenUdp), 0u);
+
+  // Service-specific probe: definite open.
+  spec.udp_service_probes = true;
+  record.reset();
+  prober.start_scan(spec, [&](const active::ScanRecord& r) { record = r; });
+  sim.run();
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->count(active::ProbeStatus::kOpenUdp), 1u);
+}
+
+}  // namespace
+}  // namespace svcdisc

@@ -1,0 +1,79 @@
+// Unit tests for capture::RingBuffer.
+#include <gtest/gtest.h>
+
+#include "capture/ring_buffer.h"
+
+namespace svcdisc::capture {
+namespace {
+
+using net::Ipv4;
+using net::Packet;
+
+Packet pkt(int i) {
+  Packet p = net::make_tcp(Ipv4::from_octets(1, 1, 1, 1),
+                           static_cast<net::Port>(i),
+                           Ipv4::from_octets(2, 2, 2, 2), 80,
+                           net::flags_syn());
+  return p;
+}
+
+TEST(RingBuffer, FifoOrder) {
+  RingBuffer ring(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.push(pkt(i)));
+  for (int i = 0; i < 4; ++i) {
+    const auto p = ring.pop();
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->sport, i);
+  }
+  EXPECT_FALSE(ring.pop().has_value());
+}
+
+TEST(RingBuffer, DropsWhenFull) {
+  RingBuffer ring(2);
+  EXPECT_TRUE(ring.push(pkt(0)));
+  EXPECT_TRUE(ring.push(pkt(1)));
+  EXPECT_FALSE(ring.push(pkt(2)));
+  EXPECT_EQ(ring.dropped(), 1u);
+  EXPECT_EQ(ring.pushed(), 2u);
+  // Freeing a slot allows pushes again; the dropped packet is gone.
+  ASSERT_TRUE(ring.pop().has_value());
+  EXPECT_TRUE(ring.push(pkt(3)));
+  EXPECT_EQ(ring.pop()->sport, 1);
+  EXPECT_EQ(ring.pop()->sport, 3);
+}
+
+TEST(RingBuffer, WrapsAround) {
+  RingBuffer ring(3);
+  for (int round = 0; round < 10; ++round) {
+    EXPECT_TRUE(ring.push(pkt(round)));
+    const auto p = ring.pop();
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->sport, round);
+  }
+  EXPECT_EQ(ring.dropped(), 0u);
+}
+
+TEST(RingBuffer, DrainEmptiesOldestFirst) {
+  RingBuffer ring(5);
+  for (int i = 0; i < 5; ++i) ring.push(pkt(i));
+  const auto all = ring.drain();
+  ASSERT_EQ(all.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(all[static_cast<size_t>(i)].sport, i);
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(RingBuffer, ObserveInterface) {
+  RingBuffer ring(1);
+  sim::PacketObserver& observer = ring;
+  observer.observe(pkt(7));
+  observer.observe(pkt(8));  // dropped silently
+  EXPECT_EQ(ring.size(), 1u);
+  EXPECT_EQ(ring.dropped(), 1u);
+}
+
+TEST(RingBuffer, RejectsZeroCapacity) {
+  EXPECT_THROW(RingBuffer(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace svcdisc::capture

@@ -1,0 +1,273 @@
+// Unit tests for sim: event ordering, clock semantics, network routing,
+// border-crossing observation.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/packet.h"
+#include "sim/border_router.h"
+#include "sim/event_queue.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace svcdisc::sim {
+namespace {
+
+using net::Ipv4;
+using net::Packet;
+using net::Prefix;
+using util::hours;
+using util::kEpoch;
+using util::msec;
+using util::seconds;
+
+// ------------------------------------------------------------ EventQueue --
+
+TEST(EventQueue, OrdersByTime) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.push(kEpoch + seconds(3), [&] { fired.push_back(3); });
+  q.push(kEpoch + seconds(1), [&] { fired.push_back(1); });
+  q.push(kEpoch + seconds(2), [&] { fired.push_back(2); });
+  while (!q.empty()) q.pop()();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoWithinSameTime) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) {
+    q.push(kEpoch + seconds(5), [&fired, i] { fired.push_back(i); });
+  }
+  while (!q.empty()) q.pop()();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[static_cast<size_t>(i)], i);
+}
+
+// ------------------------------------------------------------- Simulator --
+
+TEST(Simulator, ClockAdvancesToEventTime) {
+  Simulator sim;
+  util::TimePoint seen{};
+  sim.after(seconds(10), [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, kEpoch + seconds(10));
+}
+
+TEST(Simulator, RunUntilAdvancesClockEvenWithoutEvents) {
+  Simulator sim;
+  sim.run_until(kEpoch + hours(2));
+  EXPECT_EQ(sim.now(), kEpoch + hours(2));
+}
+
+TEST(Simulator, RunUntilDoesNotRunLaterEvents) {
+  Simulator sim;
+  bool early = false, late = false;
+  sim.at(kEpoch + seconds(1), [&] { early = true; });
+  sim.at(kEpoch + seconds(100), [&] { late = true; });
+  sim.run_until(kEpoch + seconds(50));
+  EXPECT_TRUE(early);
+  EXPECT_FALSE(late);
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(Simulator, PastSchedulingClampsToNow) {
+  Simulator sim;
+  sim.run_until(kEpoch + seconds(10));
+  util::TimePoint seen{};
+  sim.at(kEpoch + seconds(1), [&] { seen = sim.now(); });  // in the past
+  sim.run();
+  EXPECT_EQ(seen, kEpoch + seconds(10));
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  int chain = 0;
+  std::function<void()> step = [&] {
+    if (++chain < 5) sim.after(seconds(1), step);
+  };
+  sim.after(seconds(1), step);
+  sim.run();
+  EXPECT_EQ(chain, 5);
+  EXPECT_EQ(sim.now(), kEpoch + seconds(5));
+  EXPECT_EQ(sim.events_processed(), 5u);
+}
+
+// ---------------------------------------------------------- BorderRouter --
+
+TEST(BorderRouter, StablePeeringChoice) {
+  BorderRouter border;
+  border.add_peering("a", 0.5);
+  border.add_peering("b", 0.5);
+  const Ipv4 ext = Ipv4::from_octets(7, 7, 7, 7);
+  const std::size_t first = border.default_peering_for(ext);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(border.default_peering_for(ext), first);
+  }
+}
+
+TEST(BorderRouter, WeightsShapeDistribution) {
+  BorderRouter border;
+  border.add_peering("heavy", 0.9);
+  border.add_peering("light", 0.1);
+  int heavy = 0;
+  constexpr int kHosts = 5000;
+  for (int i = 0; i < kHosts; ++i) {
+    const Ipv4 ext(0x10000000u + static_cast<std::uint32_t>(i) * 977u);
+    heavy += border.default_peering_for(ext) == 0;
+  }
+  EXPECT_NEAR(heavy, kHosts * 0.9, kHosts * 0.05);
+}
+
+TEST(BorderRouter, RejectsBadWeight) {
+  BorderRouter border;
+  EXPECT_THROW(border.add_peering("zero", 0.0), std::invalid_argument);
+}
+
+class RecordingObserver : public PacketObserver {
+ public:
+  void observe(const Packet& p) override { seen.push_back(p); }
+  std::vector<Packet> seen;
+};
+
+TEST(BorderRouter, TapsSeeOnlyTheirPeering) {
+  BorderRouter border;
+  border.add_peering("a", 1.0);
+  border.add_peering("b", 1.0);
+  RecordingObserver tap_a, tap_b;
+  border.add_tap(0, &tap_a);
+  border.add_tap(1, &tap_b);
+  border.set_policy([](Ipv4 ext) { return ext.value() % 2; });
+
+  const Ipv4 internal = Ipv4::from_octets(128, 125, 0, 1);
+  const Ipv4 even(0x01000002), odd(0x01000003);
+  border.carry(net::make_tcp(even, 1, internal, 80, net::flags_syn()), even);
+  border.carry(net::make_tcp(odd, 1, internal, 80, net::flags_syn()), odd);
+  EXPECT_EQ(tap_a.seen.size(), 1u);
+  EXPECT_EQ(tap_b.seen.size(), 1u);
+  EXPECT_EQ(border.peering(0).packets, 1u);
+  EXPECT_EQ(border.peering(1).packets, 1u);
+}
+
+// -------------------------------------------------------------- Network --
+
+class SinkRecorder : public PacketSink {
+ public:
+  void on_packet(const Packet& p) override { received.push_back(p); }
+  std::vector<Packet> received;
+};
+
+struct NetworkFixture : ::testing::Test {
+  NetworkFixture()
+      : network(sim, {Prefix(Ipv4::from_octets(128, 125, 0, 0), 16)}) {}
+  Simulator sim;
+  Network network;
+  const Ipv4 internal_addr = Ipv4::from_octets(128, 125, 1, 1);
+  const Ipv4 external_addr = Ipv4::from_octets(66, 1, 1, 1);
+};
+
+TEST_F(NetworkFixture, DeliversToAttachedSink) {
+  SinkRecorder sink;
+  network.attach(internal_addr, &sink);
+  network.send(net::make_tcp(external_addr, 1234, internal_addr, 80,
+                             net::flags_syn()));
+  sim.run();
+  ASSERT_EQ(sink.received.size(), 1u);
+  EXPECT_EQ(sink.received[0].dport, 80);
+  EXPECT_EQ(network.packets_delivered(), 1u);
+}
+
+TEST_F(NetworkFixture, StampsDeliveryTime) {
+  SinkRecorder sink;
+  network.attach(internal_addr, &sink);
+  network.set_external_latency(msec(20));
+  network.send(net::make_tcp(external_addr, 1, internal_addr, 80,
+                             net::flags_syn()));
+  sim.run();
+  ASSERT_EQ(sink.received.size(), 1u);
+  EXPECT_EQ(sink.received[0].time, kEpoch + msec(20));
+}
+
+TEST_F(NetworkFixture, DropsToUnattachedAddress) {
+  network.send(net::make_tcp(external_addr, 1, internal_addr, 80,
+                             net::flags_syn()));
+  sim.run();
+  EXPECT_EQ(network.packets_dropped(), 1u);
+}
+
+TEST_F(NetworkFixture, DetachRespectsOwner) {
+  SinkRecorder old_owner, new_owner;
+  network.attach(internal_addr, &old_owner);
+  network.attach(internal_addr, &new_owner);  // address reuse
+  network.detach(internal_addr, &old_owner);  // stale detach: no-op
+  EXPECT_EQ(network.owner(internal_addr), &new_owner);
+  network.detach(internal_addr, &new_owner);
+  EXPECT_EQ(network.owner(internal_addr), nullptr);
+}
+
+TEST_F(NetworkFixture, InternalClassification) {
+  EXPECT_TRUE(network.is_internal(internal_addr));
+  EXPECT_FALSE(network.is_internal(external_addr));
+}
+
+TEST_F(NetworkFixture, BorderTapSeesCrossingTraffic) {
+  network.border().add_peering("only", 1.0);
+  RecordingObserver tap;
+  network.border().add_tap(0, &tap);
+  SinkRecorder sink;
+  network.attach(internal_addr, &sink);
+
+  network.send(net::make_tcp(external_addr, 1, internal_addr, 80,
+                             net::flags_syn()));
+  sim.run();
+  ASSERT_EQ(tap.seen.size(), 1u);
+  // Tap sees the packet with its delivery timestamp set.
+  EXPECT_GT(tap.seen[0].time.usec, 0);
+}
+
+TEST_F(NetworkFixture, InternalTrafficInvisibleToBorder) {
+  network.border().add_peering("only", 1.0);
+  RecordingObserver tap;
+  network.border().add_tap(0, &tap);
+  SinkRecorder sink;
+  const Ipv4 other_internal = Ipv4::from_octets(128, 125, 2, 2);
+  network.attach(other_internal, &sink);
+
+  // Internal probe: crosses no border, invisible to the tap.
+  network.send(net::make_tcp(internal_addr, 1, other_internal, 22,
+                             net::flags_syn()));
+  sim.run();
+  EXPECT_TRUE(tap.seen.empty());
+  EXPECT_EQ(sink.received.size(), 1u);
+}
+
+TEST_F(NetworkFixture, OutboundCrossingAlsoObserved) {
+  network.border().add_peering("only", 1.0);
+  RecordingObserver tap;
+  network.border().add_tap(0, &tap);
+  // SYN-ACK from an internal server to an external client.
+  network.send(net::make_tcp(internal_addr, 80, external_addr, 1234,
+                             net::flags_syn_ack()));
+  sim.run();
+  ASSERT_EQ(tap.seen.size(), 1u);
+  EXPECT_TRUE(tap.seen[0].flags.is_syn_ack());
+}
+
+TEST_F(NetworkFixture, InternalLatencyShorterThanExternal) {
+  SinkRecorder internal_sink, far_sink;
+  const Ipv4 other = Ipv4::from_octets(128, 125, 3, 3);
+  network.attach(other, &internal_sink);
+  network.attach(internal_addr, &far_sink);
+  network.set_internal_latency(msec(1));
+  network.set_external_latency(msec(50));
+  network.send(net::make_tcp(internal_addr, 1, other, 2, net::flags_syn()));
+  network.send(net::make_tcp(external_addr, 1, internal_addr, 2,
+                             net::flags_syn()));
+  sim.run();
+  ASSERT_EQ(internal_sink.received.size(), 1u);
+  ASSERT_EQ(far_sink.received.size(), 1u);
+  EXPECT_EQ(internal_sink.received[0].time, kEpoch + msec(1));
+  EXPECT_EQ(far_sink.received[0].time, kEpoch + msec(50));
+}
+
+}  // namespace
+}  // namespace svcdisc::sim

@@ -1,0 +1,292 @@
+// Unit tests for util: RNG determinism, distributions, simulated time,
+// statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "util/distributions.h"
+#include "util/rng.h"
+#include "util/sim_time.h"
+#include "util/stats.h"
+
+namespace svcdisc::util {
+namespace {
+
+// ---------------------------------------------------------------- Rng ----
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a() == b();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(3);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.uniform());
+  EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(13);
+  std::map<std::uint64_t, int> counts;
+  constexpr int kDraws = 60000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.below(6)];
+  for (const auto& [value, count] : counts) {
+    EXPECT_NEAR(count, kDraws / 6, kDraws / 60) << "value " << value;
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.range(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ForkProducesIndependentStreams) {
+  Rng parent(9);
+  Rng child1 = parent.fork(1);
+  Rng child2 = parent.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += child1() == child2();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ForkDeterministicGivenSameHistory) {
+  Rng a(9), b(9);
+  Rng fa = a.fork(77), fb = b.fork(77);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(fa(), fb());
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(21);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+// ----------------------------------------------------------- Distributions
+
+TEST(Zipf, PmfSumsToOne) {
+  Zipf z(100, 1.1);
+  double total = 0;
+  for (std::size_t k = 0; k < z.size(); ++k) total += z.pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Zipf, RankZeroMostLikely) {
+  Zipf z(50, 1.0);
+  for (std::size_t k = 1; k < z.size(); ++k) {
+    EXPECT_GT(z.pmf(0), z.pmf(k));
+  }
+}
+
+TEST(Zipf, SamplesMatchPmf) {
+  Zipf z(10, 1.0);
+  Rng rng(31);
+  std::map<std::size_t, int> counts;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) ++counts[z.sample(rng)];
+  for (std::size_t k = 0; k < z.size(); ++k) {
+    EXPECT_NEAR(counts[k], z.pmf(k) * kDraws, kDraws * 0.01) << "rank " << k;
+  }
+}
+
+TEST(Zipf, RejectsEmpty) { EXPECT_THROW(Zipf(0, 1.0), std::invalid_argument); }
+
+TEST(Exponential, MeanIsInverseRate) {
+  Exponential e(4.0);
+  Rng rng(17);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(e.sample(rng));
+  EXPECT_NEAR(stats.mean(), 0.25, 0.01);
+}
+
+TEST(Exponential, ZeroRateYieldsHugeGap) {
+  Exponential e(0.0);
+  Rng rng(1);
+  EXPECT_GT(e.sample(rng), 1e12);
+}
+
+TEST(Pareto, SamplesAboveScale) {
+  Pareto p(2.0, 1.5);
+  Rng rng(23);
+  for (int i = 0; i < 10000; ++i) ASSERT_GE(p.sample(rng), 2.0);
+}
+
+TEST(Pareto, HeavyTailHasLargeSamples) {
+  Pareto p(1.0, 1.1);
+  Rng rng(29);
+  double max_seen = 0;
+  for (int i = 0; i < 100000; ++i) max_seen = std::max(max_seen, p.sample(rng));
+  EXPECT_GT(max_seen, 100.0);
+}
+
+TEST(Discrete, RespectsWeights) {
+  Discrete d({1.0, 0.0, 3.0});
+  Rng rng(37);
+  std::map<std::size_t, int> counts;
+  constexpr int kDraws = 40000;
+  for (int i = 0; i < kDraws; ++i) ++counts[d.sample(rng)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[0], kDraws / 4, kDraws / 40);
+  EXPECT_NEAR(counts[2], 3 * kDraws / 4, kDraws / 40);
+}
+
+TEST(Discrete, RejectsInvalid) {
+  EXPECT_THROW(Discrete({}), std::invalid_argument);
+  EXPECT_THROW(Discrete({0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(Discrete({1.0, -1.0}), std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- Time --
+
+TEST(Duration, UnitConstructors) {
+  EXPECT_EQ(seconds(1).usec, 1'000'000);
+  EXPECT_EQ(minutes(2).usec, 120'000'000);
+  EXPECT_EQ(hours(1).usec, 3'600'000'000LL);
+  EXPECT_EQ(days(1).usec, 86'400'000'000LL);
+  EXPECT_EQ(msec(5).usec, 5'000);
+}
+
+TEST(Duration, Arithmetic) {
+  EXPECT_EQ((hours(1) + minutes(30)).usec, minutes(90).usec);
+  EXPECT_EQ((days(1) - hours(24)).usec, 0);
+  EXPECT_EQ((minutes(1) * 60).usec, hours(1).usec);
+  EXPECT_DOUBLE_EQ(days(3).days(), 3.0);
+  EXPECT_DOUBLE_EQ(hours(36).days(), 1.5);
+}
+
+TEST(TimePoint, Ordering) {
+  const TimePoint a = kEpoch + hours(1);
+  const TimePoint b = kEpoch + hours(2);
+  EXPECT_LT(a, b);
+  EXPECT_EQ((b - a).usec, hours(1).usec);
+}
+
+TEST(Calendar, StartLabel) {
+  const Calendar cal(2006, 9, 19, 10);
+  EXPECT_EQ(cal.month_day(kEpoch), "09-19");
+  EXPECT_EQ(cal.time_of_day(kEpoch), "10:00");
+}
+
+TEST(Calendar, DayRollover) {
+  const Calendar cal(2006, 9, 19, 10);
+  EXPECT_EQ(cal.month_day(kEpoch + hours(13)), "09-19");
+  EXPECT_EQ(cal.month_day(kEpoch + hours(15)), "09-20");
+  EXPECT_EQ(cal.time_of_day(kEpoch + hours(15)), "01:00");
+}
+
+TEST(Calendar, MonthRollover) {
+  const Calendar cal(2006, 9, 19, 10);
+  EXPECT_EQ(cal.month_day(kEpoch + days(12)), "10-01");
+}
+
+TEST(Calendar, YearBoundary) {
+  const Calendar cal(2006, 12, 30, 0);
+  EXPECT_EQ(cal.month_day(kEpoch + days(2)), "01-01");
+}
+
+TEST(Calendar, LeapYearFebruary) {
+  const Calendar cal(2008, 2, 28, 0);
+  EXPECT_EQ(cal.month_day(kEpoch + days(1)), "02-29");
+  EXPECT_EQ(cal.month_day(kEpoch + days(2)), "03-01");
+}
+
+TEST(Calendar, HourOfDayAndDaytime) {
+  const Calendar cal(2006, 9, 19, 10);
+  EXPECT_NEAR(cal.hour_of_day(kEpoch), 10.0, 1e-9);
+  EXPECT_TRUE(cal.is_daytime(kEpoch));
+  EXPECT_FALSE(cal.is_daytime(kEpoch + hours(12)));  // 22:00
+}
+
+// ---------------------------------------------------------------- Stats --
+
+TEST(RunningStats, Empty) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownValues) {
+  RunningStats s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(Percentile, Basics) {
+  std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 2.0);
+}
+
+TEST(Percentile, Empty) { EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0); }
+
+TEST(Pct, SafeDivision) {
+  EXPECT_DOUBLE_EQ(pct(1, 4), 25.0);
+  EXPECT_DOUBLE_EQ(pct(5, 0), 0.0);
+}
+
+// Parameterized sweep: Zipf normalization holds across exponents/sizes.
+class ZipfSweep : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(ZipfSweep, NormalizedAndMonotone) {
+  const auto [n, s] = GetParam();
+  Zipf z(static_cast<std::size_t>(n), s);
+  double total = 0;
+  double prev = 1e9;
+  for (std::size_t k = 0; k < z.size(); ++k) {
+    const double p = z.pmf(k);
+    EXPECT_LE(p, prev + 1e-12);
+    prev = p;
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ZipfSweep,
+    ::testing::Combine(::testing::Values(1, 2, 10, 1000),
+                       ::testing::Values(0.5, 1.0, 1.5, 2.4)));
+
+}  // namespace
+}  // namespace svcdisc::util

@@ -1,0 +1,93 @@
+// Tests for webcat::fetch_root_page against live hosts.
+#include <gtest/gtest.h>
+
+#include "host/host.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "webcat/categorizer.h"
+#include "webcat/fetcher.h"
+
+namespace svcdisc::webcat {
+namespace {
+
+using host::Host;
+using host::LifecycleConfig;
+using host::LifecycleKind;
+using host::Service;
+using host::WebContent;
+using net::Ipv4;
+using net::Prefix;
+
+struct FetcherFixture : ::testing::Test {
+  FetcherFixture()
+      : network(sim, {Prefix(Ipv4::from_octets(128, 125, 0, 0), 16)}),
+        host(1, network, nullptr, Ipv4::from_octets(128, 125, 1, 1),
+             LifecycleConfig{LifecycleKind::kAlwaysOn, {}, {}, false},
+             util::Rng(5)) {}
+
+  sim::Simulator sim;
+  sim::Network network;
+  Host host;
+};
+
+TEST_F(FetcherFixture, FetchesLiveWebService) {
+  Service web;
+  web.proto = net::Proto::kTcp;
+  web.port = 80;
+  web.web = WebContent::kDefault;
+  host.add_service(web);
+  host.start();
+  const std::string page = fetch_root_page(&host, sim.now());
+  ASSERT_FALSE(page.empty());
+  EXPECT_EQ(Categorizer().categorize(page), WebContent::kDefault);
+}
+
+TEST_F(FetcherFixture, NullHostIsNoResponse) {
+  EXPECT_TRUE(fetch_root_page(nullptr, sim.now()).empty());
+}
+
+TEST_F(FetcherFixture, OfflineHostIsNoResponse) {
+  Service web;
+  web.proto = net::Proto::kTcp;
+  web.port = 80;
+  web.web = WebContent::kCustom;
+  host.add_service(web);
+  // Never started: offline.
+  EXPECT_TRUE(fetch_root_page(&host, sim.now()).empty());
+}
+
+TEST_F(FetcherFixture, NonWebHostIsNoResponse) {
+  Service ssh;
+  ssh.proto = net::Proto::kTcp;
+  ssh.port = 22;
+  host.add_service(ssh);
+  host.start();
+  EXPECT_TRUE(fetch_root_page(&host, sim.now()).empty());
+}
+
+TEST_F(FetcherFixture, DeadServiceIsNoResponse) {
+  Service web;
+  web.proto = net::Proto::kTcp;
+  web.port = 80;
+  web.web = WebContent::kCustom;
+  web.death = util::kEpoch + util::hours(1);
+  host.add_service(web);
+  host.start();
+  EXPECT_FALSE(fetch_root_page(&host, sim.now()).empty());
+  sim.run_until(util::kEpoch + util::hours(2));
+  EXPECT_TRUE(fetch_root_page(&host, sim.now()).empty());
+}
+
+TEST_F(FetcherFixture, PageStableForSameHost) {
+  Service web;
+  web.proto = net::Proto::kTcp;
+  web.port = 80;
+  web.web = WebContent::kConfigStatus;
+  host.add_service(web);
+  host.start();
+  EXPECT_EQ(fetch_root_page(&host, sim.now()),
+            fetch_root_page(&host, sim.now()));
+}
+
+}  // namespace
+}  // namespace svcdisc::webcat

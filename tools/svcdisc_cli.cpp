@@ -1,0 +1,353 @@
+// svcdisc — command-line front end.
+//
+// Subcommands:
+//   scenarios                      list the built-in dataset presets
+//   run [flags]                    run a campaign, print the summary
+//   replay <capture.pcap> [flags]  offline passive analysis of a pcap
+//   filter <expr> <capture.pcap>   count packets matching a capture filter
+//
+// Examples:
+//   svcdisc_cli run --scenario=tiny --scans=4 --seed=7
+//   svcdisc_cli run --scenario=dtcp1_18d --pcap=border.pcap
+//   svcdisc_cli replay border.pcap
+//   svcdisc_cli filter "tcp and synack" border.pcap
+#include <cstdio>
+#include <string>
+
+#include "active/scan_report.h"
+#include "analysis/table.h"
+#include "capture/filter.h"
+#include "capture/pcap_file.h"
+#include "core/completeness.h"
+#include "core/engine.h"
+#include "core/report.h"
+#include "passive/table_io.h"
+#include "util/flags.h"
+#include "util/logging.h"
+#include "workload/campus.h"
+
+namespace svcdisc {
+namespace {
+
+struct Scenario {
+  const char* name;
+  workload::CampusConfig (*make)();
+  const char* summary;
+};
+
+const Scenario kScenarios[] = {
+    {"tiny", &workload::CampusConfig::tiny,
+     "small test campus (~600 static addrs, 2 days)"},
+    {"dtcp1_18d", &workload::CampusConfig::dtcp1_18d,
+     "the paper's main dataset: 18 days, ~15.6k addrs, scans every 12h"},
+    {"dtcp1_90d", &workload::CampusConfig::dtcp1_90d,
+     "90 days of passive monitoring"},
+    {"dtcp_break", &workload::CampusConfig::dtcp_break,
+     "11 days over winter break (reduced population, Internet2)"},
+    {"dtcp_all", &workload::CampusConfig::dtcp_all,
+     "one /24 of lab machines, services on any port, 10 days"},
+    {"dudp", &workload::CampusConfig::dudp,
+     "UDP service discovery, 24 hours"},
+};
+
+const Scenario* find_scenario(const std::string& name) {
+  for (const Scenario& s : kScenarios) {
+    if (name == s.name) return &s;
+  }
+  return nullptr;
+}
+
+int cmd_scenarios() {
+  analysis::TextTable table({"name", "description"});
+  for (const Scenario& s : kScenarios) table.add_row({s.name, s.summary});
+  std::fputs(table.render().c_str(), stdout);
+  return 0;
+}
+
+int cmd_run(int argc, const char* const* argv) {
+  std::string scenario_name = "tiny";
+  std::int64_t seed = 24301;
+  std::int64_t scans = -1;  // -1 = scenario default schedule
+  double days = 0;          // 0 = scenario default duration
+  std::string pcap_path;
+  std::string table_path;
+  bool scan_report = false;
+  bool verbose = false;
+
+  util::Flags flags("svcdisc_cli run", "run a discovery campaign");
+  flags.add_string("scenario", "scenario preset (see `scenarios`)",
+                   &scenario_name);
+  flags.add_int64("seed", "campaign seed", &seed);
+  flags.add_int64("scans", "number of 12-hourly scans (-1 = preset)",
+                  &scans);
+  flags.add_double("days", "override campaign duration in days", &days);
+  flags.add_string("pcap", "also record the border capture to this file",
+                   &pcap_path);
+  flags.add_string("table", "save the passive service table (TSV) here",
+                   &table_path);
+  flags.add_bool("scan-report", "print the last scan, nmap-style",
+                 &scan_report);
+  flags.add_bool("verbose", "log simulation progress to stderr", &verbose);
+  if (!flags.parse(argc, argv)) {
+    std::fputs(flags.usage().c_str(),
+               flags.help_requested() ? stdout : stderr);
+    if (!flags.help_requested()) {
+      std::fprintf(stderr, "error: %s\n", flags.error().c_str());
+    }
+    return flags.help_requested() ? 0 : 2;
+  }
+  const Scenario* scenario = find_scenario(scenario_name);
+  if (!scenario) {
+    std::fprintf(stderr, "unknown scenario %s (try `scenarios`)\n",
+                 scenario_name.c_str());
+    return 2;
+  }
+  if (verbose) util::set_log_level(util::LogLevel::kInfo);
+
+  auto cfg = scenario->make();
+  cfg.seed = static_cast<std::uint64_t>(seed);
+  if (days > 0) cfg.duration = util::seconds_f(days * 86400.0);
+  workload::Campus campus(cfg);
+
+  core::EngineConfig engine_cfg;
+  engine_cfg.scan_count =
+      scans >= 0 ? static_cast<int>(scans)
+                 : static_cast<int>(cfg.duration.days() * 2);
+  core::DiscoveryEngine engine(campus, engine_cfg);
+
+  std::unique_ptr<capture::PcapWriter> writer;
+  if (!pcap_path.empty()) {
+    writer = std::make_unique<capture::PcapWriter>(pcap_path);
+    if (!writer->ok()) {
+      std::fprintf(stderr, "cannot open %s\n", pcap_path.c_str());
+      return 1;
+    }
+    engine.add_tap_consumer(writer.get());
+  }
+
+  engine.run();
+
+  const auto end = util::kEpoch + campus.config().duration;
+  const auto passive = core::addresses_found(engine.monitor().table(), end);
+  const auto active = core::addresses_found(engine.prober().table(), end);
+  const auto c = core::completeness(passive, active);
+
+  std::printf("scenario %s, seed %lld, %.1f days, %zu scans\n",
+              scenario_name.c_str(), static_cast<long long>(seed),
+              campus.config().duration.days(),
+              engine.prober().scans().size());
+  analysis::TextTable table({"measure", "value"});
+  table.add_row({"probe targets",
+                 analysis::fmt_count(campus.scan_targets().size())});
+  table.add_row({"union servers", analysis::fmt_count(c.union_count)});
+  table.add_row({"active", analysis::fmt_count_pct(c.active_total,
+                                                   c.union_count)});
+  table.add_row({"passive", analysis::fmt_count_pct(c.passive_total,
+                                                    c.union_count)});
+  table.add_row({"passive only", analysis::fmt_count_pct(c.passive_only,
+                                                         c.union_count)});
+  table.add_row({"scanners flagged",
+                 analysis::fmt_count(engine.scan_detector().scanner_count())});
+  std::fputs(table.render().c_str(), stdout);
+  if (writer) {
+    std::printf("capture: %llu packets -> %s\n",
+                static_cast<unsigned long long>(writer->written()),
+                pcap_path.c_str());
+  }
+  if (!table_path.empty()) {
+    if (passive::save_table(engine.monitor().table(), table_path)) {
+      std::printf("service table: %zu services -> %s\n",
+                  engine.monitor().table().size(), table_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", table_path.c_str());
+    }
+  }
+  if (scan_report && !engine.prober().scans().empty()) {
+    active::ReportOptions options;
+    options.max_hosts = 20;
+    std::fputs(active::format_scan_report(engine.prober().scans().back(),
+                                          campus.calendar(), options)
+                   .c_str(),
+               stdout);
+  }
+  return 0;
+}
+
+int cmd_replay(int argc, const char* const* argv) {
+  std::string net_text = "128.125.0.0/16";
+  std::string table_path;
+  bool all_ports = false;
+  util::Flags flags("svcdisc_cli replay",
+                    "offline passive analysis of a pcap capture");
+  flags.add_string("net", "internal (campus) prefix", &net_text);
+  flags.add_string("table", "save the service table (TSV) here",
+                   &table_path);
+  flags.add_bool("all-ports", "record services on any port", &all_ports);
+  if (!flags.parse(argc, argv) || flags.positional().size() != 1) {
+    std::fputs(flags.usage().c_str(), stderr);
+    std::fputs("usage: replay <capture.pcap>\n", stderr);
+    return flags.help_requested() ? 0 : 2;
+  }
+  const auto prefix = net::Prefix::parse(net_text);
+  if (!prefix) {
+    std::fprintf(stderr, "bad prefix: %s\n", net_text.c_str());
+    return 2;
+  }
+  const auto result =
+      capture::PcapReader::read_file(flags.positional()[0]);
+  if (!result.ok) {
+    std::fprintf(stderr, "cannot read %s\n", flags.positional()[0].c_str());
+    return 1;
+  }
+
+  passive::MonitorConfig cfg;
+  cfg.internal_prefixes = {*prefix};
+  if (!all_ports) cfg.tcp_ports = net::selected_tcp_ports();
+  cfg.detect_udp = true;
+  passive::PassiveMonitor monitor(cfg);
+  for (const net::Packet& p : result.packets) monitor.observe(p);
+
+  std::printf("replayed %zu packets (%llu skipped)\n", result.packets.size(),
+              static_cast<unsigned long long>(result.skipped));
+  std::printf("services discovered: %zu on %zu addresses\n",
+              monitor.table().size(), monitor.table().address_count());
+  analysis::TextTable table({"address", "proto", "port", "flows",
+                             "clients"});
+  int shown = 0;
+  for (const auto& [key, when] : monitor.table().chronological()) {
+    const passive::ServiceRecord* record = monitor.table().find(key);
+    table.add_row({key.addr.to_string(), std::string(proto_name(key.proto)),
+                   std::to_string(key.port),
+                   analysis::fmt_count(record ? record->flows : 0),
+                   analysis::fmt_count(record ? record->clients.size() : 0)});
+    if (++shown >= 20) break;
+  }
+  std::fputs(table.render().c_str(), stdout);
+  if (monitor.table().size() > 20) {
+    std::printf("... (%zu more)\n", monitor.table().size() - 20);
+  }
+  if (!table_path.empty() &&
+      passive::save_table(monitor.table(), table_path)) {
+    std::printf("service table -> %s\n", table_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_filter(int argc, const char* const* argv) {
+  util::Flags flags("svcdisc_cli filter",
+                    "count pcap packets matching a capture filter");
+  if (!flags.parse(argc, argv) || flags.positional().size() != 2) {
+    std::fputs("usage: filter <expression> <capture.pcap>\n", stderr);
+    return flags.help_requested() ? 0 : 2;
+  }
+  std::string error;
+  const auto filter = capture::Filter::compile(flags.positional()[0], &error);
+  if (!filter) {
+    std::fprintf(stderr, "filter error: %s\n", error.c_str());
+    return 2;
+  }
+  const auto result =
+      capture::PcapReader::read_file(flags.positional()[1]);
+  if (!result.ok) {
+    std::fprintf(stderr, "cannot read %s\n", flags.positional()[1].c_str());
+    return 1;
+  }
+  std::size_t matched = 0;
+  for (const net::Packet& p : result.packets) matched += filter->matches(p);
+  std::printf("%zu of %zu packets match \"%s\"\n", matched,
+              result.packets.size(), flags.positional()[0].c_str());
+  return 0;
+}
+
+int cmd_dump(int argc, const char* const* argv) {
+  std::int64_t limit = 40;
+  std::string expr;
+  util::Flags flags("svcdisc_cli dump", "print pcap packets, tcpdump-style");
+  flags.add_int64("limit", "max packets to print (0 = all)", &limit);
+  flags.add_string("filter", "only print matching packets", &expr);
+  if (!flags.parse(argc, argv) || flags.positional().size() != 1) {
+    std::fputs(flags.usage().c_str(), stderr);
+    std::fputs("usage: dump <capture.pcap>\n", stderr);
+    return flags.help_requested() ? 0 : 2;
+  }
+  std::string error;
+  const auto filter = capture::Filter::compile(expr, &error);
+  if (!filter) {
+    std::fprintf(stderr, "filter error: %s\n", error.c_str());
+    return 2;
+  }
+  const auto result = capture::PcapReader::read_file(flags.positional()[0]);
+  if (!result.ok) {
+    std::fprintf(stderr, "cannot read %s\n", flags.positional()[0].c_str());
+    return 1;
+  }
+  const util::Calendar cal;
+  std::int64_t printed = 0;
+  for (const net::Packet& p : result.packets) {
+    if (!filter->matches(p)) continue;
+    std::printf("%s %s\n", cal.month_day_time(p.time).c_str(),
+                p.to_string().c_str());
+    if (limit > 0 && ++printed >= limit) {
+      std::printf("... (truncated at %lld; use --limit=0 for all)\n",
+                  static_cast<long long>(limit));
+      break;
+    }
+  }
+  return 0;
+}
+
+int cmd_diff(int argc, const char* const* argv) {
+  util::Flags flags("svcdisc_cli diff",
+                    "compare two saved service tables (surface-area "
+                    "tracking)");
+  if (!flags.parse(argc, argv) || flags.positional().size() != 2) {
+    std::fputs("usage: diff <before.tsv> <after.tsv>\n", stderr);
+    return flags.help_requested() ? 0 : 2;
+  }
+  const auto before = passive::load_table(flags.positional()[0]);
+  const auto after = passive::load_table(flags.positional()[1]);
+  if (!before.ok || !after.ok) {
+    std::fprintf(stderr, "cannot read %s\n",
+                 (!before.ok ? flags.positional()[0] : flags.positional()[1])
+                     .c_str());
+    return 1;
+  }
+  const auto diff = passive::diff_tables(before.table, after.table);
+  std::printf("%zu unchanged, %zu appeared, %zu disappeared\n",
+              diff.unchanged, diff.appeared.size(),
+              diff.disappeared.size());
+  for (const auto& key : diff.appeared) {
+    std::printf("+ %s %s/%u\n", key.addr.to_string().c_str(),
+                key.proto == net::Proto::kTcp ? "tcp" : "udp", key.port);
+  }
+  for (const auto& key : diff.disappeared) {
+    std::printf("- %s %s/%u\n", key.addr.to_string().c_str(),
+                key.proto == net::Proto::kTcp ? "tcp" : "udp", key.port);
+  }
+  return diff.appeared.empty() && diff.disappeared.empty() ? 0 : 3;
+}
+
+int dispatch(int argc, const char* const* argv) {
+  const std::string command = argc > 1 ? argv[1] : "";
+  if (command == "scenarios") return cmd_scenarios();
+  if (command == "run") return cmd_run(argc - 1, argv + 1);
+  if (command == "replay") return cmd_replay(argc - 1, argv + 1);
+  if (command == "filter") return cmd_filter(argc - 1, argv + 1);
+  if (command == "dump") return cmd_dump(argc - 1, argv + 1);
+  if (command == "diff") return cmd_diff(argc - 1, argv + 1);
+  std::fprintf(stderr,
+               "usage: %s <scenarios|run|replay|filter|dump|diff> [flags]\n"
+               "  scenarios             list dataset presets\n"
+               "  run                   run a discovery campaign\n"
+               "  replay <pcap>         offline passive analysis\n"
+               "  filter <expr> <pcap>  count matching packets\n"
+               "  dump <pcap>           print packets, tcpdump-style\n"
+               "  diff <a.tsv> <b.tsv>  compare two saved service tables\n",
+               argc > 0 ? argv[0] : "svcdisc_cli");
+  return command.empty() ? 2 : 2;
+}
+
+}  // namespace
+}  // namespace svcdisc
+
+int main(int argc, char** argv) { return svcdisc::dispatch(argc, argv); }
