@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_addresschurn.dir/bench_ablation_addresschurn.cpp.o"
+  "CMakeFiles/bench_ablation_addresschurn.dir/bench_ablation_addresschurn.cpp.o.d"
+  "bench_ablation_addresschurn"
+  "bench_ablation_addresschurn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_addresschurn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

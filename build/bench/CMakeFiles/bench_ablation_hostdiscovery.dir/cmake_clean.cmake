@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_hostdiscovery.dir/bench_ablation_hostdiscovery.cpp.o"
+  "CMakeFiles/bench_ablation_hostdiscovery.dir/bench_ablation_hostdiscovery.cpp.o.d"
+  "bench_ablation_hostdiscovery"
+  "bench_ablation_hostdiscovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hostdiscovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

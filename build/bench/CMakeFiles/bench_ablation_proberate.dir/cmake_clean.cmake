@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_proberate.dir/bench_ablation_proberate.cpp.o"
+  "CMakeFiles/bench_ablation_proberate.dir/bench_ablation_proberate.cpp.o.d"
+  "bench_ablation_proberate"
+  "bench_ablation_proberate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_proberate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

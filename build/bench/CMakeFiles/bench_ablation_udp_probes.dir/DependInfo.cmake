@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_udp_probes.cpp" "bench/CMakeFiles/bench_ablation_udp_probes.dir/bench_ablation_udp_probes.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_udp_probes.dir/bench_ablation_udp_probes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/svcdisc_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/svcdisc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/svcdisc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/active/CMakeFiles/svcdisc_active.dir/DependInfo.cmake"
+  "/root/repo/build/src/passive/CMakeFiles/svcdisc_passive.dir/DependInfo.cmake"
+  "/root/repo/build/src/capture/CMakeFiles/svcdisc_capture.dir/DependInfo.cmake"
+  "/root/repo/build/src/webcat/CMakeFiles/svcdisc_webcat.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/svcdisc_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/svcdisc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/svcdisc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/svcdisc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/svcdisc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

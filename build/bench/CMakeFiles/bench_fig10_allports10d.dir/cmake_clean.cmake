@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_allports10d.dir/bench_fig10_allports10d.cpp.o"
+  "CMakeFiles/bench_fig10_allports10d.dir/bench_fig10_allports10d.cpp.o.d"
+  "bench_fig10_allports10d"
+  "bench_fig10_allports10d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_allports10d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

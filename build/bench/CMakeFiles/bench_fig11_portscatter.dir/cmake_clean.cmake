@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_portscatter.dir/bench_fig11_portscatter.cpp.o"
+  "CMakeFiles/bench_fig11_portscatter.dir/bench_fig11_portscatter.cpp.o.d"
+  "bench_fig11_portscatter"
+  "bench_fig11_portscatter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_portscatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

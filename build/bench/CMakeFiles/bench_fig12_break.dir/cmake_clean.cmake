@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_break.dir/bench_fig12_break.cpp.o"
+  "CMakeFiles/bench_fig12_break.dir/bench_fig12_break.cpp.o.d"
+  "bench_fig12_break"
+  "bench_fig12_break.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_break.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_weighted12h.dir/bench_fig1_weighted12h.cpp.o"
+  "CMakeFiles/bench_fig1_weighted12h.dir/bench_fig1_weighted12h.cpp.o.d"
+  "bench_fig1_weighted12h"
+  "bench_fig1_weighted12h.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_weighted12h.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig1_weighted12h.
+# This may be replaced when dependencies are built.

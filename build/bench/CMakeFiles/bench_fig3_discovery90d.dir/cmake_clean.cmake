@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_discovery90d.dir/bench_fig3_discovery90d.cpp.o"
+  "CMakeFiles/bench_fig3_discovery90d.dir/bench_fig3_discovery90d.cpp.o.d"
+  "bench_fig3_discovery90d"
+  "bench_fig3_discovery90d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_discovery90d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

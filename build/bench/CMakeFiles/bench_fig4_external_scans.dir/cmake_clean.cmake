@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_external_scans.dir/bench_fig4_external_scans.cpp.o"
+  "CMakeFiles/bench_fig4_external_scans.dir/bench_fig4_external_scans.cpp.o.d"
+  "bench_fig4_external_scans"
+  "bench_fig4_external_scans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_external_scans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

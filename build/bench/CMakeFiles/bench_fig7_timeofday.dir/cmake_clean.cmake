@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_timeofday.dir/bench_fig7_timeofday.cpp.o"
+  "CMakeFiles/bench_fig7_timeofday.dir/bench_fig7_timeofday.cpp.o.d"
+  "bench_fig7_timeofday"
+  "bench_fig7_timeofday.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_timeofday.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_allports24h.dir/bench_fig9_allports24h.cpp.o"
+  "CMakeFiles/bench_fig9_allports24h.dir/bench_fig9_allports24h.cpp.o.d"
+  "bench_fig9_allports24h"
+  "bench_fig9_allports24h.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_allports24h.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

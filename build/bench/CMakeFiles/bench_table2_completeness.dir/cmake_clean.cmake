@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_completeness.dir/bench_table2_completeness.cpp.o"
+  "CMakeFiles/bench_table2_completeness.dir/bench_table2_completeness.cpp.o.d"
+  "bench_table2_completeness"
+  "bench_table2_completeness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_completeness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_categorization.dir/bench_table3_categorization.cpp.o"
+  "CMakeFiles/bench_table3_categorization.dir/bench_table3_categorization.cpp.o.d"
+  "bench_table3_categorization"
+  "bench_table3_categorization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_categorization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_categorization18d.dir/bench_table4_categorization18d.cpp.o"
+  "CMakeFiles/bench_table4_categorization18d.dir/bench_table4_categorization18d.cpp.o.d"
+  "bench_table4_categorization18d"
+  "bench_table4_categorization18d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_categorization18d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

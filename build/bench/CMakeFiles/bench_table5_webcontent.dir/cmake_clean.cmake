@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_webcontent.dir/bench_table5_webcontent.cpp.o"
+  "CMakeFiles/bench_table5_webcontent.dir/bench_table5_webcontent.cpp.o.d"
+  "bench_table5_webcontent"
+  "bench_table5_webcontent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_webcontent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_udp.dir/bench_table7_udp.cpp.o"
+  "CMakeFiles/bench_table7_udp.dir/bench_table7_udp.cpp.o.d"
+  "bench_table7_udp"
+  "bench_table7_udp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_udp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_peerings.dir/bench_table8_peerings.cpp.o"
+  "CMakeFiles/bench_table8_peerings.dir/bench_table8_peerings.cpp.o.d"
+  "bench_table8_peerings"
+  "bench_table8_peerings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_peerings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

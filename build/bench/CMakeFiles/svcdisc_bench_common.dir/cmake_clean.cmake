@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svcdisc_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/svcdisc_bench_common.dir/bench_common.cpp.o.d"
+  "libsvcdisc_bench_common.a"
+  "libsvcdisc_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svcdisc_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firewall_audit.dir/firewall_audit.cpp.o"
+  "CMakeFiles/firewall_audit.dir/firewall_audit.cpp.o.d"
+  "firewall_audit"
+  "firewall_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firewall_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

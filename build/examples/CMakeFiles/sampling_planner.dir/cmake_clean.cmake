@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampling_planner.dir/sampling_planner.cpp.o"
+  "CMakeFiles/sampling_planner.dir/sampling_planner.cpp.o.d"
+  "sampling_planner"
+  "sampling_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampling_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("net")
+subdirs("sim")
+subdirs("host")
+subdirs("workload")
+subdirs("capture")
+subdirs("passive")
+subdirs("active")
+subdirs("core")
+subdirs("webcat")
+subdirs("analysis")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/active/prober.cpp" "src/active/CMakeFiles/svcdisc_active.dir/prober.cpp.o" "gcc" "src/active/CMakeFiles/svcdisc_active.dir/prober.cpp.o.d"
+  "/root/repo/src/active/rate_limiter.cpp" "src/active/CMakeFiles/svcdisc_active.dir/rate_limiter.cpp.o" "gcc" "src/active/CMakeFiles/svcdisc_active.dir/rate_limiter.cpp.o.d"
+  "/root/repo/src/active/scan_report.cpp" "src/active/CMakeFiles/svcdisc_active.dir/scan_report.cpp.o" "gcc" "src/active/CMakeFiles/svcdisc_active.dir/scan_report.cpp.o.d"
+  "/root/repo/src/active/scan_scheduler.cpp" "src/active/CMakeFiles/svcdisc_active.dir/scan_scheduler.cpp.o" "gcc" "src/active/CMakeFiles/svcdisc_active.dir/scan_scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/svcdisc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/passive/CMakeFiles/svcdisc_passive.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/svcdisc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/svcdisc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/svcdisc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/capture/CMakeFiles/svcdisc_capture.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

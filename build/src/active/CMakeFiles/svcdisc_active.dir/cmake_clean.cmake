@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svcdisc_active.dir/prober.cpp.o"
+  "CMakeFiles/svcdisc_active.dir/prober.cpp.o.d"
+  "CMakeFiles/svcdisc_active.dir/rate_limiter.cpp.o"
+  "CMakeFiles/svcdisc_active.dir/rate_limiter.cpp.o.d"
+  "CMakeFiles/svcdisc_active.dir/scan_report.cpp.o"
+  "CMakeFiles/svcdisc_active.dir/scan_report.cpp.o.d"
+  "CMakeFiles/svcdisc_active.dir/scan_scheduler.cpp.o"
+  "CMakeFiles/svcdisc_active.dir/scan_scheduler.cpp.o.d"
+  "libsvcdisc_active.a"
+  "libsvcdisc_active.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svcdisc_active.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

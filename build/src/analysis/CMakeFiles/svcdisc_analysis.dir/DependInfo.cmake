@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/cdf.cpp" "src/analysis/CMakeFiles/svcdisc_analysis.dir/cdf.cpp.o" "gcc" "src/analysis/CMakeFiles/svcdisc_analysis.dir/cdf.cpp.o.d"
+  "/root/repo/src/analysis/export.cpp" "src/analysis/CMakeFiles/svcdisc_analysis.dir/export.cpp.o" "gcc" "src/analysis/CMakeFiles/svcdisc_analysis.dir/export.cpp.o.d"
+  "/root/repo/src/analysis/table.cpp" "src/analysis/CMakeFiles/svcdisc_analysis.dir/table.cpp.o" "gcc" "src/analysis/CMakeFiles/svcdisc_analysis.dir/table.cpp.o.d"
+  "/root/repo/src/analysis/timeseries.cpp" "src/analysis/CMakeFiles/svcdisc_analysis.dir/timeseries.cpp.o" "gcc" "src/analysis/CMakeFiles/svcdisc_analysis.dir/timeseries.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/svcdisc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

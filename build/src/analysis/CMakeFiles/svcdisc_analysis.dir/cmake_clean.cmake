@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svcdisc_analysis.dir/cdf.cpp.o"
+  "CMakeFiles/svcdisc_analysis.dir/cdf.cpp.o.d"
+  "CMakeFiles/svcdisc_analysis.dir/export.cpp.o"
+  "CMakeFiles/svcdisc_analysis.dir/export.cpp.o.d"
+  "CMakeFiles/svcdisc_analysis.dir/table.cpp.o"
+  "CMakeFiles/svcdisc_analysis.dir/table.cpp.o.d"
+  "CMakeFiles/svcdisc_analysis.dir/timeseries.cpp.o"
+  "CMakeFiles/svcdisc_analysis.dir/timeseries.cpp.o.d"
+  "libsvcdisc_analysis.a"
+  "libsvcdisc_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svcdisc_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/capture/filter.cpp" "src/capture/CMakeFiles/svcdisc_capture.dir/filter.cpp.o" "gcc" "src/capture/CMakeFiles/svcdisc_capture.dir/filter.cpp.o.d"
+  "/root/repo/src/capture/merger.cpp" "src/capture/CMakeFiles/svcdisc_capture.dir/merger.cpp.o" "gcc" "src/capture/CMakeFiles/svcdisc_capture.dir/merger.cpp.o.d"
+  "/root/repo/src/capture/pcap_file.cpp" "src/capture/CMakeFiles/svcdisc_capture.dir/pcap_file.cpp.o" "gcc" "src/capture/CMakeFiles/svcdisc_capture.dir/pcap_file.cpp.o.d"
+  "/root/repo/src/capture/ring_buffer.cpp" "src/capture/CMakeFiles/svcdisc_capture.dir/ring_buffer.cpp.o" "gcc" "src/capture/CMakeFiles/svcdisc_capture.dir/ring_buffer.cpp.o.d"
+  "/root/repo/src/capture/sampler.cpp" "src/capture/CMakeFiles/svcdisc_capture.dir/sampler.cpp.o" "gcc" "src/capture/CMakeFiles/svcdisc_capture.dir/sampler.cpp.o.d"
+  "/root/repo/src/capture/tap.cpp" "src/capture/CMakeFiles/svcdisc_capture.dir/tap.cpp.o" "gcc" "src/capture/CMakeFiles/svcdisc_capture.dir/tap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/svcdisc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/svcdisc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/svcdisc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

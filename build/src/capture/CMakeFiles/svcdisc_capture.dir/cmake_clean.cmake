@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svcdisc_capture.dir/filter.cpp.o"
+  "CMakeFiles/svcdisc_capture.dir/filter.cpp.o.d"
+  "CMakeFiles/svcdisc_capture.dir/merger.cpp.o"
+  "CMakeFiles/svcdisc_capture.dir/merger.cpp.o.d"
+  "CMakeFiles/svcdisc_capture.dir/pcap_file.cpp.o"
+  "CMakeFiles/svcdisc_capture.dir/pcap_file.cpp.o.d"
+  "CMakeFiles/svcdisc_capture.dir/ring_buffer.cpp.o"
+  "CMakeFiles/svcdisc_capture.dir/ring_buffer.cpp.o.d"
+  "CMakeFiles/svcdisc_capture.dir/sampler.cpp.o"
+  "CMakeFiles/svcdisc_capture.dir/sampler.cpp.o.d"
+  "CMakeFiles/svcdisc_capture.dir/tap.cpp.o"
+  "CMakeFiles/svcdisc_capture.dir/tap.cpp.o.d"
+  "libsvcdisc_capture.a"
+  "libsvcdisc_capture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svcdisc_capture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

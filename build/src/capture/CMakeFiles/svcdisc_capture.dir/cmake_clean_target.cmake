@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsvcdisc_capture.a"
+)

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svcdisc_core.dir/categorize.cpp.o"
+  "CMakeFiles/svcdisc_core.dir/categorize.cpp.o.d"
+  "CMakeFiles/svcdisc_core.dir/completeness.cpp.o"
+  "CMakeFiles/svcdisc_core.dir/completeness.cpp.o.d"
+  "CMakeFiles/svcdisc_core.dir/engine.cpp.o"
+  "CMakeFiles/svcdisc_core.dir/engine.cpp.o.d"
+  "CMakeFiles/svcdisc_core.dir/firewall_confirm.cpp.o"
+  "CMakeFiles/svcdisc_core.dir/firewall_confirm.cpp.o.d"
+  "CMakeFiles/svcdisc_core.dir/report.cpp.o"
+  "CMakeFiles/svcdisc_core.dir/report.cpp.o.d"
+  "CMakeFiles/svcdisc_core.dir/weighted.cpp.o"
+  "CMakeFiles/svcdisc_core.dir/weighted.cpp.o.d"
+  "libsvcdisc_core.a"
+  "libsvcdisc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svcdisc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svcdisc_host.dir/address_pool.cpp.o"
+  "CMakeFiles/svcdisc_host.dir/address_pool.cpp.o.d"
+  "CMakeFiles/svcdisc_host.dir/firewall.cpp.o"
+  "CMakeFiles/svcdisc_host.dir/firewall.cpp.o.d"
+  "CMakeFiles/svcdisc_host.dir/host.cpp.o"
+  "CMakeFiles/svcdisc_host.dir/host.cpp.o.d"
+  "libsvcdisc_host.a"
+  "libsvcdisc_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svcdisc_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svcdisc_net.dir/checksum.cpp.o"
+  "CMakeFiles/svcdisc_net.dir/checksum.cpp.o.d"
+  "CMakeFiles/svcdisc_net.dir/ipv4.cpp.o"
+  "CMakeFiles/svcdisc_net.dir/ipv4.cpp.o.d"
+  "CMakeFiles/svcdisc_net.dir/packet.cpp.o"
+  "CMakeFiles/svcdisc_net.dir/packet.cpp.o.d"
+  "CMakeFiles/svcdisc_net.dir/ports.cpp.o"
+  "CMakeFiles/svcdisc_net.dir/ports.cpp.o.d"
+  "CMakeFiles/svcdisc_net.dir/wire.cpp.o"
+  "CMakeFiles/svcdisc_net.dir/wire.cpp.o.d"
+  "libsvcdisc_net.a"
+  "libsvcdisc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svcdisc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

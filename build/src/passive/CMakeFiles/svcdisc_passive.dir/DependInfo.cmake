@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/passive/monitor.cpp" "src/passive/CMakeFiles/svcdisc_passive.dir/monitor.cpp.o" "gcc" "src/passive/CMakeFiles/svcdisc_passive.dir/monitor.cpp.o.d"
+  "/root/repo/src/passive/scan_detector.cpp" "src/passive/CMakeFiles/svcdisc_passive.dir/scan_detector.cpp.o" "gcc" "src/passive/CMakeFiles/svcdisc_passive.dir/scan_detector.cpp.o.d"
+  "/root/repo/src/passive/service_table.cpp" "src/passive/CMakeFiles/svcdisc_passive.dir/service_table.cpp.o" "gcc" "src/passive/CMakeFiles/svcdisc_passive.dir/service_table.cpp.o.d"
+  "/root/repo/src/passive/table_io.cpp" "src/passive/CMakeFiles/svcdisc_passive.dir/table_io.cpp.o" "gcc" "src/passive/CMakeFiles/svcdisc_passive.dir/table_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/capture/CMakeFiles/svcdisc_capture.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/svcdisc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/svcdisc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/svcdisc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

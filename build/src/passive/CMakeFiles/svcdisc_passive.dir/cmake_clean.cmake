@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svcdisc_passive.dir/monitor.cpp.o"
+  "CMakeFiles/svcdisc_passive.dir/monitor.cpp.o.d"
+  "CMakeFiles/svcdisc_passive.dir/scan_detector.cpp.o"
+  "CMakeFiles/svcdisc_passive.dir/scan_detector.cpp.o.d"
+  "CMakeFiles/svcdisc_passive.dir/service_table.cpp.o"
+  "CMakeFiles/svcdisc_passive.dir/service_table.cpp.o.d"
+  "CMakeFiles/svcdisc_passive.dir/table_io.cpp.o"
+  "CMakeFiles/svcdisc_passive.dir/table_io.cpp.o.d"
+  "libsvcdisc_passive.a"
+  "libsvcdisc_passive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svcdisc_passive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

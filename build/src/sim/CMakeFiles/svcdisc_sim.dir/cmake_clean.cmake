@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svcdisc_sim.dir/border_router.cpp.o"
+  "CMakeFiles/svcdisc_sim.dir/border_router.cpp.o.d"
+  "CMakeFiles/svcdisc_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/svcdisc_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/svcdisc_sim.dir/network.cpp.o"
+  "CMakeFiles/svcdisc_sim.dir/network.cpp.o.d"
+  "CMakeFiles/svcdisc_sim.dir/simulator.cpp.o"
+  "CMakeFiles/svcdisc_sim.dir/simulator.cpp.o.d"
+  "libsvcdisc_sim.a"
+  "libsvcdisc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svcdisc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svcdisc_util.dir/distributions.cpp.o"
+  "CMakeFiles/svcdisc_util.dir/distributions.cpp.o.d"
+  "CMakeFiles/svcdisc_util.dir/flags.cpp.o"
+  "CMakeFiles/svcdisc_util.dir/flags.cpp.o.d"
+  "CMakeFiles/svcdisc_util.dir/logging.cpp.o"
+  "CMakeFiles/svcdisc_util.dir/logging.cpp.o.d"
+  "CMakeFiles/svcdisc_util.dir/rng.cpp.o"
+  "CMakeFiles/svcdisc_util.dir/rng.cpp.o.d"
+  "CMakeFiles/svcdisc_util.dir/sim_time.cpp.o"
+  "CMakeFiles/svcdisc_util.dir/sim_time.cpp.o.d"
+  "CMakeFiles/svcdisc_util.dir/stats.cpp.o"
+  "CMakeFiles/svcdisc_util.dir/stats.cpp.o.d"
+  "libsvcdisc_util.a"
+  "libsvcdisc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svcdisc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/webcat/categorizer.cpp" "src/webcat/CMakeFiles/svcdisc_webcat.dir/categorizer.cpp.o" "gcc" "src/webcat/CMakeFiles/svcdisc_webcat.dir/categorizer.cpp.o.d"
+  "/root/repo/src/webcat/fetcher.cpp" "src/webcat/CMakeFiles/svcdisc_webcat.dir/fetcher.cpp.o" "gcc" "src/webcat/CMakeFiles/svcdisc_webcat.dir/fetcher.cpp.o.d"
+  "/root/repo/src/webcat/page_generator.cpp" "src/webcat/CMakeFiles/svcdisc_webcat.dir/page_generator.cpp.o" "gcc" "src/webcat/CMakeFiles/svcdisc_webcat.dir/page_generator.cpp.o.d"
+  "/root/repo/src/webcat/signatures.cpp" "src/webcat/CMakeFiles/svcdisc_webcat.dir/signatures.cpp.o" "gcc" "src/webcat/CMakeFiles/svcdisc_webcat.dir/signatures.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/host/CMakeFiles/svcdisc_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/svcdisc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/svcdisc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/svcdisc_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

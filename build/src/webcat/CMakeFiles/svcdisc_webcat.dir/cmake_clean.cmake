@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svcdisc_webcat.dir/categorizer.cpp.o"
+  "CMakeFiles/svcdisc_webcat.dir/categorizer.cpp.o.d"
+  "CMakeFiles/svcdisc_webcat.dir/fetcher.cpp.o"
+  "CMakeFiles/svcdisc_webcat.dir/fetcher.cpp.o.d"
+  "CMakeFiles/svcdisc_webcat.dir/page_generator.cpp.o"
+  "CMakeFiles/svcdisc_webcat.dir/page_generator.cpp.o.d"
+  "CMakeFiles/svcdisc_webcat.dir/signatures.cpp.o"
+  "CMakeFiles/svcdisc_webcat.dir/signatures.cpp.o.d"
+  "libsvcdisc_webcat.a"
+  "libsvcdisc_webcat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svcdisc_webcat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

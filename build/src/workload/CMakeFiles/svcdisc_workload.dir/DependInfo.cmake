@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/campus.cpp" "src/workload/CMakeFiles/svcdisc_workload.dir/campus.cpp.o" "gcc" "src/workload/CMakeFiles/svcdisc_workload.dir/campus.cpp.o.d"
+  "/root/repo/src/workload/diurnal.cpp" "src/workload/CMakeFiles/svcdisc_workload.dir/diurnal.cpp.o" "gcc" "src/workload/CMakeFiles/svcdisc_workload.dir/diurnal.cpp.o.d"
+  "/root/repo/src/workload/external_scanner.cpp" "src/workload/CMakeFiles/svcdisc_workload.dir/external_scanner.cpp.o" "gcc" "src/workload/CMakeFiles/svcdisc_workload.dir/external_scanner.cpp.o.d"
+  "/root/repo/src/workload/flow_generator.cpp" "src/workload/CMakeFiles/svcdisc_workload.dir/flow_generator.cpp.o" "gcc" "src/workload/CMakeFiles/svcdisc_workload.dir/flow_generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/host/CMakeFiles/svcdisc_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/svcdisc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/svcdisc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/svcdisc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

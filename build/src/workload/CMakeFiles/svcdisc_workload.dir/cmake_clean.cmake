@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svcdisc_workload.dir/campus.cpp.o"
+  "CMakeFiles/svcdisc_workload.dir/campus.cpp.o.d"
+  "CMakeFiles/svcdisc_workload.dir/diurnal.cpp.o"
+  "CMakeFiles/svcdisc_workload.dir/diurnal.cpp.o.d"
+  "CMakeFiles/svcdisc_workload.dir/external_scanner.cpp.o"
+  "CMakeFiles/svcdisc_workload.dir/external_scanner.cpp.o.d"
+  "CMakeFiles/svcdisc_workload.dir/flow_generator.cpp.o"
+  "CMakeFiles/svcdisc_workload.dir/flow_generator.cpp.o.d"
+  "libsvcdisc_workload.a"
+  "libsvcdisc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svcdisc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

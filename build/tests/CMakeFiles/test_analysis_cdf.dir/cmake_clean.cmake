@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis_cdf.dir/test_analysis_cdf.cpp.o"
+  "CMakeFiles/test_analysis_cdf.dir/test_analysis_cdf.cpp.o.d"
+  "test_analysis_cdf"
+  "test_analysis_cdf.pdb"
+  "test_analysis_cdf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

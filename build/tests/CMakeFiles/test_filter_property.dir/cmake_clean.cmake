@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_filter_property.dir/test_filter_property.cpp.o"
+  "CMakeFiles/test_filter_property.dir/test_filter_property.cpp.o.d"
+  "test_filter_property"
+  "test_filter_property.pdb"
+  "test_filter_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_filter_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

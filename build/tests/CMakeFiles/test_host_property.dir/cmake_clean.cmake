@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_host_property.dir/test_host_property.cpp.o"
+  "CMakeFiles/test_host_property.dir/test_host_property.cpp.o.d"
+  "test_host_property"
+  "test_host_property.pdb"
+  "test_host_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_host_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_passive.dir/test_passive.cpp.o"
+  "CMakeFiles/test_passive.dir/test_passive.cpp.o.d"
+  "test_passive"
+  "test_passive.pdb"
+  "test_passive[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_passive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pool_property.dir/test_pool_property.cpp.o"
+  "CMakeFiles/test_pool_property.dir/test_pool_property.cpp.o.d"
+  "test_pool_property"
+  "test_pool_property.pdb"
+  "test_pool_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pool_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_portknock.dir/test_portknock.cpp.o"
+  "CMakeFiles/test_portknock.dir/test_portknock.cpp.o.d"
+  "test_portknock"
+  "test_portknock.pdb"
+  "test_portknock[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_portknock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

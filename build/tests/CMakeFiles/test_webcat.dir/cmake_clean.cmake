@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_webcat.dir/test_webcat.cpp.o"
+  "CMakeFiles/test_webcat.dir/test_webcat.cpp.o.d"
+  "test_webcat"
+  "test_webcat.pdb"
+  "test_webcat[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_webcat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_webcat_fetcher.dir/test_webcat_fetcher.cpp.o"
+  "CMakeFiles/test_webcat_fetcher.dir/test_webcat_fetcher.cpp.o.d"
+  "test_webcat_fetcher"
+  "test_webcat_fetcher.pdb"
+  "test_webcat_fetcher[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_webcat_fetcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_webcat_fetcher.
+# This may be replaced when dependencies are built.

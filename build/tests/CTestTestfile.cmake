@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_flags[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_wire_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_host[1]_include.cmake")
+include("/root/repo/build/tests/test_pool_property[1]_include.cmake")
+include("/root/repo/build/tests/test_host_property[1]_include.cmake")
+include("/root/repo/build/tests/test_capture[1]_include.cmake")
+include("/root/repo/build/tests/test_ring_buffer[1]_include.cmake")
+include("/root/repo/build/tests/test_passive[1]_include.cmake")
+include("/root/repo/build/tests/test_active[1]_include.cmake")
+include("/root/repo/build/tests/test_analysis[1]_include.cmake")
+include("/root/repo/build/tests/test_analysis_cdf[1]_include.cmake")
+include("/root/repo/build/tests/test_webcat[1]_include.cmake")
+include("/root/repo/build/tests/test_webcat_fetcher[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_filter_property[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_portknock[1]_include.cmake")
+include("/root/repo/build/tests/test_persistence[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+add_test(test_calibration "/root/repo/build/tests/test_calibration")
+set_tests_properties(test_calibration PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;40;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svcdisc_cli.dir/svcdisc_cli.cpp.o"
+  "CMakeFiles/svcdisc_cli.dir/svcdisc_cli.cpp.o.d"
+  "svcdisc_cli"
+  "svcdisc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svcdisc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
