@@ -6,6 +6,7 @@
 // bench quantifies the trade: scan duration shrinks roughly with the
 // live-host fraction, but ping-silent hosts (live TCP services, ICMP
 // dropped) are skipped entirely.
+#include <array>
 #include <cstdio>
 
 #include "analysis/table.h"
@@ -22,45 +23,54 @@ struct Result {
   std::uint32_t alive;
 };
 
-Result run_one(bool host_discovery) {
-  auto campus_cfg = workload::CampusConfig::dtcp1_18d();
-  campus_cfg.duration = util::days(1);
-  core::EngineConfig engine_cfg;
-  engine_cfg.scan_count = 0;  // we drive the scan by hand
-  auto campaign = bench::make_campaign(campus_cfg, engine_cfg);
-  campaign.c().start();
-  campaign.c().simulator().run_until(util::kEpoch + util::hours(1));
+// The two modes are independent campaigns, so they run as CampaignRunner
+// jobs with a custom drive (warm-up, then one hand-driven scan). Each
+// drive writes only its own slot in `out`.
+core::CampaignJob make_job(bool host_discovery, Result* out) {
+  core::CampaignJob job;
+  job.campus_cfg = workload::CampusConfig::dtcp1_18d();
+  job.campus_cfg.duration = util::days(1);
+  job.seed = job.campus_cfg.seed;
+  job.engine_cfg.scan_count = 0;  // we drive the scan by hand
+  job.label = host_discovery ? "ping pre-pass" : "full walk";
+  job.drive = [host_discovery, out](workload::Campus& campus,
+                                    core::DiscoveryEngine& engine) {
+    campus.start();
+    campus.simulator().run_until(util::kEpoch + util::hours(1));
 
-  active::ScanSpec spec;
-  spec.targets = campaign.c().scan_targets();
-  spec.tcp_ports = campaign.c().tcp_ports();
-  spec.probes_per_sec = campaign.c().config().probe_rate_per_sec;
-  spec.host_discovery = host_discovery;
-  Result result{};
-  bool done = false;
-  campaign.e().prober().start_scan(spec, [&](const active::ScanRecord& r) {
-    done = true;
-    result.scan_minutes =
-        static_cast<double>((r.finished - r.started).usec) / 6e7;
-    result.probes = r.outcomes.size();
-    result.alive = r.hosts_alive;
-  });
-  while (!done && campaign.c().simulator().step()) {
-  }
-  result.servers = core::addresses_found(campaign.e().prober().table(),
-                                         campaign.c().simulator().now())
+    active::ScanSpec spec;
+    spec.targets = campus.scan_targets();
+    spec.tcp_ports = campus.tcp_ports();
+    spec.probes_per_sec = campus.config().probe_rate_per_sec;
+    spec.host_discovery = host_discovery;
+    bool done = false;
+    engine.prober().start_scan(spec, [&](const active::ScanRecord& r) {
+      done = true;
+      out->scan_minutes =
+          static_cast<double>((r.finished - r.started).usec) / 6e7;
+      out->probes = r.outcomes.size();
+      out->alive = r.hosts_alive;
+    });
+    while (!done && campus.simulator().step()) {
+    }
+    out->servers = core::addresses_found(engine.prober().table(),
+                                         campus.simulator().now())
                        .size();
-  return result;
+  };
+  return job;
 }
 
 }  // namespace
 
 int run() {
   std::printf("== Ablation: ping-based host discovery (one DTCP1 scan) ==\n\n");
-  bench::Stopwatch watch;
-  const Result plain = run_one(false);
-  const Result discovery = run_one(true);
-  watch.report("two single-scan campaigns");
+  std::array<Result, 2> modes{};
+  std::vector<core::CampaignJob> jobs;
+  jobs.push_back(make_job(false, &modes[0]));
+  jobs.push_back(make_job(true, &modes[1]));
+  bench::run_campaigns(std::move(jobs), "two single-scan campaigns");
+  const Result& plain = modes[0];
+  const Result& discovery = modes[1];
 
   analysis::TextTable table({"mode", "scan duration", "port probes",
                              "hosts alive", "servers found"});

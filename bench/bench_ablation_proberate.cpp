@@ -8,6 +8,7 @@
 // population. This bench sweeps the per-machine probe rate for a single
 // scan and reports duration and servers found, split by transience.
 #include <cstdio>
+#include <vector>
 
 #include "analysis/table.h"
 #include "bench_common.h"
@@ -19,50 +20,64 @@ int run() {
   std::printf("== Ablation: probe rate (one DTCP1 scan) ==\n\n");
   analysis::TextTable table({"rate/machine", "duration", "servers",
                              "static", "transient"});
-  bench::Stopwatch watch;
 
-  for (const double rate : {1.0, 3.0, 7.5, 25.0, 100.0}) {
-    auto campus_cfg = workload::CampusConfig::dtcp1_18d();
-    campus_cfg.duration = util::days(2);
-    core::EngineConfig engine_cfg;
-    engine_cfg.scan_count = 0;
-    auto campaign = bench::make_campaign(campus_cfg, engine_cfg);
-    campaign.c().start();
-    campaign.c().simulator().run_until(util::kEpoch + util::hours(1));
+  // One independent campaign per rate — a CampaignRunner job each, with
+  // a drive that warms the campus up and hand-runs a single scan. Scan
+  // duration comes from the completion callback, so each drive writes
+  // its own slot of `minutes`.
+  const std::vector<double> rates = {1.0, 3.0, 7.5, 25.0, 100.0};
+  std::vector<double> minutes(rates.size(), 0.0);
+  std::vector<core::CampaignJob> jobs;
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    core::CampaignJob job;
+    job.campus_cfg = workload::CampusConfig::dtcp1_18d();
+    job.campus_cfg.duration = util::days(2);
+    job.seed = job.campus_cfg.seed;
+    job.engine_cfg.scan_count = 0;
+    char label[24];
+    std::snprintf(label, sizeof label, "%.1f/s", rates[i]);
+    job.label = label;
+    const double rate = rates[i];
+    double* out_minutes = &minutes[i];
+    job.drive = [rate, out_minutes](workload::Campus& campus,
+                                    core::DiscoveryEngine& engine) {
+      campus.start();
+      campus.simulator().run_until(util::kEpoch + util::hours(1));
 
-    active::ScanSpec spec;
-    spec.targets = campaign.c().scan_targets();
-    spec.tcp_ports = campaign.c().tcp_ports();
-    spec.probes_per_sec = rate;
-    double minutes = 0;
-    bool done = false;
-    campaign.e().prober().start_scan(spec,
-                                     [&](const active::ScanRecord& r) {
-                                       done = true;
-                                       minutes = static_cast<double>(
-                                                     (r.finished - r.started)
-                                                         .usec) /
-                                                 6e7;
-                                     });
-    while (!done && campaign.c().simulator().step()) {
-    }
+      active::ScanSpec spec;
+      spec.targets = campus.scan_targets();
+      spec.tcp_ports = campus.tcp_ports();
+      spec.probes_per_sec = rate;
+      bool done = false;
+      engine.prober().start_scan(spec, [&](const active::ScanRecord& r) {
+        done = true;
+        *out_minutes =
+            static_cast<double>((r.finished - r.started).usec) / 6e7;
+      });
+      while (!done && campus.simulator().step()) {
+      }
+    };
+    jobs.push_back(std::move(job));
+  }
 
-    auto* campus = campaign.campus.get();
-    const auto now = campaign.c().simulator().now();
+  auto results =
+      bench::run_campaigns(std::move(jobs), "five single-scan campaigns");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    auto& result = results[i];
+    if (!result.ok()) continue;
+    const auto now = result.c().simulator().now();
     const auto all =
-        core::addresses_found(campaign.e().prober().table(), now);
+        core::addresses_found(result.e().prober().table(), now);
     std::size_t transient = 0;
     for (const net::Ipv4 addr : all) {
-      transient += host::is_transient(campus->class_of(addr));
+      transient += host::is_transient(result.c().class_of(addr));
     }
-    char rate_text[24], dur_text[24];
-    std::snprintf(rate_text, sizeof rate_text, "%.1f/s", rate);
-    std::snprintf(dur_text, sizeof dur_text, "%.0f min", minutes);
-    table.add_row({rate_text, dur_text, analysis::fmt_count(all.size()),
+    char dur_text[24];
+    std::snprintf(dur_text, sizeof dur_text, "%.0f min", minutes[i]);
+    table.add_row({result.label, dur_text, analysis::fmt_count(all.size()),
                    analysis::fmt_count(all.size() - transient),
                    analysis::fmt_count(transient)});
   }
-  watch.report("five single-scan campaigns");
   std::fputs(table.render().c_str(), stdout);
   std::printf(
       "\nstatic coverage is rate-insensitive (always-on hosts answer\n"

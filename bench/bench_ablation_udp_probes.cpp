@@ -5,6 +5,7 @@
 // "possibly open" category. This bench runs both probe styles over the
 // same population and shows how application-aware probes collapse the
 // ambiguity.
+#include <array>
 #include <cstdio>
 
 #include "analysis/table.h"
@@ -17,40 +18,48 @@ struct Verdicts {
   std::size_t open, possible, closed;
 };
 
-Verdicts run_one(bool service_probes) {
-  auto campus_cfg = workload::CampusConfig::dudp();
-  core::EngineConfig engine_cfg;
-  engine_cfg.scan_count = 0;
-  auto campaign = bench::make_campaign(campus_cfg, engine_cfg);
-  campaign.c().start();
-  campaign.c().simulator().run_until(util::kEpoch + util::minutes(10));
+// Both probe styles are independent campaigns, so they run as parallel
+// CampaignRunner jobs; each drive fills only its own Verdicts slot.
+core::CampaignJob make_job(bool service_probes, Verdicts* out) {
+  core::CampaignJob job;
+  job.campus_cfg = workload::CampusConfig::dudp();
+  job.seed = job.campus_cfg.seed;
+  job.engine_cfg.scan_count = 0;
+  job.label = service_probes ? "service-specific" : "generic";
+  job.drive = [service_probes, out](workload::Campus& campus,
+                                    core::DiscoveryEngine& engine) {
+    campus.start();
+    campus.simulator().run_until(util::kEpoch + util::minutes(10));
 
-  active::ScanSpec spec;
-  spec.targets = campaign.c().scan_targets();
-  spec.udp_ports = campaign.c().udp_ports();
-  spec.probes_per_sec = 200.0;  // timing is not under study here
-  spec.udp_service_probes = service_probes;
-  bool done = false;
-  Verdicts v{};
-  campaign.e().prober().start_scan(spec, [&](const active::ScanRecord& r) {
-    done = true;
-    v.open = r.count(active::ProbeStatus::kOpenUdp);
-    v.possible = r.count(active::ProbeStatus::kMaybeOpen);
-    v.closed = r.count(active::ProbeStatus::kClosed);
-  });
-  while (!done && campaign.c().simulator().step()) {
-  }
-  return v;
+    active::ScanSpec spec;
+    spec.targets = campus.scan_targets();
+    spec.udp_ports = campus.udp_ports();
+    spec.probes_per_sec = 200.0;  // timing is not under study here
+    spec.udp_service_probes = service_probes;
+    bool done = false;
+    engine.prober().start_scan(spec, [&](const active::ScanRecord& r) {
+      done = true;
+      out->open = r.count(active::ProbeStatus::kOpenUdp);
+      out->possible = r.count(active::ProbeStatus::kMaybeOpen);
+      out->closed = r.count(active::ProbeStatus::kClosed);
+    });
+    while (!done && campus.simulator().step()) {
+    }
+  };
+  return job;
 }
 
 }  // namespace
 
 int run() {
   std::printf("== Ablation: generic vs service-specific UDP probes ==\n\n");
-  bench::Stopwatch watch;
-  const Verdicts generic = run_one(false);
-  const Verdicts specific = run_one(true);
-  watch.report("two UDP scans");
+  std::array<Verdicts, 2> verdicts{};
+  std::vector<core::CampaignJob> jobs;
+  jobs.push_back(make_job(false, &verdicts[0]));
+  jobs.push_back(make_job(true, &verdicts[1]));
+  bench::run_campaigns(std::move(jobs), "two UDP scans");
+  const Verdicts& generic = verdicts[0];
+  const Verdicts& specific = verdicts[1];
 
   analysis::TextTable table({"probe style", "definitely open",
                              "possibly open", "definitely closed"});

@@ -56,6 +56,27 @@ workload::CampusConfig apply_scale(workload::CampusConfig cfg) {
   return cfg;
 }
 
+std::vector<core::CampaignResult> run_campaigns(
+    std::vector<core::CampaignJob> jobs, const std::string& label) {
+  for (auto& job : jobs) {
+    job.campus_cfg = apply_scale(std::move(job.campus_cfg));
+  }
+  const core::CampaignRunner runner;
+  const std::size_t count = jobs.size();
+  Stopwatch watch;
+  auto results = runner.run(std::move(jobs));
+  std::fprintf(stderr,
+               "[bench] %s: %zu campaign(s) on %zu thread(s) took %.1f s\n",
+               label.c_str(), count, runner.threads(), watch.elapsed_sec());
+  for (const auto& result : results) {
+    if (!result.ok()) {
+      std::fprintf(stderr, "[bench] job '%s' failed: %s\n",
+                   result.label.c_str(), result.error.c_str());
+    }
+  }
+  return results;
+}
+
 void print_header(const std::string& experiment, const Campaign& campaign) {
   const auto& cfg = campaign.campus->config();
   std::printf("== %s ==\n", experiment.c_str());

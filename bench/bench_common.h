@@ -8,7 +8,9 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "core/campaign_runner.h"
 #include "core/engine.h"
 #include "workload/campus.h"
 
@@ -36,6 +38,13 @@ core::EngineConfig dtcp1_engine_config();
 /// Reads SVCDISC_SCALE (default 1.0) and shrinks a config's populations
 /// proportionally — used by CI-sized bench runs.
 workload::CampusConfig apply_scale(workload::CampusConfig cfg);
+
+/// Runs `jobs` on a core::CampaignRunner (SVCDISC_JOBS threads, else
+/// hardware concurrency) after applying SVCDISC_SCALE to every job's
+/// campus config. Reports total wall time on stderr as `label` and
+/// prints any job errors; results come back in job order.
+std::vector<core::CampaignResult> run_campaigns(
+    std::vector<core::CampaignJob> jobs, const std::string& label);
 
 /// Prints the standard bench header: what is being reproduced and the
 /// scenario parameters.

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Sanitizer sweep: builds the tree under ASan+UBSan and runs the tier-1
+# test suite, then builds under TSan and runs the concurrency-heavy
+# tests (metrics registry, campaign runner, ring buffer).
+#
+# Usage: scripts/sanitize.sh [asan|tsan|all]   (default: all)
+#
+# Each sanitizer gets its own build directory (build-asan/, build-tsan/)
+# so the regular build/ stays untouched.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+mode="${1:-all}"
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+run_asan() {
+  echo "== ASan + UBSan: full tier-1 suite =="
+  cmake -B build-asan -S . -DSVCDISC_SANITIZE=address >/dev/null
+  cmake --build build-asan -j "$jobs"
+  (cd build-asan && ctest --output-on-failure -j "$jobs")
+}
+
+run_tsan() {
+  echo "== TSan: concurrency tests =="
+  cmake -B build-tsan -S . -DSVCDISC_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "$jobs" \
+    --target test_metrics test_campaign_runner test_ring_buffer
+  ./build-tsan/tests/test_metrics
+  ./build-tsan/tests/test_campaign_runner
+  ./build-tsan/tests/test_ring_buffer
+}
+
+case "$mode" in
+  asan) run_asan ;;
+  tsan) run_tsan ;;
+  all)  run_asan; run_tsan ;;
+  *) echo "usage: $0 [asan|tsan|all]" >&2; exit 2 ;;
+esac
+echo "sanitize: OK ($mode)"

@@ -40,6 +40,18 @@ Prober::~Prober() {
   }
 }
 
+void Prober::attach_metrics(util::MetricsRegistry& registry,
+                            std::string_view prefix) {
+  metrics_ = &registry;
+  metrics_prefix_ = std::string(prefix);
+  m_probes_tcp_ = &registry.counter(metrics_prefix_ + ".probes_tcp_sent");
+  m_probes_udp_ = &registry.counter(metrics_prefix_ + ".probes_udp_sent");
+  m_pings_ = &registry.counter(metrics_prefix_ + ".pings_sent");
+  m_responses_ = &registry.counter(metrics_prefix_ + ".responses_received");
+  m_discoveries_ = &registry.counter(metrics_prefix_ + ".discoveries");
+  m_scans_ = &registry.counter(metrics_prefix_ + ".scans_completed");
+}
+
 void Prober::start_scan(ScanSpec spec,
                         std::function<void(const ScanRecord&)> on_complete) {
   if (in_progress_) throw std::logic_error("Prober: scan already in flight");
@@ -57,6 +69,17 @@ void Prober::start_scan(ScanSpec spec,
   work_.assign(machines, {});
   cursor_.assign(machines, 0);
   machines_done_ = 0;
+  // One pacing bucket per machine (the paper's per-machine rate limit);
+  // burst 1 reproduces strict 1/rate spacing.
+  buckets_.clear();
+  buckets_.reserve(machines);
+  for (std::size_t m = 0; m < machines; ++m) {
+    buckets_.emplace_back(spec_.probes_per_sec, 1.0);
+    if (metrics_) {
+      buckets_.back().attach_metrics(*metrics_,
+                                     metrics_prefix_ + ".rate_limiter");
+    }
+  }
 
   if (spec_.host_discovery) {
     // Phase 1: one ICMP echo per target address; port probes follow for
@@ -163,6 +186,7 @@ void Prober::send_next(std::size_t machine) {
     ping.proto = net::Proto::kIcmp;
     ping.icmp_type = net::IcmpType::kEchoRequest;
     network_.send(ping);
+    if (m_pings_) m_pings_->inc();
   } else {
     const PendingKey pkey{task.addr, task.port, task.proto};
     // A scan probes each (addr, port, proto) once, so insertion is
@@ -181,6 +205,7 @@ void Prober::send_next(std::size_t machine) {
     if (task.proto == net::Proto::kTcp) {
       network_.send(net::make_tcp(source, next_ephemeral_, task.addr,
                                   task.port, net::flags_syn()));
+      if (m_probes_tcp_) m_probes_tcp_->inc();
     } else {
       // Generic (zero-payload) UDP probe by default (§4.5); a
       // service-specific probe carries a well-formed application request
@@ -188,8 +213,10 @@ void Prober::send_next(std::size_t machine) {
       const std::uint16_t payload = spec_.udp_service_probes ? 48 : 0;
       network_.send(net::make_udp(source, next_ephemeral_, task.addr,
                                   task.port, payload));
+      if (m_probes_udp_) m_probes_udp_->inc();
     }
   }
+  buckets_[machine].consume(now);
 
   ++cursor;
   if (cursor >= tasks.size()) {
@@ -205,9 +232,11 @@ void Prober::send_next(std::size_t machine) {
     }
     return;
   }
-  const double gap_sec = 1.0 / spec_.probes_per_sec;
-  network_.simulator().after(util::seconds_f(gap_sec),
-                             [this, machine] { send_next(machine); });
+  // The token bucket answers "when may the next probe go?"; with burst 1
+  // that is now + 1/rate, with sub-usec deficits carried forward so long
+  // scans hold the configured rate exactly.
+  const util::TimePoint next = buckets_[machine].next_available(now);
+  network_.simulator().at(next, [this, machine] { send_next(machine); });
 }
 
 void Prober::resolve(const PendingKey& key, ProbeStatus status) {
@@ -218,10 +247,12 @@ void Prober::resolve(const PendingKey& key, ProbeStatus status) {
   outcome.when = network_.simulator().now();
   pending_.erase(it);
   --unresolved_;
+  if (m_responses_) m_responses_->inc();
 
   if (status == ProbeStatus::kOpen || status == ProbeStatus::kOpenUdp) {
-    if (table_.discover(outcome.key, outcome.when) && on_discovery) {
-      on_discovery(outcome.key, outcome.when);
+    if (table_.discover(outcome.key, outcome.when)) {
+      if (m_discoveries_) m_discoveries_->inc();
+      if (on_discovery) on_discovery(outcome.key, outcome.when);
     }
   }
 }
@@ -277,6 +308,7 @@ void Prober::finalize_scan() {
   current_.finished = network_.simulator().now();
   in_progress_ = false;
   scans_.push_back(std::move(current_));
+  if (m_scans_) m_scans_->inc();
   SVCDISC_LOG(kInfo) << "scan " << scans_.back().index << " finished: "
                      << scans_.back().count(ProbeStatus::kOpen)
                      << " open TCP services";

@@ -27,6 +27,7 @@
 #include "passive/service_table.h"
 #include "sim/network.h"
 #include "sim/node.h"
+#include "util/metrics.h"
 #include "util/sim_time.h"
 
 namespace svcdisc::active {
@@ -121,6 +122,12 @@ class Prober final : public sim::PacketSink {
   std::function<void(const passive::ServiceKey&, util::TimePoint)>
       on_discovery;
 
+  /// Registers `<prefix>.` counters (probes_tcp_sent, probes_udp_sent,
+  /// pings_sent, responses_received, discoveries, scans_completed) plus
+  /// the pacing buckets' `<prefix>.rate_limiter.grants/.deferrals`.
+  void attach_metrics(util::MetricsRegistry& registry,
+                      std::string_view prefix);
+
   // sim::PacketSink — receives probe responses.
   void on_packet(const net::Packet& p) override;
 
@@ -165,12 +172,22 @@ class Prober final : public sim::PacketSink {
   std::unordered_map<PendingKey, std::size_t, PendingKeyHash> pending_;
   std::vector<std::vector<ProbeTask>> work_;  // per machine probe list
   std::vector<std::size_t> cursor_;           // per machine: next probe
+  std::vector<TokenBucket> buckets_;          // per machine pacing
   std::size_t machines_done_{0};
   std::size_t unresolved_{0};
   net::Port next_ephemeral_{40000};
   // Host-discovery phase state.
   bool pinging_{false};
   std::unordered_set<net::Ipv4> alive_hosts_;
+  // Optional metrics (null until attach_metrics).
+  util::MetricsRegistry* metrics_{nullptr};
+  std::string metrics_prefix_;
+  util::Counter* m_probes_tcp_{nullptr};
+  util::Counter* m_probes_udp_{nullptr};
+  util::Counter* m_pings_{nullptr};
+  util::Counter* m_responses_{nullptr};
+  util::Counter* m_discoveries_{nullptr};
+  util::Counter* m_scans_{nullptr};
 };
 
 }  // namespace svcdisc::active

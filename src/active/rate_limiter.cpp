@@ -20,9 +20,20 @@ double TokenBucket::tokens_at(util::TimePoint t) const {
 
 util::TimePoint TokenBucket::next_available(util::TimePoint now) const {
   const double available = tokens_at(now);
-  if (available >= 1.0) return now;
+  if (available >= 1.0) {
+    if (m_grants_) m_grants_->inc();
+    return now;
+  }
+  if (m_deferrals_) m_deferrals_->inc();
   const double deficit_sec = (1.0 - available) / rate_;
   return now + util::seconds_f(deficit_sec);
+}
+
+void TokenBucket::attach_metrics(util::MetricsRegistry& registry,
+                                 std::string_view prefix) {
+  const std::string base(prefix);
+  m_grants_ = &registry.counter(base + ".grants");
+  m_deferrals_ = &registry.counter(base + ".deferrals");
 }
 
 void TokenBucket::consume(util::TimePoint t) {

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 
+#include "util/metrics.h"
 #include "util/sim_time.h"
 
 namespace svcdisc::active {
@@ -20,6 +21,8 @@ class TokenBucket {
   TokenBucket(double rate_per_sec, double burst);
 
   /// Earliest time at or after `now` when one token is available.
+  /// When metrics are attached, counts a grant (token ready now) or a
+  /// deferral (caller must wait).
   util::TimePoint next_available(util::TimePoint now) const;
 
   /// Consumes one token at time `t` (must be >= next_available(t)'s
@@ -29,11 +32,18 @@ class TokenBucket {
 
   double tokens_at(util::TimePoint t) const;
 
+  /// Registers `<prefix>.grants` / `<prefix>.deferrals` counters: how
+  /// often a token was immediately available vs the send was pushed out.
+  void attach_metrics(util::MetricsRegistry& registry,
+                      std::string_view prefix);
+
  private:
   double rate_;
   double burst_;
   double tokens_;
   util::TimePoint last_refill_{};
+  util::Counter* m_grants_{nullptr};
+  util::Counter* m_deferrals_{nullptr};
 };
 
 }  // namespace svcdisc::active

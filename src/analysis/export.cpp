@@ -1,9 +1,49 @@
 #include "analysis/export.h"
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 
 namespace svcdisc::analysis {
+namespace {
+
+// JSON-safe number: integers render without a decimal point so counter
+// exports stay exact and diff-stable.
+std::string json_number(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  if (!std::isfinite(v)) return "null";  // JSON has no Infinity
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+std::string json_string(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
 
 bool export_tsv(const std::string& path, const std::vector<NamedCurve>& curves,
                 util::TimePoint start, util::TimePoint end,
@@ -60,6 +100,66 @@ bool export_figure(const std::string& base, const std::string& title,
   }
   gp << "\n";
   return true;
+}
+
+std::string metrics_to_json(const std::vector<MetricsExport>& campaigns) {
+  std::string out = "{\n  \"campaigns\": [\n";
+  for (std::size_t i = 0; i < campaigns.size(); ++i) {
+    const MetricsExport& c = campaigns[i];
+    out += "    {\n      \"label\": " + json_string(c.label) + ",\n";
+    out += "      \"seed\": " + json_number(static_cast<double>(c.seed));
+    if (c.wall_sec >= 0) {
+      char buf[48];
+      std::snprintf(buf, sizeof buf, ",\n      \"wall_sec\": %.3f",
+                    c.wall_sec);
+      out += buf;
+    }
+    out += ",\n      \"metrics\": {";
+    bool first_metric = true;
+    std::string histograms;
+    if (c.snapshot) {
+      for (const util::MetricValue& v : c.snapshot->values()) {
+        if (v.kind == util::MetricValue::Kind::kHistogram) {
+          if (!histograms.empty()) histograms += ",";
+          histograms += "\n        " + json_string(v.name) +
+                        ": {\"count\": " + json_number(v.value) +
+                        ", \"sum\": " + json_number(v.sum) +
+                        ", \"buckets\": [";
+          for (std::size_t b = 0; b < v.buckets.size(); ++b) {
+            if (b > 0) histograms += ", ";
+            histograms += "{\"le\": " + json_number(v.buckets[b].first) +
+                          ", \"count\": " +
+                          json_number(
+                              static_cast<double>(v.buckets[b].second)) +
+                          "}";
+          }
+          histograms += "]}";
+          continue;
+        }
+        if (!first_metric) out += ",";
+        first_metric = false;
+        out += "\n        " + json_string(v.name) + ": " +
+               json_number(v.value);
+      }
+    }
+    out += first_metric ? "}" : "\n      }";
+    if (!histograms.empty()) {
+      out += ",\n      \"histograms\": {" + histograms + "\n      }";
+    }
+    out += "\n    }";
+    if (i + 1 < campaigns.size()) out += ",";
+    out += "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+bool export_metrics_json(const std::string& path,
+                         const std::vector<MetricsExport>& campaigns) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << metrics_to_json(campaigns);
+  return out.good();
 }
 
 }  // namespace svcdisc::analysis

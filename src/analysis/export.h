@@ -1,5 +1,6 @@
-// Gnuplot-ready series export: one TSV per figure, columns
-// time(label) <series...>.
+// Gnuplot-ready series export (one TSV per figure, columns
+// time(label) <series...>) and JSON export of campaign metrics
+// snapshots.
 #pragma once
 
 #include <string>
@@ -7,6 +8,7 @@
 #include <vector>
 
 #include "analysis/timeseries.h"
+#include "util/metrics.h"
 #include "util/sim_time.h"
 
 namespace svcdisc::analysis {
@@ -34,5 +36,25 @@ bool export_figure(const std::string& base, const std::string& title,
                    const std::vector<NamedCurve>& curves,
                    util::TimePoint start, util::TimePoint end,
                    std::size_t samples, const util::Calendar& calendar);
+
+/// One campaign's metrics bundled for JSON export.
+struct MetricsExport {
+  std::string label;
+  std::uint64_t seed{0};
+  /// Wall-clock seconds the campaign took (< 0 = omit from the export).
+  double wall_sec{-1};
+  const util::MetricsSnapshot* snapshot{nullptr};
+};
+
+/// Renders `campaigns` as a deterministic JSON document: counters and
+/// gauges as a flat name->value object, histograms with bounds/counts/
+/// sum. Snapshots are already name-sorted, so identical campaigns render
+/// byte-identical JSON.
+std::string metrics_to_json(const std::vector<MetricsExport>& campaigns);
+
+/// Writes metrics_to_json() to `path`. Returns false if the file could
+/// not be opened or written.
+bool export_metrics_json(const std::string& path,
+                         const std::vector<MetricsExport>& campaigns);
 
 }  // namespace svcdisc::analysis

@@ -11,13 +11,16 @@ RingBuffer::RingBuffer(std::size_t capacity) : buffer_(capacity) {
 }
 
 bool RingBuffer::push(const net::Packet& p) {
+  ++pushed_;
+  if (m_pushed_) m_pushed_->inc();
   if (full()) {
     ++dropped_;
+    if (m_dropped_) m_dropped_->inc();
     return false;
   }
   buffer_[(head_ + size_) % buffer_.size()] = p;
   ++size_;
-  ++pushed_;
+  if (m_depth_hwm_) m_depth_hwm_->update_max(static_cast<std::int64_t>(size_));
   return true;
 }
 
@@ -26,7 +29,18 @@ std::optional<net::Packet> RingBuffer::pop() {
   net::Packet p = buffer_[head_];
   head_ = (head_ + 1) % buffer_.size();
   --size_;
+  ++popped_;
+  if (m_popped_) m_popped_->inc();
   return p;
+}
+
+void RingBuffer::attach_metrics(util::MetricsRegistry& registry,
+                                std::string_view prefix) {
+  const std::string base(prefix);
+  m_pushed_ = &registry.counter(base + ".pushed");
+  m_popped_ = &registry.counter(base + ".popped");
+  m_dropped_ = &registry.counter(base + ".dropped");
+  m_depth_hwm_ = &registry.gauge(base + ".depth_hwm");
 }
 
 std::vector<net::Packet> RingBuffer::drain() {

@@ -13,6 +13,7 @@
 
 #include "net/packet.h"
 #include "sim/node.h"
+#include "util/metrics.h"
 
 namespace svcdisc::capture {
 
@@ -33,18 +34,31 @@ class RingBuffer final : public sim::PacketObserver {
   std::size_t capacity() const { return buffer_.size(); }
   bool empty() const { return size_ == 0; }
   bool full() const { return size_ == buffer_.size(); }
+  /// Total push attempts. Conservation invariant:
+  ///   pushed() == popped() + size() + dropped().
   std::uint64_t pushed() const { return pushed_; }
+  std::uint64_t popped() const { return popped_; }
   std::uint64_t dropped() const { return dropped_; }
 
   /// Drains everything into a vector (oldest first).
   std::vector<net::Packet> drain();
+
+  /// Registers `<prefix>.pushed/.popped/.dropped` counters and a
+  /// `<prefix>.depth_hwm` gauge, mirroring subsequent activity.
+  void attach_metrics(util::MetricsRegistry& registry,
+                      std::string_view prefix);
 
  private:
   std::vector<net::Packet> buffer_;
   std::size_t head_{0};  // next pop
   std::size_t size_{0};
   std::uint64_t pushed_{0};
+  std::uint64_t popped_{0};
   std::uint64_t dropped_{0};
+  util::Counter* m_pushed_{nullptr};
+  util::Counter* m_popped_{nullptr};
+  util::Counter* m_dropped_{nullptr};
+  util::Gauge* m_depth_hwm_{nullptr};
 };
 
 }  // namespace svcdisc::capture

@@ -10,17 +10,35 @@ Filter Tap::paper_default_filter() {
   return filter ? *filter : Filter{};
 }
 
+void Tap::attach_metrics(util::MetricsRegistry& registry,
+                         std::string_view prefix) {
+  const std::string base(prefix);
+  m_seen_ = &registry.counter(base + ".packets_seen");
+  m_filter_match_ = &registry.counter(base + ".filter_match");
+  m_filter_reject_ = &registry.counter(base + ".filter_reject");
+  m_sampled_out_ = &registry.counter(base + ".sampled_out");
+  m_delivered_ = &registry.counter(base + ".delivered");
+  m_dropped_ = &registry.counter(base + ".dropped");
+}
+
 void Tap::observe(const net::Packet& p) {
   ++seen_;
+  if (m_seen_) m_seen_->inc();
   if (!filter_.matches(p)) {
     ++filtered_out_;
+    if (m_filter_reject_) m_filter_reject_->inc();
+    if (m_dropped_) m_dropped_->inc();
     return;
   }
+  if (m_filter_match_) m_filter_match_->inc();
   if (sampler_ && !sampler_->keep(p)) {
     ++sampled_out_;
+    if (m_sampled_out_) m_sampled_out_->inc();
+    if (m_dropped_) m_dropped_->inc();
     return;
   }
   ++delivered_;
+  if (m_delivered_) m_delivered_->inc();
   for (sim::PacketObserver* consumer : consumers_) consumer->observe(p);
 }
 

@@ -15,6 +15,7 @@
 #include "capture/sampler.h"
 #include "net/packet.h"
 #include "sim/node.h"
+#include "util/metrics.h"
 
 namespace svcdisc::capture {
 
@@ -40,6 +41,13 @@ class Tap final : public sim::PacketObserver {
   /// control packets plus all UDP and ICMP.
   static Filter paper_default_filter();
 
+  /// Registers this tap's counters under `<prefix>.` (packets_seen,
+  /// filter_match, filter_reject, sampled_out, delivered, dropped) and
+  /// mirrors every subsequent tally into them; `dropped` aggregates
+  /// everything seen but not delivered (filter rejects + sampled out).
+  void attach_metrics(util::MetricsRegistry& registry,
+                      std::string_view prefix);
+
   // sim::PacketObserver
   void observe(const net::Packet& p) override;
 
@@ -57,6 +65,13 @@ class Tap final : public sim::PacketObserver {
   std::uint64_t filtered_out_{0};
   std::uint64_t sampled_out_{0};
   std::uint64_t delivered_{0};
+  // Optional registry handles (null until attach_metrics).
+  util::Counter* m_seen_{nullptr};
+  util::Counter* m_filter_match_{nullptr};
+  util::Counter* m_filter_reject_{nullptr};
+  util::Counter* m_sampled_out_{nullptr};
+  util::Counter* m_delivered_{nullptr};
+  util::Counter* m_dropped_{nullptr};
 };
 
 /// A sampler applied in front of a single consumer, independent of the

@@ -1,0 +1,111 @@
+#include "core/campaign_runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <exception>
+#include <thread>
+
+namespace svcdisc::core {
+namespace {
+
+double wall_seconds_since(
+    std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+void execute_job(const CampaignJob& job, CampaignResult& result) {
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    auto campus_cfg = job.campus_cfg;
+    campus_cfg.seed = job.seed;
+    result.metrics = std::make_unique<util::MetricsRegistry>();
+    result.campus = std::make_unique<workload::Campus>(campus_cfg);
+    auto engine_cfg = job.engine_cfg;
+    engine_cfg.metrics = result.metrics.get();
+    result.engine =
+        std::make_unique<DiscoveryEngine>(*result.campus, engine_cfg);
+    if (job.setup) job.setup(*result.campus, *result.engine);
+    if (job.drive) {
+      job.drive(*result.campus, *result.engine);
+    } else {
+      result.engine->run();
+    }
+    result.snapshot = result.metrics->snapshot();
+  } catch (const std::exception& e) {
+    result.error = e.what();
+  } catch (...) {
+    result.error = "unknown exception";
+  }
+  result.wall_sec = wall_seconds_since(start);
+}
+
+}  // namespace
+
+CampaignRunner::CampaignRunner(std::size_t threads)
+    : threads_(threads == 0 ? default_threads() : threads) {}
+
+std::size_t CampaignRunner::default_threads() {
+  if (const char* env = std::getenv("SVCDISC_JOBS")) {
+    const long n = std::atol(env);
+    if (n >= 1) return static_cast<std::size_t>(n);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+std::vector<CampaignResult> CampaignRunner::run(
+    std::vector<CampaignJob> jobs) const {
+  std::vector<CampaignResult> results(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    results[i].index = i;
+    results[i].label = jobs[i].label;
+    results[i].seed = jobs[i].seed;
+  }
+
+  // Work-stealing by atomic ticket: each worker claims the next
+  // unstarted job. Job state is fully private, so the only shared
+  // mutable datum is the ticket counter.
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= jobs.size()) return;
+      execute_job(jobs[i], results[i]);
+    }
+  };
+
+  const std::size_t n_workers =
+      std::min(threads_, jobs.size() == 0 ? std::size_t{1} : jobs.size());
+  if (n_workers <= 1) {
+    worker();  // serial fast path: no thread spawn cost
+    return results;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(n_workers);
+  for (std::size_t t = 0; t < n_workers; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  return results;
+}
+
+std::vector<CampaignJob> seed_sweep_jobs(const workload::CampusConfig& campus,
+                                         const EngineConfig& engine,
+                                         std::uint64_t first_seed,
+                                         std::size_t count) {
+  std::vector<CampaignJob> jobs;
+  jobs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    CampaignJob job;
+    job.campus_cfg = campus;
+    job.engine_cfg = engine;
+    job.seed = first_seed + i;
+    job.label = "seed-" + std::to_string(job.seed);
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+}  // namespace svcdisc::core

@@ -6,15 +6,18 @@ namespace svcdisc::core {
 
 DiscoveryEngine::DiscoveryEngine(workload::Campus& campus, EngineConfig config)
     : campus_(campus), config_(config) {
+  util::MetricsRegistry* metrics = config_.metrics;
   const auto& internal = campus_.internal_prefixes();
   detector_ = std::make_shared<passive::ScanDetector>(
       passive::ScanDetectorConfig{}, internal);
+  if (metrics) detector_->attach_metrics(*metrics, "scan_detector");
 
   // One tap per peering, each with the paper's capture filter.
   auto& border = campus_.network().border();
   for (std::size_t i = 0; i < border.peering_count(); ++i) {
     auto tap = std::make_unique<capture::Tap>(border.peering(i).name);
     tap->set_filter(capture::Tap::paper_default_filter());
+    if (metrics) tap->attach_metrics(*metrics, "tap." + tap->name());
     border.add_tap(i, tap.get());
     taps_.push_back(std::move(tap));
   }
@@ -22,12 +25,16 @@ DiscoveryEngine::DiscoveryEngine(workload::Campus& campus, EngineConfig config)
   monitor_ =
       std::make_unique<passive::PassiveMonitor>(monitor_config(false));
   monitor_->set_scan_detector(detector_);
+  if (metrics) monitor_->attach_metrics(*metrics, "passive");
   for (auto& tap : taps_) tap->add_consumer(monitor_.get());
 
   if (config_.scanner_excluded_monitor) {
     excluded_monitor_ =
         std::make_unique<passive::PassiveMonitor>(monitor_config(true));
     excluded_monitor_->set_scan_detector(detector_);
+    if (metrics) {
+      excluded_monitor_->attach_metrics(*metrics, "passive_excluded");
+    }
     for (auto& tap : taps_) tap->add_consumer(excluded_monitor_.get());
   }
 
@@ -35,6 +42,10 @@ DiscoveryEngine::DiscoveryEngine(workload::Campus& campus, EngineConfig config)
     for (auto& tap : taps_) {
       auto link_monitor =
           std::make_unique<passive::PassiveMonitor>(monitor_config(false));
+      if (metrics) {
+        link_monitor->attach_metrics(*metrics,
+                                     "passive_link." + tap->name());
+      }
       tap->add_consumer(link_monitor.get());
       link_monitors_.push_back(std::move(link_monitor));
     }
@@ -43,6 +54,8 @@ DiscoveryEngine::DiscoveryEngine(workload::Campus& campus, EngineConfig config)
   active::ProberConfig prober_config;
   prober_config.source_addrs = campus_.prober_sources();
   prober_ = std::make_unique<active::Prober>(campus_.network(), prober_config);
+  if (metrics) prober_->attach_metrics(*metrics, "active");
+  if (metrics) campus_.simulator().attach_metrics(*metrics, "sim");
 
   if (config_.scan_count > 0) {
     active::ScanSpec spec;
@@ -85,6 +98,11 @@ passive::PassiveMonitor& DiscoveryEngine::add_sampled_monitor(
     std::unique_ptr<capture::Sampler> sampler) {
   auto monitor =
       std::make_unique<passive::PassiveMonitor>(monitor_config(false));
+  if (config_.metrics) {
+    monitor->attach_metrics(
+        *config_.metrics,
+        "passive_sampled." + std::to_string(sampled_monitors_.size()));
+  }
   auto stream = std::make_unique<capture::SampledStream>(std::move(sampler),
                                                          monitor.get());
   for (auto& tap : taps_) tap->add_consumer(stream.get());

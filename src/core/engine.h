@@ -23,6 +23,7 @@
 #include "capture/tap.h"
 #include "passive/monitor.h"
 #include "passive/scan_detector.h"
+#include "util/metrics.h"
 #include "workload/campus.h"
 
 namespace svcdisc::core {
@@ -38,6 +39,11 @@ struct EngineConfig {
   bool scanner_excluded_monitor{false};
   /// Build one extra monitor per peering link (Table 8).
   bool per_link_monitors{false};
+  /// Observability: when set, every component registers its counters
+  /// here (taps, monitors, prober, scan detector, simulator). Not owned;
+  /// must outlive the engine. See README "Metrics & parallel campaigns"
+  /// for the metric names.
+  util::MetricsRegistry* metrics{nullptr};
 };
 
 class DiscoveryEngine {
@@ -81,6 +87,8 @@ class DiscoveryEngine {
   void run();
 
   workload::Campus& campus() { return campus_; }
+  /// The registry every component reports into, or nullptr.
+  util::MetricsRegistry* metrics() const { return config_.metrics; }
 
  private:
   passive::MonitorConfig monitor_config(bool exclude_scanners) const;

@@ -26,8 +26,21 @@ bool PassiveMonitor::udp_port_selected(net::Port port) const {
                    port) != config_.udp_ports.end();
 }
 
+void PassiveMonitor::attach_metrics(util::MetricsRegistry& registry,
+                                    std::string_view prefix) {
+  const std::string base(prefix);
+  m_packets_ = &registry.counter(base + ".packets_seen");
+  m_tcp_discoveries_ = &registry.counter(base + ".tcp_discoveries");
+  m_udp_discoveries_ = &registry.counter(base + ".udp_discoveries");
+  m_flows_ = &registry.counter(base + ".flows_counted");
+  m_suppressed_ = &registry.counter(base + ".scanner_suppressed");
+  m_unmatched_ = &registry.counter(base + ".unmatched_syn_acks");
+  m_table_size_ = &registry.gauge(base + ".table_size");
+}
+
 void PassiveMonitor::observe(const net::Packet& p) {
   ++packets_seen_;
+  if (m_packets_) m_packets_->inc();
   if (scan_detector_) scan_detector_->observe(p);
 
   switch (p.proto) {
@@ -38,15 +51,21 @@ void PassiveMonitor::observe(const net::Packet& p) {
         if (config_.exclude_scanner_triggered && scan_detector_ &&
             scan_detector_->is_scanner(p.dst)) {
           ++suppressed_;
+          if (m_suppressed_) m_suppressed_->inc();
           return;
         }
         if (config_.require_syn_before_synack &&
             pending_syns_.erase(net::FlowKey::of(p)) == 0) {
           ++unmatched_syn_acks_;
+          if (m_unmatched_) m_unmatched_->inc();
           return;
         }
         const ServiceKey key{p.src, net::Proto::kTcp, p.sport};
         if (table_.discover(key, p.time)) {
+          if (m_tcp_discoveries_) m_tcp_discoveries_->inc();
+          if (m_table_size_) {
+            m_table_size_->set(static_cast<std::int64_t>(table_.size()));
+          }
           if (on_discovery) on_discovery(key, p.time);
         } else {
           table_.touch(key, p.time);  // renewed evidence (Table 4)
@@ -60,6 +79,7 @@ void PassiveMonitor::observe(const net::Packet& p) {
         }
         if (scan_detector_ && scan_detector_->is_scanner(p.src)) return;
         table_.count_flow({p.dst, net::Proto::kTcp, p.dport}, p.src, p.time);
+        if (m_flows_) m_flows_->inc();
       }
       return;
     }
@@ -70,15 +90,21 @@ void PassiveMonitor::observe(const net::Packet& p) {
         if (config_.exclude_scanner_triggered && scan_detector_ &&
             scan_detector_->is_scanner(p.dst)) {
           ++suppressed_;
+          if (m_suppressed_) m_suppressed_->inc();
           return;
         }
         const ServiceKey key{p.src, net::Proto::kUdp, p.sport};
-        if (table_.discover(key, p.time) && on_discovery) {
-          on_discovery(key, p.time);
+        if (table_.discover(key, p.time)) {
+          if (m_udp_discoveries_) m_udp_discoveries_->inc();
+          if (m_table_size_) {
+            m_table_size_->set(static_cast<std::int64_t>(table_.size()));
+          }
+          if (on_discovery) on_discovery(key, p.time);
         }
       } else if (!is_internal(p.src) && is_internal(p.dst) &&
                  udp_port_selected(p.dport)) {
         table_.count_flow({p.dst, net::Proto::kUdp, p.dport}, p.src, p.time);
+        if (m_flows_) m_flows_->inc();
       }
       return;
     }

@@ -24,6 +24,7 @@
 #include "passive/scan_detector.h"
 #include "passive/service_table.h"
 #include "sim/node.h"
+#include "util/metrics.h"
 
 namespace svcdisc::passive {
 
@@ -73,6 +74,12 @@ class PassiveMonitor final : public sim::PacketObserver {
   /// SYN-ACKs dropped by the strict rule for lack of a preceding SYN.
   std::uint64_t unmatched_syn_acks() const { return unmatched_syn_acks_; }
 
+  /// Registers `<prefix>.` counters (packets_seen, tcp_discoveries,
+  /// udp_discoveries, flows_counted, scanner_suppressed,
+  /// unmatched_syn_acks) and a `<prefix>.table_size` gauge.
+  void attach_metrics(util::MetricsRegistry& registry,
+                      std::string_view prefix);
+
  private:
   bool is_internal(net::Ipv4 addr) const;
   bool tcp_port_selected(net::Port port) const;
@@ -86,6 +93,13 @@ class PassiveMonitor final : public sim::PacketObserver {
   std::uint64_t packets_seen_{0};
   std::uint64_t suppressed_{0};
   std::uint64_t unmatched_syn_acks_{0};
+  util::Counter* m_packets_{nullptr};
+  util::Counter* m_tcp_discoveries_{nullptr};
+  util::Counter* m_udp_discoveries_{nullptr};
+  util::Counter* m_flows_{nullptr};
+  util::Counter* m_suppressed_{nullptr};
+  util::Counter* m_unmatched_{nullptr};
+  util::Gauge* m_table_size_{nullptr};
 };
 
 }  // namespace svcdisc::passive

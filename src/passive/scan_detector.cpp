@@ -21,8 +21,16 @@ void ScanDetector::roll_window(util::TimePoint t) {
   }
 }
 
+void ScanDetector::attach_metrics(util::MetricsRegistry& registry,
+                                  std::string_view prefix) {
+  const std::string base(prefix);
+  m_packets_ = &registry.counter(base + ".packets_seen");
+  m_flagged_ = &registry.counter(base + ".scanners_flagged");
+}
+
 void ScanDetector::observe(const net::Packet& p) {
   if (p.proto != net::Proto::kTcp) return;
+  if (m_packets_) m_packets_->inc();
   roll_window(p.time);
 
   if (p.flags.is_syn_only()) {
@@ -35,6 +43,7 @@ void ScanDetector::observe(const net::Packet& p) {
         state.rst_from.size() >= config_.rst_threshold) {
       scanners_.insert(p.src);
       window_state_.erase(p.src);
+      if (m_flagged_) m_flagged_->inc();
     }
   } else if (p.flags.rst()) {
     // Refusal flowing back out: internal host -> external source.
@@ -46,6 +55,7 @@ void ScanDetector::observe(const net::Packet& p) {
         state.rst_from.size() >= config_.rst_threshold) {
       scanners_.insert(p.dst);
       window_state_.erase(p.dst);
+      if (m_flagged_) m_flagged_->inc();
     }
   }
 }

@@ -19,6 +19,7 @@
 #include "net/ipv4.h"
 #include "net/packet.h"
 #include "sim/node.h"
+#include "util/metrics.h"
 #include "util/sim_time.h"
 
 namespace svcdisc::passive {
@@ -50,6 +51,11 @@ class ScanDetector final : public sim::PacketObserver {
   const std::unordered_set<net::Ipv4>& scanners() const { return scanners_; }
   std::size_t scanner_count() const { return scanners_.size(); }
 
+  /// Registers `<prefix>.packets_seen` and `<prefix>.scanners_flagged`
+  /// counters, mirroring subsequent activity.
+  void attach_metrics(util::MetricsRegistry& registry,
+                      std::string_view prefix);
+
  private:
   bool is_internal(net::Ipv4 addr) const;
   void roll_window(util::TimePoint t);
@@ -68,6 +74,8 @@ class ScanDetector final : public sim::PacketObserver {
   // thresholds, which the paper's own 12-hour bucketing also requires.
   std::unordered_map<net::Ipv4, SourceState> window_state_;
   std::int64_t current_window_{0};
+  util::Counter* m_packets_{nullptr};
+  util::Counter* m_flagged_{nullptr};
 };
 
 }  // namespace svcdisc::passive

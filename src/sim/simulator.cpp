@@ -4,8 +4,18 @@
 
 namespace svcdisc::sim {
 
+void Simulator::attach_metrics(util::MetricsRegistry& registry,
+                               std::string_view prefix) {
+  const std::string base(prefix);
+  m_events_ = &registry.counter(base + ".events_processed");
+  m_queue_hwm_ = &registry.gauge(base + ".queue_depth_hwm");
+}
+
 void Simulator::at(util::TimePoint t, EventQueue::Callback fn) {
   queue_.push(t < now_ ? now_ : t, std::move(fn));
+  if (m_queue_hwm_) {
+    m_queue_hwm_->update_max(static_cast<std::int64_t>(queue_.size()));
+  }
 }
 
 void Simulator::after(util::Duration d, EventQueue::Callback fn) {
@@ -17,6 +27,7 @@ bool Simulator::step() {
   now_ = queue_.next_time();
   auto fn = queue_.pop();
   ++processed_;
+  if (m_events_) m_events_->inc();
   fn();
   return true;
 }

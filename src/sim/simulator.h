@@ -8,6 +8,7 @@
 #include <cstdint>
 
 #include "sim/event_queue.h"
+#include "util/metrics.h"
 #include "util/sim_time.h"
 
 namespace svcdisc::sim {
@@ -32,10 +33,18 @@ class Simulator {
   std::size_t pending() const { return queue_.size(); }
   std::uint64_t events_processed() const { return processed_; }
 
+  /// Registers a `<prefix>.events_processed` counter and a
+  /// `<prefix>.queue_depth_hwm` gauge (high-water mark of the pending
+  /// event queue), mirroring subsequent activity.
+  void attach_metrics(util::MetricsRegistry& registry,
+                      std::string_view prefix);
+
  private:
   EventQueue queue_;
   util::TimePoint now_{};
   std::uint64_t processed_{0};
+  util::Counter* m_events_{nullptr};
+  util::Gauge* m_queue_hwm_{nullptr};
 };
 
 }  // namespace svcdisc::sim

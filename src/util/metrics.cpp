@@ -1,0 +1,123 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace svcdisc::util {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)) {
+  if (bounds_.empty() ||
+      !std::is_sorted(bounds_.begin(), bounds_.end(),
+                      [](double a, double b) { return a <= b; })) {
+    throw std::invalid_argument(
+        "Histogram: bounds must be non-empty and strictly increasing");
+  }
+  buckets_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+}
+
+void Histogram::record(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const std::size_t idx =
+      static_cast<std::size_t>(it - bounds_.begin());  // overflow at size()
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+const MetricValue* MetricsSnapshot::find(std::string_view name) const {
+  for (const MetricValue& v : values_) {
+    if (v.name == name) return &v;
+  }
+  return nullptr;
+}
+
+double MetricsSnapshot::value_of(std::string_view name,
+                                 double fallback) const {
+  const MetricValue* v = find(name);
+  return v ? v->value : fallback;
+}
+
+double MetricsSnapshot::sum_matching(std::string_view prefix) const {
+  double total = 0;
+  for (const MetricValue& v : values_) {
+    if (v.name.size() >= prefix.size() &&
+        std::string_view(v.name).substr(0, prefix.size()) == prefix) {
+      total += v.value;
+    }
+  }
+  return total;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard lock(mu_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  return *counters_.emplace(std::string(name), std::make_unique<Counter>())
+              .first->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard lock(mu_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return *it->second;
+  return *gauges_.emplace(std::string(name), std::make_unique<Gauge>())
+              .first->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> bounds) {
+  std::lock_guard lock(mu_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return *it->second;
+  return *histograms_
+              .emplace(std::string(name),
+                       std::make_unique<Histogram>(std::move(bounds)))
+              .first->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard lock(mu_);
+  std::vector<MetricValue> values;
+  values.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, counter] : counters_) {
+    MetricValue v;
+    v.name = name;
+    v.kind = MetricValue::Kind::kCounter;
+    v.value = static_cast<double>(counter->value());
+    values.push_back(std::move(v));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    MetricValue v;
+    v.name = name;
+    v.kind = MetricValue::Kind::kGauge;
+    v.value = static_cast<double>(gauge->value());
+    values.push_back(std::move(v));
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    MetricValue v;
+    v.name = name;
+    v.kind = MetricValue::Kind::kHistogram;
+    v.value = static_cast<double>(histogram->count());
+    v.sum = histogram->sum();
+    const auto& bounds = histogram->bounds();
+    v.buckets.reserve(bounds.size() + 1);
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      v.buckets.emplace_back(bounds[i], histogram->bucket_count(i));
+    }
+    v.buckets.emplace_back(std::numeric_limits<double>::infinity(),
+                           histogram->bucket_count(bounds.size()));
+    values.push_back(std::move(v));
+  }
+  // The three per-kind maps are each sorted; merge-sort the whole view by
+  // name so exports are deterministic regardless of metric kind.
+  std::sort(values.begin(), values.end(),
+            [](const MetricValue& a, const MetricValue& b) {
+              return a.name < b.name;
+            });
+  return MetricsSnapshot(std::move(values));
+}
+
+}  // namespace svcdisc::util

@@ -1,0 +1,158 @@
+// A lightweight metrics registry: named counters, gauges, and
+// fixed-bucket histograms.
+//
+// The paper's credibility rests on visible loss accounting — taps report
+// what they filtered, monitors what they suppressed, probers what they
+// sent. The registry gives every campaign one place where those internal
+// tallies accumulate, cheap enough to sit on the packet hot path:
+//
+//   * registration (counter()/gauge()/histogram()) takes a mutex and
+//     returns a stable reference, so components resolve their handles
+//     once at attach time;
+//   * updates are single relaxed atomics — safe from any thread, no
+//     locks, no allocation;
+//   * snapshot() copies everything into a plain sorted value vector that
+//     can outlive the registry (CampaignRunner ships one per job).
+//
+// Metric names are dot-separated paths ("tap.commercial1.packets_seen");
+// the conventional names wired through the stack are listed in
+// README.md ("Metrics & parallel campaigns").
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace svcdisc::util {
+
+/// Monotonic event count. Relaxed atomic increments: exact totals, no
+/// ordering guarantees with respect to other metrics.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// A point-in-time level (table size, queue depth). set()/add() race
+/// benignly between writers; update_max() keeps a high-water mark.
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  /// Raises the gauge to `v` if `v` is higher (lock-free CAS loop).
+  void update_max(std::int64_t v) {
+    std::int64_t cur = value_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram: `bounds` are inclusive upper bounds of the
+/// first N buckets; one overflow bucket catches the rest. Bucket counts
+/// and the running sum are atomics, so concurrent record() calls keep
+/// exact totals.
+class Histogram {
+ public:
+  /// `bounds` must be non-empty and strictly increasing.
+  explicit Histogram(std::vector<double> bounds);
+
+  void record(double value);
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Count in bucket `i` (i == bounds().size() is the overflow bucket).
+  std::uint64_t bucket_count(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// One exported metric value; histograms carry their buckets.
+struct MetricValue {
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+  std::string name;
+  Kind kind{Kind::kCounter};
+  /// Counter/gauge reading; for histograms, the total sample count.
+  double value{0};
+  /// Histogram-only: sample sum and (upper bound, count) per bucket,
+  /// overflow bucket last with an infinite bound.
+  double sum{0};
+  std::vector<std::pair<double, std::uint64_t>> buckets;
+};
+
+/// A detached copy of a registry's state, sorted by metric name so two
+/// identical campaigns export byte-identical metrics.
+class MetricsSnapshot {
+ public:
+  MetricsSnapshot() = default;
+  explicit MetricsSnapshot(std::vector<MetricValue> values)
+      : values_(std::move(values)) {}
+
+  const std::vector<MetricValue>& values() const { return values_; }
+  bool empty() const { return values_.empty(); }
+
+  /// The named metric, or nullptr.
+  const MetricValue* find(std::string_view name) const;
+  /// Counter/gauge reading by name; `fallback` when absent.
+  double value_of(std::string_view name, double fallback = 0) const;
+  /// Sum of the readings of every metric whose name starts with `prefix`.
+  double sum_matching(std::string_view prefix) const;
+
+ private:
+  std::vector<MetricValue> values_;
+};
+
+/// Thread-safe named-metric registry. Handles returned by
+/// counter()/gauge()/histogram() stay valid for the registry's lifetime;
+/// re-registering a name returns the existing instance.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// `bounds` applies only on first registration of `name`.
+  Histogram& histogram(std::string_view name, std::vector<double> bounds);
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  // Node-based maps: stable addresses across later registrations.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace svcdisc::util

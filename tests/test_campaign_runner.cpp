@@ -1,0 +1,193 @@
+// Determinism regression tests for core::CampaignRunner.
+//
+// A campaign is a pure function of (config, seed): the same job must
+// produce byte-identical exports whether run serially, run twice, or
+// run on a multi-threaded CampaignRunner. A golden snapshot under
+// tests/data/ pins the output across commits — if a change legitimately
+// alters campaign behaviour, regenerate it with
+//   SVCDISC_REGOLDEN=1 ./test_campaign_runner
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/export.h"
+#include "core/campaign_runner.h"
+#include "core/categorize.h"
+#include "core/completeness.h"
+#include "core/report.h"
+#include "workload/campus.h"
+
+namespace svcdisc::core {
+namespace {
+
+constexpr std::uint64_t kGoldenSeed = 42;
+
+workload::CampusConfig golden_campus() {
+  auto cfg = workload::CampusConfig::tiny();
+  cfg.duration = util::days(1);
+  return cfg;
+}
+
+EngineConfig golden_engine() {
+  EngineConfig cfg;
+  cfg.scan_count = 2;
+  cfg.scan_period = util::hours(12);
+  cfg.first_scan_offset = util::hours(1);
+  return cfg;
+}
+
+std::string render_addresses(const std::unordered_set<net::Ipv4>& set) {
+  std::vector<net::Ipv4> sorted(set.begin(), set.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::string out;
+  for (const net::Ipv4 addr : sorted) out += "  " + addr.to_string() + "\n";
+  return out;
+}
+
+// Everything a campaign publishes, rendered to one deterministic string:
+// the completeness table (paper Table 2), the discovered address lists,
+// and the full metrics snapshot (wall time excluded — it is the one
+// legitimately nondeterministic field).
+std::string export_campaign(const CampaignResult& result) {
+  EXPECT_TRUE(result.error.empty()) << result.error;
+  const auto end =
+      util::kEpoch + result.campus->config().duration;
+  const auto passive =
+      addresses_found(result.engine->monitor().table(), end);
+  const auto active =
+      addresses_found(result.engine->prober().table(), end);
+  const Completeness c = completeness(passive, active);
+
+  std::ostringstream out;
+  out << "campaign " << result.label << " seed " << result.seed << "\n";
+  out << "completeness union=" << c.union_count << " both=" << c.both
+      << " active_only=" << c.active_only
+      << " passive_only=" << c.passive_only
+      << " active_total=" << c.active_total
+      << " passive_total=" << c.passive_total << "\n";
+  out << "passive addresses (" << passive.size() << "):\n"
+      << render_addresses(passive);
+  out << "active addresses (" << active.size() << "):\n"
+      << render_addresses(active);
+
+  // Table 3 categorization over every probe target.
+  std::uint64_t by_category[4] = {0, 0, 0, 0};
+  for (const net::Ipv4 addr : result.campus->scan_targets()) {
+    const ShortCategory cat =
+        short_category(passive.contains(addr), active.contains(addr));
+    ++by_category[static_cast<std::size_t>(cat)];
+  }
+  out << "categorization";
+  for (int cat = 0; cat < 4; ++cat) {
+    out << " "
+        << short_category_label(static_cast<ShortCategory>(cat)) << "="
+        << by_category[cat];
+  }
+  out << "\n";
+
+  analysis::MetricsExport e;
+  e.label = result.label;
+  e.seed = result.seed;
+  e.snapshot = &result.snapshot;
+  out << analysis::metrics_to_json({e});
+  return out.str();
+}
+
+std::vector<CampaignJob> golden_jobs(std::size_t count) {
+  return seed_sweep_jobs(golden_campus(), golden_engine(), kGoldenSeed,
+                         count);
+}
+
+TEST(CampaignRunner, SerialRerunIsByteIdentical) {
+  const auto first = CampaignRunner(1).run(golden_jobs(1));
+  const auto second = CampaignRunner(1).run(golden_jobs(1));
+  ASSERT_EQ(first.size(), 1u);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(export_campaign(first[0]), export_campaign(second[0]));
+}
+
+TEST(CampaignRunner, FourThreadsMatchSerialByteForByte) {
+  constexpr std::size_t kSeeds = 4;
+  const auto serial = CampaignRunner(1).run(golden_jobs(kSeeds));
+  const auto parallel = CampaignRunner(4).run(golden_jobs(kSeeds));
+  ASSERT_EQ(serial.size(), kSeeds);
+  ASSERT_EQ(parallel.size(), kSeeds);
+  for (std::size_t i = 0; i < kSeeds; ++i) {
+    EXPECT_EQ(serial[i].seed, parallel[i].seed);
+    EXPECT_EQ(export_campaign(serial[i]), export_campaign(parallel[i]))
+        << "seed " << serial[i].seed;
+  }
+}
+
+TEST(CampaignRunner, ResultsComeBackInJobOrder) {
+  const auto results = CampaignRunner(4).run(golden_jobs(6));
+  ASSERT_EQ(results.size(), 6u);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].index, i);
+    EXPECT_EQ(results[i].seed, kGoldenSeed + i);
+    EXPECT_EQ(results[i].label,
+              "seed-" + std::to_string(kGoldenSeed + i));
+  }
+}
+
+TEST(CampaignRunner, JobExceptionIsCapturedNotPropagated) {
+  auto jobs = golden_jobs(1);
+  jobs[0].drive = [](workload::Campus&, DiscoveryEngine&) {
+    throw std::runtime_error("boom");
+  };
+  const auto results = CampaignRunner(2).run(std::move(jobs));
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_FALSE(results[0].ok());
+  EXPECT_EQ(results[0].error, "boom");
+}
+
+TEST(CampaignRunner, SetupHookRunsBeforeDrive) {
+  auto jobs = golden_jobs(1);
+  int order = 0;
+  int setup_at = -1;
+  int drive_at = -1;
+  jobs[0].setup = [&](workload::Campus&, DiscoveryEngine&) {
+    setup_at = order++;
+  };
+  jobs[0].drive = [&](workload::Campus&, DiscoveryEngine&) {
+    drive_at = order++;
+  };
+  CampaignRunner(1).run(std::move(jobs));
+  EXPECT_EQ(setup_at, 0);
+  EXPECT_EQ(drive_at, 1);
+}
+
+// Golden snapshot: pins the tiny-campaign export byte for byte. The
+// snapshot lives in the repo, so any behavioural drift — intended or
+// not — shows up as a reviewable diff.
+TEST(CampaignRunner, GoldenSnapshotUnchanged) {
+  const std::string path =
+      std::string(SVCDISC_TEST_DATA_DIR) + "/campaign_tiny_seed42.golden";
+  const auto results = CampaignRunner(1).run(golden_jobs(1));
+  ASSERT_EQ(results.size(), 1u);
+  const std::string got = export_campaign(results[0]);
+
+  if (std::getenv("SVCDISC_REGOLDEN")) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << got;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden file " << path
+                  << " (regenerate with SVCDISC_REGOLDEN=1)";
+  std::ostringstream want;
+  want << in.rdbuf();
+  EXPECT_EQ(got, want.str())
+      << "campaign output drifted from the golden snapshot; if the "
+         "change is intentional, rerun with SVCDISC_REGOLDEN=1";
+}
+
+}  // namespace
+}  // namespace svcdisc::core

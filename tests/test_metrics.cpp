@@ -1,0 +1,169 @@
+// Unit and thread-safety tests for util::MetricsRegistry.
+//
+// The thread tests hammer shared handles from many threads and assert
+// *exact* totals — relaxed atomics lose no increments, they only relax
+// inter-metric ordering. Run under TSan via scripts/sanitize.sh.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/metrics.h"
+
+namespace svcdisc::util {
+namespace {
+
+TEST(Metrics, CounterStartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Metrics, GaugeSetAddUpdateMax) {
+  Gauge g;
+  g.set(7);
+  EXPECT_EQ(g.value(), 7);
+  g.add(-3);
+  EXPECT_EQ(g.value(), 4);
+  g.update_max(10);
+  EXPECT_EQ(g.value(), 10);
+  g.update_max(2);  // lower values never win
+  EXPECT_EQ(g.value(), 10);
+}
+
+TEST(Metrics, HistogramBucketsAndOverflow) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.record(0.5);    // bucket 0
+  h.record(1.0);    // bucket 0 (inclusive upper bound)
+  h.record(50.0);   // bucket 2
+  h.record(1e6);    // overflow
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 50.0 + 1e6);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 0u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(3), 1u);  // overflow bucket
+}
+
+TEST(Metrics, RegistryReturnsSameHandleForSameName) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("x.count");
+  Counter& b = registry.counter("x.count");
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  EXPECT_EQ(b.value(), 1u);
+}
+
+TEST(Metrics, SnapshotIsSortedByNameAndDetached) {
+  MetricsRegistry registry;
+  registry.counter("z.last").inc(3);
+  registry.gauge("a.first").set(-2);
+  registry.histogram("m.middle", {1.0}).record(0.5);
+  const MetricsSnapshot snapshot = registry.snapshot();
+  ASSERT_EQ(snapshot.values().size(), 3u);
+  EXPECT_EQ(snapshot.values()[0].name, "a.first");
+  EXPECT_EQ(snapshot.values()[1].name, "m.middle");
+  EXPECT_EQ(snapshot.values()[2].name, "z.last");
+  EXPECT_EQ(snapshot.value_of("z.last"), 3.0);
+  EXPECT_EQ(snapshot.value_of("a.first"), -2.0);
+  EXPECT_EQ(snapshot.value_of("absent", -1.0), -1.0);
+  // Later mutation does not leak into the detached copy.
+  registry.counter("z.last").inc(100);
+  EXPECT_EQ(snapshot.value_of("z.last"), 3.0);
+}
+
+TEST(Metrics, SnapshotHistogramCarriesOverflowBucket) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("h", {1.0, 2.0});
+  h.record(0.5);
+  h.record(99.0);
+  const MetricsSnapshot snapshot = registry.snapshot();
+  const auto* v = snapshot.find("h");
+  ASSERT_NE(v, nullptr);
+  ASSERT_EQ(v->buckets.size(), 3u);  // two bounds + overflow
+  EXPECT_EQ(v->buckets[0].second, 1u);
+  EXPECT_EQ(v->buckets[2].second, 1u);
+  EXPECT_TRUE(std::isinf(v->buckets[2].first));
+}
+
+TEST(Metrics, SumMatchingAggregatesByPrefix) {
+  MetricsRegistry registry;
+  registry.counter("tap.a.packets_seen").inc(10);
+  registry.counter("tap.b.packets_seen").inc(5);
+  registry.counter("other").inc(100);
+  const auto snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.sum_matching("tap."), 15.0);
+}
+
+// N threads hammer the same counter/gauge/histogram handles; every
+// increment must land (exact totals), and the high-water gauge must see
+// the global maximum.
+TEST(MetricsThreads, ConcurrentUpdatesKeepExactTotals) {
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kIncsPerThread = 100000;
+
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("hammer.count");
+  Gauge& hwm = registry.gauge("hammer.hwm");
+  Histogram& histogram = registry.histogram("hammer.hist", {0.5, 1.5, 2.5});
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::uint64_t i = 0; i < kIncsPerThread; ++i) {
+        counter.inc();
+        hwm.update_max(static_cast<std::int64_t>(t * kIncsPerThread + i));
+        histogram.record(static_cast<double>(t % 4));  // buckets 0..3
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(counter.value(), kThreads * kIncsPerThread);
+  EXPECT_EQ(hwm.value(),
+            static_cast<std::int64_t>(kThreads * kIncsPerThread - 1));
+  EXPECT_EQ(histogram.count(), kThreads * kIncsPerThread);
+  // 2 threads per residue class 0..3 recorded value == residue.
+  const double expected_sum =
+      2.0 * kIncsPerThread * (0.0 + 1.0 + 2.0 + 3.0);
+  EXPECT_DOUBLE_EQ(histogram.sum(), expected_sum);
+  for (std::size_t b = 0; b < 4; ++b) {
+    EXPECT_EQ(histogram.bucket_count(b), 2 * kIncsPerThread);
+  }
+}
+
+// Concurrent registration of overlapping names must hand every thread
+// the same stable handle per name (and never invalidate old handles).
+TEST(MetricsThreads, ConcurrentRegistrationIsSafe) {
+  constexpr int kThreads = 8;
+  constexpr int kNames = 32;
+  constexpr std::uint64_t kRounds = 2000;
+
+  MetricsRegistry registry;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (std::uint64_t round = 0; round < kRounds; ++round) {
+        const std::string name =
+            "reg." + std::to_string(round % kNames);
+        registry.counter(name).inc();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  const auto snapshot = registry.snapshot();
+  ASSERT_EQ(snapshot.values().size(), static_cast<std::size_t>(kNames));
+  EXPECT_EQ(snapshot.sum_matching("reg."),
+            static_cast<double>(kThreads) * kRounds);
+}
+
+}  // namespace
+}  // namespace svcdisc::util

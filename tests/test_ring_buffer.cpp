@@ -1,7 +1,11 @@
 // Unit tests for capture::RingBuffer.
 #include <gtest/gtest.h>
 
+#include <deque>
+
 #include "capture/ring_buffer.h"
+#include "util/metrics.h"
+#include "util/rng.h"
 
 namespace svcdisc::capture {
 namespace {
@@ -34,7 +38,7 @@ TEST(RingBuffer, DropsWhenFull) {
   EXPECT_TRUE(ring.push(pkt(1)));
   EXPECT_FALSE(ring.push(pkt(2)));
   EXPECT_EQ(ring.dropped(), 1u);
-  EXPECT_EQ(ring.pushed(), 2u);
+  EXPECT_EQ(ring.pushed(), 3u);  // pushed() counts attempts, drops included
   // Freeing a slot allows pushes again; the dropped packet is gone.
   ASSERT_TRUE(ring.pop().has_value());
   EXPECT_TRUE(ring.push(pkt(3)));
@@ -73,6 +77,76 @@ TEST(RingBuffer, ObserveInterface) {
 
 TEST(RingBuffer, RejectsZeroCapacity) {
   EXPECT_THROW(RingBuffer(0), std::invalid_argument);
+}
+
+// Property test: under any interleaving of push/pop/drain the ring
+// behaves like a bounded FIFO with drop-on-overflow, and its counters
+// obey the conservation invariant
+//   pushed() == popped() + size() + dropped().
+// A std::deque serves as the reference model; packets are numbered via
+// the source port so FIFO order is checkable end to end.
+TEST(RingBufferProperty, RandomInterleavingMatchesModelAndConserves) {
+  util::Rng rng(0x51264);
+  for (int round = 0; round < 50; ++round) {
+    const std::size_t capacity = 1 + rng.below(16);
+    RingBuffer ring(capacity);
+    util::MetricsRegistry registry;
+    ring.attach_metrics(registry, "ring");
+
+    std::deque<int> model;
+    std::uint64_t model_dropped = 0;
+    std::uint64_t model_popped = 0;
+    int next_id = 0;
+    for (int op = 0; op < 400; ++op) {
+      const std::uint64_t dice = rng.below(10);
+      if (dice < 5) {  // push
+        const bool accepted = ring.push(pkt(next_id));
+        if (model.size() < capacity) {
+          EXPECT_TRUE(accepted);
+          model.push_back(next_id);
+        } else {
+          EXPECT_FALSE(accepted);
+          ++model_dropped;
+        }
+        ++next_id;
+      } else if (dice < 9) {  // pop
+        const auto popped = ring.pop();
+        if (model.empty()) {
+          EXPECT_FALSE(popped.has_value());
+        } else {
+          ASSERT_TRUE(popped.has_value());
+          EXPECT_EQ(popped->sport, model.front());  // FIFO order
+          model.pop_front();
+          ++model_popped;
+        }
+      } else {  // drain
+        const auto all = ring.drain();
+        ASSERT_EQ(all.size(), model.size());
+        for (std::size_t i = 0; i < all.size(); ++i) {
+          EXPECT_EQ(all[i].sport, model[i]);
+        }
+        model_popped += model.size();
+        model.clear();
+      }
+      ASSERT_EQ(ring.size(), model.size());
+      ASSERT_EQ(ring.pushed(),
+                ring.popped() + ring.size() + ring.dropped());
+    }
+    EXPECT_EQ(ring.pushed(), static_cast<std::uint64_t>(next_id));
+    EXPECT_EQ(ring.dropped(), model_dropped);
+    EXPECT_EQ(ring.popped(), model_popped);
+
+    // The attached metrics mirror the counters exactly.
+    const auto snapshot = registry.snapshot();
+    EXPECT_EQ(snapshot.value_of("ring.pushed"),
+              static_cast<double>(ring.pushed()));
+    EXPECT_EQ(snapshot.value_of("ring.popped"),
+              static_cast<double>(ring.popped()));
+    EXPECT_EQ(snapshot.value_of("ring.dropped"),
+              static_cast<double>(ring.dropped()));
+    EXPECT_LE(snapshot.value_of("ring.depth_hwm"),
+              static_cast<double>(capacity));
+  }
 }
 
 }  // namespace

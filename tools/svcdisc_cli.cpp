@@ -3,21 +3,29 @@
 // Subcommands:
 //   scenarios                      list the built-in dataset presets
 //   run [flags]                    run a campaign, print the summary
+//   campaign [flags]               parallel seed sweep + metrics export
 //   replay <capture.pcap> [flags]  offline passive analysis of a pcap
 //   filter <expr> <capture.pcap>   count packets matching a capture filter
 //
 // Examples:
 //   svcdisc_cli run --scenario=tiny --scans=4 --seed=7
 //   svcdisc_cli run --scenario=dtcp1_18d --pcap=border.pcap
+//   svcdisc_cli campaign --scenario=tiny --jobs=4 --seeds=1..8
+//       --json=metrics.json
 //   svcdisc_cli replay border.pcap
 //   svcdisc_cli filter "tcp and synack" border.pcap
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "active/scan_report.h"
+#include "analysis/export.h"
 #include "analysis/table.h"
 #include "capture/filter.h"
 #include "capture/pcap_file.h"
+#include "core/campaign_runner.h"
 #include "core/completeness.h"
 #include "core/engine.h"
 #include "core/report.h"
@@ -171,6 +179,133 @@ int cmd_run(int argc, const char* const* argv) {
                stdout);
   }
   return 0;
+}
+
+// Parses "a..b" (inclusive) or a single seed. Returns false on bad input.
+bool parse_seed_range(const std::string& text, std::uint64_t* first,
+                      std::size_t* count) {
+  const auto dots = text.find("..");
+  char* end = nullptr;
+  *first = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str()) return false;
+  if (dots == std::string::npos) {
+    *count = 1;
+    return *end == '\0';
+  }
+  if (static_cast<std::size_t>(end - text.c_str()) != dots) return false;
+  const char* last_text = text.c_str() + dots + 2;
+  char* last_end = nullptr;
+  const std::uint64_t last = std::strtoull(last_text, &last_end, 10);
+  if (last_end == last_text || *last_end != '\0' || last < *first) {
+    return false;
+  }
+  *count = static_cast<std::size_t>(last - *first) + 1;
+  return true;
+}
+
+int cmd_campaign(int argc, const char* const* argv) {
+  std::string scenario_name = "tiny";
+  std::string seeds_text = "1..4";
+  std::int64_t jobs = 0;  // 0 = SVCDISC_JOBS env / hardware threads
+  std::int64_t scans = -1;
+  double days = 0;
+  std::string json_path;
+
+  util::Flags flags("svcdisc_cli campaign",
+                    "run a seed sweep on the parallel campaign runner");
+  flags.add_string("scenario", "scenario preset (see `scenarios`)",
+                   &scenario_name);
+  flags.add_string("seeds", "inclusive seed range, e.g. 1..8 (or one seed)",
+                   &seeds_text);
+  flags.add_int64("jobs", "worker threads (0 = SVCDISC_JOBS or hardware)",
+                  &jobs);
+  flags.add_int64("scans", "number of 12-hourly scans (-1 = preset)",
+                  &scans);
+  flags.add_double("days", "override campaign duration in days", &days);
+  flags.add_string("json", "export per-seed metrics JSON to this file",
+                   &json_path);
+  if (!flags.parse(argc, argv)) {
+    std::fputs(flags.usage().c_str(),
+               flags.help_requested() ? stdout : stderr);
+    if (!flags.help_requested()) {
+      std::fprintf(stderr, "error: %s\n", flags.error().c_str());
+    }
+    return flags.help_requested() ? 0 : 2;
+  }
+  const Scenario* scenario = find_scenario(scenario_name);
+  if (!scenario) {
+    std::fprintf(stderr, "unknown scenario %s (try `scenarios`)\n",
+                 scenario_name.c_str());
+    return 2;
+  }
+  std::uint64_t first_seed = 0;
+  std::size_t seed_count = 0;
+  if (!parse_seed_range(seeds_text, &first_seed, &seed_count)) {
+    std::fprintf(stderr, "bad seed range %s (expected e.g. 1..8)\n",
+                 seeds_text.c_str());
+    return 2;
+  }
+
+  auto cfg = scenario->make();
+  if (days > 0) cfg.duration = util::seconds_f(days * 86400.0);
+  core::EngineConfig engine_cfg;
+  engine_cfg.scan_count =
+      scans >= 0 ? static_cast<int>(scans)
+                 : static_cast<int>(cfg.duration.days() * 2);
+
+  const core::CampaignRunner runner(
+      jobs > 0 ? static_cast<std::size_t>(jobs) : 0);
+  const auto start = std::chrono::steady_clock::now();
+  const auto results = runner.run(
+      core::seed_sweep_jobs(cfg, engine_cfg, first_seed, seed_count));
+  const double total_sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  std::printf("scenario %s, seeds %s, %zu campaign(s) on %zu thread(s), "
+              "%.1f s\n",
+              scenario_name.c_str(), seeds_text.c_str(), results.size(),
+              runner.threads(), total_sec);
+  analysis::TextTable table({"seed", "sim events", "passive disc",
+                             "probes sent", "scanners", "wall s"});
+  int failures = 0;
+  std::vector<analysis::MetricsExport> exports;
+  for (const auto& result : results) {
+    if (!result.ok()) {
+      std::fprintf(stderr, "seed %llu failed: %s\n",
+                   static_cast<unsigned long long>(result.seed),
+                   result.error.c_str());
+      ++failures;
+      continue;
+    }
+    const auto metric = [&](const char* name) {
+      return analysis::fmt_count(
+          static_cast<std::size_t>(result.snapshot.value_of(name)));
+    };
+    char wall[24];
+    std::snprintf(wall, sizeof wall, "%.2f", result.wall_sec);
+    table.add_row(
+        {std::to_string(result.seed), metric("sim.events_processed"),
+         metric("passive.tcp_discoveries"), metric("active.probes_tcp_sent"),
+         metric("scan_detector.scanners_flagged"), wall});
+    analysis::MetricsExport e;
+    e.label = result.label;
+    e.seed = result.seed;
+    e.wall_sec = result.wall_sec;
+    e.snapshot = &result.snapshot;
+    exports.push_back(e);
+  }
+  std::fputs(table.render().c_str(), stdout);
+  if (!json_path.empty()) {
+    if (analysis::export_metrics_json(json_path, exports)) {
+      std::printf("metrics: %zu campaign(s) -> %s\n", exports.size(),
+                  json_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+  }
+  return failures == 0 ? 0 : 1;
 }
 
 int cmd_replay(int argc, const char* const* argv) {
@@ -331,14 +466,17 @@ int dispatch(int argc, const char* const* argv) {
   const std::string command = argc > 1 ? argv[1] : "";
   if (command == "scenarios") return cmd_scenarios();
   if (command == "run") return cmd_run(argc - 1, argv + 1);
+  if (command == "campaign") return cmd_campaign(argc - 1, argv + 1);
   if (command == "replay") return cmd_replay(argc - 1, argv + 1);
   if (command == "filter") return cmd_filter(argc - 1, argv + 1);
   if (command == "dump") return cmd_dump(argc - 1, argv + 1);
   if (command == "diff") return cmd_diff(argc - 1, argv + 1);
   std::fprintf(stderr,
-               "usage: %s <scenarios|run|replay|filter|dump|diff> [flags]\n"
+               "usage: %s <scenarios|run|campaign|replay|filter|dump|diff> "
+               "[flags]\n"
                "  scenarios             list dataset presets\n"
                "  run                   run a discovery campaign\n"
+               "  campaign              parallel seed sweep, metrics export\n"
                "  replay <pcap>         offline passive analysis\n"
                "  filter <expr> <pcap>  count matching packets\n"
                "  dump <pcap>           print packets, tcpdump-style\n"
