@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Hot-path benchmark runner: builds bench_hotpath in Release (-O2) in
+# its own build directory and runs it against the checked-in baseline,
+# writing BENCH_hotpath.json (current figures + baseline + speedups)
+# at the repo root.
+#
+# Usage: scripts/bench.sh [extra bench_hotpath env...]
+#   NATIVE=1 scripts/bench.sh      # tune for the local CPU (-march=native)
+#   SMOKE=1  scripts/bench.sh      # tiny iteration counts (sanity check)
+#
+# The regular build/ (RelWithDebInfo, used by ctest) is untouched;
+# Release figures live in build-bench/.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs="$(nproc 2>/dev/null || echo 2)"
+native="${NATIVE:-0}"
+
+cmake -B build-bench -S . \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DSVCDISC_NATIVE="$([ "$native" = 1 ] && echo ON || echo OFF)" \
+  >/dev/null
+cmake --build build-bench -j "$jobs" --target bench_hotpath
+
+SVCDISC_BASELINE_JSON="${SVCDISC_BASELINE_JSON:-bench/baseline_hotpath.json}" \
+SVCDISC_BENCH_OUT="${SVCDISC_BENCH_OUT:-BENCH_hotpath.json}" \
+SVCDISC_BENCH_SMOKE="${SMOKE:-0}" \
+  ./build-bench/bench/bench_hotpath

@@ -115,7 +115,17 @@ void Prober::start_scan(ScanSpec spec,
   if (!any) {
     // Degenerate scan with no probes: complete immediately.
     pinging_ = false;
-    network_.simulator().after(util::usec(0), [this] { finalize_scan(); });
+    network_.simulator().after_timer(util::usec(0), this, kTimerFinalize);
+  }
+}
+
+void Prober::on_timer(std::uint64_t tag) {
+  if (tag == kTimerFinalize) {
+    finalize_scan();
+  } else if (tag == kTimerBeginPortPhase) {
+    begin_port_phase();
+  } else {
+    send_next(static_cast<std::size_t>(tag));
   }
 }
 
@@ -168,7 +178,7 @@ void Prober::begin_port_phase() {
     }
   }
   if (!any) {
-    network_.simulator().after(util::usec(0), [this] { finalize_scan(); });
+    network_.simulator().after_timer(util::usec(0), this, kTimerFinalize);
   }
 }
 
@@ -222,13 +232,9 @@ void Prober::send_next(std::size_t machine) {
   if (cursor >= tasks.size()) {
     if (++machines_done_ == work_.size()) {
       // All packets of this phase sent; allow stragglers to answer.
-      if (pinging_) {
-        network_.simulator().after(spec_.timeout + util::msec(100),
-                                   [this] { begin_port_phase(); });
-      } else {
-        network_.simulator().after(spec_.timeout + util::msec(100),
-                                   [this] { finalize_scan(); });
-      }
+      network_.simulator().after_timer(
+          spec_.timeout + util::msec(100), this,
+          pinging_ ? kTimerBeginPortPhase : kTimerFinalize);
     }
     return;
   }
@@ -236,7 +242,7 @@ void Prober::send_next(std::size_t machine) {
   // that is now + 1/rate, with sub-usec deficits carried forward so long
   // scans hold the configured rate exactly.
   const util::TimePoint next = buckets_[machine].next_available(now);
-  network_.simulator().at(next, [this, machine] { send_next(machine); });
+  network_.simulator().at_timer(next, this, machine);
 }
 
 void Prober::resolve(const PendingKey& key, ProbeStatus status) {
@@ -245,7 +251,7 @@ void Prober::resolve(const PendingKey& key, ProbeStatus status) {
   ProbeOutcome& outcome = current_.outcomes[it->second];
   outcome.status = status;
   outcome.when = network_.simulator().now();
-  pending_.erase(it);
+  pending_.erase(key);
   --unresolved_;
   if (m_responses_) m_responses_->inc();
 

@@ -16,8 +16,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "active/rate_limiter.h"
@@ -27,6 +25,7 @@
 #include "passive/service_table.h"
 #include "sim/network.h"
 #include "sim/node.h"
+#include "util/flat_hash.h"
 #include "util/metrics.h"
 #include "util/sim_time.h"
 
@@ -96,7 +95,7 @@ struct ProberConfig {
   std::vector<net::Ipv4> source_addrs;
 };
 
-class Prober final : public sim::PacketSink {
+class Prober final : public sim::PacketSink, public sim::TimerTarget {
  public:
   Prober(sim::Network& network, ProberConfig config);
   ~Prober() override;
@@ -131,7 +130,15 @@ class Prober final : public sim::PacketSink {
   // sim::PacketSink — receives probe responses.
   void on_packet(const net::Packet& p) override;
 
+  // sim::TimerTarget — pacing ticks (tag = machine index) plus the two
+  // phase-transition timeouts below.
+  void on_timer(std::uint64_t tag) override;
+
  private:
+  /// Timer tags above any realistic machine index.
+  static constexpr std::uint64_t kTimerFinalize = ~std::uint64_t{0};
+  static constexpr std::uint64_t kTimerBeginPortPhase = ~std::uint64_t{1};
+
   struct PendingKey {
     net::Ipv4 addr{};
     net::Port port{0};
@@ -140,10 +147,11 @@ class Prober final : public sim::PacketSink {
   };
   struct PendingKeyHash {
     std::size_t operator()(const PendingKey& k) const noexcept {
-      std::uint64_t h = k.addr.value();
-      h = h * 0x9E3779B97F4A7C15ULL ^
-          (std::uint64_t{k.port} << 8 | static_cast<std::uint8_t>(k.proto));
-      return h;
+      // Scans walk (addr, port) sequentially; avalanche the packed
+      // identity so consecutive probes don't chain in the slot table.
+      return util::hash_mix((std::uint64_t{k.addr.value()} << 24) ^
+                            (std::uint64_t{k.port} << 8) ^
+                            static_cast<std::uint8_t>(k.proto));
     }
   };
 
@@ -169,7 +177,7 @@ class Prober final : public sim::PacketSink {
   ScanSpec spec_;
   ScanRecord current_;
   std::function<void(const ScanRecord&)> on_complete_;
-  std::unordered_map<PendingKey, std::size_t, PendingKeyHash> pending_;
+  util::FlatMap<PendingKey, std::size_t, PendingKeyHash> pending_;
   std::vector<std::vector<ProbeTask>> work_;  // per machine probe list
   std::vector<std::size_t> cursor_;           // per machine: next probe
   std::vector<TokenBucket> buckets_;          // per machine pacing
@@ -178,7 +186,7 @@ class Prober final : public sim::PacketSink {
   net::Port next_ephemeral_{40000};
   // Host-discovery phase state.
   bool pinging_{false};
-  std::unordered_set<net::Ipv4> alive_hosts_;
+  util::FlatSet<net::Ipv4> alive_hosts_;
   // Optional metrics (null until attach_metrics).
   util::MetricsRegistry* metrics_{nullptr};
   std::string metrics_prefix_;

@@ -15,9 +15,11 @@ void ScanScheduler::arm() {
   if (armed_) throw std::logic_error("ScanScheduler: already armed");
   armed_ = true;
   for (int i = 0; i < schedule_.count; ++i) {
-    sim_.at(schedule_.first_scan + schedule_.period * i, [this] { fire(); });
+    sim_.at_timer(schedule_.first_scan + schedule_.period * i, this);
   }
 }
+
+void ScanScheduler::on_timer(std::uint64_t /*tag*/) { fire(); }
 
 void ScanScheduler::fire() {
   if (prober_.scan_in_progress()) {

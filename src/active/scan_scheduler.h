@@ -23,7 +23,7 @@ struct ScheduleConfig {
   int count{1};
 };
 
-class ScanScheduler {
+class ScanScheduler final : public sim::TimerTarget {
  public:
   /// `spec` is reused for every scan. The scheduler does not own the
   /// prober; both must outlive the simulation run.
@@ -38,6 +38,9 @@ class ScanScheduler {
 
   /// Invoked when each scan completes.
   std::function<void(const ScanRecord&)> on_scan_complete;
+
+  // sim::TimerTarget — one timer event per scheduled scan firing.
+  void on_timer(std::uint64_t tag) override;
 
  private:
   void fire();

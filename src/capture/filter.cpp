@@ -49,6 +49,7 @@ class FilterCompiler {
       }
       return std::nullopt;
     }
+    f.specialize();
     return f;
   }
 
@@ -208,7 +209,172 @@ std::string Filter::disassemble() const {
   return out;
 }
 
-bool Filter::matches(const net::Packet& p) const {
+std::string_view filter_path_name(FilterPath path) {
+  switch (path) {
+    case FilterPath::kMatchAll: return "match-all";
+    case FilterPath::kProtoFlags: return "proto-flags-lut";
+    case FilterPath::kConjunction: return "conjunction";
+    case FilterPath::kInterpreted: return "interpreted";
+  }
+  return "?";
+}
+
+void Filter::specialize() {
+  path_ = FilterPath::kInterpreted;
+  has_lut_ = false;
+  test_count_ = 0;
+  if (program_.empty()) {
+    path_ = FilterPath::kMatchAll;
+    return;
+  }
+
+  // Rebuild the expression tree from the postfix program (the compiler
+  // guarantees well-formed arity; bail to the interpreter otherwise).
+  struct Node {
+    const Instr* ins;
+    int left{-1};
+    int right{-1};
+  };
+  std::vector<Node> nodes;
+  nodes.reserve(program_.size());
+  std::vector<int> build;
+  for (const Instr& ins : program_) {
+    Node n{&ins};
+    if (ins.op == Op::kNot) {
+      if (build.empty()) return;
+      n.left = build.back();
+      build.pop_back();
+    } else if (ins.op == Op::kAnd || ins.op == Op::kOr) {
+      if (build.size() < 2) return;
+      n.right = build.back();
+      build.pop_back();
+      n.left = build.back();
+      build.pop_back();
+    }
+    build.push_back(static_cast<int>(nodes.size()));
+    nodes.push_back(n);
+  }
+  if (build.size() != 1) return;
+  const int root = build.front();
+
+  // A subtree is LUT-able when it only inspects (proto, tcp flags):
+  // its value is then a pure function of at most 4*256 inputs.
+  auto is_proto_flags = [&](auto&& self, int idx) -> bool {
+    const Node& n = nodes[idx];
+    switch (n.ins->op) {
+      case Op::kProtoTcp: case Op::kProtoUdp: case Op::kProtoIcmp:
+      case Op::kSyn: case Op::kAck: case Op::kRst: case Op::kFin:
+      case Op::kSynAck:
+        return true;
+      case Op::kNot:
+        return self(self, n.left);
+      case Op::kAnd: case Op::kOr:
+        return self(self, n.left) && self(self, n.right);
+      default:
+        return false;
+    }
+  };
+  // Mirrors the interpreter's leaf semantics exactly (flag predicates
+  // are implicitly proto==tcp) for a synthetic (proto, flags) input.
+  auto eval_proto_flags = [&](auto&& self, int idx, net::Proto proto,
+                              std::uint8_t bits) -> bool {
+    const Node& n = nodes[idx];
+    const net::TcpFlags f{bits};
+    const bool tcp = proto == net::Proto::kTcp;
+    switch (n.ins->op) {
+      case Op::kProtoTcp: return tcp;
+      case Op::kProtoUdp: return proto == net::Proto::kUdp;
+      case Op::kProtoIcmp: return proto == net::Proto::kIcmp;
+      case Op::kSyn: return tcp && f.syn();
+      case Op::kAck: return tcp && f.ack();
+      case Op::kRst: return tcp && f.rst();
+      case Op::kFin: return tcp && f.fin();
+      case Op::kSynAck: return tcp && f.is_syn_ack();
+      case Op::kNot: return !self(self, n.left, proto, bits);
+      case Op::kAnd:
+        return self(self, n.left, proto, bits) &&
+               self(self, n.right, proto, bits);
+      case Op::kOr:
+        return self(self, n.left, proto, bits) ||
+               self(self, n.right, proto, bits);
+      default: return false;
+    }
+  };
+  // Splits the root's top-level AND chain into conjuncts.
+  std::vector<int> conjuncts;
+  auto collect = [&](auto&& self, int idx) -> void {
+    if (nodes[idx].ins->op == Op::kAnd) {
+      self(self, nodes[idx].left);
+      self(self, nodes[idx].right);
+    } else {
+      conjuncts.push_back(idx);
+    }
+  };
+  collect(collect, root);
+
+  std::vector<int> lut_parts;
+  for (const int c : conjuncts) {
+    if (is_proto_flags(is_proto_flags, c)) {
+      lut_parts.push_back(c);
+      continue;
+    }
+    // Otherwise the conjunct must be a (possibly negated) field leaf.
+    bool negate = false;
+    int idx = c;
+    while (nodes[idx].ins->op == Op::kNot) {
+      negate = !negate;
+      idx = nodes[idx].left;
+    }
+    const Instr& ins = *nodes[idx].ins;
+    FieldTest t{};
+    t.op = ins.op;
+    t.negate = negate;
+    switch (ins.op) {
+      case Op::kSrcHost: case Op::kDstHost: case Op::kAnyHost:
+        t.mask = ~std::uint32_t{0};
+        t.cmp = ins.addr.value();
+        break;
+      case Op::kSrcNet: case Op::kDstNet: case Op::kAnyNet:
+        // Same mask/compare Prefix::contains performs; /0 degenerates to
+        // mask 0 == cmp 0, i.e. always true, as in the interpreter.
+        t.mask = ins.arg == 0
+                     ? 0
+                     : ~std::uint32_t{0} << (32 - static_cast<int>(ins.arg));
+        t.cmp = ins.addr.value() & t.mask;
+        break;
+      case Op::kSrcPort: case Op::kDstPort: case Op::kAnyPort:
+        t.port = ins.arg;
+        break;
+      default:
+        return;  // disjunction/mixed subtree: stay interpreted
+    }
+    if (test_count_ == tests_.size()) return;  // too many conjuncts
+    tests_[test_count_++] = t;
+  }
+
+  if (!lut_parts.empty()) {
+    // Materialize the AND of all proto/flags conjuncts over the full
+    // (proto row, flags byte) input space.
+    static constexpr net::Proto kRows[4] = {
+        net::Proto::kIcmp, net::Proto::kTcp, net::Proto::kUdp,
+        static_cast<net::Proto>(0)};
+    for (std::size_t row = 0; row < 4; ++row) {
+      for (unsigned bits = 0; bits < 256; ++bits) {
+        bool v = true;
+        for (const int part : lut_parts) {
+          v = v && eval_proto_flags(eval_proto_flags, part, kRows[row],
+                                    static_cast<std::uint8_t>(bits));
+        }
+        if (v) lut_[row][bits >> 6] |= std::uint64_t{1} << (bits & 63);
+      }
+    }
+    has_lut_ = true;
+  }
+  path_ = (test_count_ == 0 && has_lut_) ? FilterPath::kProtoFlags
+                                         : FilterPath::kConjunction;
+}
+
+bool Filter::matches_interpreted(const net::Packet& p) const {
   if (program_.empty()) return true;
   // Postfix evaluation over a small fixed stack; filters are shallow.
   bool stack[64];

@@ -22,6 +22,7 @@
 // Unqualified host/net/port match either direction.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -33,7 +34,22 @@
 
 namespace svcdisc::capture {
 
-/// Compiled filter: a postfix program over boolean predicates.
+/// Which evaluation strategy a compiled filter selected. Programs over
+/// protocol/flag predicates alone collapse into a 4x256-bit lookup table
+/// (the paper's default tap filter lands here); top-level conjunctions of
+/// such a table with a few address/port tests get a dedicated loop; only
+/// genuinely irregular programs fall back to the postfix interpreter.
+enum class FilterPath : std::uint8_t {
+  kMatchAll,    ///< empty program, every packet matches
+  kProtoFlags,  ///< single (proto, tcp-flags) bitset lookup
+  kConjunction, ///< optional bitset lookup AND <=4 field tests
+  kInterpreted, ///< general postfix interpreter
+};
+
+std::string_view filter_path_name(FilterPath path);
+
+/// Compiled filter: a postfix program over boolean predicates, plus a
+/// specialized fast path selected at compile time.
 class Filter {
  public:
   /// Compiles `expression`; returns nullopt (with a diagnostic retrievable
@@ -44,8 +60,35 @@ class Filter {
   /// An always-true filter.
   Filter() = default;
 
-  /// Evaluates the program against one packet.
-  bool matches(const net::Packet& p) const;
+  /// Evaluates the filter against one packet via the specialized path.
+  /// Inline so the per-path dispatch folds into the caller's loop and
+  /// the interpreter fallback stays a direct tail call.
+  bool matches(const net::Packet& p) const {
+    switch (path_) {
+      case FilterPath::kMatchAll:
+        return true;
+      case FilterPath::kProtoFlags:
+        return lut_hit(p);
+      case FilterPath::kConjunction: {
+        if (has_lut_ && !lut_hit(p)) return false;
+        for (std::uint8_t i = 0; i < test_count_; ++i) {
+          if (!field_hit(tests_[i], p)) return false;
+        }
+        return true;
+      }
+      case FilterPath::kInterpreted:
+        return matches_interpreted(p);
+    }
+    return false;
+  }
+
+  /// Evaluates the postfix program directly. Reference semantics for the
+  /// specialized paths; tests assert matches() == matches_interpreted()
+  /// on arbitrary packets.
+  bool matches_interpreted(const net::Packet& p) const;
+
+  /// Which strategy specialization picked for this program.
+  FilterPath path() const { return path_; }
 
   /// Number of instructions (0 = match-all); exposed for tests/benches.
   std::size_t program_size() const { return program_.size(); }
@@ -70,7 +113,66 @@ class Filter {
     std::uint32_t arg{0};  // prefix bits or port
   };
 
+  /// One precompiled address/port conjunct: host tests are nets with a
+  /// full mask, so hosts and nets share one masked-compare evaluation.
+  struct FieldTest {
+    Op op{Op::kAnyHost};
+    bool negate{false};
+    std::uint32_t mask{0};  ///< net mask (hosts: all-ones; /0: zero)
+    std::uint32_t cmp{0};   ///< base address pre-masked
+    std::uint32_t port{0};
+  };
+
+  /// Analyzes program_ and fills the fast-path state. Called once by the
+  /// compiler; never changes observable matches() semantics.
+  void specialize();
+
+  /// Row in lut_ for a protocol: the three modeled protocols get their
+  /// own rows; anything else shares a row where every proto predicate
+  /// evaluated false (matching the interpreter exactly).
+  static std::size_t proto_row(net::Proto proto) {
+    switch (proto) {
+      case net::Proto::kIcmp: return 0;
+      case net::Proto::kTcp: return 1;
+      case net::Proto::kUdp: return 2;
+    }
+    return 3;
+  }
+  bool lut_hit(const net::Packet& p) const {
+    const std::uint8_t b = p.flags.bits;
+    return (lut_[proto_row(p.proto)][b >> 6] >> (b & 63)) & 1u;
+  }
+  static bool field_hit(const FieldTest& t, const net::Packet& p) {
+    bool v = false;
+    switch (t.op) {
+      case Op::kSrcHost:
+      case Op::kSrcNet:
+        v = (p.src.value() & t.mask) == t.cmp;
+        break;
+      case Op::kDstHost:
+      case Op::kDstNet:
+        v = (p.dst.value() & t.mask) == t.cmp;
+        break;
+      case Op::kAnyHost:
+      case Op::kAnyNet:
+        v = (p.src.value() & t.mask) == t.cmp ||
+            (p.dst.value() & t.mask) == t.cmp;
+        break;
+      case Op::kSrcPort: v = p.sport == t.port; break;
+      case Op::kDstPort: v = p.dport == t.port; break;
+      case Op::kAnyPort: v = p.sport == t.port || p.dport == t.port; break;
+      default: break;  // specialize() never emits other ops
+    }
+    return v != t.negate;
+  }
+
   std::vector<Instr> program_;
+  FilterPath path_{FilterPath::kMatchAll};
+  bool has_lut_{false};
+  /// [proto row][flag bits / 64] -> bit per flags byte value.
+  std::array<std::array<std::uint64_t, 4>, 4> lut_{};
+  std::array<FieldTest, 4> tests_{};
+  std::uint8_t test_count_{0};
 
   friend class FilterCompiler;
 };

@@ -60,8 +60,26 @@ std::vector<net::Packet> merge_streams(
   while (!heap.empty()) {
     Cursor c = heap.top();
     heap.pop();
-    merged.push_back((*c.stream)[c.index]);
-    if (++c.index < c.stream->size()) heap.push(c);
+    if (heap.empty()) {
+      // Only one stream left: block-copy its remainder.
+      merged.insert(merged.end(), c.stream->begin() + c.index,
+                    c.stream->end());
+      break;
+    }
+    // Copy the whole run that wins against the best rival stream in one
+    // go, amortizing the heap churn for bursty captures. The run
+    // boundary uses the same (time, stream_id) order as the heap, so the
+    // output is bit-identical to the one-at-a-time merge.
+    const Cursor& rival = heap.top();
+    const auto rival_time = (*rival.stream)[rival.index].time;
+    do {
+      merged.push_back((*c.stream)[c.index]);
+      ++c.index;
+    } while (c.index < c.stream->size() &&
+             ((*c.stream)[c.index].time < rival_time ||
+              ((*c.stream)[c.index].time == rival_time &&
+               c.stream_id < rival.stream_id)));
+    if (c.index < c.stream->size()) heap.push(c);
   }
   return merged;
 }

@@ -1,5 +1,6 @@
 #include "capture/ring_buffer.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace svcdisc::capture {
@@ -22,6 +23,24 @@ bool RingBuffer::push(const net::Packet& p) {
   ++size_;
   if (m_depth_hwm_) m_depth_hwm_->update_max(static_cast<std::int64_t>(size_));
   return true;
+}
+
+std::size_t RingBuffer::push_batch(std::span<const net::Packet> packets) {
+  pushed_ += packets.size();
+  if (m_pushed_) m_pushed_->inc(packets.size());
+  const std::size_t room = buffer_.size() - size_;
+  const std::size_t accepted = std::min(room, packets.size());
+  for (std::size_t i = 0; i < accepted; ++i) {
+    buffer_[(head_ + size_) % buffer_.size()] = packets[i];
+    ++size_;
+  }
+  const std::size_t overflow = packets.size() - accepted;
+  dropped_ += overflow;
+  if (overflow && m_dropped_) m_dropped_->inc(overflow);
+  if (accepted && m_depth_hwm_) {
+    m_depth_hwm_->update_max(static_cast<std::int64_t>(size_));
+  }
+  return accepted;
 }
 
 std::optional<net::Packet> RingBuffer::pop() {

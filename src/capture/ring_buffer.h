@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "net/packet.h"
@@ -24,8 +25,14 @@ class RingBuffer final : public sim::PacketObserver {
 
   /// Enqueues `p`; returns false (and counts a drop) when full.
   bool push(const net::Packet& p);
+  /// Enqueues a batch in order, dropping the overflow; returns how many
+  /// were accepted. Counter updates are batched (one add per call).
+  std::size_t push_batch(std::span<const net::Packet> packets);
   /// Tap-consumer entry point: push, dropping on overflow.
   void observe(const net::Packet& p) override { push(p); }
+  void observe_batch(std::span<const net::Packet> packets) override {
+    push_batch(packets);
+  }
 
   /// Dequeues the oldest packet, or nullopt when empty.
   std::optional<net::Packet> pop();

@@ -42,4 +42,48 @@ void Tap::observe(const net::Packet& p) {
   for (sim::PacketObserver* consumer : consumers_) consumer->observe(p);
 }
 
+void Tap::observe_batch(std::span<const net::Packet> packets) {
+  const std::uint64_t n = packets.size();
+  seen_ += n;
+  if (m_seen_) m_seen_->inc(n);
+
+  // Filter + sampler pre-pass, in packet order (the sampler may be
+  // stateful, so it must see survivors in the same sequence as the
+  // per-packet path).
+  survivors_.clear();
+  std::uint64_t rejected = 0;
+  std::uint64_t sampled_out = 0;
+  for (const net::Packet& p : packets) {
+    if (!filter_.matches(p)) {
+      ++rejected;
+      continue;
+    }
+    if (sampler_ && !sampler_->keep(p)) {
+      ++sampled_out;
+      continue;
+    }
+    survivors_.push_back(p);
+  }
+  filtered_out_ += rejected;
+  sampled_out_ += sampled_out;
+  delivered_ += survivors_.size();
+  if (m_filter_reject_) m_filter_reject_->inc(rejected);
+  if (m_filter_match_) m_filter_match_->inc(n - rejected);
+  if (m_sampled_out_) m_sampled_out_->inc(sampled_out);
+  if (m_dropped_) m_dropped_->inc(rejected + sampled_out);
+  if (m_delivered_) m_delivered_->inc(survivors_.size());
+
+  if (survivors_.empty()) return;
+  if (consumers_.size() == 1) {
+    consumers_[0]->observe_batch(survivors_);
+    return;
+  }
+  // Several consumers may share state (e.g. both monitors feed one scan
+  // detector), so survivors are fanned out packet by packet to keep the
+  // serial interleave bit-for-bit.
+  for (const net::Packet& p : survivors_) {
+    for (sim::PacketObserver* consumer : consumers_) consumer->observe(p);
+  }
+}
+
 }  // namespace svcdisc::capture

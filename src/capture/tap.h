@@ -50,6 +50,12 @@ class Tap final : public sim::PacketObserver {
 
   // sim::PacketObserver
   void observe(const net::Packet& p) override;
+  /// Batch entry point: one filter/sampler pre-pass and batched counter
+  /// updates, then fan-out of the survivors. With a single consumer the
+  /// whole surviving batch is forwarded at once; with several, survivors
+  /// are fanned out packet by packet, preserving the exact serial
+  /// interleave (consumers may share state, e.g. one scan detector).
+  void observe_batch(std::span<const net::Packet> packets) override;
 
   std::uint64_t seen() const { return seen_; }
   std::uint64_t filtered_out() const { return filtered_out_; }
@@ -61,6 +67,7 @@ class Tap final : public sim::PacketObserver {
   Filter filter_;  // default: match all
   std::unique_ptr<Sampler> sampler_;
   std::vector<sim::PacketObserver*> consumers_;
+  std::vector<net::Packet> survivors_;  // reused batch scratch buffer
   std::uint64_t seen_{0};
   std::uint64_t filtered_out_{0};
   std::uint64_t sampled_out_{0};
@@ -88,9 +95,22 @@ class SampledStream final : public sim::PacketObserver {
     if (!sampler_ || sampler_->keep(p)) downstream_->observe(p);
   }
 
+  void observe_batch(std::span<const net::Packet> packets) override {
+    if (!sampler_) {
+      downstream_->observe_batch(packets);
+      return;
+    }
+    survivors_.clear();
+    for (const net::Packet& p : packets) {
+      if (sampler_->keep(p)) survivors_.push_back(p);
+    }
+    if (!survivors_.empty()) downstream_->observe_batch(survivors_);
+  }
+
  private:
   std::unique_ptr<Sampler> sampler_;
   sim::PacketObserver* downstream_;
+  std::vector<net::Packet> survivors_;  // reused batch scratch buffer
 };
 
 }  // namespace svcdisc::capture

@@ -41,7 +41,15 @@ void Host::start() {
   }
   // Spread initial transient connects over roughly one offline period so
   // the campaign doesn't start with a synchronized wave.
-  network_.simulator().after(draw_offline_gap(), [this] { connect(); });
+  network_.simulator().after_timer(draw_offline_gap(), this, kTimerConnect);
+}
+
+void Host::on_timer(std::uint64_t tag) {
+  if (tag == kTimerConnect) {
+    connect();
+  } else {
+    disconnect();
+  }
 }
 
 void Host::connect() {
@@ -51,7 +59,8 @@ void Host::connect() {
     if (!lease) {
       // Pool exhausted: retry after a fresh gap, like a failed DHCP bind.
       SVCDISC_LOG(kDebug) << "host " << id_ << ": pool exhausted";
-      network_.simulator().after(draw_offline_gap(), [this] { connect(); });
+      network_.simulator().after_timer(draw_offline_gap(), this,
+                                       kTimerConnect);
       return;
     }
     address_ = *lease;
@@ -67,7 +76,7 @@ void Host::connect() {
     const double secs = static_cast<double>(lifecycle_.mean_online.seconds());
     const auto session = util::seconds_f(
         -std::log(1.0 - rng_.uniform()) * secs);
-    network_.simulator().after(session, [this] { disconnect(); });
+    network_.simulator().after_timer(session, this, kTimerDisconnect);
   }
 }
 
@@ -85,7 +94,7 @@ void Host::disconnect() {
 }
 
 void Host::schedule_next_connect() {
-  network_.simulator().after(draw_offline_gap(), [this] { connect(); });
+  network_.simulator().after_timer(draw_offline_gap(), this, kTimerConnect);
 }
 
 util::Duration Host::draw_offline_gap() {

@@ -48,7 +48,7 @@ struct LifecycleConfig {
   bool diurnal{true};
 };
 
-class Host final : public sim::PacketSink {
+class Host final : public sim::PacketSink, public sim::TimerTarget {
  public:
   /// A host gets addresses either from `pool` (dynamic classes) or from
   /// the fixed `static_addr`. Exactly one of the two must be provided.
@@ -103,7 +103,13 @@ class Host final : public sim::PacketSink {
   // sim::PacketSink
   void on_packet(const net::Packet& p) override;
 
+  // sim::TimerTarget — lifecycle transitions.
+  void on_timer(std::uint64_t tag) override;
+
  private:
+  static constexpr std::uint64_t kTimerConnect = 0;
+  static constexpr std::uint64_t kTimerDisconnect = 1;
+
   void connect();
   void disconnect();
   void schedule_next_connect();

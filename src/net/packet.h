@@ -13,6 +13,7 @@
 
 #include "net/ipv4.h"
 #include "net/ports.h"
+#include "util/flat_hash.h"
 #include "util/sim_time.h"
 
 namespace svcdisc::net {
@@ -120,10 +121,16 @@ struct FlowKey {
 template <>
 struct std::hash<svcdisc::net::FlowKey> {
   std::size_t operator()(const svcdisc::net::FlowKey& k) const noexcept {
-    std::uint64_t h = k.a.value();
-    h = h * 0x9E3779B97F4A7C15ULL ^ k.b.value();
-    h = h * 0x9E3779B97F4A7C15ULL ^ (std::uint64_t{k.ap} << 16 | k.bp);
-    h = h * 0x9E3779B97F4A7C15ULL ^ static_cast<std::uint8_t>(k.proto);
-    return h;
+    // Mix each 64-bit half through a full avalanche before combining:
+    // the old multiply-xor chain left the low bits dominated by `bp` and
+    // `proto`, clustering the near-sequential ports the flow generator
+    // hands out.
+    const std::uint64_t addrs =
+        (std::uint64_t{k.a.value()} << 32) | k.b.value();
+    const std::uint64_t rest = (std::uint64_t{k.ap} << 24) |
+                               (std::uint64_t{k.bp} << 8) |
+                               static_cast<std::uint8_t>(k.proto);
+    return svcdisc::util::hash_mix(addrs) ^
+           svcdisc::util::hash_mix(rest + 0x9E3779B97F4A7C15ULL);
   }
 };

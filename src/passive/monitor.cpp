@@ -41,6 +41,16 @@ void PassiveMonitor::attach_metrics(util::MetricsRegistry& registry,
 void PassiveMonitor::observe(const net::Packet& p) {
   ++packets_seen_;
   if (m_packets_) m_packets_->inc();
+  ingest(p);
+}
+
+void PassiveMonitor::observe_batch(std::span<const net::Packet> packets) {
+  packets_seen_ += packets.size();
+  if (m_packets_) m_packets_->inc(packets.size());
+  for (const net::Packet& p : packets) ingest(p);
+}
+
+void PassiveMonitor::ingest(const net::Packet& p) {
   if (scan_detector_) scan_detector_->observe(p);
 
   switch (p.proto) {

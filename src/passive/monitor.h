@@ -15,7 +15,6 @@
 #include <functional>
 #include <memory>
 #include <optional>
-#include <unordered_set>
 #include <vector>
 
 #include "net/ipv4.h"
@@ -24,6 +23,7 @@
 #include "passive/scan_detector.h"
 #include "passive/service_table.h"
 #include "sim/node.h"
+#include "util/flat_hash.h"
 #include "util/metrics.h"
 
 namespace svcdisc::passive {
@@ -65,6 +65,11 @@ class PassiveMonitor final : public sim::PacketObserver {
 
   // sim::PacketObserver
   void observe(const net::Packet& p) override;
+  /// Batch entry point: hoists the per-packet counter updates, then runs
+  /// the detection rules per packet in order (the rules are stateful:
+  /// scan-detector verdicts and pending-SYN state must evolve exactly as
+  /// in the per-packet path).
+  void observe_batch(std::span<const net::Packet> packets) override;
 
   const ServiceTable& table() const { return table_; }
   ServiceTable& table() { return table_; }
@@ -84,12 +89,15 @@ class PassiveMonitor final : public sim::PacketObserver {
   bool is_internal(net::Ipv4 addr) const;
   bool tcp_port_selected(net::Port port) const;
   bool udp_port_selected(net::Port port) const;
+  /// The detection rules, minus the packets_seen accounting (shared by
+  /// observe and observe_batch).
+  void ingest(const net::Packet& p);
 
   MonitorConfig config_;
   ServiceTable table_;
   std::shared_ptr<ScanDetector> scan_detector_;
   /// Strict-rule state: flows with an observed inbound SYN.
-  std::unordered_set<net::FlowKey> pending_syns_;
+  util::FlatSet<net::FlowKey> pending_syns_;
   std::uint64_t packets_seen_{0};
   std::uint64_t suppressed_{0};
   std::uint64_t unmatched_syn_acks_{0};

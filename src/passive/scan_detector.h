@@ -12,13 +12,12 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "net/ipv4.h"
 #include "net/packet.h"
 #include "sim/node.h"
+#include "util/flat_hash.h"
 #include "util/metrics.h"
 #include "util/sim_time.h"
 
@@ -47,8 +46,8 @@ class ScanDetector final : public sim::PacketObserver {
 
   /// True when `src` has been flagged as a scanner.
   bool is_scanner(net::Ipv4 src) const { return scanners_.contains(src); }
-  /// All flagged scanner sources.
-  const std::unordered_set<net::Ipv4>& scanners() const { return scanners_; }
+  /// All flagged scanner sources, in flagging order.
+  const util::FlatSet<net::Ipv4>& scanners() const { return scanners_; }
   std::size_t scanner_count() const { return scanners_.size(); }
 
   /// Registers `<prefix>.packets_seen` and `<prefix>.scanners_flagged`
@@ -62,17 +61,17 @@ class ScanDetector final : public sim::PacketObserver {
 
   ScanDetectorConfig config_;
   std::vector<net::Prefix> internal_;
-  std::unordered_set<net::Ipv4> scanners_;
+  util::FlatSet<net::Ipv4> scanners_;
 
   struct SourceState {
-    std::unordered_set<net::Ipv4> targets;
-    std::unordered_set<net::Ipv4> rst_from;
+    util::FlatSet<net::Ipv4> targets;
+    util::FlatSet<net::Ipv4> rst_from;
   };
   // Tumbling-window state: cleared at each window boundary. A burst scan
   // (minutes) always lands inside one window; a scan straddling a
   // boundary is still caught once its post-boundary portion crosses the
   // thresholds, which the paper's own 12-hour bucketing also requires.
-  std::unordered_map<net::Ipv4, SourceState> window_state_;
+  util::FlatMap<net::Ipv4, SourceState> window_state_;
   std::int64_t current_window_{0};
   util::Counter* m_packets_{nullptr};
   util::Counter* m_flagged_{nullptr};

@@ -21,7 +21,10 @@ void ServiceTable::count_flow(const ServiceKey& key, net::Ipv4 client,
   auto [it, inserted] = e.record.clients.emplace(client, t);
   if (!inserted && it->second < t) it->second = t;
   if (e.record.last_activity < t) e.record.last_activity = t;
-  if (e.record.last_flow < t) e.record.last_flow = t;
+  if (e.record.last_flow <= t) {
+    e.record.last_flow = t;
+    e.record.last_flow_client = client;
+  }
 }
 
 void ServiceTable::touch(const ServiceKey& key, util::TimePoint t) {
@@ -37,7 +40,7 @@ const ServiceRecord* ServiceTable::find(const ServiceKey& key) const {
 }
 
 std::size_t ServiceTable::address_count() const {
-  std::unordered_set<net::Ipv4> addrs;
+  util::FlatSet<net::Ipv4> addrs;
   addrs.reserve(services_.size());
   for (const auto& [key, entry] : services_) {
     if (entry.discovered) addrs.insert(key.addr);

@@ -10,12 +10,11 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "net/ipv4.h"
 #include "net/packet.h"
+#include "util/flat_hash.h"
 #include "util/sim_time.h"
 
 namespace svcdisc::passive {
@@ -31,10 +30,13 @@ struct ServiceKey {
 
 struct ServiceKeyHash {
   std::size_t operator()(const ServiceKey& k) const noexcept {
-    std::uint64_t h = k.addr.value();
-    h = h * 0x9E3779B97F4A7C15ULL ^ (std::uint64_t{k.port} << 8 |
-                                     static_cast<std::uint8_t>(k.proto));
-    return h;
+    // Pack the full identity into distinct bit ranges, then avalanche:
+    // campus addresses and well-known ports are both near-sequential, so
+    // a multiply alone leaves the low bits (the ones open addressing
+    // uses) correlated.
+    return util::hash_mix((std::uint64_t{k.addr.value()} << 24) ^
+                          (std::uint64_t{k.port} << 8) ^
+                          static_cast<std::uint8_t>(k.proto));
   }
 };
 
@@ -49,14 +51,21 @@ struct ServiceRecord {
   /// scanners are never counted; sources flagged *later* can be cleaned
   /// retroactively via `clients`, as the paper does in §4.3).
   util::TimePoint last_flow{};
+  /// The client that produced `last_flow`; lets last_flow_excluding skip
+  /// the full client scan when that client is not excluded.
+  net::Ipv4 last_flow_client{};
   std::uint64_t flows{0};
-  /// Client address -> time of its most recent flow.
-  std::unordered_map<net::Ipv4, util::TimePoint> clients;
+  /// Client address -> time of its most recent flow, insertion-ordered.
+  util::FlatMap<net::Ipv4, util::TimePoint> clients;
 
   /// Latest flow from a client not in `exclude` (kEpoch when none) —
   /// retroactive scanner cleaning for re-observation analyses.
-  util::TimePoint last_flow_excluding(
-      const std::unordered_set<net::Ipv4>& exclude) const {
+  /// `exclude` is any set with contains(Ipv4). O(1) unless the most
+  /// recent client is itself excluded; only then scans all clients.
+  template <typename ExcludeSet>
+  util::TimePoint last_flow_excluding(const ExcludeSet& exclude) const {
+    if (flows == 0) return {};
+    if (!exclude.contains(last_flow_client)) return last_flow;
     util::TimePoint latest{};
     for (const auto& [client, t] : clients) {
       if (t > latest && !exclude.contains(client)) latest = t;
@@ -104,7 +113,7 @@ class ServiceTable {
     ServiceRecord record;
     bool discovered{false};
   };
-  std::unordered_map<ServiceKey, Entry, ServiceKeyHash> services_;
+  util::FlatMap<ServiceKey, Entry, ServiceKeyHash> services_;
   std::size_t discovered_count_{0};
 };
 

@@ -39,4 +39,13 @@ void BorderRouter::carry(const net::Packet& p, net::Ipv4 external) {
   for (PacketObserver* tap : link.taps) tap->observe(p);
 }
 
+void BorderRouter::carry_batch(std::span<const net::Packet> packets,
+                               net::Ipv4 external) {
+  const std::size_t idx =
+      policy_ ? policy_(external) : default_peering_for(external);
+  Peering& link = peerings_.at(idx);
+  link.packets += packets.size();
+  for (PacketObserver* tap : link.taps) tap->observe_batch(packets);
+}
+
 }  // namespace svcdisc::sim

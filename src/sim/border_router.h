@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -49,6 +50,11 @@ class BorderRouter {
   /// Routes one border-crossing packet; `external` is the off-campus
   /// endpoint that determines the peering.
   void carry(const net::Packet& p, net::Ipv4 external);
+
+  /// Routes a same-timestamp batch sharing one external endpoint (hence
+  /// one peering): a single policy lookup and batched tap dispatch,
+  /// effect-identical to carrying each packet in order.
+  void carry_batch(std::span<const net::Packet> packets, net::Ipv4 external);
 
   /// The default policy: stable weighted hash of the external address.
   std::size_t default_peering_for(net::Ipv4 external) const;

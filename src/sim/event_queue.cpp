@@ -4,14 +4,81 @@
 
 namespace svcdisc::sim {
 
-void EventQueue::push(util::TimePoint t, Callback fn) {
-  heap_.push(Entry{t, next_seq_++, std::move(fn)});
+Event& EventQueue::emplace(util::TimePoint t) {
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slab_.size());
+    slab_.emplace_back();
+  }
+  Event& ev = slab_[slot];
+  ev.time = t;
+  ev.seq = next_seq_++;
+  heap_.push_back(Key{t, ev.seq, slot});
+  sift_up(heap_.size() - 1);
+  return ev;
 }
 
-EventQueue::Callback EventQueue::pop() {
-  Callback fn = std::move(heap_.top().fn);
-  heap_.pop();
-  return fn;
+void EventQueue::push(util::TimePoint t, util::SmallFn fn) {
+  Event& ev = emplace(t);
+  ev.kind = Event::Kind::kCallback;
+  ev.fn = std::move(fn);
+}
+
+void EventQueue::push_timer(util::TimePoint t, TimerTarget* target,
+                            std::uint64_t tag) {
+  Event& ev = emplace(t);
+  ev.kind = Event::Kind::kTimer;
+  ev.pod.timer = {target, tag};
+}
+
+void EventQueue::push_packet(util::TimePoint t, PacketEventTarget* target,
+                             const net::Packet& p, net::Ipv4 external,
+                             bool crossed) {
+  Event& ev = emplace(t);
+  ev.kind = Event::Kind::kPacket;
+  ev.crossed = crossed;
+  ev.external = external;
+  ev.pod.packet = {target, p};
+}
+
+Event EventQueue::pop() {
+  const std::uint32_t slot = heap_[0].slot;
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+
+  Event out = std::move(slab_[slot]);
+  slab_[slot].fn.reset();  // release any non-inline callback remnant
+  free_slots_.push_back(slot);
+  return out;
+}
+
+void EventQueue::sift_up(std::size_t i) {
+  Key key = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!before(key, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = key;
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  Key key = heap_[i];
+  const std::size_t n = heap_.size();
+  for (;;) {
+    std::size_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && before(heap_[child + 1], heap_[child])) ++child;
+    if (!before(heap_[child], key)) break;
+    heap_[i] = heap_[child];
+    i = child;
+  }
+  heap_[i] = key;
 }
 
 }  // namespace svcdisc::sim

@@ -36,19 +36,28 @@ void Network::send(net::Packet p) {
   const net::Ipv4 external = src_internal ? p.dst : p.src;
   const util::Duration latency =
       crossed ? external_latency_ : internal_latency_;
-  sim_.after(latency, [this, p = std::move(p), crossed, external]() mutable {
-    deliver(std::move(p), crossed, external);
-  });
+  sim_.after_packet(latency, this, p, external, crossed);
 }
 
-void Network::deliver(net::Packet p, bool crossed, net::Ipv4 external) {
-  p.time = sim_.now();
-  if (crossed && border_.peering_count() > 0) border_.carry(p, external);
-  if (PacketSink* sink = owner(p.dst)) {
-    ++packets_delivered_;
-    sink->on_packet(p);
-  } else {
-    ++packets_dropped_;
+void Network::deliver_packets(std::span<net::Packet> packets,
+                              net::Ipv4 external, bool crossed) {
+  const util::TimePoint now = sim_.now();
+  for (net::Packet& p : packets) p.time = now;
+  // All packets share one external endpoint, hence one peering: the
+  // border router amortizes the policy lookup and tap dispatch across
+  // the whole batch (taps never schedule events or touch sinks, so
+  // observing the batch before delivering it is order-equivalent to the
+  // per-packet interleave).
+  if (crossed && border_.peering_count() > 0) {
+    border_.carry_batch(packets, external);
+  }
+  for (const net::Packet& p : packets) {
+    if (PacketSink* sink = owner(p.dst)) {
+      ++packets_delivered_;
+      sink->on_packet(p);
+    } else {
+      ++packets_dropped_;
+    }
   }
 }
 

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -20,7 +21,7 @@
 
 namespace svcdisc::sim {
 
-class Network {
+class Network final : public PacketEventTarget {
  public:
   /// `internal` lists the campus prefixes; everything else is "the
   /// Internet".
@@ -43,6 +44,11 @@ class Network {
   /// delivery time.
   void send(net::Packet p);
 
+  // PacketEventTarget — invoked by the simulator at delivery time, with
+  // same-timestamp deliveries coalesced into one span.
+  void deliver_packets(std::span<net::Packet> packets, net::Ipv4 external,
+                       bool crossed) override;
+
   BorderRouter& border() { return border_; }
   const BorderRouter& border() const { return border_; }
   Simulator& simulator() { return sim_; }
@@ -57,8 +63,6 @@ class Network {
   std::uint64_t packets_dropped() const { return packets_dropped_; }
 
  private:
-  void deliver(net::Packet p, bool crossed, net::Ipv4 external);
-
   Simulator& sim_;
   std::vector<net::Prefix> internal_;
   BorderRouter border_;

@@ -1,6 +1,8 @@
 // Interfaces connecting simulation components to the packet plane.
 #pragma once
 
+#include <span>
+
 #include "net/packet.h"
 
 namespace svcdisc::sim {
@@ -21,6 +23,13 @@ class PacketObserver {
  public:
   virtual ~PacketObserver() = default;
   virtual void observe(const net::Packet& p) = 0;
+
+  /// Observes a same-timestamp batch in order. The default simply loops
+  /// observe(); overriders (taps, monitors) amortize per-packet dispatch
+  /// and counter updates, but must keep effects identical to the loop.
+  virtual void observe_batch(std::span<const net::Packet> packets) {
+    for (const net::Packet& p : packets) observe(p);
+  }
 };
 
 }  // namespace svcdisc::sim

@@ -1,11 +1,21 @@
 // The discrete-event simulator driving a measurement campaign.
 //
-// Components schedule callbacks at absolute or relative simulated times;
-// run_until() advances the clock deterministically. There is no wall-clock
-// anywhere: a campaign is a pure function of (scenario config, seed).
+// Components schedule callbacks, timers, or packet deliveries at
+// absolute or relative simulated times; run_until() advances the clock
+// deterministically. There is no wall-clock anywhere: a campaign is a
+// pure function of (scenario config, seed).
+//
+// Hot-path note: the run loops coalesce consecutive same-timestamp
+// packet deliveries to the same target into one deliver_packets() span.
+// This cannot change observable order — the coalesced events are
+// adjacent in (time, seq) order, handlers never schedule work at the
+// current timestamp that could interleave (new events get later seqs and
+// would fire after the run anyway), so the per-packet effect sequence is
+// identical to popping them one by one.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "sim/event_queue.h"
 #include "util/metrics.h"
@@ -19,9 +29,18 @@ class Simulator {
   util::TimePoint now() const { return now_; }
 
   /// Schedule `fn` at absolute time `t` (clamped to now if in the past).
-  void at(util::TimePoint t, EventQueue::Callback fn);
+  void at(util::TimePoint t, util::SmallFn fn);
   /// Schedule `fn` `d` after now.
-  void after(util::Duration d, EventQueue::Callback fn);
+  void after(util::Duration d, util::SmallFn fn);
+  /// Schedule a timer event for `target` at absolute time `t`.
+  void at_timer(util::TimePoint t, TimerTarget* target,
+                std::uint64_t tag = 0);
+  /// Schedule a timer event `d` after now.
+  void after_timer(util::Duration d, TimerTarget* target,
+                   std::uint64_t tag = 0);
+  /// Schedule delivery of `p` to `target` `d` after now.
+  void after_packet(util::Duration d, PacketEventTarget* target,
+                    const net::Packet& p, net::Ipv4 external, bool crossed);
 
   /// Runs events with time <= t, then advances the clock to exactly t.
   void run_until(util::TimePoint t);
@@ -40,9 +59,16 @@ class Simulator {
                       std::string_view prefix);
 
  private:
+  /// Pops the earliest event and dispatches it; packet events absorb any
+  /// directly following deliveries with identical (time, target,
+  /// external, crossed) into one batch.
+  void dispatch_next();
+  void note_push();
+
   EventQueue queue_;
   util::TimePoint now_{};
   std::uint64_t processed_{0};
+  std::vector<net::Packet> batch_;  // reused packet coalescing buffer
   util::Counter* m_events_{nullptr};
   util::Gauge* m_queue_hwm_{nullptr};
 };

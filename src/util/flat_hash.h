@@ -1,0 +1,401 @@
+// Open-addressing hash containers with insertion-ordered iteration.
+//
+// The per-packet hot paths (service table, pending-SYN tracking, scan
+// detector state) hammer small hash tables; std::unordered_map's
+// node-per-element layout makes every lookup a pointer chase. FlatMap /
+// FlatSet keep the elements contiguous in insertion order and index them
+// through a power-of-two open-addressing slot table of 32-bit entry
+// references, so a probe touches one cache line of slots and the element
+// array stays scan-friendly.
+//
+// Guarantees the rest of the system relies on:
+//   * Iteration visits live elements in insertion order — deterministic
+//     across platforms and standard libraries, unlike unordered_map.
+//   * Erase is O(1) (tombstone); erased elements are compacted away on
+//     the next rehash, preserving the relative order of survivors.
+//   * The user-supplied hash is finalized through hash_mix, so the
+//     sequential keys this simulator produces (pool addresses, ports)
+//     cannot cluster even under a weak seed hash.
+//
+// Unlike unordered_map, references and iterators are invalidated by any
+// mutation that can rehash (insert/emplace/operator[]); callers must not
+// hold them across inserts.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace svcdisc::util {
+
+/// splitmix64 finalizer: a strong 64-bit avalanche. Applied on top of
+/// user hashes so identity-like hashes still spread across slots.
+constexpr std::uint64_t hash_mix(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+namespace detail {
+
+/// Shared open-addressing core over a dense entry vector. `Traits`
+/// provides the stored Entry type and key access.
+inline constexpr std::uint32_t kSlotEmpty = 0;
+inline constexpr std::uint32_t kSlotTombstone = ~std::uint32_t{0};
+
+inline constexpr std::size_t flat_npos = static_cast<std::size_t>(-1);
+
+/// Capacity (power of two, >= 16) keeping `live` elements under 75% load.
+inline std::size_t slot_capacity_for(std::size_t live) {
+  std::size_t cap = 16;
+  while (cap * 3 < (live + 1) * 4) cap <<= 1;
+  return cap;
+}
+
+/// Iterator over a dense entry vector that skips dead entries.
+template <typename Entry, bool Const>
+class FlatIter {
+  using EntryPtr = std::conditional_t<Const, const Entry*, Entry*>;
+
+ public:
+  FlatIter() = default;
+  FlatIter(EntryPtr p, EntryPtr end) : p_(p), end_(end) { skip_dead(); }
+  /// iterator -> const_iterator conversion.
+  template <bool C = Const, typename = std::enable_if_t<C>>
+  FlatIter(const FlatIter<Entry, false>& o)
+      : p_(o.raw()), end_(o.raw_end()) {}
+
+  decltype(auto) operator*() const { return p_->value(); }
+  auto operator->() const { return &p_->value(); }
+  FlatIter& operator++() {
+    ++p_;
+    skip_dead();
+    return *this;
+  }
+  FlatIter operator++(int) {
+    FlatIter tmp = *this;
+    ++*this;
+    return tmp;
+  }
+  bool operator==(const FlatIter& o) const { return p_ == o.p_; }
+
+  EntryPtr raw() const { return p_; }
+  EntryPtr raw_end() const { return end_; }
+
+ private:
+  void skip_dead() {
+    while (p_ != end_ && !p_->alive) ++p_;
+  }
+  EntryPtr p_{nullptr};
+  EntryPtr end_{nullptr};
+};
+
+}  // namespace detail
+
+/// Insertion-ordered open-addressing map. See file comment for the
+/// guarantees and the reference-invalidation caveat.
+template <typename Key, typename T, typename Hash = std::hash<Key>,
+          typename Eq = std::equal_to<Key>>
+class FlatMap {
+  struct Entry {
+    std::pair<Key, T> kv;
+    bool alive{true};
+    std::pair<Key, T>& value() { return kv; }
+    const std::pair<Key, T>& value() const { return kv; }
+  };
+
+ public:
+  using value_type = std::pair<Key, T>;
+  using iterator = detail::FlatIter<Entry, false>;
+  using const_iterator = detail::FlatIter<Entry, true>;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  iterator begin() {
+    return {entries_.data(), entries_.data() + entries_.size()};
+  }
+  iterator end() {
+    return {entries_.data() + entries_.size(),
+            entries_.data() + entries_.size()};
+  }
+  const_iterator begin() const {
+    return {entries_.data(), entries_.data() + entries_.size()};
+  }
+  const_iterator end() const {
+    return {entries_.data() + entries_.size(),
+            entries_.data() + entries_.size()};
+  }
+
+  void clear() {
+    entries_.clear();
+    std::fill(slots_.begin(), slots_.end(), detail::kSlotEmpty);
+    size_ = 0;
+    used_slots_ = 0;
+  }
+
+  void reserve(std::size_t n) {
+    entries_.reserve(n);
+    const std::size_t cap = detail::slot_capacity_for(n);
+    if (cap > slots_.size()) rehash(cap);
+  }
+
+  bool contains(const Key& k) const {
+    return find_slot(k) != detail::flat_npos;
+  }
+
+  iterator find(const Key& k) {
+    const std::size_t slot = find_slot(k);
+    if (slot == detail::flat_npos) return end();
+    return {entries_.data() + (slots_[slot] - 1),
+            entries_.data() + entries_.size()};
+  }
+  const_iterator find(const Key& k) const {
+    const std::size_t slot = find_slot(k);
+    if (slot == detail::flat_npos) return end();
+    return {entries_.data() + (slots_[slot] - 1),
+            entries_.data() + entries_.size()};
+  }
+
+  T& operator[](const Key& k) { return emplace(k).first->second; }
+
+  /// Inserts (k, T(args...)) unless present. Returns (pointer-like
+  /// iterator to the element, inserted?).
+  template <typename... Args>
+  std::pair<iterator, bool> emplace(const Key& k, Args&&... args) {
+    grow_if_needed();
+    const std::size_t hash = mixed_hash(k);
+    std::size_t i = hash & (slots_.size() - 1);
+    std::size_t first_tomb = detail::flat_npos;
+    while (true) {
+      const std::uint32_t s = slots_[i];
+      if (s == detail::kSlotEmpty) break;
+      if (s == detail::kSlotTombstone) {
+        if (first_tomb == detail::flat_npos) first_tomb = i;
+      } else if (Eq{}(entries_[s - 1].kv.first, k)) {
+        return {{entries_.data() + (s - 1),
+                 entries_.data() + entries_.size()},
+                false};
+      }
+      i = (i + 1) & (slots_.size() - 1);
+    }
+    if (first_tomb != detail::flat_npos) {
+      i = first_tomb;  // reuse a tombstone; slot usage unchanged
+    } else {
+      ++used_slots_;
+    }
+    entries_.push_back({{k, T(std::forward<Args>(args)...)}, true});
+    slots_[i] = static_cast<std::uint32_t>(entries_.size());
+    ++size_;
+    return {{entries_.data() + (entries_.size() - 1),
+             entries_.data() + entries_.size()},
+            true};
+  }
+
+  std::size_t erase(const Key& k) {
+    const std::size_t slot = find_slot(k);
+    if (slot == detail::flat_npos) return 0;
+    entries_[slots_[slot] - 1].alive = false;
+    slots_[slot] = detail::kSlotTombstone;
+    --size_;
+    return 1;
+  }
+
+ private:
+  std::size_t mixed_hash(const Key& k) const {
+    return static_cast<std::size_t>(
+        hash_mix(static_cast<std::uint64_t>(Hash{}(k))));
+  }
+
+  std::size_t find_slot(const Key& k) const {
+    if (slots_.empty()) return detail::flat_npos;
+    std::size_t i = mixed_hash(k) & (slots_.size() - 1);
+    while (true) {
+      const std::uint32_t s = slots_[i];
+      if (s == detail::kSlotEmpty) return detail::flat_npos;
+      if (s != detail::kSlotTombstone && Eq{}(entries_[s - 1].kv.first, k)) {
+        return i;
+      }
+      i = (i + 1) & (slots_.size() - 1);
+    }
+  }
+
+  void grow_if_needed() {
+    if (slots_.empty()) {
+      rehash(16);
+      return;
+    }
+    // Rehash on slot pressure (live + tombstones) or when dead entries
+    // dominate the dense array (insert/erase churn).
+    if ((used_slots_ + 1) * 4 > slots_.size() * 3 ||
+        entries_.size() > 2 * size_ + 8) {
+      rehash(detail::slot_capacity_for(size_ + 1));
+    }
+  }
+
+  /// Rebuilds both arrays: compacts dead entries (preserving insertion
+  /// order of the living) and reinserts into a tombstone-free slot table.
+  void rehash(std::size_t capacity) {
+    if (entries_.size() != size_) {
+      std::vector<Entry> compact;
+      compact.reserve(size_);
+      for (Entry& e : entries_) {
+        if (e.alive) compact.push_back(std::move(e));
+      }
+      entries_ = std::move(compact);
+    }
+    slots_.assign(capacity, detail::kSlotEmpty);
+    for (std::size_t idx = 0; idx < entries_.size(); ++idx) {
+      std::size_t i = mixed_hash(entries_[idx].kv.first) & (capacity - 1);
+      while (slots_[i] != detail::kSlotEmpty) i = (i + 1) & (capacity - 1);
+      slots_[i] = static_cast<std::uint32_t>(idx + 1);
+    }
+    used_slots_ = size_;
+  }
+
+  std::vector<Entry> entries_;
+  std::vector<std::uint32_t> slots_;
+  std::size_t size_{0};
+  std::size_t used_slots_{0};  ///< filled slots incl. tombstones
+};
+
+/// Insertion-ordered open-addressing set; iteration yields const Key&.
+template <typename Key, typename Hash = std::hash<Key>,
+          typename Eq = std::equal_to<Key>>
+class FlatSet {
+  struct Entry {
+    Key key;
+    bool alive{true};
+    const Key& value() const { return key; }
+  };
+
+ public:
+  using const_iterator = detail::FlatIter<Entry, true>;
+  using iterator = const_iterator;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  const_iterator begin() const {
+    return {entries_.data(), entries_.data() + entries_.size()};
+  }
+  const_iterator end() const {
+    return {entries_.data() + entries_.size(),
+            entries_.data() + entries_.size()};
+  }
+
+  void clear() {
+    entries_.clear();
+    std::fill(slots_.begin(), slots_.end(), detail::kSlotEmpty);
+    size_ = 0;
+    used_slots_ = 0;
+  }
+
+  void reserve(std::size_t n) {
+    entries_.reserve(n);
+    const std::size_t cap = detail::slot_capacity_for(n);
+    if (cap > slots_.size()) rehash(cap);
+  }
+
+  bool contains(const Key& k) const {
+    return find_slot(k) != detail::flat_npos;
+  }
+
+  /// Returns true when `k` was newly inserted.
+  bool insert(const Key& k) {
+    grow_if_needed();
+    const std::size_t hash = mixed_hash(k);
+    std::size_t i = hash & (slots_.size() - 1);
+    std::size_t first_tomb = detail::flat_npos;
+    while (true) {
+      const std::uint32_t s = slots_[i];
+      if (s == detail::kSlotEmpty) break;
+      if (s == detail::kSlotTombstone) {
+        if (first_tomb == detail::flat_npos) first_tomb = i;
+      } else if (Eq{}(entries_[s - 1].key, k)) {
+        return false;
+      }
+      i = (i + 1) & (slots_.size() - 1);
+    }
+    if (first_tomb != detail::flat_npos) {
+      i = first_tomb;
+    } else {
+      ++used_slots_;
+    }
+    entries_.push_back({k, true});
+    slots_[i] = static_cast<std::uint32_t>(entries_.size());
+    ++size_;
+    return true;
+  }
+
+  std::size_t erase(const Key& k) {
+    const std::size_t slot = find_slot(k);
+    if (slot == detail::flat_npos) return 0;
+    entries_[slots_[slot] - 1].alive = false;
+    slots_[slot] = detail::kSlotTombstone;
+    --size_;
+    return 1;
+  }
+
+ private:
+  std::size_t mixed_hash(const Key& k) const {
+    return static_cast<std::size_t>(
+        hash_mix(static_cast<std::uint64_t>(Hash{}(k))));
+  }
+
+  std::size_t find_slot(const Key& k) const {
+    if (slots_.empty()) return detail::flat_npos;
+    std::size_t i = mixed_hash(k) & (slots_.size() - 1);
+    while (true) {
+      const std::uint32_t s = slots_[i];
+      if (s == detail::kSlotEmpty) return detail::flat_npos;
+      if (s != detail::kSlotTombstone && Eq{}(entries_[s - 1].key, k)) {
+        return i;
+      }
+      i = (i + 1) & (slots_.size() - 1);
+    }
+  }
+
+  void grow_if_needed() {
+    if (slots_.empty()) {
+      rehash(16);
+      return;
+    }
+    if ((used_slots_ + 1) * 4 > slots_.size() * 3 ||
+        entries_.size() > 2 * size_ + 8) {
+      rehash(detail::slot_capacity_for(size_ + 1));
+    }
+  }
+
+  void rehash(std::size_t capacity) {
+    if (entries_.size() != size_) {
+      std::vector<Entry> compact;
+      compact.reserve(size_);
+      for (Entry& e : entries_) {
+        if (e.alive) compact.push_back(std::move(e));
+      }
+      entries_ = std::move(compact);
+    }
+    slots_.assign(capacity, detail::kSlotEmpty);
+    for (std::size_t idx = 0; idx < entries_.size(); ++idx) {
+      std::size_t i = mixed_hash(entries_[idx].key) & (capacity - 1);
+      while (slots_[i] != detail::kSlotEmpty) i = (i + 1) & (capacity - 1);
+      slots_[i] = static_cast<std::uint32_t>(idx + 1);
+    }
+    used_slots_ = size_;
+  }
+
+  std::vector<Entry> entries_;
+  std::vector<std::uint32_t> slots_;
+  std::size_t size_{0};
+  std::size_t used_slots_{0};
+};
+
+}  // namespace svcdisc::util

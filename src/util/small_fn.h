@@ -1,0 +1,124 @@
+// A small-buffer-optimized move-only callable, used for the simulator's
+// generic (rare) events.
+//
+// std::function heap-allocates any capture beyond its tiny internal
+// buffer, which made every scheduled event an allocation on the hot
+// path. SmallFn stores callables up to kInlineSize bytes inline (every
+// lambda the simulation schedules today captures well under that) and
+// only falls back to the heap for oversized captures. Dispatch goes
+// through a per-type static vtable, so the type itself stays one pointer
+// plus the buffer.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace svcdisc::util {
+
+class SmallFn {
+ public:
+  /// Callables at most this many bytes (and at most 16-byte aligned) are
+  /// stored inline, with no heap allocation.
+  static constexpr std::size_t kInlineSize = 48;
+
+  SmallFn() = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::decay_t<F>, SmallFn> &&
+             std::is_invocable_r_v<void, std::decay_t<F>&>)
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for
+                    // std::function at ~40 call sites
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+    }
+    vtable_ = &kVtable<Fn>;
+  }
+
+  SmallFn(SmallFn&& other) noexcept { move_from(other); }
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+
+  ~SmallFn() { reset(); }
+
+  void operator()() { vtable_->invoke(buf_); }
+
+  explicit operator bool() const { return vtable_ != nullptr; }
+
+  /// Destroys the held callable (if any), leaving the SmallFn empty.
+  void reset() {
+    if (vtable_) {
+      vtable_->destroy(buf_);
+      vtable_ = nullptr;
+    }
+  }
+
+  /// Whether callable type F would be stored inline.
+  template <typename F>
+  static constexpr bool fits_inline() {
+    using Fn = std::decay_t<F>;
+    return sizeof(Fn) <= kInlineSize && alignof(Fn) <= 16 &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+ private:
+  struct Vtable {
+    void (*invoke)(void* buf);
+    void (*relocate)(void* dst, void* src);  // move-construct + destroy src
+    void (*destroy)(void* buf);
+  };
+
+  template <typename Fn>
+  static constexpr Vtable make_vtable() {
+    if constexpr (fits_inline<Fn>()) {
+      return Vtable{
+          [](void* buf) { (*std::launder(static_cast<Fn*>(buf)))(); },
+          [](void* dst, void* src) {
+            Fn* from = std::launder(static_cast<Fn*>(src));
+            ::new (dst) Fn(std::move(*from));
+            from->~Fn();
+          },
+          [](void* buf) { std::launder(static_cast<Fn*>(buf))->~Fn(); },
+      };
+    } else {
+      return Vtable{
+          [](void* buf) { (**std::launder(static_cast<Fn**>(buf)))(); },
+          [](void* dst, void* src) {
+            Fn** from = std::launder(static_cast<Fn**>(src));
+            ::new (dst) Fn*(*from);
+            *from = nullptr;
+          },
+          [](void* buf) { delete *std::launder(static_cast<Fn**>(buf)); },
+      };
+    }
+  }
+
+  template <typename Fn>
+  static constexpr Vtable kVtable = make_vtable<Fn>();
+
+  void move_from(SmallFn& other) noexcept {
+    vtable_ = other.vtable_;
+    if (vtable_) {
+      vtable_->relocate(buf_, other.buf_);
+      other.vtable_ = nullptr;
+    }
+  }
+
+  alignas(16) std::byte buf_[kInlineSize];
+  const Vtable* vtable_{nullptr};
+};
+
+}  // namespace svcdisc::util

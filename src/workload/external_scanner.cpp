@@ -18,8 +18,8 @@ void ExternalScannerFleet::start() {
       sweep.last_target = targets_.size();
     }
     if (sweep.first_target >= sweep.last_target) continue;
-    network_.simulator().at(sweep.start,
-                            [this, i] { step(i, sweeps_[i].first_target); });
+    network_.simulator().at_timer(sweep.start, this,
+                                  tick_tag(i, sweep.first_target));
   }
 }
 
@@ -36,10 +36,8 @@ void ExternalScannerFleet::step(std::size_t sweep_index,
   ++probes_sent_;
   const std::size_t next = target_index + 1;
   if (next >= sweep.last_target) return;
-  network_.simulator().after(util::seconds_f(1.0 / sweep.probes_per_sec),
-                             [this, sweep_index, next] {
-                               step(sweep_index, next);
-                             });
+  network_.simulator().after_timer(util::seconds_f(1.0 / sweep.probes_per_sec),
+                                   this, tick_tag(sweep_index, next));
 }
 
 std::vector<net::Ipv4> ExternalScannerFleet::scanner_sources() const {

@@ -35,7 +35,7 @@ struct SweepSpec {
   std::size_t last_target{0};
 };
 
-class ExternalScannerFleet {
+class ExternalScannerFleet final : public sim::TimerTarget {
  public:
   /// `targets` is the campus address list sweeps index into.
   ExternalScannerFleet(sim::Network& network, std::vector<net::Ipv4> targets);
@@ -51,7 +51,19 @@ class ExternalScannerFleet {
   /// detector's precision/recall tests).
   std::vector<net::Ipv4> scanner_sources() const;
 
+  // sim::TimerTarget — probe ticks; the tag packs (sweep, target).
+  void on_timer(std::uint64_t tag) override {
+    step(static_cast<std::size_t>(tag >> 32),
+         static_cast<std::size_t>(tag & 0xFFFFFFFFu));
+  }
+
  private:
+  static std::uint64_t tick_tag(std::size_t sweep_index,
+                                std::size_t target_index) {
+    return (static_cast<std::uint64_t>(sweep_index) << 32) |
+           static_cast<std::uint64_t>(target_index);
+  }
+
   void step(std::size_t sweep_index, std::size_t target_index);
 
   sim::Network& network_;

@@ -32,8 +32,7 @@ void FlowGenerator::schedule_next(std::size_t index) {
   const double peak_rate_per_sec =
       t.flows_per_hour * diurnal_.max_multiplier() / 3600.0;
   const double gap_sec = -std::log(1.0 - rng_.uniform()) / peak_rate_per_sec;
-  network_.simulator().after(util::seconds_f(gap_sec),
-                             [this, index] { fire(index); });
+  network_.simulator().after_timer(util::seconds_f(gap_sec), this, index);
 }
 
 void FlowGenerator::fire(std::size_t index) {

@@ -37,7 +37,7 @@ struct TrafficTarget {
   std::vector<net::Ipv4> clients;
 };
 
-class FlowGenerator {
+class FlowGenerator final : public sim::TimerTarget {
  public:
   FlowGenerator(sim::Network& network, DiurnalCurve diurnal, util::Rng rng);
 
@@ -50,6 +50,10 @@ class FlowGenerator {
 
   std::uint64_t flows_generated() const { return flows_generated_; }
   std::size_t target_count() const { return targets_.size(); }
+
+  // sim::TimerTarget — one timer stream per traffic target (tag =
+  // target index).
+  void on_timer(std::uint64_t tag) override { fire(tag); }
 
  private:
   void schedule_next(std::size_t index);

@@ -139,11 +139,132 @@ TEST_P(FilterProperty, VmMatchesReference) {
     const Packet p = random_packet(rng);
     ASSERT_EQ(filter->matches(p), c.reference(p))
         << c.expression << " on " << p.to_string();
+    // The specialized path and the interpreter must always agree.
+    ASSERT_EQ(filter->matches(p), filter->matches_interpreted(p))
+        << c.expression << " (" << filter_path_name(filter->path())
+        << ") on " << p.to_string();
   }
 }
 
 INSTANTIATE_TEST_SUITE_P(Corpus, FilterProperty,
                          ::testing::Range<std::size_t>(0, cases().size()));
+
+// ----------------------------------------------- path specialization --
+
+TEST(FilterSpecialization, PicksExpectedPaths) {
+  const auto path_of = [](const char* expr) {
+    const auto f = Filter::compile(expr);
+    EXPECT_TRUE(f.has_value()) << expr;
+    return f ? f->path() : FilterPath::kInterpreted;
+  };
+  EXPECT_EQ(Filter{}.path(), FilterPath::kMatchAll);
+  EXPECT_EQ(path_of(""), FilterPath::kMatchAll);
+  // Pure proto/flags programs collapse into the lookup table — including
+  // the paper's default tap filter.
+  EXPECT_EQ(path_of("tcp"), FilterPath::kProtoFlags);
+  EXPECT_EQ(path_of("(tcp and (syn or rst)) or udp or icmp"),
+            FilterPath::kProtoFlags);
+  EXPECT_EQ(path_of("not (synack or fin)"), FilterPath::kProtoFlags);
+  // Conjunctions of a flags part and field tests get the test loop.
+  EXPECT_EQ(path_of("udp and dst net 128.125.0.0/16"),
+            FilterPath::kConjunction);
+  EXPECT_EQ(path_of("port 80"), FilterPath::kConjunction);
+  EXPECT_EQ(path_of("tcp and syn and not src host 10.0.0.1"),
+            FilterPath::kConjunction);
+  // Disjunctions over fields or >4 tests stay on the interpreter.
+  EXPECT_EQ(path_of("port 80 or port 22"), FilterPath::kInterpreted);
+  EXPECT_EQ(path_of("tcp and not (port 80 or port 22)"),
+            FilterPath::kInterpreted);
+  EXPECT_EQ(
+      path_of("port 1 and port 2 and port 3 and port 4 and port 5"),
+      FilterPath::kInterpreted);
+}
+
+// ------------------------------------------ random expression fuzzing --
+
+/// Builds a random well-formed expression string; depth-bounded so the
+/// interpreter's fixed stack is never at risk.
+std::string random_expression(util::Rng& rng, int depth) {
+  if (depth == 0 || rng.chance(0.4)) {
+    switch (rng.below(12)) {
+      case 0: return "tcp";
+      case 1: return "udp";
+      case 2: return "icmp";
+      case 3: return "syn";
+      case 4: return "ack";
+      case 5: return "rst";
+      case 6: return "fin";
+      case 7: return "synack";
+      case 8: return rng.chance(0.5) ? "src host 128.125.1.1"
+                                     : "dst host 66.1.2.3";
+      case 9: return rng.chance(0.5) ? "net 128.125.0.0/16"
+                                     : "src net 10.0.0.0/8";
+      case 10: return rng.chance(0.5) ? "port 80" : "dst port 22";
+      default: return "host 128.125.1.1";
+    }
+  }
+  switch (rng.below(3)) {
+    case 0:
+      return "not (" + random_expression(rng, depth - 1) + ")";
+    case 1:
+      return "(" + random_expression(rng, depth - 1) + " and " +
+             random_expression(rng, depth - 1) + ")";
+    default:
+      return "(" + random_expression(rng, depth - 1) + " or " +
+             random_expression(rng, depth - 1) + ")";
+  }
+}
+
+TEST(FilterSpecialization, RandomExpressionsAgreeWithInterpreter) {
+  util::Rng rng(0xC0FFEE);
+  for (int round = 0; round < 400; ++round) {
+    const std::string expr = random_expression(rng, 4);
+    const auto filter = Filter::compile(expr);
+    ASSERT_TRUE(filter.has_value()) << expr;
+    for (int i = 0; i < 200; ++i) {
+      const Packet p = random_packet(rng);
+      ASSERT_EQ(filter->matches(p), filter->matches_interpreted(p))
+          << expr << " (" << filter_path_name(filter->path()) << ") on "
+          << p.to_string();
+    }
+  }
+}
+
+// ------------------------------------------------- compiler error paths --
+
+TEST(FilterCompileErrors, MalformedExpressionsAreRejected) {
+  const char* bad[] = {
+      "tcp and",                    // dangling operator
+      "and tcp",                    // leading operator
+      "not",                        // bare not
+      "(tcp",                       // unbalanced paren
+      "tcp)",                       // trailing token
+      "frobnicate",                 // unknown predicate
+      "src",                        // src without host/net/port
+      "host 999.1.2.3",             // bad address
+      "host 1.2.3",                 // truncated address
+      "net 10.0.0.0",               // missing prefix length
+      "net 10.0.0.0/33",            // prefix bits out of range
+      "port 99999",                 // port out of range
+      "port http",                  // non-numeric port
+      "tcp udp",                    // missing connective
+  };
+  for (const char* expr : bad) {
+    std::string error;
+    const auto f = Filter::compile(expr, &error);
+    EXPECT_FALSE(f.has_value()) << expr;
+    EXPECT_FALSE(error.empty()) << expr;
+  }
+}
+
+TEST(FilterCompileErrors, EmptyAndWhitespaceCompileToMatchAll) {
+  const auto empty = Filter::compile("");
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_EQ(empty->path(), FilterPath::kMatchAll);
+  const auto spaces = Filter::compile("   ");
+  ASSERT_TRUE(spaces.has_value());
+  EXPECT_EQ(spaces->program_size(), 0u);
+}
 
 }  // namespace
 }  // namespace svcdisc::capture

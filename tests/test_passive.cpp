@@ -2,10 +2,17 @@
 // rules, and the external-scan detector.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
+#include <span>
+#include <vector>
+
 #include "net/packet.h"
 #include "passive/monitor.h"
 #include "passive/scan_detector.h"
 #include "passive/service_table.h"
+#include "util/flat_hash.h"
+#include "util/rng.h"
 
 namespace svcdisc::passive {
 namespace {
@@ -314,6 +321,137 @@ TEST(PassiveMonitor, ScannerExclusionSuppressesDiscovery) {
                                    net::flags_syn_ack()),
                      kEpoch + minutes(21)));
   EXPECT_EQ(monitor.table().size(), 1u);
+}
+
+// --------------------------------------- retroactive scanner cleaning --
+
+TEST(ServiceRecord, LastFlowExcludingCleansRetroactivelyFlaggedScanners) {
+  ServiceTable table;
+  const ServiceKey key{kServer, net::Proto::kTcp, 80};
+  const Ipv4 scanner = Ipv4::from_octets(7, 7, 7, 7);
+  const Ipv4 genuine = Ipv4::from_octets(66, 1, 2, 3);
+  table.count_flow(key, genuine, kEpoch + minutes(10));
+  table.count_flow(key, scanner, kEpoch + minutes(30));  // latest overall
+  const ServiceRecord* record = [&] {
+    table.discover(key, kEpoch + minutes(1));
+    return table.find(key);
+  }();
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(record->last_flow, kEpoch + minutes(30));
+
+  util::FlatSet<Ipv4> exclude;
+  // Nothing excluded: fast path returns last_flow directly.
+  EXPECT_EQ(record->last_flow_excluding(exclude), kEpoch + minutes(30));
+  // Scanner flagged after the fact: its flow no longer counts.
+  exclude.insert(scanner);
+  EXPECT_EQ(record->last_flow_excluding(exclude), kEpoch + minutes(10));
+  // Every client excluded: no genuine flow remains.
+  exclude.insert(genuine);
+  EXPECT_EQ(record->last_flow_excluding(exclude), util::TimePoint{});
+}
+
+TEST(ServiceRecord, LastFlowExcludingFastPathMatchesScan) {
+  // The maintained last_flow_client must track ties and updates: make
+  // the latest flow come from a genuine client and exclude the scanner.
+  ServiceTable table;
+  const ServiceKey key{kServer, net::Proto::kTcp, 80};
+  const Ipv4 scanner = Ipv4::from_octets(7, 7, 7, 7);
+  const Ipv4 genuine = Ipv4::from_octets(66, 1, 2, 3);
+  table.count_flow(key, scanner, kEpoch + minutes(5));
+  table.count_flow(key, genuine, kEpoch + minutes(5));  // tie: later wins
+  table.discover(key, kEpoch);
+  util::FlatSet<Ipv4> exclude;
+  exclude.insert(scanner);
+  EXPECT_EQ(table.find(key)->last_flow_excluding(exclude),
+            kEpoch + minutes(5));
+}
+
+// ------------------------------------------- batch/single equivalence --
+
+// Random border-crossing traffic mix covering every monitor rule:
+// internal SYN-ACKs (discovery), external SYNs (flows + scan detector
+// targets), outbound RSTs (scan detector), UDP from well-known ports.
+std::vector<Packet> equivalence_traffic(std::uint64_t seed, int count) {
+  util::Rng rng(seed);
+  std::vector<Packet> packets;
+  packets.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const Ipv4 internal =
+        Ipv4::from_octets(128, 125, 6, static_cast<std::uint8_t>(rng.below(8)));
+    const Ipv4 external =
+        Ipv4::from_octets(7, 7, 7, static_cast<std::uint8_t>(rng.below(4)));
+    Packet p;
+    switch (rng.below(5)) {
+      case 0:
+        p = net::make_tcp(internal, 80, external, 999, net::flags_syn_ack());
+        break;
+      case 1:
+        p = net::make_tcp(external, 999, internal, 80, net::flags_syn());
+        break;
+      case 2:
+        p = net::make_tcp(internal, 80, external, 999, net::flags_rst());
+        break;
+      case 3:
+        p = net::make_udp(internal, 53, external, 999, 64);
+        break;
+      default:
+        p = net::make_tcp(external, 999, internal, 22, net::flags_syn());
+        break;
+    }
+    // Coarse timestamps so some packets share a time, as batching does.
+    p.time = kEpoch + minutes(i / 4);
+    packets.push_back(p);
+  }
+  return packets;
+}
+
+PassiveMonitor make_equivalence_monitor() {
+  MonitorConfig cfg = selected_config();
+  cfg.detect_udp = true;
+  cfg.udp_ports = net::selected_udp_ports();
+  cfg.exclude_scanner_triggered = true;
+  PassiveMonitor monitor(cfg);
+  ScanDetectorConfig scan_cfg;
+  scan_cfg.target_threshold = 4;
+  scan_cfg.rst_threshold = 4;
+  monitor.set_scan_detector(std::make_shared<ScanDetector>(
+      scan_cfg, std::vector<Prefix>{kCampus}));
+  return monitor;
+}
+
+TEST(PassiveMonitor, BatchDeliveryEquivalentToPerPacket) {
+  const std::vector<Packet> traffic = equivalence_traffic(0xBA7C4, 600);
+
+  PassiveMonitor single = make_equivalence_monitor();
+  for (const Packet& p : traffic) single.observe(p);
+
+  PassiveMonitor batched = make_equivalence_monitor();
+  util::Rng rng(0x51CE5);
+  std::size_t i = 0;
+  while (i < traffic.size()) {
+    const std::size_t n =
+        std::min(traffic.size() - i, 1 + rng.below(7));
+    batched.observe_batch(
+        std::span<const Packet>(traffic.data() + i, n));
+    i += n;
+  }
+
+  EXPECT_EQ(batched.packets_seen(), single.packets_seen());
+  EXPECT_EQ(batched.discoveries_suppressed(),
+            single.discoveries_suppressed());
+  EXPECT_EQ(batched.scan_detector()->scanner_count(),
+            single.scan_detector()->scanner_count());
+  ASSERT_EQ(batched.table().size(), single.table().size());
+  single.table().for_each([&](const ServiceKey& key,
+                              const ServiceRecord& expect) {
+    const ServiceRecord* got = batched.table().find(key);
+    ASSERT_NE(got, nullptr);
+    EXPECT_EQ(got->first_seen, expect.first_seen);
+    EXPECT_EQ(got->last_activity, expect.last_activity);
+    EXPECT_EQ(got->last_flow, expect.last_flow);
+    EXPECT_EQ(got->flows, expect.flows);
+    EXPECT_EQ(got->clients.size(), expect.clients.size());
+  });
 }
 
 }  // namespace
