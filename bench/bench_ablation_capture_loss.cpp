@@ -1,0 +1,91 @@
+// Ablation: passive completeness under impaired capture (§4 revisited).
+//
+// The paper's passive numbers assume the monitor sees every border
+// packet; §5.3 concedes full capture "becomes hard at very high
+// bitrates". This bench reruns the completeness comparison with the
+// fault-injection stage in front of every tap, sweeping loss rate under
+// both the i.i.d. and the Gilbert-Elliott (bursty) model at matched
+// long-run rates. Burstiness is the interesting axis: at equal average
+// loss, correlated drops erase whole scan-response bursts — exactly the
+// packets that carry one-off discovery evidence — while i.i.d. loss
+// mostly thins flows that repeat anyway.
+#include <cstdio>
+#include <vector>
+
+#include "analysis/table.h"
+#include "bench_common.h"
+#include "capture/impairment.h"
+#include "core/completeness.h"
+#include "core/report.h"
+
+namespace svcdisc {
+
+int run() {
+  std::printf("== Ablation: completeness vs capture loss ==\n\n");
+
+  const auto campus_cfg = workload::CampusConfig::dtcp1_18d();
+  const auto engine_cfg = bench::dtcp1_engine_config();
+
+  struct Row {
+    const char* model;
+    double rate;
+  };
+  const std::vector<Row> rows = {
+      {"none", 0.0},    {"iid", 0.02},    {"bursty", 0.02},
+      {"iid", 0.05},    {"bursty", 0.05}, {"iid", 0.10},
+      {"bursty", 0.10}, {"iid", 0.20},    {"bursty", 0.20},
+  };
+
+  std::vector<core::CampaignJob> jobs;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    core::CampaignJob job;
+    job.campus_cfg = campus_cfg;
+    job.engine_cfg = engine_cfg;
+    job.seed = campus_cfg.seed;  // identical traffic in every row
+    if (rows[i].rate > 0) {
+      job.engine_cfg.impairment =
+          rows[i].model[0] == 'i'
+              ? capture::ImpairmentConfig::iid(rows[i].rate, 0xC0DE + i)
+              : capture::ImpairmentConfig::bursty(rows[i].rate, 8.0,
+                                                  0xC0DE + i);
+    }
+    job.label = rows[i].model;
+    jobs.push_back(std::move(job));
+  }
+  auto results =
+      bench::run_campaigns(std::move(jobs), "capture-loss sweep (9 rows)");
+
+  double baseline = 0;
+  analysis::TextTable table({"model", "loss", "passive", "union%",
+                             "vs lossless%"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    auto& r = results[i];
+    if (!r.ok()) continue;
+    const auto end = util::kEpoch + r.c().config().duration;
+    const auto passive = core::addresses_found(r.e().monitor().table(), end);
+    const auto active = core::addresses_found(r.e().prober().table(), end);
+    const auto c = core::completeness(passive, active);
+    if (i == 0) baseline = static_cast<double>(c.passive_total);
+    char loss_s[16];
+    std::snprintf(loss_s, sizeof loss_s, "%.0f%%", rows[i].rate * 100);
+    table.add_row({rows[i].model, loss_s,
+                   analysis::fmt_count(c.passive_total),
+                   analysis::fmt_pct(c.passive_pct()),
+                   analysis::fmt_pct(baseline > 0
+                                         ? 100.0 * c.passive_total / baseline
+                                         : 0)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  std::printf(
+      "\nsame campaign seed in every row; only the impairment differs.\n"
+      "bursty loss (Gilbert-Elliott, mean burst 8 pkts) costs more\n"
+      "completeness than i.i.d. loss at the same average rate: a burst\n"
+      "can swallow an entire SYN-ACK response train, while independent\n"
+      "drops are papered over by retransmissions and repeat flows.\n");
+  return 0;
+}
+
+}  // namespace svcdisc
+
+int main() { return svcdisc::run(); }

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Sanitizer sweep: builds the tree under ASan+UBSan and runs the tier-1
-# test suite, then builds under TSan and runs the concurrency-heavy
-# tests (metrics registry, campaign runner, ring buffer).
+# test suite plus an explicit pass over the fault-injection label
+# (corrupt pcap corpus, impairment stage), then builds under TSan and
+# runs the concurrency-heavy tests (metrics registry, campaign runner,
+# ring buffer).
 #
 # Usage: scripts/sanitize.sh [asan|tsan|all]   (default: all)
 #
@@ -18,6 +20,10 @@ run_asan() {
   cmake -B build-asan -S . -DSVCDISC_SANITIZE=address >/dev/null
   cmake --build build-asan -j "$jobs"
   (cd build-asan && ctest --output-on-failure -j "$jobs")
+  # The faults label feeds the parsers corrupt input on purpose — the
+  # suite most likely to trip ASan, so it gets a dedicated, visible run.
+  echo "== ASan + UBSan: faults label =="
+  (cd build-asan && ctest --output-on-failure -j "$jobs" -L faults)
 }
 
 run_tsan() {

@@ -1,0 +1,189 @@
+#include "capture/impairment.h"
+
+#include <stdexcept>
+
+namespace svcdisc::capture {
+namespace {
+
+bool valid_probability(double p) { return p >= 0.0 && p <= 1.0; }
+
+}  // namespace
+
+bool ImpairmentConfig::identity() const {
+  const bool loss_active =
+      loss_model == LossModel::kIid
+          ? loss_rate > 0
+          : ge_loss_good > 0 || (ge_loss_bad > 0 && ge_p_good_to_bad > 0);
+  return !loss_active && dup_rate == 0 && reorder_rate == 0 &&
+         skew.usec == 0 && jitter.usec == 0;
+}
+
+ImpairmentConfig ImpairmentConfig::iid(double rate, std::uint64_t seed) {
+  ImpairmentConfig cfg;
+  cfg.loss_model = LossModel::kIid;
+  cfg.loss_rate = rate;
+  cfg.seed = seed;
+  return cfg;
+}
+
+ImpairmentConfig ImpairmentConfig::bursty(double rate, double mean_burst_len,
+                                          std::uint64_t seed) {
+  if (rate < 0 || rate >= 1.0) {
+    throw std::invalid_argument("ImpairmentConfig::bursty: rate outside [0,1)");
+  }
+  if (mean_burst_len < 1.0) {
+    throw std::invalid_argument(
+        "ImpairmentConfig::bursty: mean_burst_len must be >= 1");
+  }
+  ImpairmentConfig cfg;
+  cfg.loss_model = LossModel::kGilbertElliott;
+  cfg.ge_loss_good = 0;
+  cfg.ge_loss_bad = 1.0;
+  // Long-run bad-state occupancy p/(p+r) equals `rate` when
+  // p = rate*r/(1-rate); the mean bad sojourn is 1/r packets.
+  cfg.ge_p_bad_to_good = 1.0 / mean_burst_len;
+  cfg.ge_p_good_to_bad =
+      rate > 0 ? rate * cfg.ge_p_bad_to_good / (1.0 - rate) : 0.0;
+  if (cfg.ge_p_good_to_bad > 1.0) {
+    throw std::invalid_argument(
+        "ImpairmentConfig::bursty: rate/burst_len combination infeasible");
+  }
+  cfg.seed = seed;
+  return cfg;
+}
+
+Impairment::Impairment(ImpairmentConfig config, sim::PacketObserver* downstream)
+    : config_(config), downstream_(downstream), rng_(config.seed) {
+  if (downstream_ == nullptr) {
+    throw std::invalid_argument("Impairment: downstream must be non-null");
+  }
+  if (!valid_probability(config_.loss_rate) ||
+      !valid_probability(config_.dup_rate) ||
+      !valid_probability(config_.reorder_rate) ||
+      !valid_probability(config_.ge_p_good_to_bad) ||
+      !valid_probability(config_.ge_p_bad_to_good) ||
+      !valid_probability(config_.ge_loss_good) ||
+      !valid_probability(config_.ge_loss_bad)) {
+    throw std::invalid_argument("Impairment: probability outside [0,1]");
+  }
+  if (config_.reorder_rate > 0 && config_.reorder_depth == 0) {
+    throw std::invalid_argument(
+        "Impairment: reorder_rate > 0 needs reorder_depth >= 1");
+  }
+  if (config_.jitter.usec < 0) {
+    throw std::invalid_argument("Impairment: jitter must be non-negative");
+  }
+  loss_active_ =
+      config_.loss_model == LossModel::kIid
+          ? config_.loss_rate > 0
+          : config_.ge_loss_good > 0 ||
+                (config_.ge_loss_bad > 0 && config_.ge_p_good_to_bad > 0);
+  adjust_time_ = config_.skew.usec != 0 || config_.jitter.usec != 0;
+}
+
+void Impairment::attach_metrics(util::MetricsRegistry& registry,
+                                std::string_view prefix) {
+  const std::string base(prefix);
+  m_pushed_ = &registry.counter(base + ".pushed");
+  m_delivered_ = &registry.counter(base + ".delivered");
+  m_dropped_ = &registry.counter(base + ".dropped.loss");
+  m_duplicated_ = &registry.counter(base + ".duplicated");
+  m_reordered_ = &registry.counter(base + ".reordered");
+  m_held_ = &registry.gauge(base + ".held");
+}
+
+bool Impairment::lose() {
+  if (config_.loss_model == LossModel::kIid) {
+    return rng_.chance(config_.loss_rate);
+  }
+  // Gilbert–Elliott: drop with the current state's loss probability,
+  // then advance the chain — one loss draw and one transition draw per
+  // packet, keeping the stream layout fixed.
+  const bool lost =
+      rng_.chance(ge_in_bad_ ? config_.ge_loss_bad : config_.ge_loss_good);
+  const double flip =
+      ge_in_bad_ ? config_.ge_p_bad_to_good : config_.ge_p_good_to_bad;
+  if (rng_.chance(flip)) ge_in_bad_ = !ge_in_bad_;
+  return lost;
+}
+
+void Impairment::deliver(const net::Packet& p, std::vector<net::Packet>& out) {
+  out.push_back(p);
+  ++delivered_;
+  if (m_delivered_) m_delivered_->inc();
+}
+
+void Impairment::emit(const net::Packet& p, std::vector<net::Packet>& out) {
+  if (config_.reorder_rate > 0 && rng_.chance(config_.reorder_rate) &&
+      held_.size() < config_.reorder_depth) {
+    held_.push_back(
+        {p, static_cast<std::uint32_t>(1 + rng_.below(config_.reorder_depth))});
+    ++reordered_;
+    if (m_reordered_) m_reordered_->inc();
+    if (m_held_) m_held_->set(static_cast<std::int64_t>(held_.size()));
+    return;
+  }
+  deliver(p, out);
+  if (held_.empty()) return;
+  // One delivery ages the whole delay line; matured packets release in
+  // hold order right behind it (and do not age the line further, which
+  // bounds every displacement by reorder_depth).
+  std::size_t i = 0;
+  while (i < held_.size()) {
+    if (--held_[i].after == 0) {
+      deliver(held_[i].packet, out);
+      held_.erase(held_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+  if (m_held_) m_held_->set(static_cast<std::int64_t>(held_.size()));
+}
+
+void Impairment::process(const net::Packet& p, std::vector<net::Packet>& out) {
+  ++pushed_;
+  if (m_pushed_) m_pushed_->inc();
+  net::Packet q = p;
+  if (adjust_time_) {
+    std::int64_t adjust = config_.skew.usec;
+    if (config_.jitter.usec > 0) {
+      adjust += rng_.range(-config_.jitter.usec, config_.jitter.usec);
+    }
+    q.time.usec += adjust;
+  }
+  if (loss_active_ && lose()) {
+    ++dropped_;
+    if (m_dropped_) m_dropped_->inc();
+    return;
+  }
+  const bool dup = config_.dup_rate > 0 && rng_.chance(config_.dup_rate);
+  emit(q, out);
+  if (dup) {
+    ++duplicated_;
+    if (m_duplicated_) m_duplicated_->inc();
+    emit(q, out);
+  }
+}
+
+void Impairment::observe(const net::Packet& p) {
+  scratch_.clear();
+  process(p, scratch_);
+  for (const net::Packet& q : scratch_) downstream_->observe(q);
+}
+
+void Impairment::observe_batch(std::span<const net::Packet> packets) {
+  scratch_.clear();
+  for (const net::Packet& p : packets) process(p, scratch_);
+  if (!scratch_.empty()) downstream_->observe_batch(scratch_);
+}
+
+void Impairment::flush() {
+  if (held_.empty()) return;
+  scratch_.clear();
+  for (const Held& h : held_) deliver(h.packet, scratch_);
+  held_.clear();
+  if (m_held_) m_held_->set(0);
+  downstream_->observe_batch(scratch_);
+}
+
+}  // namespace svcdisc::capture

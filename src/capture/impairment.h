@@ -1,0 +1,164 @@
+// Capture-path fault injection: loss, duplication, reordering, clock
+// skew/jitter — composable, seeded, deterministic.
+//
+// The paper's passive results rest on imperfect capture (§5.3: full
+// capture "becomes hard at very high bitrates"), yet a simulated tap is
+// implausibly perfect. An Impairment stage sits between a
+// sim::BorderRouter peering and its capture::Tap and subjects the
+// packet stream to the defects real capture ports exhibit:
+//
+//   * packet loss — i.i.d. (independent per packet) or bursty via a
+//     two-state Gilbert–Elliott chain (good/bad states with per-state
+//     loss probabilities), the standard model for correlated capture
+//     drops;
+//   * duplication — the same packet delivered twice (span ports and
+//     mirrored VLANs commonly double packets);
+//   * bounded reordering — a packet is held and re-injected after up to
+//     `reorder_depth` later packets have passed;
+//   * clock skew and jitter — a constant per-tap offset plus bounded
+//     uniform noise on every timestamp (independent tap clocks drift).
+//
+// Determinism: all decisions come from one util::Rng seeded from the
+// config, consumed in a fixed per-packet order, so identical
+// (input, config) pairs produce identical output streams — including
+// across the observe / observe_batch entry points, which are
+// effect-identical by construction (both funnel through process()).
+//
+// Conservation: every packet is ledgered. At any instant
+//   pushed + duplicated == delivered + dropped + held
+// and after flush() `held` is zero, so the end-of-campaign invariant is
+//   pushed + duplicated == delivered + dropped.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "net/packet.h"
+#include "sim/node.h"
+#include "util/metrics.h"
+#include "util/rng.h"
+#include "util/sim_time.h"
+
+namespace svcdisc::capture {
+
+/// Which loss process drives drop decisions.
+enum class LossModel : std::uint8_t {
+  kIid,            ///< independent per-packet drops at `loss_rate`
+  kGilbertElliott  ///< two-state Markov chain (bursty loss)
+};
+
+struct ImpairmentConfig {
+  LossModel loss_model{LossModel::kIid};
+  /// i.i.d. per-packet drop probability (loss_model == kIid).
+  double loss_rate{0};
+  // Gilbert–Elliott parameters (loss_model == kGilbertElliott). The
+  // chain starts in the good state; each packet is dropped with the
+  // current state's loss probability, then the state advances.
+  double ge_p_good_to_bad{0};
+  double ge_p_bad_to_good{1.0};
+  double ge_loss_good{0};
+  double ge_loss_bad{1.0};
+  /// Probability a surviving packet is delivered twice.
+  double dup_rate{0};
+  /// Probability a packet is held and re-injected later; the
+  /// displacement is uniform in [1, reorder_depth] delivered packets.
+  double reorder_rate{0};
+  /// Maximum displacement (and held-buffer bound). Must be >= 1 when
+  /// reorder_rate > 0.
+  std::uint32_t reorder_depth{4};
+  /// Constant clock offset added to every timestamp (per-tap skew).
+  util::Duration skew{};
+  /// Uniform timestamp noise in [-jitter, +jitter].
+  util::Duration jitter{};
+  std::uint64_t seed{0x1347c0ffeeULL};
+
+  /// True when no knob is active: the stage would be a pure
+  /// pass-through. DiscoveryEngine skips insertion entirely in that
+  /// case, so a rate-0 configuration is byte-identical to no
+  /// impairment at all.
+  bool identity() const;
+
+  /// i.i.d. loss at `rate` (0..1).
+  static ImpairmentConfig iid(double rate, std::uint64_t seed);
+  /// Gilbert–Elliott loss with long-run average `rate` (0..1) and mean
+  /// bad-burst length `mean_burst_len` packets (>= 1): loss_bad = 1,
+  /// loss_good = 0, r = 1/len, p = rate*r/(1-rate).
+  static ImpairmentConfig bursty(double rate, double mean_burst_len,
+                                 std::uint64_t seed);
+};
+
+class Impairment final : public sim::PacketObserver {
+ public:
+  /// `downstream` receives the impaired stream (not owned, non-null).
+  /// Throws std::invalid_argument on out-of-range probabilities or
+  /// reorder_rate > 0 with reorder_depth == 0.
+  Impairment(ImpairmentConfig config, sim::PacketObserver* downstream);
+
+  // sim::PacketObserver
+  void observe(const net::Packet& p) override;
+  /// Batch entry point: one pass over the batch, then a single batched
+  /// hand-off downstream. Emits exactly the packets the per-packet path
+  /// would, in the same order.
+  void observe_batch(std::span<const net::Packet> packets) override;
+
+  /// Delivers any packets still parked in the reorder delay line (in
+  /// hold order) and empties it. Call once at end of campaign;
+  /// idempotent.
+  void flush();
+
+  const ImpairmentConfig& config() const { return config_; }
+
+  std::uint64_t pushed() const { return pushed_; }
+  std::uint64_t delivered() const { return delivered_; }
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t duplicated() const { return duplicated_; }
+  std::uint64_t reordered() const { return reordered_; }
+  /// Packets currently parked in the reorder delay line.
+  std::size_t held() const { return held_.size(); }
+
+  /// Registers `<prefix>.pushed/.delivered/.dropped.loss/.duplicated/
+  /// .reordered` counters and a `<prefix>.held` gauge, mirroring every
+  /// subsequent tally. The ledger satisfies
+  ///   pushed + duplicated == delivered + dropped.loss  (after flush).
+  void attach_metrics(util::MetricsRegistry& registry,
+                      std::string_view prefix);
+
+ private:
+  struct Held {
+    net::Packet packet;
+    std::uint32_t after;  ///< delivered packets left before release
+  };
+
+  /// Runs one packet through skew -> loss -> dup -> reorder, appending
+  /// everything emitted to `out`.
+  void process(const net::Packet& p, std::vector<net::Packet>& out);
+  /// Hold-or-deliver; a delivery ages the delay line and releases
+  /// matured packets behind it.
+  void emit(const net::Packet& p, std::vector<net::Packet>& out);
+  void deliver(const net::Packet& p, std::vector<net::Packet>& out);
+  bool lose();
+
+  ImpairmentConfig config_;
+  sim::PacketObserver* downstream_;
+  util::Rng rng_;
+  bool loss_active_{false};
+  bool adjust_time_{false};
+  bool ge_in_bad_{false};
+  std::vector<Held> held_;
+  std::vector<net::Packet> scratch_;  // reused emission buffer
+  std::uint64_t pushed_{0};
+  std::uint64_t delivered_{0};
+  std::uint64_t dropped_{0};
+  std::uint64_t duplicated_{0};
+  std::uint64_t reordered_{0};
+  util::Counter* m_pushed_{nullptr};
+  util::Counter* m_delivered_{nullptr};
+  util::Counter* m_dropped_{nullptr};
+  util::Counter* m_duplicated_{nullptr};
+  util::Counter* m_reordered_{nullptr};
+  util::Gauge* m_held_{nullptr};
+};
+
+}  // namespace svcdisc::capture

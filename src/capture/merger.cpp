@@ -84,4 +84,18 @@ std::vector<net::Packet> merge_streams(
   return merged;
 }
 
+std::vector<net::Packet> merge_streams(
+    std::span<const std::vector<net::Packet>> streams,
+    std::span<const util::Duration> skews) {
+  // De-skew into per-stream copies, then reuse the plain merge (which
+  // also re-sorts any stream the correction left unsorted).
+  std::vector<std::vector<net::Packet>> corrected(streams.begin(),
+                                                  streams.end());
+  for (std::size_t i = 0; i < corrected.size() && i < skews.size(); ++i) {
+    if (skews[i].usec == 0) continue;
+    for (net::Packet& p : corrected[i]) p.time = p.time - skews[i];
+  }
+  return merge_streams(corrected);
+}
+
 }  // namespace svcdisc::capture

@@ -10,13 +10,28 @@
 #include <vector>
 
 #include "net/packet.h"
+#include "util/sim_time.h"
 
 namespace svcdisc::capture {
 
 /// Merges time-sorted packet vectors into one time-sorted vector.
-/// Inputs that are not sorted are handled correctly but cost an extra
-/// sort. O(total log k) for sorted inputs.
+/// Inputs that are not sorted (an impaired tap reorders packets) are
+/// handled correctly but cost an extra stable sort — per-stream order
+/// is a hint, never trusted as ground truth. Equal timestamps break
+/// ties stably by (stream index, intra-stream order).
+/// O(total log k) for sorted inputs.
 std::vector<net::Packet> merge_streams(
     std::span<const std::vector<net::Packet>> streams);
+
+/// Skew-compensating merge for multi-tap captures whose clocks disagree
+/// (paper §5.2 peerings, each tapped by an independent capture box):
+/// `skews[i]` is stream i's known clock offset and is subtracted from
+/// each of its timestamps before merging, so the output is ordered —
+/// and stamped — in corrected time. `skews` may be shorter than
+/// `streams` (missing entries mean zero skew). Same stable
+/// (time, stream, intra-stream) tie-break as the plain overload.
+std::vector<net::Packet> merge_streams(
+    std::span<const std::vector<net::Packet>> streams,
+    std::span<const util::Duration> skews);
 
 }  // namespace svcdisc::capture

@@ -1,5 +1,7 @@
 #include "capture/pcap_file.h"
 
+#include <algorithm>
+
 #include "net/wire.h"
 
 namespace svcdisc::capture {
@@ -49,7 +51,10 @@ PcapWriter::PcapWriter(const std::string& path,
 }
 
 void PcapWriter::write(const net::Packet& p) {
-  if (!out_) return;
+  if (!out_) {
+    ++failed_;
+    return;
+  }
   const auto bytes = net::serialize(p);
   const std::uint64_t usec_total =
       static_cast<std::uint64_t>(p.time.usec) + epoch_offset_sec_ * 1'000'000ULL;
@@ -59,7 +64,13 @@ void PcapWriter::write(const net::Packet& p) {
   put32le(out_, static_cast<std::uint32_t>(bytes.size()));  // orig_len
   out_.write(reinterpret_cast<const char*>(bytes.data()),
              static_cast<std::streamsize>(bytes.size()));
-  ++written_;
+  // A record that hit a bad stream (disk full, I/O error) was not
+  // persisted — counting it as written would hide the loss.
+  if (out_) {
+    ++written_;
+  } else {
+    ++failed_;
+  }
 }
 
 PcapReader::Result PcapReader::read_file(const std::string& path,
@@ -79,6 +90,11 @@ PcapReader::Result PcapReader::read_file(const std::string& path,
   }
   if (linktype != kLinktypeRaw) return result;
 
+  // Per-record allocation bound: the header snaplen promises no record
+  // is longer, and kMaxRecordBytes caps even a lying snaplen.
+  const std::uint32_t record_cap =
+      std::min(snaplen != 0 ? snaplen : kMaxRecordBytes, kMaxRecordBytes);
+
   result.ok = true;
   std::vector<std::uint8_t> buf;
   while (true) {
@@ -86,6 +102,13 @@ PcapReader::Result PcapReader::read_file(const std::string& path,
     if (!get32le(in, ts_sec)) break;  // clean EOF
     if (!get32le(in, ts_usec) || !get32le(in, incl) || !get32le(in, orig)) {
       result.ok = false;  // truncated record header
+      break;
+    }
+    if (incl > record_cap) {
+      // A lying incl_len poisons all subsequent framing; stop rather
+      // than allocate whatever a corrupt 32-bit field demands.
+      result.ok = false;
+      ++result.skipped;
       break;
     }
     buf.resize(incl);

@@ -21,6 +21,10 @@ namespace svcdisc::capture {
 /// pcap global-header constants.
 inline constexpr std::uint32_t kPcapMagicUsec = 0xa1b2c3d4;
 inline constexpr std::uint32_t kLinktypeRaw = 101;  // raw IPv4/IPv6
+/// Hard cap on a single record's captured length (64 KiB — the maximum
+/// IPv4 datagram). A corrupt `incl_len` can otherwise demand a ~4 GiB
+/// allocation before any payload byte is read.
+inline constexpr std::uint32_t kMaxRecordBytes = 64 * 1024;
 
 /// Streams packets to a pcap file. Also usable as a tap consumer.
 class PcapWriter final : public sim::PacketObserver {
@@ -31,25 +35,36 @@ class PcapWriter final : public sim::PacketObserver {
   explicit PcapWriter(const std::string& path,
                       std::uint64_t epoch_offset_sec = 1158663600ULL);
 
-  /// True when the file opened and the header was written.
+  /// True while the stream is healthy: the file opened, the header went
+  /// out, and no later write has failed. Check after the last write (a
+  /// full disk flips this mid-stream).
   bool ok() const { return static_cast<bool>(out_); }
 
-  /// Appends one packet record.
+  /// Appends one packet record. Once the stream has gone bad the record
+  /// is counted in failed() instead of written().
   void write(const net::Packet& p);
   /// Tap-consumer entry point (same as write()).
   void observe(const net::Packet& p) override { write(p); }
 
+  /// Records successfully written.
   std::uint64_t written() const { return written_; }
+  /// Records lost to a bad stream (open failure, disk full, ...).
+  std::uint64_t failed() const { return failed_; }
   void flush() { out_.flush(); }
 
  private:
   std::ofstream out_;
   std::uint64_t epoch_offset_sec_;
   std::uint64_t written_{0};
+  std::uint64_t failed_{0};
 };
 
 /// Reads a whole pcap file back into Packet values. Packets that fail to
 /// parse (unsupported protocol/linktype) are counted and skipped.
+/// Corrupt input never causes unbounded work: a record whose `incl_len`
+/// exceeds the header snaplen (or the kMaxRecordBytes hard cap) is
+/// counted as skipped and reading stops with ok = false — record
+/// framing cannot be trusted past a lying length field.
 class PcapReader {
  public:
   struct Result {

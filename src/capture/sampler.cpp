@@ -13,7 +13,12 @@ FixedPeriodSampler::FixedPeriodSampler(util::Duration on,
 }
 
 bool FixedPeriodSampler::keep(const net::Packet& p) {
-  return p.time.usec % period_usec_ < on_usec_;
+  // Floored modulo: timestamps left of the epoch (pcap epoch-offset
+  // subtraction, negative clock skew) must land in the same periodic
+  // grid, not in a mirror-image one. C++ `%` truncates toward zero,
+  // which made every negative-time packet's remainder negative — i.e.
+  // always < on_usec_, so such packets were unconditionally kept.
+  return util::floor_mod(p.time.usec, period_usec_) < on_usec_;
 }
 
 CountSampler::CountSampler(std::uint64_t capture, std::uint64_t skip)

@@ -12,13 +12,33 @@ DiscoveryEngine::DiscoveryEngine(workload::Campus& campus, EngineConfig config)
       passive::ScanDetectorConfig{}, internal);
   if (metrics) detector_->attach_metrics(*metrics, "scan_detector");
 
-  // One tap per peering, each with the paper's capture filter.
+  // One tap per peering, each with the paper's capture filter. When
+  // fault injection is configured, an Impairment stage sits between the
+  // border and the tap; an identity config inserts nothing, so the
+  // clean-capture pipeline (and its metric set) is untouched.
   auto& border = campus_.network().border();
+  const bool impaired = !config_.impairment.identity() ||
+                        !config_.tap_skew.empty();
   for (std::size_t i = 0; i < border.peering_count(); ++i) {
     auto tap = std::make_unique<capture::Tap>(border.peering(i).name);
     tap->set_filter(capture::Tap::paper_default_filter());
     if (metrics) tap->attach_metrics(*metrics, "tap." + tap->name());
-    border.add_tap(i, tap.get());
+    if (impaired) {
+      capture::ImpairmentConfig icfg = config_.impairment;
+      // Independent rng stream per tap: taps must not share loss/burst
+      // decisions, and the derivation must be stable across runs.
+      icfg.seed = config_.impairment.seed +
+                  0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(i + 1);
+      if (i < config_.tap_skew.size()) {
+        icfg.skew = icfg.skew + config_.tap_skew[i];
+      }
+      auto imp = std::make_unique<capture::Impairment>(icfg, tap.get());
+      if (metrics) imp->attach_metrics(*metrics, "impair." + tap->name());
+      border.add_tap(i, imp.get());
+      impairments_.push_back(std::move(imp));
+    } else {
+      border.add_tap(i, tap.get());
+    }
     taps_.push_back(std::move(tap));
   }
 
@@ -87,6 +107,9 @@ passive::MonitorConfig DiscoveryEngine::monitor_config(
   }
   cfg.detect_udp = campus_.config().udp_mode;
   cfg.exclude_scanner_triggered = exclude_scanners;
+  // Injected duplication delivers exact twins back-to-back; the monitor
+  // must not double-count them.
+  cfg.drop_exact_duplicates = config_.impairment.dup_rate > 0;
   return cfg;
 }
 
@@ -115,6 +138,11 @@ void DiscoveryEngine::add_tap_consumer(sim::PacketObserver* consumer) {
   for (auto& tap : taps_) tap->add_consumer(consumer);
 }
 
-void DiscoveryEngine::run() { campus_.run_all(); }
+void DiscoveryEngine::run() {
+  campus_.run_all();
+  // Release any packets still parked in reorder delay lines, so the
+  // conservation ledger balances (held == 0 after a campaign).
+  for (auto& imp : impairments_) imp->flush();
+}
 
 }  // namespace svcdisc::core

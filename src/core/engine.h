@@ -19,6 +19,7 @@
 
 #include "active/prober.h"
 #include "active/scan_scheduler.h"
+#include "capture/impairment.h"
 #include "capture/sampler.h"
 #include "capture/tap.h"
 #include "passive/monitor.h"
@@ -44,6 +45,16 @@ struct EngineConfig {
   /// must outlive the engine. See README "Metrics & parallel campaigns"
   /// for the metric names.
   util::MetricsRegistry* metrics{nullptr};
+  /// Capture-path fault injection applied in front of every tap (loss,
+  /// duplication, reordering, clock skew/jitter); each tap gets an
+  /// independent rng stream forked from `impairment.seed`. The default
+  /// (identity) config inserts nothing — the pipeline, its metrics and
+  /// the campaign output stay byte-identical to an unimpaired engine.
+  capture::ImpairmentConfig impairment;
+  /// Additional per-tap clock skew (index = peering index, missing
+  /// entries = none), added on top of `impairment.skew` — models
+  /// independently drifting capture clocks across peerings.
+  std::vector<util::Duration> tap_skew;
 };
 
 class DiscoveryEngine {
@@ -74,6 +85,13 @@ class DiscoveryEngine {
   capture::Tap& tap(std::size_t peering) { return *taps_.at(peering); }
   std::size_t tap_count() const { return taps_.size(); }
 
+  /// The fault-injection stage in front of tap `peering`, or nullptr
+  /// when the engine runs unimpaired.
+  capture::Impairment* impairment(std::size_t peering) {
+    return impairments_.empty() ? nullptr : impairments_.at(peering).get();
+  }
+  bool impaired() const { return !impairments_.empty(); }
+
   /// Adds a monitor fed through `sampler` (call before run()). Returns
   /// the new monitor; the engine keeps ownership.
   passive::PassiveMonitor& add_sampled_monitor(
@@ -97,6 +115,8 @@ class DiscoveryEngine {
   EngineConfig config_;
   std::shared_ptr<passive::ScanDetector> detector_;
   std::vector<std::unique_ptr<capture::Tap>> taps_;
+  /// One per tap when fault injection is configured, else empty.
+  std::vector<std::unique_ptr<capture::Impairment>> impairments_;
   std::unique_ptr<passive::PassiveMonitor> monitor_;
   std::unique_ptr<passive::PassiveMonitor> excluded_monitor_;
   std::vector<std::unique_ptr<passive::PassiveMonitor>> link_monitors_;

@@ -35,6 +35,11 @@ void PassiveMonitor::attach_metrics(util::MetricsRegistry& registry,
   m_flows_ = &registry.counter(base + ".flows_counted");
   m_suppressed_ = &registry.counter(base + ".scanner_suppressed");
   m_unmatched_ = &registry.counter(base + ".unmatched_syn_acks");
+  // Registered only when dedup runs, so clean-capture campaigns export
+  // an unchanged metric set (the golden snapshot pins it).
+  if (config_.drop_exact_duplicates) {
+    m_duplicates_ = &registry.counter(base + ".duplicates_dropped");
+  }
   m_table_size_ = &registry.gauge(base + ".table_size");
 }
 
@@ -50,7 +55,28 @@ void PassiveMonitor::observe_batch(std::span<const net::Packet> packets) {
   for (const net::Packet& p : packets) ingest(p);
 }
 
+namespace {
+
+/// Field-wise identity for the fields the detection rules read — two
+/// such packets carry zero extra evidence.
+bool same_observation(const net::Packet& a, const net::Packet& b) {
+  return a.time == b.time && a.src == b.src && a.dst == b.dst &&
+         a.proto == b.proto && a.sport == b.sport && a.dport == b.dport &&
+         a.flags == b.flags && a.seq == b.seq;
+}
+
+}  // namespace
+
 void PassiveMonitor::ingest(const net::Packet& p) {
+  if (config_.drop_exact_duplicates) {
+    if (have_last_packet_ && same_observation(last_packet_, p)) {
+      ++duplicates_dropped_;
+      if (m_duplicates_) m_duplicates_->inc();
+      return;
+    }
+    last_packet_ = p;
+    have_last_packet_ = true;
+  }
   if (scan_detector_) scan_detector_->observe(p);
 
   switch (p.proto) {
@@ -64,13 +90,21 @@ void PassiveMonitor::ingest(const net::Packet& p) {
           if (m_suppressed_) m_suppressed_->inc();
           return;
         }
+        const ServiceKey key{p.src, net::Proto::kTcp, p.sport};
         if (config_.require_syn_before_synack &&
             pending_syns_.erase(net::FlowKey::of(p)) == 0) {
+          // SYN-less SYN-ACK: with lossy capture, the inbound SYN may
+          // simply have been dropped. Renewed evidence for a service we
+          // already know must not be discarded (or, worse, tallied as
+          // suspicious) — only genuinely new claims need the handshake.
+          if (table_.contains(key)) {
+            table_.touch(key, p.time);
+            return;
+          }
           ++unmatched_syn_acks_;
           if (m_unmatched_) m_unmatched_->inc();
           return;
         }
-        const ServiceKey key{p.src, net::Proto::kTcp, p.sport};
         if (table_.discover(key, p.time)) {
           if (m_tcp_discoveries_) m_tcp_discoveries_->inc();
           if (m_table_size_) {

@@ -46,7 +46,18 @@ struct MonitorConfig {
   /// the inbound SYN be observed first (half a "three-way handshake"),
   /// which resists spoofed/one-sided captures at the cost of per-flow
   /// state. The ablation bench shows both rules agree on real traffic.
+  /// Under the strict rule, a SYN-less SYN-ACK for an ALREADY-discovered
+  /// service counts as renewed evidence (touch) rather than an unmatched
+  /// drop — capture loss of the SYN must not erase prior knowledge.
   bool require_syn_before_synack{false};
+  /// Ignore a packet identical to the immediately preceding one (same
+  /// timestamp, endpoints, protocol, flags and sequence number). Capture
+  /// duplication (span ports, impaired taps) delivers such twins
+  /// back-to-back; without this they double-count inbound flows.
+  /// DiscoveryEngine enables it automatically when duplication is
+  /// injected. Off by default: flow accounting stays byte-identical to
+  /// the historical behaviour on clean captures.
+  bool drop_exact_duplicates{false};
 };
 
 class PassiveMonitor final : public sim::PacketObserver {
@@ -78,10 +89,13 @@ class PassiveMonitor final : public sim::PacketObserver {
   std::uint64_t discoveries_suppressed() const { return suppressed_; }
   /// SYN-ACKs dropped by the strict rule for lack of a preceding SYN.
   std::uint64_t unmatched_syn_acks() const { return unmatched_syn_acks_; }
+  /// Exact back-to-back duplicates ignored (drop_exact_duplicates).
+  std::uint64_t duplicates_dropped() const { return duplicates_dropped_; }
 
   /// Registers `<prefix>.` counters (packets_seen, tcp_discoveries,
   /// udp_discoveries, flows_counted, scanner_suppressed,
-  /// unmatched_syn_acks) and a `<prefix>.table_size` gauge.
+  /// unmatched_syn_acks; duplicates_dropped when dedup is enabled) and
+  /// a `<prefix>.table_size` gauge.
   void attach_metrics(util::MetricsRegistry& registry,
                       std::string_view prefix);
 
@@ -98,15 +112,20 @@ class PassiveMonitor final : public sim::PacketObserver {
   std::shared_ptr<ScanDetector> scan_detector_;
   /// Strict-rule state: flows with an observed inbound SYN.
   util::FlatSet<net::FlowKey> pending_syns_;
+  /// Dedup state: the previous packet ingested (drop_exact_duplicates).
+  net::Packet last_packet_{};
+  bool have_last_packet_{false};
   std::uint64_t packets_seen_{0};
   std::uint64_t suppressed_{0};
   std::uint64_t unmatched_syn_acks_{0};
+  std::uint64_t duplicates_dropped_{0};
   util::Counter* m_packets_{nullptr};
   util::Counter* m_tcp_discoveries_{nullptr};
   util::Counter* m_udp_discoveries_{nullptr};
   util::Counter* m_flows_{nullptr};
   util::Counter* m_suppressed_{nullptr};
   util::Counter* m_unmatched_{nullptr};
+  util::Counter* m_duplicates_{nullptr};
   util::Gauge* m_table_size_{nullptr};
 };
 

@@ -14,7 +14,10 @@ bool ScanDetector::is_internal(net::Ipv4 addr) const {
 }
 
 void ScanDetector::roll_window(util::TimePoint t) {
-  const std::int64_t window = t.usec / config_.window.usec;
+  // Floored division so timestamps left of the epoch (negative clock
+  // skew on an impaired tap) get their own window instead of sharing
+  // window 0 with the first real window.
+  const std::int64_t window = util::floor_div(t.usec, config_.window.usec);
   if (window != current_window_) {
     current_window_ = window;
     window_state_.clear();

@@ -44,6 +44,21 @@ constexpr Duration seconds_f(double s) {
   return {static_cast<std::int64_t>(s * 1e6)};
 }
 
+/// Floored division: the quotient is rounded toward negative infinity.
+/// C++ `/` truncates toward zero, which breaks periodic time bucketing
+/// for timestamps left of the epoch (e.g. after subtracting a pcap
+/// epoch offset, or under negative clock skew). Requires b > 0.
+constexpr std::int64_t floor_div(std::int64_t a, std::int64_t b) {
+  const std::int64_t q = a / b;
+  return (a % b != 0 && a < 0) ? q - 1 : q;
+}
+
+/// Floored modulo: the remainder is always in [0, b). Requires b > 0.
+constexpr std::int64_t floor_mod(std::int64_t a, std::int64_t b) {
+  const std::int64_t r = a % b;
+  return r < 0 ? r + b : r;
+}
+
 /// A point in simulated time, measured as an offset from the campaign
 /// start. The campaign start's calendar date is carried separately by
 /// Calendar (below) purely for human-readable output.

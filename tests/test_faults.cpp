@@ -1,0 +1,344 @@
+// Fault-path tests for the capture substrate: a corpus of corrupt pcap
+// inputs (bad magic, truncated headers, lying length fields, mid-record
+// EOF), writer behaviour on dead streams, sampler behaviour on negative
+// timestamps, and a merger property test against a naive reference under
+// duplicated timestamps and cross-tap skew.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "capture/merger.h"
+#include "capture/pcap_file.h"
+#include "capture/sampler.h"
+#include "net/packet.h"
+#include "net/wire.h"
+#include "util/rng.h"
+
+namespace svcdisc::capture {
+namespace {
+
+using net::Ipv4;
+using net::Packet;
+using util::kEpoch;
+using util::msec;
+using util::usec;
+
+// --------------------------------------------------- corrupt pcap corpus --
+
+void append32le(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+  out.push_back(static_cast<char>((v >> 16) & 0xff));
+  out.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+void append16le(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+std::string global_header(std::uint32_t magic = kPcapMagicUsec,
+                          std::uint32_t snaplen = 65535,
+                          std::uint32_t linktype = kLinktypeRaw) {
+  std::string out;
+  append32le(out, magic);
+  append16le(out, 2);
+  append16le(out, 4);
+  append32le(out, 0);  // thiszone
+  append32le(out, 0);  // sigfigs
+  append32le(out, snaplen);
+  append32le(out, linktype);
+  return out;
+}
+
+std::string one_valid_record() {
+  Packet p = net::make_tcp(Ipv4::from_octets(6, 6, 6, 6), 1000,
+                           Ipv4::from_octets(128, 125, 1, 1), 80,
+                           net::flags_syn());
+  const auto bytes = net::serialize(p);
+  std::string out;
+  append32le(out, 1158663600u);  // ts_sec (writer default epoch)
+  append32le(out, 0);            // ts_usec
+  append32le(out, static_cast<std::uint32_t>(bytes.size()));
+  append32le(out, static_cast<std::uint32_t>(bytes.size()));
+  out.append(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+  return out;
+}
+
+std::string write_corpus_file(const char* name, const std::string& bytes) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::ofstream out(path, std::ios::binary);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  return path;
+}
+
+TEST(PcapCorrupt, BadMagicRejected) {
+  const auto path = write_corpus_file(
+      "bad_magic.pcap", global_header(0xdeadbeef) + one_valid_record());
+  const auto result = PcapReader::read_file(path);
+  EXPECT_FALSE(result.ok);
+  EXPECT_TRUE(result.packets.empty());
+  std::remove(path.c_str());
+}
+
+TEST(PcapCorrupt, ShortGlobalHeaderRejected) {
+  const auto path = write_corpus_file(
+      "short_header.pcap", global_header().substr(0, 13));
+  const auto result = PcapReader::read_file(path);
+  EXPECT_FALSE(result.ok);
+  EXPECT_TRUE(result.packets.empty());
+  std::remove(path.c_str());
+}
+
+TEST(PcapCorrupt, LyingInclLenStopsWithoutHugeAllocation) {
+  // incl_len claims ~4 GiB; the reader must flag the file bad and stop
+  // before attempting the allocation — one good record still parses.
+  std::string bytes = global_header() + one_valid_record();
+  append32le(bytes, 1158663600u);
+  append32le(bytes, 0);
+  append32le(bytes, 0xfffffff0u);  // incl_len: lie
+  append32le(bytes, 0xfffffff0u);
+  bytes += "trailing garbage";
+  const auto path = write_corpus_file("lying_len.pcap", bytes);
+  const auto result = PcapReader::read_file(path);
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.packets.size(), 1u);
+  EXPECT_EQ(result.skipped, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(PcapCorrupt, InclLenBeyondSnaplenRejected) {
+  // Header promises snaplen 256; a record claiming 1 KiB is framed by a
+  // liar even though 1 KiB is itself harmless.
+  std::string bytes = global_header(kPcapMagicUsec, 256);
+  append32le(bytes, 1158663600u);
+  append32le(bytes, 0);
+  append32le(bytes, 1024);
+  append32le(bytes, 1024);
+  bytes.append(1024, '\0');
+  const auto path = write_corpus_file("beyond_snaplen.pcap", bytes);
+  const auto result = PcapReader::read_file(path);
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.skipped, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(PcapCorrupt, MidRecordEofFlagsFile) {
+  // Record header promises 40 payload bytes, file ends after 10.
+  std::string bytes = global_header() + one_valid_record();
+  append32le(bytes, 1158663600u);
+  append32le(bytes, 0);
+  append32le(bytes, 40);
+  append32le(bytes, 40);
+  bytes.append(10, '\x42');
+  const auto path = write_corpus_file("mid_record_eof.pcap", bytes);
+  const auto result = PcapReader::read_file(path);
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.packets.size(), 1u);  // the good record survived
+  std::remove(path.c_str());
+}
+
+TEST(PcapCorrupt, TruncatedRecordHeaderFlagsFile) {
+  std::string bytes = global_header() + one_valid_record();
+  append32le(bytes, 1158663600u);
+  append32le(bytes, 0);  // then EOF: only half a record header
+  const auto path = write_corpus_file("short_record_header.pcap", bytes);
+  const auto result = PcapReader::read_file(path);
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.packets.size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(PcapCorrupt, UnparseablePayloadSkippedButFileContinues) {
+  // Garbage payload within bounds: skipped, later records still read,
+  // file stays ok (framing was never violated).
+  std::string bytes = global_header();
+  append32le(bytes, 1158663600u);
+  append32le(bytes, 0);
+  append32le(bytes, 16);
+  append32le(bytes, 16);
+  bytes.append(16, '\x99');
+  bytes += one_valid_record();
+  const auto path = write_corpus_file("garbage_payload.pcap", bytes);
+  const auto result = PcapReader::read_file(path);
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.packets.size(), 1u);
+  EXPECT_EQ(result.skipped, 1u);
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------------ bad writer --
+
+TEST(PcapWriterFaults, UnopenableFileCountsEveryRecordAsFailed) {
+  PcapWriter writer("/nonexistent-dir/capture.pcap");
+  EXPECT_FALSE(writer.ok());
+  Packet p = net::make_tcp(Ipv4::from_octets(6, 6, 6, 6), 1000,
+                           Ipv4::from_octets(128, 125, 1, 1), 80,
+                           net::flags_syn());
+  writer.write(p);
+  writer.write(p);
+  EXPECT_EQ(writer.written(), 0u);
+  EXPECT_EQ(writer.failed(), 2u);
+  EXPECT_FALSE(writer.ok());
+}
+
+// --------------------------------------------------- sampler regression --
+
+TEST(SamplerFaults, FixedPeriodSamplerHandlesNegativeTimestamps) {
+  // Negative timestamps arise from pcap epoch-offset subtraction and
+  // negative clock skew. Truncating `%` used to make every negative
+  // timestamp fall outside the on-window; floored modulo keeps the
+  // schedule periodic across zero.
+  FixedPeriodSampler sampler(msec(10), msec(100));
+  // In-window instants, one period apart, on both sides of zero.
+  Packet p = net::make_tcp(Ipv4::from_octets(6, 6, 6, 6), 1000,
+                           Ipv4::from_octets(128, 125, 1, 1), 80,
+                           net::flags_syn());
+  p.time = util::TimePoint{msec(5).usec};
+  EXPECT_TRUE(sampler.keep(p));
+  p.time = util::TimePoint{msec(5).usec - msec(100).usec};  // -95 ms
+  EXPECT_TRUE(sampler.keep(p));
+  p.time = util::TimePoint{msec(50).usec - msec(100).usec};  // -50 ms: off
+  EXPECT_FALSE(sampler.keep(p));
+  // The window boundary behaves identically left of zero.
+  p.time = util::TimePoint{msec(10).usec - msec(100).usec};
+  EXPECT_FALSE(sampler.keep(p));
+  p.time = util::TimePoint{msec(10).usec - 1 - msec(100).usec};
+  EXPECT_TRUE(sampler.keep(p));
+}
+
+TEST(SamplerFaults, FlooredModuloMatchesPositiveBehaviourOneePeriodBack) {
+  FixedPeriodSampler sampler(msec(25), msec(250));
+  Packet p = net::make_tcp(Ipv4::from_octets(6, 6, 6, 6), 1000,
+                           Ipv4::from_octets(128, 125, 1, 1), 80,
+                           net::flags_syn());
+  for (std::int64_t offset_ms = 0; offset_ms < 250; offset_ms += 7) {
+    p.time = util::TimePoint{msec(offset_ms).usec};
+    const bool positive = sampler.keep(p);
+    p.time = util::TimePoint{msec(offset_ms).usec - msec(250).usec};
+    EXPECT_EQ(sampler.keep(p), positive) << "offset " << offset_ms << "ms";
+  }
+}
+
+// ------------------------------------------------- merger property test --
+
+std::vector<Packet> random_stream(util::Rng& rng, std::size_t n,
+                                  std::uint32_t stream_tag) {
+  std::vector<Packet> out;
+  out.reserve(n);
+  std::int64_t t = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Small increments with frequent zero steps force duplicate
+    // timestamps both within and across streams.
+    t += rng.below(3);
+    Packet p = net::make_tcp(Ipv4::from_octets(6, 6, 6, 6), 1000,
+                             Ipv4::from_octets(128, 125, 1, 1), 80,
+                             net::flags_syn());
+    p.time = util::TimePoint{t * 1000};
+    // Tag identity into seq: high bits = stream, low bits = position.
+    p.seq = (stream_tag << 24) | static_cast<std::uint32_t>(i);
+    out.push_back(p);
+  }
+  return out;
+}
+
+/// Reference implementation: concatenate in stream order, stable-sort by
+/// time. Stability gives exactly the documented (time, stream index,
+/// intra-stream order) tie-break.
+std::vector<Packet> naive_merge(
+    const std::vector<std::vector<Packet>>& streams) {
+  std::vector<Packet> all;
+  for (const auto& s : streams) all.insert(all.end(), s.begin(), s.end());
+  std::stable_sort(all.begin(), all.end(),
+                   [](const Packet& a, const Packet& b) {
+                     return a.time < b.time;
+                   });
+  return all;
+}
+
+TEST(MergerProperty, MatchesNaiveReferenceWithDuplicateTimestamps) {
+  util::Rng rng(20260806);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::vector<Packet>> streams;
+    const std::size_t k = 1 + rng.below(5);
+    for (std::size_t s = 0; s < k; ++s) {
+      streams.push_back(
+          random_stream(rng, rng.below(60), static_cast<std::uint32_t>(s)));
+    }
+    const auto expected = naive_merge(streams);
+    const auto merged = merge_streams(streams);
+    ASSERT_EQ(merged.size(), expected.size()) << "trial " << trial;
+    for (std::size_t i = 0; i < merged.size(); ++i) {
+      ASSERT_EQ(merged[i].seq, expected[i].seq)
+          << "trial " << trial << " position " << i;
+      ASSERT_EQ(merged[i].time, expected[i].time);
+    }
+  }
+}
+
+TEST(MergerProperty, UnsortedInputStreamStillMergesCorrectly) {
+  // An impaired tap emits out-of-order packets; the merger must not
+  // trust per-stream order.
+  util::Rng rng(7);
+  auto a = random_stream(rng, 40, 0);
+  auto b = random_stream(rng, 40, 1);
+  std::swap(b[5], b[20]);  // break b's sort order
+  std::vector<std::vector<Packet>> streams{a, b};
+
+  auto reference_streams = streams;
+  std::stable_sort(reference_streams[1].begin(), reference_streams[1].end(),
+                   [](const Packet& x, const Packet& y) {
+                     return x.time < y.time;
+                   });
+  const auto expected = naive_merge(reference_streams);
+  const auto merged = merge_streams(streams);
+  ASSERT_EQ(merged.size(), expected.size());
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    ASSERT_EQ(merged[i].seq, expected[i].seq) << "position " << i;
+  }
+}
+
+TEST(MergerProperty, SkewCompensationAlignsDriftedTaps) {
+  util::Rng rng(99);
+  const auto truth = random_stream(rng, 80, 0);
+  // Split ground truth across two taps; tap 1's clock runs 5 ms fast.
+  std::vector<Packet> tap0, tap1;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    Packet p = truth[i];
+    if (i % 2 == 0) {
+      tap0.push_back(p);
+    } else {
+      p.time = p.time + msec(5);
+      tap1.push_back(p);
+    }
+  }
+  std::vector<std::vector<Packet>> streams{tap0, tap1};
+  const std::vector<util::Duration> skews{usec(0), msec(5)};
+  const auto merged = merge_streams(streams, skews);
+
+  ASSERT_EQ(merged.size(), truth.size());
+  // De-skewed output is ordered in corrected time and restores the
+  // original timestamps.
+  for (std::size_t i = 0; i + 1 < merged.size(); ++i) {
+    EXPECT_LE(merged[i].time, merged[i + 1].time);
+  }
+  std::vector<Packet> expected = truth;
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](const Packet& x, const Packet& y) {
+                     return x.time < y.time;
+                   });
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    EXPECT_EQ(merged[i].time, expected[i].time) << "position " << i;
+  }
+
+  // Shorter-than-streams skew span means zero skew for the rest.
+  const std::vector<util::Duration> partial{usec(0)};
+  const auto partial_merged = merge_streams(streams, partial);
+  EXPECT_EQ(partial_merged.size(), truth.size());
+}
+
+}  // namespace
+}  // namespace svcdisc::capture

@@ -1,0 +1,499 @@
+// Tests for the capture-path fault-injection stage: loss models,
+// duplication, bounded reordering, clock skew/jitter, determinism,
+// batch/serial equivalence, the conservation ledger, and the downstream
+// components' tolerance of impaired streams.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "capture/impairment.h"
+#include "core/engine.h"
+#include "net/packet.h"
+#include "passive/monitor.h"
+#include "passive/scan_detector.h"
+#include "util/metrics.h"
+#include "workload/campus.h"
+
+namespace svcdisc::capture {
+namespace {
+
+using net::Ipv4;
+using net::Packet;
+using util::kEpoch;
+using util::msec;
+using util::usec;
+
+/// Downstream sink recording everything it is handed, separating the
+/// serial and batch entry points so equivalence is checkable.
+class Collector final : public sim::PacketObserver {
+ public:
+  void observe(const net::Packet& p) override { packets.push_back(p); }
+  void observe_batch(std::span<const net::Packet> batch) override {
+    for (const net::Packet& p : batch) packets.push_back(p);
+    ++batches;
+  }
+  std::vector<Packet> packets;
+  int batches{0};
+};
+
+/// `count` distinct packets, tagged through the seq field so identity
+/// survives any reordering.
+std::vector<Packet> tagged_stream(std::size_t count) {
+  std::vector<Packet> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Packet p = net::make_tcp(Ipv4::from_octets(6, 6, 6, 6), 1000,
+                             Ipv4::from_octets(128, 125, 1, 1), 80,
+                             net::flags_syn());
+    p.seq = static_cast<std::uint32_t>(i);
+    p.time = kEpoch + usec(static_cast<std::int64_t>(i) * 100);
+    out.push_back(p);
+  }
+  return out;
+}
+
+void conservation_holds(const Impairment& imp) {
+  EXPECT_EQ(imp.pushed() + imp.duplicated(),
+            imp.delivered() + imp.dropped() + imp.held());
+}
+
+// ---------------------------------------------------------------- config --
+
+TEST(ImpairmentConfig, IdentityDetection) {
+  EXPECT_TRUE(ImpairmentConfig{}.identity());
+  EXPECT_TRUE(ImpairmentConfig::iid(0.0, 1).identity());
+  EXPECT_TRUE(ImpairmentConfig::bursty(0.0, 8.0, 1).identity());
+  EXPECT_FALSE(ImpairmentConfig::iid(0.01, 1).identity());
+  EXPECT_FALSE(ImpairmentConfig::bursty(0.01, 8.0, 1).identity());
+  ImpairmentConfig skewed;
+  skewed.skew = msec(1);
+  EXPECT_FALSE(skewed.identity());
+}
+
+TEST(ImpairmentConfig, BurstyParameterization) {
+  const auto cfg = ImpairmentConfig::bursty(0.2, 8.0, 1);
+  // Mean bad sojourn 1/r = 8 packets; long-run occupancy p/(p+r) = 0.2.
+  EXPECT_DOUBLE_EQ(cfg.ge_p_bad_to_good, 1.0 / 8.0);
+  const double occupancy = cfg.ge_p_good_to_bad /
+                           (cfg.ge_p_good_to_bad + cfg.ge_p_bad_to_good);
+  EXPECT_NEAR(occupancy, 0.2, 1e-12);
+  EXPECT_THROW(ImpairmentConfig::bursty(1.0, 8.0, 1), std::invalid_argument);
+  EXPECT_THROW(ImpairmentConfig::bursty(0.2, 0.5, 1), std::invalid_argument);
+  // rate 0.95 with burst 8 needs p > 1: infeasible.
+  EXPECT_THROW(ImpairmentConfig::bursty(0.95, 8.0, 1),
+               std::invalid_argument);
+}
+
+TEST(Impairment, RejectsInvalidConfig) {
+  Collector sink;
+  EXPECT_THROW(Impairment(ImpairmentConfig{}, nullptr),
+               std::invalid_argument);
+  ImpairmentConfig bad;
+  bad.loss_rate = 1.5;
+  EXPECT_THROW(Impairment(bad, &sink), std::invalid_argument);
+  ImpairmentConfig no_depth;
+  no_depth.reorder_rate = 0.5;
+  no_depth.reorder_depth = 0;
+  EXPECT_THROW(Impairment(no_depth, &sink), std::invalid_argument);
+  ImpairmentConfig neg_jitter;
+  neg_jitter.jitter = usec(-1);
+  EXPECT_THROW(Impairment(neg_jitter, &sink), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ loss --
+
+TEST(Impairment, IdentityConfigPassesThrough) {
+  Collector sink;
+  Impairment imp(ImpairmentConfig{}, &sink);
+  const auto in = tagged_stream(100);
+  for (const Packet& p : in) imp.observe(p);
+  imp.flush();
+  ASSERT_EQ(sink.packets.size(), in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_EQ(sink.packets[i].seq, in[i].seq);
+    EXPECT_EQ(sink.packets[i].time, in[i].time);
+  }
+  conservation_holds(imp);
+}
+
+TEST(Impairment, IidLossConvergesToRate) {
+  Collector sink;
+  Impairment imp(ImpairmentConfig::iid(0.2, 42), &sink);
+  const auto in = tagged_stream(20000);
+  imp.observe_batch(in);
+  imp.flush();
+  const double observed = static_cast<double>(imp.dropped()) /
+                          static_cast<double>(imp.pushed());
+  EXPECT_NEAR(observed, 0.2, 0.02);
+  EXPECT_EQ(sink.packets.size(), imp.delivered());
+  conservation_holds(imp);
+}
+
+TEST(Impairment, GilbertElliottMatchesRateButBurstier) {
+  const auto in = tagged_stream(40000);
+
+  Collector iid_sink;
+  Impairment iid(ImpairmentConfig::iid(0.2, 7), &iid_sink);
+  iid.observe_batch(in);
+
+  Collector ge_sink;
+  Impairment ge(ImpairmentConfig::bursty(0.2, 8.0, 7), &ge_sink);
+  ge.observe_batch(in);
+
+  // Both processes hit the same long-run rate...
+  EXPECT_NEAR(static_cast<double>(ge.dropped()) / 40000.0, 0.2, 0.02);
+  EXPECT_NEAR(static_cast<double>(iid.dropped()) / 40000.0, 0.2, 0.02);
+
+  // ...but the GE chain drops in much longer runs. Reconstruct loss
+  // runs from the gaps in the delivered seq sequence.
+  const auto mean_loss_run = [&](const Collector& sink) {
+    std::uint64_t runs = 0, lost = 0;
+    std::uint32_t expect = 0;
+    for (const Packet& p : sink.packets) {
+      if (p.seq != expect) {
+        ++runs;
+        lost += p.seq - expect;
+      }
+      expect = p.seq + 1;
+    }
+    return runs ? static_cast<double>(lost) / static_cast<double>(runs)
+                : 0.0;
+  };
+  const double iid_run = mean_loss_run(iid_sink);
+  const double ge_run = mean_loss_run(ge_sink);
+  EXPECT_LT(iid_run, 1.6);       // iid: mostly isolated drops
+  EXPECT_GT(ge_run, 3.0);        // bursty: multi-packet outages
+  EXPECT_GT(ge_run, 2.0 * iid_run);
+}
+
+// ------------------------------------------------- duplication / reorder --
+
+TEST(Impairment, DuplicationDeliversExactAdjacentTwins) {
+  Collector sink;
+  ImpairmentConfig cfg;
+  cfg.dup_rate = 1.0;
+  Impairment imp(cfg, &sink);
+  const auto in = tagged_stream(50);
+  imp.observe_batch(in);
+  EXPECT_EQ(imp.duplicated(), 50u);
+  ASSERT_EQ(sink.packets.size(), 100u);
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(sink.packets[2 * i].seq, in[i].seq);
+    EXPECT_EQ(sink.packets[2 * i + 1].seq, in[i].seq);
+    EXPECT_EQ(sink.packets[2 * i].time, sink.packets[2 * i + 1].time);
+  }
+  conservation_holds(imp);
+}
+
+TEST(Impairment, ReorderingIsAPermutationWithBoundedDisplacement) {
+  Collector sink;
+  ImpairmentConfig cfg;
+  cfg.reorder_rate = 0.3;
+  cfg.reorder_depth = 4;
+  cfg.seed = 99;
+  Impairment imp(cfg, &sink);
+  const auto in = tagged_stream(5000);
+  imp.observe_batch(in);
+  imp.flush();
+  EXPECT_EQ(imp.held(), 0u);
+  EXPECT_GT(imp.reordered(), 0u);
+
+  // Every packet arrives exactly once...
+  ASSERT_EQ(sink.packets.size(), in.size());
+  std::vector<std::int64_t> position(in.size(), -1);
+  for (std::size_t i = 0; i < sink.packets.size(); ++i) {
+    const std::uint32_t seq = sink.packets[i].seq;
+    ASSERT_LT(seq, in.size());
+    ASSERT_EQ(position[seq], -1) << "packet delivered twice";
+    position[seq] = static_cast<std::int64_t>(i);
+  }
+  // ...displaced by a bounded amount. A held packet waits for at most
+  // `depth` pass-through deliveries, and up to `depth - 1` co-held
+  // packets can release ahead of it in the same aging steps, so output
+  // position lags by at most 2*depth - 1; a packet overtaking held ones
+  // advances by at most `depth` (the delay-line capacity).
+  for (std::size_t seq = 0; seq < in.size(); ++seq) {
+    const std::int64_t displacement =
+        position[seq] - static_cast<std::int64_t>(seq);
+    EXPECT_LE(displacement, 2 * 4 - 1) << "seq " << seq;
+    EXPECT_GE(displacement, -4) << "seq " << seq;
+  }
+  conservation_holds(imp);
+}
+
+TEST(Impairment, FlushReleasesHeldPacketsAndIsIdempotent) {
+  Collector sink;
+  ImpairmentConfig cfg;
+  cfg.reorder_rate = 1.0;
+  cfg.reorder_depth = 8;
+  Impairment imp(cfg, &sink);
+  const auto in = tagged_stream(4);
+  imp.observe_batch(in);
+  EXPECT_GT(imp.held(), 0u);
+  imp.flush();
+  EXPECT_EQ(imp.held(), 0u);
+  EXPECT_EQ(sink.packets.size(), 4u);
+  const std::size_t after_first = sink.packets.size();
+  imp.flush();
+  EXPECT_EQ(sink.packets.size(), after_first);
+  conservation_holds(imp);
+}
+
+// ---------------------------------------------------------- clock defects --
+
+TEST(Impairment, SkewShiftsEveryTimestampExactly) {
+  Collector sink;
+  ImpairmentConfig cfg;
+  cfg.skew = msec(5);
+  Impairment imp(cfg, &sink);
+  const auto in = tagged_stream(20);
+  imp.observe_batch(in);
+  ASSERT_EQ(sink.packets.size(), 20u);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_EQ(sink.packets[i].time, in[i].time + msec(5));
+  }
+}
+
+TEST(Impairment, JitterStaysWithinBounds) {
+  Collector sink;
+  ImpairmentConfig cfg;
+  cfg.skew = msec(2);
+  cfg.jitter = msec(1);
+  cfg.seed = 5;
+  Impairment imp(cfg, &sink);
+  const auto in = tagged_stream(2000);
+  imp.observe_batch(in);
+  ASSERT_EQ(sink.packets.size(), in.size());
+  bool any_nonzero_jitter = false;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const std::int64_t delta = (sink.packets[i].time - in[i].time).usec;
+    EXPECT_GE(delta, 1000);
+    EXPECT_LE(delta, 3000);
+    if (delta != 2000) any_nonzero_jitter = true;
+  }
+  EXPECT_TRUE(any_nonzero_jitter);
+}
+
+// ------------------------------------------- determinism and equivalence --
+
+TEST(Impairment, DeterministicAcrossRuns) {
+  ImpairmentConfig cfg = ImpairmentConfig::bursty(0.1, 4.0, 1234);
+  cfg.dup_rate = 0.05;
+  cfg.reorder_rate = 0.1;
+  cfg.jitter = usec(50);
+  const auto in = tagged_stream(3000);
+
+  Collector a_sink, b_sink;
+  Impairment a(cfg, &a_sink), b(cfg, &b_sink);
+  a.observe_batch(in);
+  a.flush();
+  b.observe_batch(in);
+  b.flush();
+  ASSERT_EQ(a_sink.packets.size(), b_sink.packets.size());
+  for (std::size_t i = 0; i < a_sink.packets.size(); ++i) {
+    EXPECT_EQ(a_sink.packets[i].seq, b_sink.packets[i].seq);
+    EXPECT_EQ(a_sink.packets[i].time, b_sink.packets[i].time);
+  }
+}
+
+TEST(Impairment, BatchAndSerialPathsAreEquivalent) {
+  ImpairmentConfig cfg = ImpairmentConfig::iid(0.15, 777);
+  cfg.dup_rate = 0.1;
+  cfg.reorder_rate = 0.2;
+  cfg.reorder_depth = 3;
+  cfg.skew = usec(10);
+  cfg.jitter = usec(5);
+  const auto in = tagged_stream(4000);
+
+  Collector serial_sink, batch_sink;
+  Impairment serial(cfg, &serial_sink), batch(cfg, &batch_sink);
+  for (const Packet& p : in) serial.observe(p);
+  serial.flush();
+  batch.observe_batch(in);
+  batch.flush();
+
+  EXPECT_EQ(serial.pushed(), batch.pushed());
+  EXPECT_EQ(serial.dropped(), batch.dropped());
+  EXPECT_EQ(serial.duplicated(), batch.duplicated());
+  EXPECT_EQ(serial.reordered(), batch.reordered());
+  ASSERT_EQ(serial_sink.packets.size(), batch_sink.packets.size());
+  for (std::size_t i = 0; i < serial_sink.packets.size(); ++i) {
+    EXPECT_EQ(serial_sink.packets[i].seq, batch_sink.packets[i].seq);
+    EXPECT_EQ(serial_sink.packets[i].time, batch_sink.packets[i].time);
+  }
+  EXPECT_GT(batch_sink.batches, 0);
+}
+
+// ------------------------------------------------------- metrics ledger --
+
+TEST(Impairment, MetricsMirrorTheLedger) {
+  util::MetricsRegistry registry;
+  Collector sink;
+  ImpairmentConfig cfg = ImpairmentConfig::iid(0.2, 3);
+  cfg.dup_rate = 0.1;
+  cfg.reorder_rate = 0.1;
+  Impairment imp(cfg, &sink);
+  imp.attach_metrics(registry, "impair.test");
+  imp.observe_batch(tagged_stream(5000));
+  imp.flush();
+
+  const auto snap = registry.snapshot();
+  EXPECT_EQ(snap.value_of("impair.test.pushed"),
+            static_cast<double>(imp.pushed()));
+  EXPECT_EQ(snap.value_of("impair.test.delivered"),
+            static_cast<double>(imp.delivered()));
+  EXPECT_EQ(snap.value_of("impair.test.dropped.loss"),
+            static_cast<double>(imp.dropped()));
+  EXPECT_EQ(snap.value_of("impair.test.duplicated"),
+            static_cast<double>(imp.duplicated()));
+  EXPECT_EQ(snap.value_of("impair.test.reordered"),
+            static_cast<double>(imp.reordered()));
+  EXPECT_EQ(snap.value_of("impair.test.held"), 0.0);
+  conservation_holds(imp);
+  EXPECT_EQ(imp.pushed() + imp.duplicated(),
+            imp.delivered() + imp.dropped());
+}
+
+// -------------------------------------------- downstream degradation --
+
+TEST(PassiveMonitorImpaired, DuplicatedSynsDoNotDoubleCountFlows) {
+  passive::MonitorConfig cfg;
+  cfg.internal_prefixes = {*net::Prefix::parse("128.125.0.0/16")};
+  cfg.drop_exact_duplicates = true;
+  passive::PassiveMonitor monitor(cfg);
+
+  Packet syn = net::make_tcp(Ipv4::from_octets(6, 6, 6, 6), 1000,
+                             Ipv4::from_octets(128, 125, 1, 1), 80,
+                             net::flags_syn());
+  syn.time = kEpoch + usec(10);
+  monitor.observe(syn);
+  monitor.observe(syn);  // exact duplicate from an impaired tap
+  EXPECT_EQ(monitor.duplicates_dropped(), 1u);
+
+  Packet synack = net::make_tcp(Ipv4::from_octets(128, 125, 1, 1), 80,
+                                Ipv4::from_octets(6, 6, 6, 6), 1000,
+                                net::flags_syn_ack());
+  synack.time = kEpoch + usec(20);
+  monitor.observe(synack);
+  monitor.observe(synack);
+  EXPECT_EQ(monitor.duplicates_dropped(), 2u);
+
+  ASSERT_EQ(monitor.table().size(), 1u);
+  const passive::ServiceRecord* rec = monitor.table().find(
+      {Ipv4::from_octets(128, 125, 1, 1), net::Proto::kTcp, 80});
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->flows, 1u);  // the duplicated SYN counted once
+}
+
+TEST(PassiveMonitorImpaired, StrictRuleToleratesSynlessSynAckForKnown) {
+  passive::MonitorConfig cfg;
+  cfg.internal_prefixes = {*net::Prefix::parse("128.125.0.0/16")};
+  cfg.require_syn_before_synack = true;
+  passive::PassiveMonitor monitor(cfg);
+
+  Packet syn = net::make_tcp(Ipv4::from_octets(6, 6, 6, 6), 1000,
+                             Ipv4::from_octets(128, 125, 1, 1), 80,
+                             net::flags_syn());
+  syn.time = kEpoch + usec(10);
+  Packet synack = net::make_tcp(Ipv4::from_octets(128, 125, 1, 1), 80,
+                                Ipv4::from_octets(6, 6, 6, 6), 1000,
+                                net::flags_syn_ack());
+  synack.time = kEpoch + usec(20);
+  monitor.observe(syn);
+  monitor.observe(synack);
+  ASSERT_EQ(monitor.table().size(), 1u);
+
+  // The SYN of a later handshake is lost by the capture path; the
+  // SYN-ACK alone must refresh the known service, not count as orphan.
+  Packet later = synack;
+  later.time = kEpoch + usec(1000);
+  monitor.observe(later);
+  EXPECT_EQ(monitor.unmatched_syn_acks(), 0u);
+  const passive::ServiceRecord* rec = monitor.table().find(
+      {Ipv4::from_octets(128, 125, 1, 1), net::Proto::kTcp, 80});
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->last_activity, kEpoch + usec(1000));
+
+  // An orphan SYN-ACK for an UNKNOWN service is still rejected.
+  Packet orphan = net::make_tcp(Ipv4::from_octets(128, 125, 9, 9), 443,
+                                Ipv4::from_octets(6, 6, 6, 6), 1000,
+                                net::flags_syn_ack());
+  orphan.time = kEpoch + usec(2000);
+  monitor.observe(orphan);
+  EXPECT_EQ(monitor.unmatched_syn_acks(), 1u);
+  EXPECT_EQ(monitor.table().size(), 1u);
+}
+
+TEST(ScanDetectorImpaired, DuplicatedProbesDoNotInflateFanout) {
+  const auto prefix = *net::Prefix::parse("128.125.0.0/16");
+  passive::ScanDetectorConfig cfg;
+  cfg.target_threshold = 8;
+  passive::ScanDetector detector(cfg, {prefix});
+  const Ipv4 scanner = Ipv4::from_octets(6, 6, 6, 6);
+  // 4 distinct targets, each probe duplicated: distinct-destination
+  // fan-out must stay 4, not 8.
+  for (int i = 0; i < 4; ++i) {
+    Packet p = net::make_tcp(scanner, 1000,
+                             Ipv4::from_octets(128, 125, 1,
+                                               static_cast<std::uint8_t>(i)),
+                             80, net::flags_syn());
+    p.time = kEpoch + usec(i * 10);
+    detector.observe(p);
+    detector.observe(p);
+  }
+  EXPECT_FALSE(detector.is_scanner(scanner));
+}
+
+// ------------------------------------------------------- engine wiring --
+
+TEST(EngineImpairment, UnimpairedEngineInsertsNothing) {
+  auto cfg = workload::CampusConfig::tiny();
+  cfg.duration = util::days(1);
+  workload::Campus campus(cfg);
+  core::EngineConfig engine_cfg;
+  engine_cfg.scan_count = 0;
+  core::DiscoveryEngine engine(campus, engine_cfg);
+  EXPECT_FALSE(engine.impaired());
+  EXPECT_EQ(engine.impairment(0), nullptr);
+}
+
+TEST(EngineImpairment, ImpairedCampaignConservesAndStillDiscovers) {
+  auto cfg = workload::CampusConfig::tiny();
+  cfg.duration = util::days(1);
+  workload::Campus campus(cfg);
+  util::MetricsRegistry registry;
+  core::EngineConfig engine_cfg;
+  engine_cfg.scan_count = 0;
+  engine_cfg.metrics = &registry;
+  engine_cfg.impairment = ImpairmentConfig::bursty(0.1, 8.0, 9);
+  engine_cfg.impairment.dup_rate = 0.02;
+  engine_cfg.impairment.reorder_rate = 0.02;
+  engine_cfg.tap_skew = {usec(0), msec(2)};
+  core::DiscoveryEngine engine(campus, engine_cfg);
+  ASSERT_TRUE(engine.impaired());
+  engine.run();
+
+  EXPECT_GT(engine.monitor().table().size(), 0u);
+  for (std::size_t i = 0; i < engine.tap_count(); ++i) {
+    const Impairment* imp = engine.impairment(i);
+    ASSERT_NE(imp, nullptr);
+    EXPECT_EQ(imp->held(), 0u);  // flushed by run()
+    EXPECT_EQ(imp->pushed() + imp->duplicated(),
+              imp->delivered() + imp->dropped());
+    EXPECT_GT(imp->dropped(), 0u);
+  }
+  // Duplication injection auto-enables monitor dedup.
+  const auto snap = registry.snapshot();
+  EXPECT_NE(snap.find("passive.duplicates_dropped"), nullptr);
+  EXPECT_NE(snap.find("impair.commercial1.pushed"), nullptr);
+
+  // Per-tap rng forking: the two taps must not replay the same loss
+  // pattern (equal drop counts would be an astronomical coincidence).
+  ASSERT_EQ(engine.tap_count(), 2u);
+  EXPECT_NE(engine.impairment(0)->dropped(),
+            engine.impairment(1)->dropped());
+}
+
+}  // namespace
+}  // namespace svcdisc::capture

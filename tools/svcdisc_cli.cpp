@@ -4,6 +4,8 @@
 //   scenarios                      list the built-in dataset presets
 //   run [flags]                    run a campaign, print the summary
 //   campaign [flags]               parallel seed sweep + metrics export
+//   loss-sweep [flags]             completeness vs capture loss (§4 under
+//                                  impaired taps), i.i.d. and bursty
 //   replay <capture.pcap> [flags]  offline passive analysis of a pcap
 //   filter <expr> <capture.pcap>   count packets matching a capture filter
 //
@@ -12,6 +14,8 @@
 //   svcdisc_cli run --scenario=dtcp1_18d --pcap=border.pcap
 //   svcdisc_cli campaign --scenario=tiny --jobs=4 --seeds=1..8
 //       --json=metrics.json
+//   svcdisc_cli loss-sweep --scenario=tiny --rates=0,2,5,10,20
+//       --tsv=loss_sweep.tsv
 //   svcdisc_cli replay border.pcap
 //   svcdisc_cli filter "tcp and synack" border.pcap
 #include <chrono>
@@ -21,9 +25,11 @@
 #include <vector>
 
 #include "active/scan_report.h"
+#include "analysis/cdf.h"
 #include "analysis/export.h"
 #include "analysis/table.h"
 #include "capture/filter.h"
+#include "capture/impairment.h"
 #include "capture/pcap_file.h"
 #include "core/campaign_runner.h"
 #include "core/completeness.h"
@@ -158,6 +164,15 @@ int cmd_run(int argc, const char* const* argv) {
                  analysis::fmt_count(engine.scan_detector().scanner_count())});
   std::fputs(table.render().c_str(), stdout);
   if (writer) {
+    if (!writer->ok()) {
+      std::fprintf(stderr,
+                   "error: capture write to %s failed "
+                   "(%llu records written, %llu lost); file is incomplete\n",
+                   pcap_path.c_str(),
+                   static_cast<unsigned long long>(writer->written()),
+                   static_cast<unsigned long long>(writer->failed()));
+      return 1;
+    }
     std::printf("capture: %llu packets -> %s\n",
                 static_cast<unsigned long long>(writer->written()),
                 pcap_path.c_str());
@@ -306,6 +321,236 @@ int cmd_campaign(int argc, const char* const* argv) {
     }
   }
   return failures == 0 ? 0 : 1;
+}
+
+// Parses a comma-separated list of non-negative percentages.
+bool parse_rate_list(const std::string& text, std::vector<double>* out) {
+  out->clear();
+  const char* p = text.c_str();
+  while (*p != '\0') {
+    char* end = nullptr;
+    const double v = std::strtod(p, &end);
+    if (end == p || v < 0 || v >= 100.0) return false;
+    out->push_back(v);
+    p = end;
+    if (*p == ',') ++p;
+    else if (*p != '\0') return false;
+  }
+  return !out->empty();
+}
+
+int cmd_loss_sweep(int argc, const char* const* argv) {
+  std::string scenario_name = "tiny";
+  std::int64_t seed = 24301;
+  std::string rates_text = "0,1,2,5,10,15,20";
+  double burst_len = 8.0;
+  std::int64_t scans = -1;
+  double days = 0;
+  std::int64_t jobs = 0;
+  std::string tsv_path;
+
+  util::Flags flags("svcdisc_cli loss-sweep",
+                    "rerun the completeness comparison under injected "
+                    "capture loss (i.i.d. and Gilbert-Elliott bursty)");
+  flags.add_string("scenario", "scenario preset (see `scenarios`)",
+                   &scenario_name);
+  flags.add_int64("seed", "campaign seed (identical traffic in every row)",
+                  &seed);
+  flags.add_string("rates", "loss rates to sweep, percent (comma-separated)",
+                   &rates_text);
+  flags.add_double("burst-len",
+                   "mean loss-burst length in packets (bursty model)",
+                   &burst_len);
+  flags.add_int64("scans", "number of 12-hourly scans (-1 = preset)", &scans);
+  flags.add_double("days", "override campaign duration in days", &days);
+  flags.add_int64("jobs", "worker threads (0 = SVCDISC_JOBS or hardware)",
+                  &jobs);
+  flags.add_string("tsv", "export the sweep table (TSV) to this file",
+                   &tsv_path);
+  if (!flags.parse(argc, argv)) {
+    std::fputs(flags.usage().c_str(),
+               flags.help_requested() ? stdout : stderr);
+    if (!flags.help_requested()) {
+      std::fprintf(stderr, "error: %s\n", flags.error().c_str());
+    }
+    return flags.help_requested() ? 0 : 2;
+  }
+  const Scenario* scenario = find_scenario(scenario_name);
+  if (!scenario) {
+    std::fprintf(stderr, "unknown scenario %s (try `scenarios`)\n",
+                 scenario_name.c_str());
+    return 2;
+  }
+  std::vector<double> rates;
+  if (!parse_rate_list(rates_text, &rates)) {
+    std::fprintf(stderr, "bad rate list %s (expected e.g. 0,1,5,20)\n",
+                 rates_text.c_str());
+    return 2;
+  }
+  if (burst_len < 1.0) {
+    std::fprintf(stderr, "burst-len must be >= 1\n");
+    return 2;
+  }
+
+  auto cfg = scenario->make();
+  cfg.seed = static_cast<std::uint64_t>(seed);
+  if (days > 0) cfg.duration = util::seconds_f(days * 86400.0);
+  core::EngineConfig engine_cfg;
+  engine_cfg.scan_count =
+      scans >= 0 ? static_cast<int>(scans)
+                 : static_cast<int>(cfg.duration.days() * 2);
+
+  // Every row replays the SAME campus traffic (one campaign seed); only
+  // the impairment differs, so completeness deltas are attributable to
+  // loss alone. The impairment rng is forked per row.
+  struct RowSpec {
+    const char* model;
+    double rate_pct;
+  };
+  std::vector<RowSpec> specs;
+  std::vector<core::CampaignJob> sweep;
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    const double frac = rates[i] / 100.0;
+    const auto row_seed = [&](std::uint64_t model_tag) {
+      return static_cast<std::uint64_t>(seed) * 0x9e3779b97f4a7c15ULL +
+             model_tag * 0x100000001b3ULL + i;
+    };
+    const char* models[] = {"iid", "bursty"};
+    for (std::uint64_t m = 0; m < (rates[i] > 0 ? 2u : 1u); ++m) {
+      core::CampaignJob job;
+      job.campus_cfg = cfg;
+      job.engine_cfg = engine_cfg;
+      job.seed = cfg.seed;
+      if (rates[i] == 0) {
+        job.label = "none";
+        specs.push_back({"none", 0});
+      } else if (m == 0) {
+        job.engine_cfg.impairment =
+            capture::ImpairmentConfig::iid(frac, row_seed(1));
+        job.label = "iid";
+        specs.push_back({models[m], rates[i]});
+      } else {
+        job.engine_cfg.impairment =
+            capture::ImpairmentConfig::bursty(frac, burst_len, row_seed(2));
+        job.label = "bursty";
+        specs.push_back({models[m], rates[i]});
+      }
+      sweep.push_back(std::move(job));
+    }
+  }
+
+  const core::CampaignRunner runner(
+      jobs > 0 ? static_cast<std::size_t>(jobs) : 0);
+  auto results = runner.run(std::move(sweep));
+
+  // Baseline = the first lossless row (for the relative-completeness
+  // column); absent when the user swept only non-zero rates.
+  double baseline_passive = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (specs[i].rate_pct == 0 && results[i].ok()) {
+      const auto end = util::kEpoch + results[i].c().config().duration;
+      baseline_passive = static_cast<double>(
+          core::addresses_found(results[i].e().monitor().table(), end)
+              .size());
+      break;
+    }
+  }
+
+  std::printf("loss sweep: scenario %s, seed %lld, burst len %.1f, "
+              "%zu campaign(s) on %zu thread(s)\n",
+              scenario_name.c_str(), static_cast<long long>(seed), burst_len,
+              results.size(), runner.threads());
+  analysis::TextTable table({"model", "loss%", "observed%", "passive",
+                             "union%", "vs lossless%", "disc t50 d",
+                             "disc t90 d", "ledger"});
+  std::string tsv = "model\tloss_pct\tobserved_loss_pct\tpassive\tunion\t"
+                    "passive_pct\trel_lossless_pct\tdisc_t50_days\t"
+                    "disc_t90_days\n";
+  int failures = 0;
+  bool conservation_ok = true;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    auto& result = results[i];
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s %.1f%% failed: %s\n", specs[i].model,
+                   specs[i].rate_pct, result.error.c_str());
+      ++failures;
+      continue;
+    }
+    auto& engine = result.e();
+    const auto end = util::kEpoch + result.c().config().duration;
+    const auto passive = core::addresses_found(engine.monitor().table(), end);
+    const auto active = core::addresses_found(engine.prober().table(), end);
+    const auto c = core::completeness(passive, active);
+
+    // Conservation ledger across this row's taps: every pushed or
+    // duplicated packet must be accounted delivered or dropped, with
+    // nothing still held after the engine's end-of-run flush.
+    std::uint64_t pushed = 0, delivered = 0, dropped = 0, duplicated = 0;
+    std::size_t held = 0;
+    for (std::size_t t = 0; t < engine.tap_count(); ++t) {
+      if (const capture::Impairment* imp = engine.impairment(t)) {
+        pushed += imp->pushed();
+        delivered += imp->delivered();
+        dropped += imp->dropped();
+        duplicated += imp->duplicated();
+        held += imp->held();
+      }
+    }
+    const bool balanced =
+        held == 0 && pushed + duplicated == delivered + dropped;
+    if (!balanced) conservation_ok = false;
+    const double observed_pct =
+        pushed > 0 ? 100.0 * static_cast<double>(dropped) /
+                         static_cast<double>(pushed)
+                   : 0.0;
+
+    analysis::Cdf discovery_days;
+    for (const auto& [key, when] : engine.monitor().table().chronological()) {
+      discovery_days.add(when.days());
+    }
+    const double t50 = discovery_days.quantile(0.5);
+    const double t90 = discovery_days.quantile(0.9);
+    const double rel = baseline_passive > 0
+                           ? 100.0 * static_cast<double>(c.passive_total) /
+                                 baseline_passive
+                           : 0.0;
+
+    char loss_s[16], obs_s[16], union_s[16], rel_s[16], t50_s[16], t90_s[16];
+    std::snprintf(loss_s, sizeof loss_s, "%.1f", specs[i].rate_pct);
+    std::snprintf(obs_s, sizeof obs_s, "%.2f", observed_pct);
+    std::snprintf(union_s, sizeof union_s, "%.1f", c.passive_pct());
+    std::snprintf(rel_s, sizeof rel_s, "%.1f", rel);
+    std::snprintf(t50_s, sizeof t50_s, "%.2f", t50);
+    std::snprintf(t90_s, sizeof t90_s, "%.2f", t90);
+    table.add_row({specs[i].model, loss_s, obs_s,
+                   analysis::fmt_count(c.passive_total), union_s, rel_s,
+                   t50_s, t90_s, balanced ? "ok" : "VIOLATED"});
+    char line[256];
+    std::snprintf(line, sizeof line,
+                  "%s\t%.1f\t%.2f\t%llu\t%llu\t%.1f\t%.1f\t%.3f\t%.3f\n",
+                  specs[i].model, specs[i].rate_pct, observed_pct,
+                  static_cast<unsigned long long>(c.passive_total),
+                  static_cast<unsigned long long>(c.union_count),
+                  c.passive_pct(), rel, t50, t90);
+    tsv += line;
+  }
+  std::fputs(table.render().c_str(), stdout);
+  if (!conservation_ok) {
+    std::fprintf(stderr,
+                 "error: impairment conservation violated "
+                 "(pushed + duplicated != delivered + dropped)\n");
+  }
+  if (!tsv_path.empty()) {
+    std::FILE* f = std::fopen(tsv_path.c_str(), "w");
+    if (!f || std::fputs(tsv.c_str(), f) == EOF) {
+      std::fprintf(stderr, "cannot write %s\n", tsv_path.c_str());
+      if (f) std::fclose(f);
+      return 1;
+    }
+    std::fclose(f);
+    std::printf("sweep table -> %s\n", tsv_path.c_str());
+  }
+  return failures == 0 && conservation_ok ? 0 : 1;
 }
 
 int cmd_replay(int argc, const char* const* argv) {
@@ -467,16 +712,19 @@ int dispatch(int argc, const char* const* argv) {
   if (command == "scenarios") return cmd_scenarios();
   if (command == "run") return cmd_run(argc - 1, argv + 1);
   if (command == "campaign") return cmd_campaign(argc - 1, argv + 1);
+  if (command == "loss-sweep") return cmd_loss_sweep(argc - 1, argv + 1);
   if (command == "replay") return cmd_replay(argc - 1, argv + 1);
   if (command == "filter") return cmd_filter(argc - 1, argv + 1);
   if (command == "dump") return cmd_dump(argc - 1, argv + 1);
   if (command == "diff") return cmd_diff(argc - 1, argv + 1);
   std::fprintf(stderr,
-               "usage: %s <scenarios|run|campaign|replay|filter|dump|diff> "
-               "[flags]\n"
+               "usage: %s <scenarios|run|campaign|loss-sweep|replay|filter|"
+               "dump|diff> [flags]\n"
                "  scenarios             list dataset presets\n"
                "  run                   run a discovery campaign\n"
                "  campaign              parallel seed sweep, metrics export\n"
+               "  loss-sweep            completeness vs injected capture "
+               "loss\n"
                "  replay <pcap>         offline passive analysis\n"
                "  filter <expr> <pcap>  count matching packets\n"
                "  dump <pcap>           print packets, tcpdump-style\n"
