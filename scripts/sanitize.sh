@@ -24,16 +24,23 @@ run_asan() {
   # suite most likely to trip ASan, so it gets a dedicated, visible run.
   echo "== ASan + UBSan: faults label =="
   (cd build-asan && ctest --output-on-failure -j "$jobs" -L faults)
+  # The observability label exercises the flight recorder's ring reuse
+  # and the provenance ledger's export paths.
+  echo "== ASan + UBSan: observability label =="
+  (cd build-asan && ctest --output-on-failure -j "$jobs" -L observability)
 }
 
 run_tsan() {
   echo "== TSan: concurrency tests =="
   cmake -B build-tsan -S . -DSVCDISC_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$jobs" \
-    --target test_metrics test_campaign_runner test_ring_buffer
+    --target test_metrics test_campaign_runner test_ring_buffer \
+    test_trace test_provenance
   ./build-tsan/tests/test_metrics
   ./build-tsan/tests/test_campaign_runner
   ./build-tsan/tests/test_ring_buffer
+  ./build-tsan/tests/test_trace
+  ./build-tsan/tests/test_provenance
 }
 
 case "$mode" in

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "util/logging.h"
+#include "util/trace.h"
 
 namespace svcdisc::active {
 
@@ -61,6 +62,10 @@ void Prober::start_scan(ScanSpec spec,
   current_ = ScanRecord{};
   current_.index = static_cast<int>(scans_.size());
   current_.started = network_.simulator().now();
+  // One async span per scan round: begin here, end in finalize_scan.
+  util::trace::async_begin("prober.scan",
+                           static_cast<std::uint64_t>(current_.index) + 1,
+                           current_.started.usec);
   pending_.clear();
   alive_hosts_.clear();
   unresolved_ = 0;
@@ -242,6 +247,10 @@ void Prober::send_next(std::size_t machine) {
   // that is now + 1/rate, with sub-usec deficits carried forward so long
   // scans hold the configured rate exactly.
   const util::TimePoint next = buckets_[machine].next_available(now);
+  if (util::trace::enabled() && next > now) {
+    util::trace::instant_value("prober.bucket_wait", now.usec,
+                               (next - now).usec);
+  }
   network_.simulator().at_timer(next, this, machine);
 }
 
@@ -257,8 +266,13 @@ void Prober::resolve(const PendingKey& key, ProbeStatus status) {
 
   if (status == ProbeStatus::kOpen || status == ProbeStatus::kOpenUdp) {
     if (table_.discover(outcome.key, outcome.when)) {
+      SVCDISC_TRACE_INSTANT("prober.discover", outcome.when.usec);
       if (m_discoveries_) m_discoveries_->inc();
       if (on_discovery) on_discovery(outcome.key, outcome.when);
+    }
+    if (on_open_response) {
+      on_open_response(outcome.key, outcome.when,
+                       status == ProbeStatus::kOpenUdp);
     }
   }
 }
@@ -312,6 +326,9 @@ void Prober::finalize_scan() {
   pending_.clear();
   unresolved_ = 0;
   current_.finished = network_.simulator().now();
+  util::trace::async_end("prober.scan",
+                         static_cast<std::uint64_t>(current_.index) + 1,
+                         current_.finished.usec);
   in_progress_ = false;
   scans_.push_back(std::move(current_));
   if (m_scans_) m_scans_->inc();

@@ -121,6 +121,12 @@ class Prober final : public sim::PacketSink, public sim::TimerTarget {
   std::function<void(const passive::ServiceKey&, util::TimePoint)>
       on_discovery;
 
+  /// Fires on *every* open probe response — first discoveries and
+  /// re-confirmations alike. `udp` distinguishes kOpenUdp from kOpen.
+  /// Feeds the provenance ledger.
+  std::function<void(const passive::ServiceKey&, util::TimePoint, bool udp)>
+      on_open_response;
+
   /// Registers `<prefix>.` counters (probes_tcp_sent, probes_udp_sent,
   /// pings_sent, responses_received, discoveries, scans_completed) plus
   /// the pacing buckets' `<prefix>.rate_limiter.grants/.deferrals`.

@@ -124,6 +124,11 @@ std::string metrics_to_json(const std::vector<MetricsExport>& campaigns) {
           histograms += "\n        " + json_string(v.name) +
                         ": {\"count\": " + json_number(v.value) +
                         ", \"sum\": " + json_number(v.sum) +
+                        // Estimated quantiles (MetricValue::quantile):
+                        // NaN (empty histogram) renders as null.
+                        ", \"p50\": " + json_number(v.quantile(0.50)) +
+                        ", \"p90\": " + json_number(v.quantile(0.90)) +
+                        ", \"p99\": " + json_number(v.quantile(0.99)) +
                         ", \"buckets\": [";
           for (std::size_t b = 0; b < v.buckets.size(); ++b) {
             if (b > 0) histograms += ", ";

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/trace.h"
+
 namespace svcdisc::capture {
 namespace {
 
@@ -116,6 +118,7 @@ void Impairment::deliver(const net::Packet& p, std::vector<net::Packet>& out) {
 void Impairment::emit(const net::Packet& p, std::vector<net::Packet>& out) {
   if (config_.reorder_rate > 0 && rng_.chance(config_.reorder_rate) &&
       held_.size() < config_.reorder_depth) {
+    SVCDISC_TRACE_INSTANT("impair.reorder", p.time.usec);
     held_.push_back(
         {p, static_cast<std::uint32_t>(1 + rng_.below(config_.reorder_depth))});
     ++reordered_;
@@ -152,6 +155,7 @@ void Impairment::process(const net::Packet& p, std::vector<net::Packet>& out) {
     q.time.usec += adjust;
   }
   if (loss_active_ && lose()) {
+    SVCDISC_TRACE_INSTANT("impair.drop", q.time.usec);
     ++dropped_;
     if (m_dropped_) m_dropped_->inc();
     return;
@@ -159,6 +163,7 @@ void Impairment::process(const net::Packet& p, std::vector<net::Packet>& out) {
   const bool dup = config_.dup_rate > 0 && rng_.chance(config_.dup_rate);
   emit(q, out);
   if (dup) {
+    SVCDISC_TRACE_INSTANT("impair.dup", q.time.usec);
     ++duplicated_;
     if (m_duplicated_) m_duplicated_->inc();
     emit(q, out);

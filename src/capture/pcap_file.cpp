@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "net/wire.h"
+#include "util/trace.h"
 
 namespace svcdisc::capture {
 namespace {
@@ -52,6 +53,7 @@ PcapWriter::PcapWriter(const std::string& path,
 
 void PcapWriter::write(const net::Packet& p) {
   if (!out_) {
+    SVCDISC_TRACE_INSTANT("pcap.write_failed", p.time.usec);
     ++failed_;
     return;
   }
@@ -68,13 +70,27 @@ void PcapWriter::write(const net::Packet& p) {
   // persisted — counting it as written would hide the loss.
   if (out_) {
     ++written_;
+    // Sampled progress marker: one instant per 1024 records keeps the
+    // write path out of the ring at capture rates while still showing
+    // pcap activity on the timeline.
+    if ((written_ & 1023) == 1) {
+      SVCDISC_TRACE_INSTANT_V("pcap.write_progress", p.time.usec,
+                              static_cast<std::int64_t>(written_));
+    }
   } else {
+    SVCDISC_TRACE_INSTANT("pcap.write_failed", p.time.usec);
     ++failed_;
   }
 }
 
+void PcapWriter::flush() {
+  SVCDISC_TRACE_SPAN("pcap.flush");
+  out_.flush();
+}
+
 PcapReader::Result PcapReader::read_file(const std::string& path,
                                          std::uint64_t epoch_offset_sec) {
+  util::trace::ScopedSpan span("pcap.read_file");
   Result result;
   std::ifstream in(path, std::ios::binary);
   if (!in) return result;
@@ -127,6 +143,7 @@ PcapReader::Result PcapReader::read_file(const std::string& path,
     packet->time = util::TimePoint{usec_total};
     result.packets.push_back(*packet);
   }
+  span.set_value(static_cast<std::int64_t>(result.packets.size()));
   return result;
 }
 

@@ -50,7 +50,7 @@ class PcapWriter final : public sim::PacketObserver {
   std::uint64_t written() const { return written_; }
   /// Records lost to a bad stream (open failure, disk full, ...).
   std::uint64_t failed() const { return failed_; }
-  void flush() { out_.flush(); }
+  void flush();
 
  private:
   std::ofstream out_;

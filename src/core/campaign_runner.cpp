@@ -7,6 +7,8 @@
 #include <exception>
 #include <thread>
 
+#include "util/trace.h"
+
 namespace svcdisc::core {
 namespace {
 
@@ -19,6 +21,8 @@ double wall_seconds_since(
 
 void execute_job(const CampaignJob& job, CampaignResult& result) {
   const auto start = std::chrono::steady_clock::now();
+  util::trace::ScopedSpan span("campaign.job");
+  span.set_value(static_cast<std::int64_t>(job.seed));
   try {
     auto campus_cfg = job.campus_cfg;
     campus_cfg.seed = job.seed;
@@ -26,6 +30,10 @@ void execute_job(const CampaignJob& job, CampaignResult& result) {
     result.campus = std::make_unique<workload::Campus>(campus_cfg);
     auto engine_cfg = job.engine_cfg;
     engine_cfg.metrics = result.metrics.get();
+    if (job.provenance) {
+      result.provenance = std::make_unique<ProvenanceLedger>();
+      engine_cfg.provenance = result.provenance.get();
+    }
     result.engine =
         std::make_unique<DiscoveryEngine>(*result.campus, engine_cfg);
     if (job.setup) job.setup(*result.campus, *result.engine);
@@ -34,6 +42,9 @@ void execute_job(const CampaignJob& job, CampaignResult& result) {
     } else {
       result.engine->run();
     }
+    // Only when the recorder is on: keeps the exported metric set (and
+    // the golden campaign snapshots) identical for untraced runs.
+    if (util::trace::enabled()) util::trace::export_metrics(*result.metrics);
     result.snapshot = result.metrics->snapshot();
   } catch (const std::exception& e) {
     result.error = e.what();
@@ -59,6 +70,7 @@ std::size_t CampaignRunner::default_threads() {
 
 std::vector<CampaignResult> CampaignRunner::run(
     std::vector<CampaignJob> jobs) const {
+  SVCDISC_TRACE_SPAN("campaign.run");
   std::vector<CampaignResult> results(jobs.size());
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     results[i].index = i;

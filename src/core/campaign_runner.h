@@ -41,6 +41,10 @@ struct CampaignJob {
   /// Optional custom driver replacing engine.run() (partial campaigns,
   /// manual scans). Must leave the simulator quiescent before returning.
   std::function<void(workload::Campus&, DiscoveryEngine&)> drive;
+  /// Build a per-job ProvenanceLedger and wire it into the engine. Per
+  /// job because concurrent jobs must not share a ledger; the result
+  /// carries it after the run.
+  bool provenance{false};
 };
 
 /// A finished campaign. Owns the whole apparatus so callers can compute
@@ -52,6 +56,8 @@ struct CampaignResult {
   std::unique_ptr<workload::Campus> campus;
   std::unique_ptr<DiscoveryEngine> engine;
   std::unique_ptr<util::MetricsRegistry> metrics;
+  /// The job's evidence ledger (null unless job.provenance was set).
+  std::unique_ptr<ProvenanceLedger> provenance;
   /// Registry state right after the campaign finished.
   util::MetricsSnapshot snapshot;
   /// Wall-clock seconds this job took on its worker.

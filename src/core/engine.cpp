@@ -1,6 +1,9 @@
 #include "core/engine.h"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "util/trace.h"
 
 namespace svcdisc::core {
 
@@ -39,7 +42,22 @@ DiscoveryEngine::DiscoveryEngine(workload::Campus& campus, EngineConfig config)
     } else {
       border.add_tap(i, tap.get());
     }
+    // When provenance is on, a context shim precedes every later
+    // consumer of this tap, so the monitors below always ingest under
+    // the right peering attribution.
+    if (config_.provenance) {
+      auto ctx = std::make_unique<TapContextObserver>(
+          config_.provenance, static_cast<std::uint16_t>(i));
+      tap->add_consumer(ctx.get());
+      tap_contexts_.push_back(std::move(ctx));
+    }
     taps_.push_back(std::move(tap));
+  }
+  if (config_.provenance) {
+    std::vector<std::string> names;
+    names.reserve(taps_.size());
+    for (const auto& tap : taps_) names.push_back(tap->name());
+    config_.provenance->set_tap_names(std::move(names));
   }
 
   monitor_ =
@@ -47,6 +65,15 @@ DiscoveryEngine::DiscoveryEngine(workload::Campus& campus, EngineConfig config)
   monitor_->set_scan_detector(detector_);
   if (metrics) monitor_->attach_metrics(*metrics, "passive");
   for (auto& tap : taps_) tap->add_consumer(monitor_.get());
+  if (ProvenanceLedger* ledger = config_.provenance) {
+    monitor_->on_evidence = [ledger](const passive::ServiceKey& key,
+                                     util::TimePoint t) {
+      ledger->record(key, t,
+                     key.proto == net::Proto::kUdp ? EvidenceKind::kUdp
+                                                   : EvidenceKind::kSynAck,
+                     Discoverer::kPassive, ledger->current_tap());
+    };
+  }
 
   if (config_.scanner_excluded_monitor) {
     excluded_monitor_ =
@@ -76,6 +103,15 @@ DiscoveryEngine::DiscoveryEngine(workload::Campus& campus, EngineConfig config)
   prober_ = std::make_unique<active::Prober>(campus_.network(), prober_config);
   if (metrics) prober_->attach_metrics(*metrics, "active");
   if (metrics) campus_.simulator().attach_metrics(*metrics, "sim");
+  if (ProvenanceLedger* ledger = config_.provenance) {
+    prober_->on_open_response = [ledger](const passive::ServiceKey& key,
+                                         util::TimePoint t, bool udp) {
+      ledger->record(key, t,
+                     udp ? EvidenceKind::kProbeReplyUdp
+                         : EvidenceKind::kProbeReplyTcp,
+                     Discoverer::kActive);
+    };
+  }
 
   if (config_.scan_count > 0) {
     active::ScanSpec spec;
@@ -139,10 +175,29 @@ void DiscoveryEngine::add_tap_consumer(sim::PacketObserver* consumer) {
 }
 
 void DiscoveryEngine::run() {
-  campus_.run_all();
-  // Release any packets still parked in reorder delay lines, so the
-  // conservation ledger balances (held == 0 after a campaign).
-  for (auto& imp : impairments_) imp->flush();
+  SVCDISC_TRACE_SPAN("engine.run");
+  {
+    SVCDISC_TRACE_SPAN("engine.start");
+    if (!campus_.started()) campus_.start();
+  }
+  // The campaign proceeds in one-day phases. The simulator processes
+  // events in time order either way, so chunking is behaviour-identical
+  // to a single run_until — it exists to give the trace timeline one
+  // "engine.step" span per simulated day (where did the wall time go?).
+  auto& sim = campus_.simulator();
+  const util::TimePoint end = util::kEpoch + campus_.config().duration;
+  const util::Duration step = util::days(1);
+  while (sim.now() < end) {
+    const util::TimePoint target = std::min(sim.now() + step, end);
+    SVCDISC_TRACE_SPAN_AT("engine.step", target.usec);
+    sim.run_until(target);
+  }
+  {
+    SVCDISC_TRACE_SPAN("engine.flush");
+    // Release any packets still parked in reorder delay lines, so the
+    // conservation ledger balances (held == 0 after a campaign).
+    for (auto& imp : impairments_) imp->flush();
+  }
 }
 
 }  // namespace svcdisc::core

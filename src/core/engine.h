@@ -22,6 +22,7 @@
 #include "capture/impairment.h"
 #include "capture/sampler.h"
 #include "capture/tap.h"
+#include "core/provenance.h"
 #include "passive/monitor.h"
 #include "passive/scan_detector.h"
 #include "util/metrics.h"
@@ -55,6 +56,13 @@ struct EngineConfig {
   /// entries = none), added on top of `impairment.skew` — models
   /// independently drifting capture clocks across peerings.
   std::vector<util::Duration> tap_skew;
+  /// Discovery provenance: when set, the engine stamps per-tap context
+  /// ahead of the combined monitor and feeds every accepted piece of
+  /// evidence (passive SYN-ACK/UDP renewals, active open probe replies)
+  /// into the ledger. Not owned; must outlive the engine. Takes over the
+  /// combined monitor's on_evidence and the prober's on_open_response
+  /// callbacks.
+  ProvenanceLedger* provenance{nullptr};
 };
 
 class DiscoveryEngine {
@@ -107,6 +115,8 @@ class DiscoveryEngine {
   workload::Campus& campus() { return campus_; }
   /// The registry every component reports into, or nullptr.
   util::MetricsRegistry* metrics() const { return config_.metrics; }
+  /// The provenance ledger the engine feeds, or nullptr.
+  ProvenanceLedger* provenance() const { return config_.provenance; }
 
  private:
   passive::MonitorConfig monitor_config(bool exclude_scanners) const;
@@ -115,6 +125,9 @@ class DiscoveryEngine {
   EngineConfig config_;
   std::shared_ptr<passive::ScanDetector> detector_;
   std::vector<std::unique_ptr<capture::Tap>> taps_;
+  /// One per tap when provenance is on: stamps the ledger's current-tap
+  /// context ahead of the monitors, so evidence knows its peering.
+  std::vector<std::unique_ptr<TapContextObserver>> tap_contexts_;
   /// One per tap when fault injection is configured, else empty.
   std::vector<std::unique_ptr<capture::Impairment>> impairments_;
   std::unique_ptr<passive::PassiveMonitor> monitor_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/trace.h"
+
 namespace svcdisc::passive {
 
 PassiveMonitor::PassiveMonitor(MonitorConfig config)
@@ -99,6 +101,7 @@ void PassiveMonitor::ingest(const net::Packet& p) {
           // suspicious) — only genuinely new claims need the handshake.
           if (table_.contains(key)) {
             table_.touch(key, p.time);
+            if (on_evidence) on_evidence(key, p.time);
             return;
           }
           ++unmatched_syn_acks_;
@@ -106,6 +109,7 @@ void PassiveMonitor::ingest(const net::Packet& p) {
           return;
         }
         if (table_.discover(key, p.time)) {
+          SVCDISC_TRACE_INSTANT("passive.discover_tcp", p.time.usec);
           if (m_tcp_discoveries_) m_tcp_discoveries_->inc();
           if (m_table_size_) {
             m_table_size_->set(static_cast<std::int64_t>(table_.size()));
@@ -114,6 +118,7 @@ void PassiveMonitor::ingest(const net::Packet& p) {
         } else {
           table_.touch(key, p.time);  // renewed evidence (Table 4)
         }
+        if (on_evidence) on_evidence(key, p.time);
       } else if (p.flags.is_syn_only()) {
         // Inbound connection attempt: a flow toward a (possible) server.
         if (is_internal(p.src) || !is_internal(p.dst)) return;
@@ -139,12 +144,17 @@ void PassiveMonitor::ingest(const net::Packet& p) {
         }
         const ServiceKey key{p.src, net::Proto::kUdp, p.sport};
         if (table_.discover(key, p.time)) {
+          SVCDISC_TRACE_INSTANT("passive.discover_udp", p.time.usec);
           if (m_udp_discoveries_) m_udp_discoveries_->inc();
           if (m_table_size_) {
             m_table_size_->set(static_cast<std::int64_t>(table_.size()));
           }
           if (on_discovery) on_discovery(key, p.time);
         }
+        // Repeat server-port UDP deliberately leaves the table untouched
+        // (last_activity is SYN-ACK/flow-driven for UDP), but it is still
+        // evidence the provenance ledger wants.
+        if (on_evidence) on_evidence(key, p.time);
       } else if (!is_internal(p.src) && is_internal(p.dst) &&
                  udp_port_selected(p.dport)) {
         table_.count_flow({p.dst, net::Proto::kUdp, p.dport}, p.src, p.time);

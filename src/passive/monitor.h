@@ -74,6 +74,12 @@ class PassiveMonitor final : public sim::PacketObserver {
   /// Invoked on each new discovery (after insertion).
   std::function<void(const ServiceKey&, util::TimePoint)> on_discovery;
 
+  /// Invoked on *every* accepted piece of discovery evidence — the first
+  /// sighting and every renewal (repeat SYN-ACK, repeat server-port UDP)
+  /// — after the table has been updated. Feeds the provenance ledger;
+  /// unlike on_discovery it also fires for already-known services.
+  std::function<void(const ServiceKey&, util::TimePoint)> on_evidence;
+
   // sim::PacketObserver
   void observe(const net::Packet& p) override;
   /// Batch entry point: hoists the per-packet counter updates, then runs

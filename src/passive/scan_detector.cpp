@@ -1,5 +1,7 @@
 #include "passive/scan_detector.h"
 
+#include "util/trace.h"
+
 namespace svcdisc::passive {
 
 ScanDetector::ScanDetector(ScanDetectorConfig config,
@@ -19,6 +21,7 @@ void ScanDetector::roll_window(util::TimePoint t) {
   // window 0 with the first real window.
   const std::int64_t window = util::floor_div(t.usec, config_.window.usec);
   if (window != current_window_) {
+    SVCDISC_TRACE_INSTANT("scan_detector.window_roll", t.usec);
     current_window_ = window;
     window_state_.clear();
   }
@@ -44,6 +47,7 @@ void ScanDetector::observe(const net::Packet& p) {
     state.targets.insert(p.dst);
     if (state.targets.size() >= config_.target_threshold &&
         state.rst_from.size() >= config_.rst_threshold) {
+      SVCDISC_TRACE_INSTANT("scan_detector.flagged", p.time.usec);
       scanners_.insert(p.src);
       window_state_.erase(p.src);
       if (m_flagged_) m_flagged_->inc();
@@ -56,6 +60,7 @@ void ScanDetector::observe(const net::Packet& p) {
     state.rst_from.insert(p.src);
     if (state.targets.size() >= config_.target_threshold &&
         state.rst_from.size() >= config_.rst_threshold) {
+      SVCDISC_TRACE_INSTANT("scan_detector.flagged", p.time.usec);
       scanners_.insert(p.dst);
       window_state_.erase(p.dst);
       if (m_flagged_) m_flagged_->inc();

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "util/trace.h"
+
 namespace svcdisc::sim {
 
 void Simulator::attach_metrics(util::MetricsRegistry& registry,
@@ -87,11 +89,13 @@ void Simulator::dispatch_next() {
 }
 
 void Simulator::run_until(util::TimePoint t) {
+  SVCDISC_TRACE_SPAN_AT("sim.run_until", t.usec);
   while (!queue_.empty() && queue_.next_time() <= t) dispatch_next();
   if (now_ < t) now_ = t;
 }
 
 void Simulator::run() {
+  SVCDISC_TRACE_SPAN("sim.run");
   while (!queue_.empty()) dispatch_next();
 }
 

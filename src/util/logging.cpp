@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <ctime>
 
 namespace svcdisc::util {
 namespace {
@@ -18,6 +19,8 @@ const char* level_name(LogLevel level) {
   return "?";
 }
 
+std::atomic<int> g_next_thread_tag{0};
+
 }  // namespace
 
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
@@ -26,8 +29,34 @@ void set_log_level(LogLevel level) {
   g_level.store(level, std::memory_order_relaxed);
 }
 
+bool parse_log_level(std::string_view text, LogLevel* out) {
+  if (text == "debug") *out = LogLevel::kDebug;
+  else if (text == "info") *out = LogLevel::kInfo;
+  else if (text == "warn") *out = LogLevel::kWarn;
+  else if (text == "error") *out = LogLevel::kError;
+  else return false;
+  return true;
+}
+
+int thread_tag() {
+  thread_local const int tag =
+      g_next_thread_tag.fetch_add(1, std::memory_order_relaxed);
+  return tag;
+}
+
 void log_line(LogLevel level, const std::string& msg) {
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+  std::timespec ts{};
+  std::timespec_get(&ts, TIME_UTC);
+  std::tm tm_utc{};
+  gmtime_r(&ts.tv_sec, &tm_utc);
+  char stamp[40];
+  std::snprintf(stamp, sizeof stamp, "%04d-%02d-%02d %02d:%02d:%02d.%03d",
+                tm_utc.tm_year + 1900, tm_utc.tm_mon + 1, tm_utc.tm_mday,
+                tm_utc.tm_hour, tm_utc.tm_min, tm_utc.tm_sec,
+                static_cast<int>(ts.tv_nsec / 1'000'000));
+  // One fprintf call so concurrent workers never interleave mid-line.
+  std::fprintf(stderr, "[%s] [T%d] [%s] %s\n", stamp, thread_tag(),
+               level_name(level), msg.c_str());
 }
 
 }  // namespace svcdisc::util

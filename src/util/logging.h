@@ -5,6 +5,7 @@
 
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace svcdisc::util {
 
@@ -14,7 +15,19 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 LogLevel log_level();
 void set_log_level(LogLevel level);
 
+/// Parses a level name ("debug", "info", "warn", "error"). Returns
+/// false (leaving *out untouched) on anything else.
+bool parse_log_level(std::string_view text, LogLevel* out);
+
+/// A small dense id for the calling thread, assigned on first use and
+/// stable for the thread's lifetime (0 = first thread to ask). Prefixes
+/// every log line ("T0") and names trace tracks, so interleaved output
+/// from CampaignRunner workers stays attributable.
+int thread_tag();
+
 /// Emit a single log line (used by the LOG macro; callable directly).
+/// Lines carry a wall-clock UTC timestamp and the thread tag:
+///   [2026-08-06 12:34:56.789] [T0] [INFO] message
 void log_line(LogLevel level, const std::string& msg);
 
 namespace detail {

@@ -1,6 +1,7 @@
 #include "util/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <stdexcept>
 
@@ -27,6 +28,36 @@ void Histogram::record(double value) {
   sum_.fetch_add(value, std::memory_order_relaxed);
 }
 
+double MetricValue::quantile(double q) const {
+  if (kind != Kind::kHistogram || buckets.empty()) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  std::uint64_t total = 0;
+  for (const auto& [bound, count] : buckets) total += count;
+  if (total == 0) return std::numeric_limits<double>::quiet_NaN();
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(total);
+  double cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const double in_bucket = static_cast<double>(buckets[i].second);
+    if (cumulative + in_bucket < rank && i + 1 < buckets.size()) {
+      cumulative += in_bucket;
+      continue;
+    }
+    const double upper = buckets[i].first;
+    if (!std::isfinite(upper)) {
+      // Overflow bucket: clamp to the last finite bound.
+      return buckets.size() >= 2 ? buckets[buckets.size() - 2].first
+                                 : std::numeric_limits<double>::quiet_NaN();
+    }
+    double lower = i == 0 ? std::min(0.0, upper) : buckets[i - 1].first;
+    if (in_bucket <= 0) return upper;
+    const double frac = std::clamp((rank - cumulative) / in_bucket, 0.0, 1.0);
+    return lower + (upper - lower) * frac;
+  }
+  return buckets.back().first;  // unreachable: loop always returns
+}
+
 const MetricValue* MetricsSnapshot::find(std::string_view name) const {
   for (const MetricValue& v : values_) {
     if (v.name == name) return &v;
@@ -49,6 +80,14 @@ double MetricsSnapshot::sum_matching(std::string_view prefix) const {
     }
   }
   return total;
+}
+
+double MetricsSnapshot::quantile_of(std::string_view name, double q,
+                                    double fallback) const {
+  const MetricValue* v = find(name);
+  if (v == nullptr) return fallback;
+  const double result = v->quantile(q);
+  return std::isnan(result) ? fallback : result;
 }
 
 Counter& MetricsRegistry::counter(std::string_view name) {

@@ -107,6 +107,15 @@ struct MetricValue {
   /// overflow bucket last with an infinite bound.
   double sum{0};
   std::vector<std::pair<double, std::uint64_t>> buckets;
+
+  /// Histogram-only: estimated q-quantile (q in [0,1]) assuming samples
+  /// are uniformly spread within their bucket (linear interpolation
+  /// between the bucket's edges; the first bucket's lower edge is 0
+  /// unless its bound is negative). A quantile landing in the overflow
+  /// bucket clamps to the last finite bound — the histogram holds no
+  /// upper edge to interpolate toward. Returns NaN for non-histograms
+  /// and empty histograms.
+  double quantile(double q) const;
 };
 
 /// A detached copy of a registry's state, sorted by metric name so two
@@ -126,6 +135,11 @@ class MetricsSnapshot {
   double value_of(std::string_view name, double fallback = 0) const;
   /// Sum of the readings of every metric whose name starts with `prefix`.
   double sum_matching(std::string_view prefix) const;
+  /// Estimated q-quantile of the named histogram (see
+  /// MetricValue::quantile); `fallback` when the metric is absent, not a
+  /// histogram, or empty.
+  double quantile_of(std::string_view name, double q,
+                     double fallback = 0) const;
 
  private:
   std::vector<MetricValue> values_;

@@ -1,0 +1,251 @@
+#include "util/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace svcdisc::util::trace {
+namespace {
+
+/// One thread's fixed-capacity event ring. Only the owning thread
+/// writes; `next` is the lifetime write count (slot = next % capacity),
+/// so retained = min(next, capacity) and dropped = next - retained.
+struct ThreadRing {
+  std::vector<Event> slots;
+  std::atomic<std::uint64_t> next{0};
+  int tid{0};
+};
+
+struct Recorder {
+  std::mutex mu;
+  std::vector<std::unique_ptr<ThreadRing>> rings;
+  std::size_t capacity{1 << 16};
+  std::chrono::steady_clock::time_point t0{};
+};
+
+Recorder& recorder() {
+  static Recorder r;
+  return r;
+}
+
+// Bumped by start()/reset(); a thread whose cached ring carries a stale
+// epoch re-registers, so rings never outlive the recording they belong
+// to from the writer's point of view.
+std::atomic<std::uint64_t> g_epoch{1};
+
+thread_local ThreadRing* tl_ring = nullptr;
+thread_local std::uint64_t tl_epoch = 0;
+
+ThreadRing* ring_for_thread() {
+  if (tl_ring != nullptr &&
+      tl_epoch == g_epoch.load(std::memory_order_acquire)) {
+    return tl_ring;
+  }
+  Recorder& r = recorder();
+  std::lock_guard lock(r.mu);
+  auto ring = std::make_unique<ThreadRing>();
+  ring->slots.resize(r.capacity);
+  ring->tid = thread_tag();
+  tl_ring = ring.get();
+  // Read the epoch under the lock: start()/reset() also hold it while
+  // bumping, so the cached epoch always matches the ring's recording.
+  tl_epoch = g_epoch.load(std::memory_order_acquire);
+  r.rings.push_back(std::move(ring));
+  return tl_ring;
+}
+
+const char* phase_code(Phase phase) {
+  switch (phase) {
+    case Phase::kComplete: return "X";
+    case Phase::kInstant: return "i";
+    case Phase::kAsyncBegin: return "b";
+    case Phase::kAsyncEnd: return "e";
+  }
+  return "i";
+}
+
+/// "engine.step" -> "engine"; a name without a '.' is its own category.
+std::string category_of(const char* name) {
+  const std::string_view sv(name);
+  const auto dot = sv.find('.');
+  return std::string(dot == std::string_view::npos ? sv : sv.substr(0, dot));
+}
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<bool> g_enabled{false};
+
+std::uint64_t wall_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - recorder().t0)
+          .count());
+}
+
+void emit(const Event& e) {
+  ThreadRing* ring = ring_for_thread();
+  const std::uint64_t n = ring->next.load(std::memory_order_relaxed);
+  ring->slots[n % ring->slots.size()] = e;
+  ring->next.store(n + 1, std::memory_order_release);
+}
+
+}  // namespace detail
+
+void start(std::size_t events_per_thread) {
+  Recorder& r = recorder();
+  std::lock_guard lock(r.mu);
+  detail::g_enabled.store(false, std::memory_order_relaxed);
+  r.rings.clear();
+  r.capacity = events_per_thread == 0 ? 1 : events_per_thread;
+  r.t0 = std::chrono::steady_clock::now();
+  g_epoch.fetch_add(1, std::memory_order_acq_rel);
+  detail::g_enabled.store(true, std::memory_order_release);
+}
+
+void stop() { detail::g_enabled.store(false, std::memory_order_release); }
+
+void reset() {
+  Recorder& r = recorder();
+  std::lock_guard lock(r.mu);
+  detail::g_enabled.store(false, std::memory_order_relaxed);
+  r.rings.clear();
+  g_epoch.fetch_add(1, std::memory_order_acq_rel);
+}
+
+std::uint64_t recorded() {
+  Recorder& r = recorder();
+  std::lock_guard lock(r.mu);
+  std::uint64_t total = 0;
+  for (const auto& ring : r.rings) {
+    total += std::min<std::uint64_t>(
+        ring->next.load(std::memory_order_acquire), ring->slots.size());
+  }
+  return total;
+}
+
+std::uint64_t dropped() {
+  Recorder& r = recorder();
+  std::lock_guard lock(r.mu);
+  std::uint64_t total = 0;
+  for (const auto& ring : r.rings) {
+    const std::uint64_t n = ring->next.load(std::memory_order_acquire);
+    if (n > ring->slots.size()) total += n - ring->slots.size();
+  }
+  return total;
+}
+
+std::size_t thread_count() {
+  Recorder& r = recorder();
+  std::lock_guard lock(r.mu);
+  return r.rings.size();
+}
+
+void export_metrics(MetricsRegistry& registry) {
+  registry.counter("trace.recorded").inc(recorded());
+  registry.counter("trace.dropped").inc(dropped());
+}
+
+std::string to_chrome_json() {
+  struct Tagged {
+    Event event;
+    int tid;
+    std::uint64_t seq;  ///< per-ring order, tiebreak for equal wall times
+  };
+  std::vector<Tagged> events;
+  std::vector<int> tids;
+  {
+    Recorder& r = recorder();
+    std::lock_guard lock(r.mu);
+    for (const auto& ring : r.rings) {
+      const std::uint64_t n = ring->next.load(std::memory_order_acquire);
+      const std::uint64_t cap = ring->slots.size();
+      const std::uint64_t kept = std::min(n, cap);
+      if (kept > 0) tids.push_back(ring->tid);
+      // Oldest retained event first: when the ring wrapped, the slot
+      // after the write cursor holds it.
+      for (std::uint64_t i = 0; i < kept; ++i) {
+        const std::uint64_t seq = n - kept + i;
+        events.push_back({ring->slots[seq % cap], ring->tid, seq});
+      }
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Tagged& a, const Tagged& b) {
+                     if (a.event.start_ns != b.event.start_ns) {
+                       return a.event.start_ns < b.event.start_ns;
+                     }
+                     if (a.tid != b.tid) return a.tid < b.tid;
+                     return a.seq < b.seq;
+                   });
+
+  std::string out = "{\"traceEvents\":[\n";
+  char buf[256];
+  bool first = true;
+  std::sort(tids.begin(), tids.end());
+  for (const int tid : tids) {
+    std::snprintf(buf, sizeof buf,
+                  "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                  "\"tid\":%d,\"args\":{\"name\":\"T%d\"}}",
+                  tid, tid);
+    if (!first) out += ",\n";
+    first = false;
+    out += buf;
+  }
+  for (const Tagged& t : events) {
+    const Event& e = t.event;
+    if (!first) out += ",\n";
+    first = false;
+    std::snprintf(buf, sizeof buf,
+                  "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\","
+                  "\"ts\":%.3f,\"pid\":1,\"tid\":%d",
+                  e.name, category_of(e.name).c_str(), phase_code(e.phase),
+                  static_cast<double>(e.start_ns) / 1000.0, t.tid);
+    out += buf;
+    if (e.phase == Phase::kComplete) {
+      std::snprintf(buf, sizeof buf, ",\"dur\":%.3f",
+                    static_cast<double>(e.dur_ns) / 1000.0);
+      out += buf;
+    }
+    if (e.phase == Phase::kAsyncBegin || e.phase == Phase::kAsyncEnd) {
+      std::snprintf(buf, sizeof buf, ",\"id\":%llu",
+                    static_cast<unsigned long long>(e.id));
+      out += buf;
+    }
+    bool args_open = false;
+    if (e.sim_us != kNoSimTime) {
+      std::snprintf(buf, sizeof buf, ",\"args\":{\"sim_us\":%lld",
+                    static_cast<long long>(e.sim_us));
+      out += buf;
+      args_open = true;
+    }
+    if (e.has_value) {
+      std::snprintf(buf, sizeof buf, "%s\"value\":%lld",
+                    args_open ? "," : ",\"args\":{",
+                    static_cast<long long>(e.value));
+      out += buf;
+      args_open = true;
+    }
+    if (args_open) out += "}";
+    out += "}";
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+bool write_chrome_json(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = to_chrome_json();
+  const bool ok =
+      std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace svcdisc::util::trace

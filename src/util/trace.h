@@ -1,0 +1,214 @@
+// util::trace — an in-process flight recorder for spans and instant
+// events, exportable as Chrome trace-event JSON (chrome://tracing and
+// Perfetto load it directly).
+//
+// Why a flight recorder and not a logger: the paper's claims are about
+// *when* each service was learned and via which evidence, and ROADMAP's
+// "as fast as the hardware allows" needs time attributed to engine
+// phases. Both call for cheap, always-compiled instrumentation that can
+// be switched on for one run without rebuilding:
+//
+//   * disabled (the default), every trace point costs one predictable
+//     branch on a relaxed atomic — cheap enough for packet-rate call
+//     sites (bench_hotpath holds its baseline with tracing compiled in);
+//   * enabled, each thread writes into its own fixed-capacity ring
+//     buffer — no locks, no allocation on the hot path, bounded memory.
+//     When a ring wraps, the oldest events are overwritten and counted:
+//     recorded() + dropped() always equals the number of emit calls, and
+//     export_metrics() publishes the tallies as `trace.recorded` /
+//     `trace.dropped` counters;
+//   * events carry both wall time (steady clock, profiling) and
+//     simulated time (campaign forensics), so one trace answers "what
+//     was slow" and "what happened at t=432000" at once.
+//
+// Event names must be string literals (the recorder stores the pointer);
+// the text before the first '.' becomes the Chrome `cat` field, so
+// "engine.step" files under the "engine" track filter.
+//
+// Serialization (to_chrome_json / write_chrome_json) must run while no
+// thread is emitting — quiesce first (join workers / finish the run).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "util/metrics.h"
+
+namespace svcdisc::util::trace {
+
+/// Sentinel for events with no simulated-time association.
+inline constexpr std::int64_t kNoSimTime = INT64_MIN;
+
+enum class Phase : std::uint8_t {
+  kComplete,    ///< Chrome "X": a span with start + duration
+  kInstant,     ///< Chrome "i": a point event
+  kAsyncBegin,  ///< Chrome "b": start of an id-matched async span
+  kAsyncEnd,    ///< Chrome "e": end of an id-matched async span
+};
+
+/// One recorded event. POD so ring-buffer writes are a plain copy.
+struct Event {
+  const char* name{nullptr};  ///< static string; prefix-to-'.' = category
+  std::uint64_t start_ns{0};  ///< wall ns since recorder start
+  std::uint64_t dur_ns{0};    ///< kComplete only
+  std::int64_t sim_us{kNoSimTime};
+  std::int64_t value{0};  ///< optional payload (exported as args.value)
+  std::uint64_t id{0};    ///< async span id
+  Phase phase{Phase::kInstant};
+  bool has_value{false};
+};
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+std::uint64_t wall_now_ns();
+void emit(const Event& e);
+}  // namespace detail
+
+/// True while the recorder accepts events. The one branch every
+/// disabled trace point pays.
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Discards any previous recording and starts a fresh one. Each thread
+/// that emits gets its own ring of `events_per_thread` slots.
+void start(std::size_t events_per_thread = 1 << 16);
+/// Stops accepting events; recorded data stays available for export.
+void stop();
+/// Stops and discards everything (tests; reclaiming memory).
+void reset();
+
+/// Events currently retained across all rings.
+std::uint64_t recorded();
+/// Events overwritten because a ring wrapped. recorded() + dropped()
+/// equals the total number of emit calls since start().
+std::uint64_t dropped();
+/// Threads that have emitted at least one event since start().
+std::size_t thread_count();
+
+/// Publishes `trace.recorded` / `trace.dropped` counters into
+/// `registry` (current totals; call after the traced run quiesced).
+void export_metrics(MetricsRegistry& registry);
+
+/// The whole recording as a Chrome trace-event JSON document. Events
+/// are merged across rings and sorted by wall time; per-thread
+/// thread_name metadata gives one named track per worker.
+std::string to_chrome_json();
+/// Writes to_chrome_json() to `path`. False if the file can't be
+/// written.
+bool write_chrome_json(const std::string& path);
+
+/// Point event, optionally pinned to a simulated time.
+inline void instant(const char* name, std::int64_t sim_us = kNoSimTime) {
+  if (!enabled()) return;
+  Event e;
+  e.name = name;
+  e.phase = Phase::kInstant;
+  e.start_ns = detail::wall_now_ns();
+  e.sim_us = sim_us;
+  detail::emit(e);
+}
+
+/// Point event carrying one integer payload (a wait length, an address).
+inline void instant_value(const char* name, std::int64_t sim_us,
+                          std::int64_t value) {
+  if (!enabled()) return;
+  Event e;
+  e.name = name;
+  e.phase = Phase::kInstant;
+  e.start_ns = detail::wall_now_ns();
+  e.sim_us = sim_us;
+  e.value = value;
+  e.has_value = true;
+  detail::emit(e);
+}
+
+/// Async span edges for work that is not lexically scoped (a prober
+/// scan round spread over many simulator events). Begin/end pair up via
+/// (name, id).
+inline void async_begin(const char* name, std::uint64_t id,
+                        std::int64_t sim_us = kNoSimTime) {
+  if (!enabled()) return;
+  Event e;
+  e.name = name;
+  e.phase = Phase::kAsyncBegin;
+  e.start_ns = detail::wall_now_ns();
+  e.sim_us = sim_us;
+  e.id = id;
+  detail::emit(e);
+}
+inline void async_end(const char* name, std::uint64_t id,
+                      std::int64_t sim_us = kNoSimTime) {
+  if (!enabled()) return;
+  Event e;
+  e.name = name;
+  e.phase = Phase::kAsyncEnd;
+  e.start_ns = detail::wall_now_ns();
+  e.sim_us = sim_us;
+  e.id = id;
+  detail::emit(e);
+}
+
+/// RAII scoped span: records a Chrome "X" complete event covering the
+/// enclosing scope. When tracing is disabled the constructor is a
+/// single branch and the destructor a null check.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name, std::int64_t sim_us = kNoSimTime)
+      : name_(enabled() ? name : nullptr), sim_us_(sim_us) {
+    if (name_) start_ns_ = detail::wall_now_ns();
+  }
+  ~ScopedSpan() {
+    if (!name_) return;
+    Event e;
+    e.name = name_;
+    e.phase = Phase::kComplete;
+    e.start_ns = start_ns_;
+    e.dur_ns = detail::wall_now_ns() - start_ns_;
+    e.sim_us = sim_us_;
+    e.value = value_;
+    e.has_value = has_value_;
+    detail::emit(e);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Attaches an integer payload exported as args.value (a seed, a
+  /// record count) to the span on close.
+  void set_value(std::int64_t v) {
+    value_ = v;
+    has_value_ = true;
+  }
+
+ private:
+  const char* name_;
+  std::uint64_t start_ns_{0};
+  std::int64_t sim_us_;
+  std::int64_t value_{0};
+  bool has_value_{false};
+};
+
+}  // namespace svcdisc::util::trace
+
+#define SVCDISC_TRACE_CONCAT2(a, b) a##b
+#define SVCDISC_TRACE_CONCAT(a, b) SVCDISC_TRACE_CONCAT2(a, b)
+
+/// Scoped span over the enclosing block: SVCDISC_TRACE_SPAN("engine.run").
+#define SVCDISC_TRACE_SPAN(name)                    \
+  ::svcdisc::util::trace::ScopedSpan SVCDISC_TRACE_CONCAT( \
+      svcdisc_trace_span_, __COUNTER__) {           \
+    (name)                                          \
+  }
+/// Scoped span pinned to a simulated time (microseconds).
+#define SVCDISC_TRACE_SPAN_AT(name, sim_us)         \
+  ::svcdisc::util::trace::ScopedSpan SVCDISC_TRACE_CONCAT( \
+      svcdisc_trace_span_, __COUNTER__) {           \
+    (name), (sim_us)                                \
+  }
+/// Instant event pinned to a simulated time.
+#define SVCDISC_TRACE_INSTANT(name, sim_us) \
+  ::svcdisc::util::trace::instant((name), (sim_us))
+/// Instant event with an integer payload.
+#define SVCDISC_TRACE_INSTANT_V(name, sim_us, value) \
+  ::svcdisc::util::trace::instant_value((name), (sim_us), (value))

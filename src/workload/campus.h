@@ -198,6 +198,8 @@ class Campus {
   /// Starts lifecycles, traffic and scanner sweeps. Call once, then
   /// simulate with simulator().run_until().
   void start();
+  /// True once start() has run.
+  bool started() const { return started_; }
 
   /// Convenience: start() then run the configured duration.
   void run_all();

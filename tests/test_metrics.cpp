@@ -100,6 +100,70 @@ TEST(Metrics, SumMatchingAggregatesByPrefix) {
   EXPECT_EQ(snapshot.sum_matching("tap."), 15.0);
 }
 
+TEST(Metrics, SnapshotLookupsOnEmptyAndNearMissNames) {
+  const MetricsSnapshot empty;
+  EXPECT_EQ(empty.find("anything"), nullptr);
+  EXPECT_EQ(empty.value_of("anything", -7.0), -7.0);
+  EXPECT_EQ(empty.sum_matching(""), 0.0);
+
+  MetricsRegistry registry;
+  registry.counter("scan").inc(1);
+  registry.counter("scan.rounds").inc(2);
+  registry.counter("scans").inc(4);
+  const auto snapshot = registry.snapshot();
+  // find() is exact-match only; a name that is a prefix of another must
+  // not resolve to its longer sibling.
+  ASSERT_NE(snapshot.find("scan"), nullptr);
+  EXPECT_EQ(snapshot.find("scan")->value, 1.0);
+  EXPECT_EQ(snapshot.find("scan.round"), nullptr);
+  // sum_matching() is prefix-match: "scan" catches all three.
+  EXPECT_EQ(snapshot.sum_matching("scan"), 7.0);
+  EXPECT_EQ(snapshot.sum_matching("scan."), 2.0);
+}
+
+TEST(Metrics, QuantileInterpolatesWithinBuckets) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("q", {10.0, 20.0, 30.0});
+  for (int i = 0; i < 5; ++i) h.record(5.0);   // bucket (0, 10]
+  for (int i = 0; i < 5; ++i) h.record(15.0);  // bucket (10, 20]
+  const auto snapshot = registry.snapshot();
+  const auto* v = snapshot.find("q");
+  ASSERT_NE(v, nullptr);
+  // rank = q * 10 samples; uniform spread within each bucket.
+  EXPECT_DOUBLE_EQ(v->quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(v->quantile(0.5), 10.0);   // exactly at the edge
+  EXPECT_DOUBLE_EQ(v->quantile(0.9), 18.0);   // 4/5 into bucket 1
+  EXPECT_DOUBLE_EQ(v->quantile(0.99), 19.8);
+  EXPECT_DOUBLE_EQ(v->quantile(1.0), 20.0);
+  // Out-of-range q clamps rather than extrapolating.
+  EXPECT_DOUBLE_EQ(v->quantile(1.5), 20.0);
+  EXPECT_DOUBLE_EQ(snapshot.quantile_of("q", 0.9), 18.0);
+}
+
+TEST(Metrics, QuantileClampsOverflowToLastFiniteBound) {
+  MetricsRegistry registry;
+  registry.histogram("over", {10.0, 20.0}).record(1e9);
+  const auto snapshot = registry.snapshot();
+  const auto* v = snapshot.find("over");
+  ASSERT_NE(v, nullptr);
+  // The overflow bucket has no upper edge to interpolate toward.
+  EXPECT_DOUBLE_EQ(v->quantile(0.5), 20.0);
+  EXPECT_DOUBLE_EQ(v->quantile(0.99), 20.0);
+}
+
+TEST(Metrics, QuantileIsNaNForEmptyOrNonHistogram) {
+  MetricsRegistry registry;
+  registry.histogram("empty", {1.0});
+  registry.counter("count").inc(5);
+  const auto snapshot = registry.snapshot();
+  EXPECT_TRUE(std::isnan(snapshot.find("empty")->quantile(0.5)));
+  EXPECT_TRUE(std::isnan(snapshot.find("count")->quantile(0.5)));
+  // quantile_of folds both cases into the fallback.
+  EXPECT_EQ(snapshot.quantile_of("empty", 0.5, -1.0), -1.0);
+  EXPECT_EQ(snapshot.quantile_of("count", 0.5, -1.0), -1.0);
+  EXPECT_EQ(snapshot.quantile_of("absent", 0.5, -1.0), -1.0);
+}
+
 // N threads hammer the same counter/gauge/histogram handles; every
 // increment must land (exact totals), and the high-water gauge must see
 // the global maximum.

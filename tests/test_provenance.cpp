@@ -1,0 +1,210 @@
+// Tests for core::ProvenanceLedger: evidence-chain semantics (arrival
+// order, first-call-wins agreement with ServiceTable), deterministic
+// JSONL export, tap attribution, the explain renderer, and the audit
+// against a real campaign's tables.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/engine.h"
+#include "core/provenance.h"
+#include "net/packet.h"
+#include "passive/service_table.h"
+#include "util/sim_time.h"
+#include "workload/campus.h"
+
+namespace svcdisc::core {
+namespace {
+
+using passive::ServiceKey;
+using util::hours;
+using util::kEpoch;
+using util::seconds;
+
+ServiceKey tcp_key(std::uint8_t host, net::Port port) {
+  return {net::Ipv4::from_octets(128, 125, 0, host), net::Proto::kTcp, port};
+}
+
+TEST(ProvenanceLedger, TracksFirstLastSightingsAndChain) {
+  ProvenanceLedger ledger;
+  const ServiceKey key = tcp_key(1, 80);
+  ledger.record(key, kEpoch + seconds(100), EvidenceKind::kSynAck,
+                Discoverer::kPassive, 0);
+  // Earlier timestamp arriving later (tap skew): `first` is min-by-time.
+  ledger.record(key, kEpoch + seconds(50), EvidenceKind::kProbeReplyTcp,
+                Discoverer::kActive);
+  ledger.record(key, kEpoch + seconds(200), EvidenceKind::kSynAck,
+                Discoverer::kPassive, 0);  // repeat combination
+
+  ASSERT_EQ(ledger.size(), 1u);
+  const ServiceProvenance* p = ledger.find(key);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->sightings, 3u);
+  EXPECT_EQ(p->first.when, kEpoch + seconds(50));
+  EXPECT_EQ(p->last.when, kEpoch + seconds(200));
+  // Chain holds the first arrival of each (kind, via, tap) combination,
+  // in arrival order, untouched by later repeats.
+  ASSERT_EQ(p->chain.size(), 2u);
+  EXPECT_EQ(p->chain[0].kind, EvidenceKind::kSynAck);
+  EXPECT_EQ(p->chain[0].when, kEpoch + seconds(100));
+  EXPECT_EQ(p->chain[1].kind, EvidenceKind::kProbeReplyTcp);
+
+  EXPECT_EQ(ledger.find(tcp_key(9, 9)), nullptr);
+}
+
+TEST(ProvenanceLedger, FirstViaFollowsArrivalOrderPerDiscoverer) {
+  ProvenanceLedger ledger;
+  const ServiceKey key = tcp_key(2, 22);
+  ledger.record(key, kEpoch + seconds(500), EvidenceKind::kProbeReplyTcp,
+                Discoverer::kActive);
+  // A passive sighting stamped *earlier* but arriving *later* must not
+  // displace the active first: ServiceTable::discover is
+  // first-call-wins per table, and first_via mirrors that.
+  ledger.record(key, kEpoch + seconds(10), EvidenceKind::kSynAck,
+                Discoverer::kPassive, 1);
+
+  const ServiceProvenance* p = ledger.find(key);
+  ASSERT_NE(p, nullptr);
+  const Evidence* active = p->first_via(Discoverer::kActive);
+  const Evidence* passive = p->first_via(Discoverer::kPassive);
+  ASSERT_NE(active, nullptr);
+  ASSERT_NE(passive, nullptr);
+  EXPECT_EQ(active->when, kEpoch + seconds(500));
+  EXPECT_EQ(passive->when, kEpoch + seconds(10));
+
+  ProvenanceLedger empty;
+  empty.record(key, kEpoch, EvidenceKind::kSynAck, Discoverer::kPassive);
+  EXPECT_EQ(empty.find(key)->first_via(Discoverer::kActive), nullptr);
+}
+
+TEST(ProvenanceLedger, JsonlIsSortedAndOptionallyLabelled) {
+  ProvenanceLedger ledger;
+  // Insert out of (addr, proto, port) order.
+  ledger.record(tcp_key(7, 443), kEpoch + seconds(3),
+                EvidenceKind::kSynAck, Discoverer::kPassive);
+  ledger.record(tcp_key(1, 80), kEpoch + seconds(2),
+                EvidenceKind::kSynAck, Discoverer::kPassive);
+  ledger.record({net::Ipv4::from_octets(128, 125, 0, 1), net::Proto::kUdp,
+                 53},
+                kEpoch + seconds(1), EvidenceKind::kUdp,
+                Discoverer::kPassive);
+
+  const std::string out = ledger.to_jsonl();
+  const auto first = out.find("128.125.0.1\",\"proto\":\"tcp\"");
+  const auto second = out.find("128.125.0.1\",\"proto\":\"udp\"");
+  const auto third = out.find("128.125.0.7");
+  ASSERT_NE(first, std::string::npos);
+  ASSERT_NE(second, std::string::npos);
+  ASSERT_NE(third, std::string::npos);
+  EXPECT_LT(first, second);  // tcp sorts before udp for one address
+  EXPECT_LT(second, third);  // then by address
+  EXPECT_EQ(out.find("\"label\""), std::string::npos);
+
+  const std::string labelled = ledger.to_jsonl("seed-7");
+  EXPECT_EQ(labelled.find("{\"label\":\"seed-7\",\"addr\":"), 0u);
+}
+
+TEST(ProvenanceLedger, TapNamesResolveWithFallback) {
+  ProvenanceLedger ledger;
+  ledger.set_tap_names({"commercial1"});
+  const ServiceKey key = tcp_key(3, 80);
+  ledger.record(key, kEpoch, EvidenceKind::kSynAck, Discoverer::kPassive,
+                0);
+  ledger.record(key, kEpoch + seconds(1), EvidenceKind::kUdp,
+                Discoverer::kPassive, 3);  // beyond the name list
+  const std::string out = ledger.to_jsonl();
+  EXPECT_NE(out.find("\"tap\":\"commercial1\""), std::string::npos);
+  EXPECT_NE(out.find("\"tap\":\"tap3\""), std::string::npos);
+  // Active evidence without a tap omits the field entirely.
+  ledger.record(tcp_key(4, 22), kEpoch, EvidenceKind::kProbeReplyTcp,
+                Discoverer::kActive);
+  const std::string active_line = ledger.to_jsonl();
+  const auto pos = active_line.find("128.125.0.4");
+  ASSERT_NE(pos, std::string::npos);
+  const auto line_end = active_line.find('\n', pos);
+  EXPECT_EQ(active_line.substr(pos, line_end - pos).find("\"tap\""),
+            std::string::npos);
+}
+
+TEST(ProvenanceLedger, TapContextObserverStampsCurrentTap) {
+  ProvenanceLedger ledger;
+  EXPECT_EQ(ledger.current_tap(), Evidence::kNoTap);
+  TapContextObserver first(&ledger, 0);
+  TapContextObserver second(&ledger, 1);
+  const net::Packet packet;
+  first.observe(packet);
+  EXPECT_EQ(ledger.current_tap(), 0);
+  second.observe(packet);
+  EXPECT_EQ(ledger.current_tap(), 1);
+}
+
+TEST(ProvenanceLedger, ExplainRendersTheTimeline) {
+  ProvenanceLedger ledger;
+  ledger.set_tap_names({"commercial1"});
+  const ServiceKey key = tcp_key(5, 80);
+  ledger.record(key, kEpoch + hours(2), EvidenceKind::kSynAck,
+                Discoverer::kPassive, 0);
+  ledger.record(key, kEpoch + hours(1), EvidenceKind::kProbeReplyTcp,
+                Discoverer::kActive);
+
+  const std::string out = ledger.explain(key, util::Calendar());
+  EXPECT_NE(out.find("128.125.0.5:80/tcp"), std::string::npos);
+  EXPECT_NE(out.find("2 sightings"), std::string::npos);
+  EXPECT_NE(out.find("passive/syn_ack"), std::string::npos);
+  EXPECT_NE(out.find("active/probe_reply_tcp"), std::string::npos);
+  EXPECT_NE(out.find("via commercial1"), std::string::npos);
+  // Chain renders in time order: the active probe (hour 1) first.
+  EXPECT_LT(out.rfind("active/probe_reply_tcp"),
+            out.rfind("passive/syn_ack"));
+
+  EXPECT_TRUE(ledger.explain(tcp_key(9, 9), util::Calendar()).empty());
+}
+
+// Integration: wire a ledger through a real (small) campaign and audit
+// it against the final service tables — every table entry must be
+// explained, with first-evidence times agreeing exactly.
+TEST(ProvenanceLedger, AuditAgreesWithCampaignTables) {
+  auto cfg = workload::CampusConfig::tiny();
+  cfg.duration = util::days(1);
+  workload::Campus campus(cfg);
+  ProvenanceLedger ledger;
+  EngineConfig engine_cfg;
+  engine_cfg.scan_count = 2;
+  engine_cfg.provenance = &ledger;
+  DiscoveryEngine engine(campus, engine_cfg);
+  engine.run();
+
+  ASSERT_GT(ledger.size(), 0u);
+  const ProvenanceAudit audit =
+      ledger.audit(engine.monitor().table(), engine.prober().table());
+  EXPECT_TRUE(audit.ok())
+      << audit.matched << " matched, " << audit.missing_in_ledger
+      << " missing, " << audit.extra_in_ledger << " extra, "
+      << audit.time_mismatch << " time mismatches";
+  EXPECT_EQ(audit.matched, engine.monitor().table().size() +
+                               engine.prober().table().size());
+  // Tap names flow from the engine so exports carry real tap labels.
+  EXPECT_FALSE(ledger.tap_names().empty());
+}
+
+TEST(ProvenanceLedger, ExportIsByteIdenticalAcrossIdenticalCampaigns) {
+  const auto run_once = [] {
+    auto cfg = workload::CampusConfig::tiny();
+    cfg.duration = util::days(1);
+    workload::Campus campus(cfg);
+    ProvenanceLedger ledger;
+    EngineConfig engine_cfg;
+    engine_cfg.scan_count = 2;
+    engine_cfg.provenance = &ledger;
+    DiscoveryEngine engine(campus, engine_cfg);
+    engine.run();
+    return ledger.to_jsonl("same");
+  };
+  const std::string a = run_once();
+  const std::string b = run_once();
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace svcdisc::core

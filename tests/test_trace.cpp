@@ -1,0 +1,366 @@
+// Tests for util::trace, the flight recorder: disabled-path no-ops,
+// ring-wrap drop accounting (recorded + dropped == emits, always),
+// concurrent emit exactness, and a campaign smoke test that parses the
+// exported file as JSON and checks the Chrome trace-event contract.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/engine.h"
+#include "util/metrics.h"
+#include "util/trace.h"
+#include "workload/campus.h"
+
+namespace svcdisc::util::trace {
+namespace {
+
+// ---------------------------------------------------------------------
+// Minimal JSON reader — just enough structure to verify the trace-event
+// contract without depending on an external parser.
+struct Json {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type{Type::kNull};
+  bool boolean{false};
+  double number{0};
+  std::string text;
+  std::vector<Json> array;
+  std::vector<std::pair<std::string, Json>> object;
+
+  const Json* get(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : s_(text) {}
+
+  bool parse(Json* out) {
+    const bool ok = value(out);
+    skip_ws();
+    return ok && pos_ == s_.size();
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool literal(const char* word) {
+    const std::size_t n = std::string(word).size();
+    if (s_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+  bool value(Json* out) {
+    skip_ws();
+    if (pos_ >= s_.size()) return false;
+    const char c = s_[pos_];
+    if (c == '{') return object(out);
+    if (c == '[') return array(out);
+    if (c == '"') {
+      out->type = Json::Type::kString;
+      return string(&out->text);
+    }
+    if (c == 't' || c == 'f') {
+      out->type = Json::Type::kBool;
+      out->boolean = c == 't';
+      return literal(c == 't' ? "true" : "false");
+    }
+    if (c == 'n') return literal("null");
+    return number(out);
+  }
+  bool number(Json* out) {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    out->type = Json::Type::kNumber;
+    out->number = std::stod(s_.substr(start, pos_ - start));
+    return true;
+  }
+  bool string(std::string* out) {
+    if (s_[pos_] != '"') return false;
+    ++pos_;
+    out->clear();
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        if (++pos_ >= s_.size()) return false;
+      }
+      *out += s_[pos_++];
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool array(Json* out) {
+    out->type = Json::Type::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      Json element;
+      if (!value(&element)) return false;
+      out->array.push_back(std::move(element));
+      skip_ws();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+  bool object(Json* out) {
+    out->type = Json::Type::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (pos_ >= s_.size() || !string(&key)) return false;
+      skip_ws();
+      if (pos_ >= s_.size() || s_[pos_] != ':') return false;
+      ++pos_;
+      Json element;
+      if (!value(&element)) return false;
+      out->object.emplace_back(std::move(key), std::move(element));
+      skip_ws();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_{0};
+};
+
+// gtest_discover_tests runs every TEST in its own process, but reset()
+// at both ends keeps the recorder's global state safe under manual
+// --gtest_filter runs too.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { reset(); }
+  void TearDown() override { reset(); }
+};
+
+TEST_F(TraceTest, DisabledRecorderIsANoOp) {
+  ASSERT_FALSE(enabled());
+  instant("noop.instant", 1);
+  instant_value("noop.value", 2, 42);
+  async_begin("noop.async", 7);
+  async_end("noop.async", 7);
+  { SVCDISC_TRACE_SPAN("noop.span"); }
+  EXPECT_EQ(recorded(), 0u);
+  EXPECT_EQ(dropped(), 0u);
+  EXPECT_EQ(thread_count(), 0u);
+}
+
+TEST_F(TraceTest, RecordsEveryEmitKind) {
+  start(64);
+  ASSERT_TRUE(enabled());
+  instant("kind.instant", 1000);
+  instant_value("kind.value", 2000, 99);
+  async_begin("kind.async", 5, 3000);
+  async_end("kind.async", 5, 4000);
+  {
+    ScopedSpan span("kind.span", 5000);
+    span.set_value(7);
+  }
+  stop();
+  EXPECT_FALSE(enabled());
+  EXPECT_EQ(recorded(), 5u);
+  EXPECT_EQ(dropped(), 0u);
+  EXPECT_EQ(thread_count(), 1u);
+
+  const std::string json = to_chrome_json();
+  EXPECT_NE(json.find("\"name\":\"kind.instant\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"b\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"e\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"kind\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\":99"), std::string::npos);
+  EXPECT_NE(json.find("\"sim_us\":5000"), std::string::npos);
+}
+
+TEST_F(TraceTest, RingWrapDropsOldestAndAccountsExactly) {
+  constexpr std::uint64_t kCapacity = 16;
+  constexpr std::uint64_t kEmits = 100;
+  start(kCapacity);
+  for (std::uint64_t i = 0; i < kEmits; ++i) {
+    instant_value("wrap.event", static_cast<std::int64_t>(i),
+                  static_cast<std::int64_t>(i));
+  }
+  stop();
+  EXPECT_EQ(recorded(), kCapacity);
+  EXPECT_EQ(dropped(), kEmits - kCapacity);
+  EXPECT_EQ(recorded() + dropped(), kEmits);
+
+  // The survivors are the newest events: values kEmits-16 .. kEmits-1.
+  const std::string json = to_chrome_json();
+  EXPECT_EQ(json.find("\"value\":0,"), std::string::npos);
+  EXPECT_NE(json.find("\"value\":99"), std::string::npos);
+  EXPECT_NE(json.find("\"value\":84"), std::string::npos);
+  EXPECT_EQ(json.find("\"value\":83"), std::string::npos);
+}
+
+TEST_F(TraceTest, ConcurrentEmitsKeepExactAccounting) {
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 5000;
+  constexpr std::uint64_t kCapacity = 256;  // forces wrap on every ring
+  start(kCapacity);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        instant("mt.event", static_cast<std::int64_t>(i));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  stop();
+
+  EXPECT_EQ(thread_count(), static_cast<std::size_t>(kThreads));
+  EXPECT_EQ(recorded(), kThreads * kCapacity);
+  EXPECT_EQ(recorded() + dropped(), kThreads * kPerThread);
+}
+
+TEST_F(TraceTest, ExportMetricsPublishesTallies) {
+  start(8);
+  for (int i = 0; i < 20; ++i) instant("m.event");
+  stop();
+  MetricsRegistry registry;
+  export_metrics(registry);
+  const auto snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.value_of("trace.recorded"), 8.0);
+  EXPECT_EQ(snapshot.value_of("trace.dropped"), 12.0);
+}
+
+TEST_F(TraceTest, ResetDiscardsEverything) {
+  start(64);
+  instant("gone.event");
+  EXPECT_EQ(recorded(), 1u);
+  reset();
+  EXPECT_FALSE(enabled());
+  EXPECT_EQ(recorded(), 0u);
+  EXPECT_EQ(thread_count(), 0u);
+  const std::string json = to_chrome_json();
+  EXPECT_EQ(json.find("gone.event"), std::string::npos);
+}
+
+// Smoke test for the whole export path: trace a real (small) campaign,
+// write the file the CLI would write, and parse it back, checking the
+// Chrome trace-event contract field by field.
+TEST_F(TraceTest, CampaignTraceParsesAsChromeTraceJson) {
+  start();
+  {
+    auto cfg = workload::CampusConfig::tiny();
+    workload::Campus campus(cfg);
+    core::EngineConfig engine_cfg;
+    engine_cfg.scan_count = 4;
+    core::DiscoveryEngine engine(campus, engine_cfg);
+    engine.run();
+  }
+  stop();
+  ASSERT_GT(recorded(), 0u);
+
+  const std::string path = ::testing::TempDir() + "svcdisc_trace_test.json";
+  ASSERT_TRUE(write_chrome_json(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+
+  Json doc;
+  ASSERT_TRUE(JsonReader(buffer.str()).parse(&doc)) << "not valid JSON";
+  ASSERT_EQ(doc.type, Json::Type::kObject);
+  const Json* events = doc.get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->type, Json::Type::kArray);
+  ASSERT_FALSE(events->array.empty());
+
+  std::set<std::string> cats;
+  bool saw_complete = false;
+  bool saw_metadata = false;
+  bool saw_sim_time = false;
+  for (const Json& e : events->array) {
+    ASSERT_EQ(e.type, Json::Type::kObject);
+    const Json* name = e.get("name");
+    const Json* ph = e.get("ph");
+    ASSERT_NE(name, nullptr);
+    ASSERT_NE(ph, nullptr);
+    ASSERT_EQ(name->type, Json::Type::kString);
+    ASSERT_EQ(ph->type, Json::Type::kString);
+    ASSERT_NE(e.get("pid"), nullptr);
+    ASSERT_NE(e.get("tid"), nullptr);
+    if (ph->text == "M") {
+      saw_metadata = true;
+      continue;  // metadata events carry no timestamp
+    }
+    const Json* ts = e.get("ts");
+    ASSERT_NE(ts, nullptr) << name->text;
+    EXPECT_EQ(ts->type, Json::Type::kNumber);
+    if (ph->text == "X") {
+      saw_complete = true;
+      const Json* dur = e.get("dur");
+      ASSERT_NE(dur, nullptr) << name->text;
+      EXPECT_GE(dur->number, 0.0);
+    }
+    if (ph->text == "b" || ph->text == "e") {
+      EXPECT_NE(e.get("id"), nullptr) << name->text;
+    }
+    if (const Json* args = e.get("args")) {
+      if (args->get("sim_us") != nullptr) saw_sim_time = true;
+    }
+    cats.insert(name->text.substr(0, name->text.find('.')));
+  }
+  EXPECT_TRUE(saw_metadata);
+  EXPECT_TRUE(saw_complete);
+  EXPECT_TRUE(saw_sim_time);
+  // The acceptance bar: one plain run covers at least five subsystems.
+  EXPECT_GE(cats.size(), 5u)
+      << "engine/sim/prober/passive/scan_detector expected";
+  EXPECT_TRUE(cats.count("engine"));
+  EXPECT_TRUE(cats.count("prober"));
+  EXPECT_TRUE(cats.count("passive"));
+}
+
+}  // namespace
+}  // namespace svcdisc::util::trace

@@ -6,16 +6,26 @@
 //   campaign [flags]               parallel seed sweep + metrics export
 //   loss-sweep [flags]             completeness vs capture loss (§4 under
 //                                  impaired taps), i.i.d. and bursty
+//   explain <addr:port> [flags]    evidence timeline for one service
 //   replay <capture.pcap> [flags]  offline passive analysis of a pcap
 //   filter <expr> <capture.pcap>   count packets matching a capture filter
+//
+// Observability (run, campaign, loss-sweep):
+//   --trace-out=FILE       flight-recorder trace as Chrome trace-event
+//                          JSON (chrome://tracing, Perfetto)
+//   --provenance-out=FILE  per-service evidence ledger as sorted JSONL
+//   --log-level=LEVEL      stderr threshold: debug|info|warn|error
 //
 // Examples:
 //   svcdisc_cli run --scenario=tiny --scans=4 --seed=7
 //   svcdisc_cli run --scenario=dtcp1_18d --pcap=border.pcap
+//   svcdisc_cli run --scenario=tiny --trace-out=trace.json
+//       --provenance-out=services.jsonl
 //   svcdisc_cli campaign --scenario=tiny --jobs=4 --seeds=1..8
 //       --json=metrics.json
 //   svcdisc_cli loss-sweep --scenario=tiny --rates=0,2,5,10,20
 //       --tsv=loss_sweep.tsv
+//   svcdisc_cli explain 128.125.0.17:80 --scenario=tiny
 //   svcdisc_cli replay border.pcap
 //   svcdisc_cli filter "tcp and synack" border.pcap
 #include <chrono>
@@ -34,10 +44,12 @@
 #include "core/campaign_runner.h"
 #include "core/completeness.h"
 #include "core/engine.h"
+#include "core/provenance.h"
 #include "core/report.h"
 #include "passive/table_io.h"
 #include "util/flags.h"
 #include "util/logging.h"
+#include "util/trace.h"
 #include "workload/campus.h"
 
 namespace svcdisc {
@@ -78,6 +90,40 @@ int cmd_scenarios() {
   return 0;
 }
 
+// Shared --log-level plumbing: every subcommand takes the flag; an empty
+// value keeps the default (warn).
+void add_log_level_flag(util::Flags& flags, std::string* text) {
+  flags.add_string("log-level", "stderr log threshold: debug|info|warn|error",
+                   text);
+}
+
+bool apply_log_level(const std::string& text) {
+  if (text.empty()) return true;
+  util::LogLevel level = util::log_level();
+  if (!util::parse_log_level(text, &level)) {
+    std::fprintf(stderr,
+                 "bad log level %s (expected debug|info|warn|error)\n",
+                 text.c_str());
+    return false;
+  }
+  util::set_log_level(level);
+  return true;
+}
+
+// Stops the recorder and writes the Chrome trace-event JSON file.
+bool finish_trace(const std::string& path) {
+  util::trace::stop();
+  if (!util::trace::write_chrome_json(path)) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::printf("trace: %llu events (%llu dropped) -> %s\n",
+              static_cast<unsigned long long>(util::trace::recorded()),
+              static_cast<unsigned long long>(util::trace::dropped()),
+              path.c_str());
+  return true;
+}
+
 int cmd_run(int argc, const char* const* argv) {
   std::string scenario_name = "tiny";
   std::int64_t seed = 24301;
@@ -85,6 +131,9 @@ int cmd_run(int argc, const char* const* argv) {
   double days = 0;          // 0 = scenario default duration
   std::string pcap_path;
   std::string table_path;
+  std::string trace_path;
+  std::string provenance_path;
+  std::string log_level_text;
   bool scan_report = false;
   bool verbose = false;
 
@@ -102,6 +151,13 @@ int cmd_run(int argc, const char* const* argv) {
   flags.add_bool("scan-report", "print the last scan, nmap-style",
                  &scan_report);
   flags.add_bool("verbose", "log simulation progress to stderr", &verbose);
+  flags.add_string("trace-out",
+                   "write a Chrome trace-event JSON flight record here",
+                   &trace_path);
+  flags.add_string("provenance-out",
+                   "write the per-service evidence ledger (JSONL) here",
+                   &provenance_path);
+  add_log_level_flag(flags, &log_level_text);
   if (!flags.parse(argc, argv)) {
     std::fputs(flags.usage().c_str(),
                flags.help_requested() ? stdout : stderr);
@@ -117,16 +173,20 @@ int cmd_run(int argc, const char* const* argv) {
     return 2;
   }
   if (verbose) util::set_log_level(util::LogLevel::kInfo);
+  if (!apply_log_level(log_level_text)) return 2;
+  if (!trace_path.empty()) util::trace::start();
 
   auto cfg = scenario->make();
   cfg.seed = static_cast<std::uint64_t>(seed);
   if (days > 0) cfg.duration = util::seconds_f(days * 86400.0);
   workload::Campus campus(cfg);
 
+  core::ProvenanceLedger ledger;
   core::EngineConfig engine_cfg;
   engine_cfg.scan_count =
       scans >= 0 ? static_cast<int>(scans)
                  : static_cast<int>(cfg.duration.days() * 2);
+  if (!provenance_path.empty()) engine_cfg.provenance = &ledger;
   core::DiscoveryEngine engine(campus, engine_cfg);
 
   std::unique_ptr<capture::PcapWriter> writer;
@@ -193,6 +253,29 @@ int cmd_run(int argc, const char* const* argv) {
                    .c_str(),
                stdout);
   }
+  if (!trace_path.empty() && !finish_trace(trace_path)) return 1;
+  if (!provenance_path.empty()) {
+    // The ledger must agree 1:1 with the final tables — any drift means
+    // an instrumentation gap, which would silently poison forensics.
+    const auto audit =
+        ledger.audit(engine.monitor().table(), engine.prober().table());
+    if (!audit.ok()) {
+      std::fprintf(stderr,
+                   "error: provenance audit failed (%llu matched, "
+                   "%llu missing, %llu extra, %llu time mismatches)\n",
+                   static_cast<unsigned long long>(audit.matched),
+                   static_cast<unsigned long long>(audit.missing_in_ledger),
+                   static_cast<unsigned long long>(audit.extra_in_ledger),
+                   static_cast<unsigned long long>(audit.time_mismatch));
+      return 1;
+    }
+    if (!ledger.write_jsonl(provenance_path)) {
+      std::fprintf(stderr, "cannot write %s\n", provenance_path.c_str());
+      return 1;
+    }
+    std::printf("provenance: %zu services (audit ok) -> %s\n", ledger.size(),
+                provenance_path.c_str());
+  }
   return 0;
 }
 
@@ -225,6 +308,9 @@ int cmd_campaign(int argc, const char* const* argv) {
   std::int64_t scans = -1;
   double days = 0;
   std::string json_path;
+  std::string trace_path;
+  std::string provenance_path;
+  std::string log_level_text;
 
   util::Flags flags("svcdisc_cli campaign",
                     "run a seed sweep on the parallel campaign runner");
@@ -239,6 +325,14 @@ int cmd_campaign(int argc, const char* const* argv) {
   flags.add_double("days", "override campaign duration in days", &days);
   flags.add_string("json", "export per-seed metrics JSON to this file",
                    &json_path);
+  flags.add_string("trace-out",
+                   "write a Chrome trace-event JSON flight record here "
+                   "(one track per worker thread)",
+                   &trace_path);
+  flags.add_string("provenance-out",
+                   "write every job's evidence ledger (labelled JSONL) here",
+                   &provenance_path);
+  add_log_level_flag(flags, &log_level_text);
   if (!flags.parse(argc, argv)) {
     std::fputs(flags.usage().c_str(),
                flags.help_requested() ? stdout : stderr);
@@ -253,6 +347,7 @@ int cmd_campaign(int argc, const char* const* argv) {
                  scenario_name.c_str());
     return 2;
   }
+  if (!apply_log_level(log_level_text)) return 2;
   std::uint64_t first_seed = 0;
   std::size_t seed_count = 0;
   if (!parse_seed_range(seeds_text, &first_seed, &seed_count)) {
@@ -260,6 +355,7 @@ int cmd_campaign(int argc, const char* const* argv) {
                  seeds_text.c_str());
     return 2;
   }
+  if (!trace_path.empty()) util::trace::start();
 
   auto cfg = scenario->make();
   if (days > 0) cfg.duration = util::seconds_f(days * 86400.0);
@@ -268,11 +364,15 @@ int cmd_campaign(int argc, const char* const* argv) {
       scans >= 0 ? static_cast<int>(scans)
                  : static_cast<int>(cfg.duration.days() * 2);
 
+  auto sweep_jobs =
+      core::seed_sweep_jobs(cfg, engine_cfg, first_seed, seed_count);
+  if (!provenance_path.empty()) {
+    for (auto& job : sweep_jobs) job.provenance = true;
+  }
   const core::CampaignRunner runner(
       jobs > 0 ? static_cast<std::size_t>(jobs) : 0);
   const auto start = std::chrono::steady_clock::now();
-  const auto results = runner.run(
-      core::seed_sweep_jobs(cfg, engine_cfg, first_seed, seed_count));
+  const auto results = runner.run(std::move(sweep_jobs));
   const double total_sec =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
@@ -320,6 +420,28 @@ int cmd_campaign(int argc, const char* const* argv) {
       return 1;
     }
   }
+  if (!trace_path.empty() && !finish_trace(trace_path)) return 1;
+  if (!provenance_path.empty()) {
+    // One labelled JSONL stream, jobs concatenated in job (= seed)
+    // order, each job's lines sorted — deterministic regardless of the
+    // thread schedule that ran them.
+    std::string body;
+    std::size_t services = 0;
+    for (const auto& result : results) {
+      if (!result.ok() || !result.provenance) continue;
+      body += result.provenance->to_jsonl(result.label);
+      services += result.provenance->size();
+    }
+    std::FILE* f = std::fopen(provenance_path.c_str(), "wb");
+    if (!f || std::fwrite(body.data(), 1, body.size(), f) != body.size()) {
+      std::fprintf(stderr, "cannot write %s\n", provenance_path.c_str());
+      if (f) std::fclose(f);
+      return 1;
+    }
+    std::fclose(f);
+    std::printf("provenance: %zu services over %zu campaign(s) -> %s\n",
+                services, results.size(), provenance_path.c_str());
+  }
   return failures == 0 ? 0 : 1;
 }
 
@@ -348,6 +470,9 @@ int cmd_loss_sweep(int argc, const char* const* argv) {
   double days = 0;
   std::int64_t jobs = 0;
   std::string tsv_path;
+  std::string trace_path;
+  std::string provenance_path;
+  std::string log_level_text;
 
   util::Flags flags("svcdisc_cli loss-sweep",
                     "rerun the completeness comparison under injected "
@@ -367,6 +492,13 @@ int cmd_loss_sweep(int argc, const char* const* argv) {
                   &jobs);
   flags.add_string("tsv", "export the sweep table (TSV) to this file",
                    &tsv_path);
+  flags.add_string("trace-out",
+                   "write a Chrome trace-event JSON flight record here",
+                   &trace_path);
+  flags.add_string("provenance-out",
+                   "write every row's evidence ledger (labelled JSONL) here",
+                   &provenance_path);
+  add_log_level_flag(flags, &log_level_text);
   if (!flags.parse(argc, argv)) {
     std::fputs(flags.usage().c_str(),
                flags.help_requested() ? stdout : stderr);
@@ -391,6 +523,8 @@ int cmd_loss_sweep(int argc, const char* const* argv) {
     std::fprintf(stderr, "burst-len must be >= 1\n");
     return 2;
   }
+  if (!apply_log_level(log_level_text)) return 2;
+  if (!trace_path.empty()) util::trace::start();
 
   auto cfg = scenario->make();
   cfg.seed = static_cast<std::uint64_t>(seed);
@@ -435,6 +569,7 @@ int cmd_loss_sweep(int argc, const char* const* argv) {
         job.label = "bursty";
         specs.push_back({models[m], rates[i]});
       }
+      job.provenance = !provenance_path.empty();
       sweep.push_back(std::move(job));
     }
   }
@@ -550,12 +685,130 @@ int cmd_loss_sweep(int argc, const char* const* argv) {
     std::fclose(f);
     std::printf("sweep table -> %s\n", tsv_path.c_str());
   }
+  if (!trace_path.empty() && !finish_trace(trace_path)) return 1;
+  if (!provenance_path.empty()) {
+    std::string body;
+    std::size_t services = 0;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (!results[i].ok() || !results[i].provenance) continue;
+      char label[48];
+      std::snprintf(label, sizeof label, "%s-%.1f", specs[i].model,
+                    specs[i].rate_pct);
+      body += results[i].provenance->to_jsonl(label);
+      services += results[i].provenance->size();
+    }
+    std::FILE* f = std::fopen(provenance_path.c_str(), "wb");
+    if (!f || std::fwrite(body.data(), 1, body.size(), f) != body.size()) {
+      std::fprintf(stderr, "cannot write %s\n", provenance_path.c_str());
+      if (f) std::fclose(f);
+      return 1;
+    }
+    std::fclose(f);
+    std::printf("provenance: %zu services over %zu row(s) -> %s\n", services,
+                results.size(), provenance_path.c_str());
+  }
   return failures == 0 && conservation_ok ? 0 : 1;
+}
+
+// Parses "addr:port" with an optional "/tcp" or "/udp" suffix
+// (default tcp) into a ServiceKey.
+bool parse_service_key(const std::string& text, passive::ServiceKey* key) {
+  std::string spec = text;
+  net::Proto proto = net::Proto::kTcp;
+  const auto slash = spec.find('/');
+  if (slash != std::string::npos) {
+    const std::string proto_text = spec.substr(slash + 1);
+    if (proto_text == "udp") {
+      proto = net::Proto::kUdp;
+    } else if (proto_text != "tcp") {
+      return false;
+    }
+    spec.resize(slash);
+  }
+  const auto colon = spec.rfind(':');
+  if (colon == std::string::npos) return false;
+  const auto addr = net::Ipv4::parse(spec.substr(0, colon));
+  if (!addr) return false;
+  const std::string port_text = spec.substr(colon + 1);
+  char* end = nullptr;
+  const unsigned long port = std::strtoul(port_text.c_str(), &end, 10);
+  if (end == port_text.c_str() || *end != '\0' || port > 65535) return false;
+  key->addr = *addr;
+  key->proto = proto;
+  key->port = static_cast<net::Port>(port);
+  return true;
+}
+
+int cmd_explain(int argc, const char* const* argv) {
+  std::string scenario_name = "tiny";
+  std::int64_t seed = 24301;
+  std::int64_t scans = -1;
+  double days = 0;
+  std::string log_level_text;
+  util::Flags flags("svcdisc_cli explain",
+                    "re-run a campaign with the provenance ledger on and "
+                    "print one service's evidence timeline");
+  flags.add_string("scenario", "scenario preset (see `scenarios`)",
+                   &scenario_name);
+  flags.add_int64("seed", "campaign seed", &seed);
+  flags.add_int64("scans", "number of 12-hourly scans (-1 = preset)",
+                  &scans);
+  flags.add_double("days", "override campaign duration in days", &days);
+  add_log_level_flag(flags, &log_level_text);
+  if (!flags.parse(argc, argv) || flags.positional().size() != 1) {
+    std::fputs(flags.usage().c_str(),
+               flags.help_requested() ? stdout : stderr);
+    std::fputs("usage: explain <addr:port[/tcp|/udp]> [flags]\n",
+               flags.help_requested() ? stdout : stderr);
+    return flags.help_requested() ? 0 : 2;
+  }
+  passive::ServiceKey key;
+  if (!parse_service_key(flags.positional()[0], &key)) {
+    std::fprintf(stderr,
+                 "bad service spec %s (want addr:port, addr:port/tcp, or "
+                 "addr:port/udp)\n",
+                 flags.positional()[0].c_str());
+    return 2;
+  }
+  if (!apply_log_level(log_level_text)) return 2;
+  const Scenario* scenario = find_scenario(scenario_name);
+  if (!scenario) {
+    std::fprintf(stderr, "unknown scenario %s (try `scenarios`)\n",
+                 scenario_name.c_str());
+    return 2;
+  }
+
+  auto cfg = scenario->make();
+  cfg.seed = static_cast<std::uint64_t>(seed);
+  if (days > 0) cfg.duration = util::seconds_f(days * 86400.0);
+  workload::Campus campus(cfg);
+
+  core::ProvenanceLedger ledger;
+  core::EngineConfig engine_cfg;
+  engine_cfg.scan_count =
+      scans >= 0 ? static_cast<int>(scans)
+                 : static_cast<int>(cfg.duration.days() * 2);
+  engine_cfg.provenance = &ledger;
+  core::DiscoveryEngine engine(campus, engine_cfg);
+  engine.run();
+
+  const std::string out = ledger.explain(key, campus.calendar());
+  if (out.empty()) {
+    std::fprintf(stderr,
+                 "%s: no evidence recorded (scenario %s, seed %lld, "
+                 "%zu services seen)\n",
+                 flags.positional()[0].c_str(), scenario_name.c_str(),
+                 static_cast<long long>(seed), ledger.size());
+    return 1;
+  }
+  std::fputs(out.c_str(), stdout);
+  return 0;
 }
 
 int cmd_replay(int argc, const char* const* argv) {
   std::string net_text = "128.125.0.0/16";
   std::string table_path;
+  std::string log_level_text;
   bool all_ports = false;
   util::Flags flags("svcdisc_cli replay",
                     "offline passive analysis of a pcap capture");
@@ -563,11 +816,13 @@ int cmd_replay(int argc, const char* const* argv) {
   flags.add_string("table", "save the service table (TSV) here",
                    &table_path);
   flags.add_bool("all-ports", "record services on any port", &all_ports);
+  add_log_level_flag(flags, &log_level_text);
   if (!flags.parse(argc, argv) || flags.positional().size() != 1) {
     std::fputs(flags.usage().c_str(), stderr);
     std::fputs("usage: replay <capture.pcap>\n", stderr);
     return flags.help_requested() ? 0 : 2;
   }
+  if (!apply_log_level(log_level_text)) return 2;
   const auto prefix = net::Prefix::parse(net_text);
   if (!prefix) {
     std::fprintf(stderr, "bad prefix: %s\n", net_text.c_str());
@@ -614,12 +869,15 @@ int cmd_replay(int argc, const char* const* argv) {
 }
 
 int cmd_filter(int argc, const char* const* argv) {
+  std::string log_level_text;
   util::Flags flags("svcdisc_cli filter",
                     "count pcap packets matching a capture filter");
+  add_log_level_flag(flags, &log_level_text);
   if (!flags.parse(argc, argv) || flags.positional().size() != 2) {
     std::fputs("usage: filter <expression> <capture.pcap>\n", stderr);
     return flags.help_requested() ? 0 : 2;
   }
+  if (!apply_log_level(log_level_text)) return 2;
   std::string error;
   const auto filter = capture::Filter::compile(flags.positional()[0], &error);
   if (!filter) {
@@ -642,14 +900,17 @@ int cmd_filter(int argc, const char* const* argv) {
 int cmd_dump(int argc, const char* const* argv) {
   std::int64_t limit = 40;
   std::string expr;
+  std::string log_level_text;
   util::Flags flags("svcdisc_cli dump", "print pcap packets, tcpdump-style");
   flags.add_int64("limit", "max packets to print (0 = all)", &limit);
   flags.add_string("filter", "only print matching packets", &expr);
+  add_log_level_flag(flags, &log_level_text);
   if (!flags.parse(argc, argv) || flags.positional().size() != 1) {
     std::fputs(flags.usage().c_str(), stderr);
     std::fputs("usage: dump <capture.pcap>\n", stderr);
     return flags.help_requested() ? 0 : 2;
   }
+  if (!apply_log_level(log_level_text)) return 2;
   std::string error;
   const auto filter = capture::Filter::compile(expr, &error);
   if (!filter) {
@@ -677,13 +938,16 @@ int cmd_dump(int argc, const char* const* argv) {
 }
 
 int cmd_diff(int argc, const char* const* argv) {
+  std::string log_level_text;
   util::Flags flags("svcdisc_cli diff",
                     "compare two saved service tables (surface-area "
                     "tracking)");
+  add_log_level_flag(flags, &log_level_text);
   if (!flags.parse(argc, argv) || flags.positional().size() != 2) {
     std::fputs("usage: diff <before.tsv> <after.tsv>\n", stderr);
     return flags.help_requested() ? 0 : 2;
   }
+  if (!apply_log_level(log_level_text)) return 2;
   const auto before = passive::load_table(flags.positional()[0]);
   const auto after = passive::load_table(flags.positional()[1]);
   if (!before.ok || !after.ok) {
@@ -713,18 +977,20 @@ int dispatch(int argc, const char* const* argv) {
   if (command == "run") return cmd_run(argc - 1, argv + 1);
   if (command == "campaign") return cmd_campaign(argc - 1, argv + 1);
   if (command == "loss-sweep") return cmd_loss_sweep(argc - 1, argv + 1);
+  if (command == "explain") return cmd_explain(argc - 1, argv + 1);
   if (command == "replay") return cmd_replay(argc - 1, argv + 1);
   if (command == "filter") return cmd_filter(argc - 1, argv + 1);
   if (command == "dump") return cmd_dump(argc - 1, argv + 1);
   if (command == "diff") return cmd_diff(argc - 1, argv + 1);
   std::fprintf(stderr,
-               "usage: %s <scenarios|run|campaign|loss-sweep|replay|filter|"
-               "dump|diff> [flags]\n"
+               "usage: %s <scenarios|run|campaign|loss-sweep|explain|replay|"
+               "filter|dump|diff> [flags]\n"
                "  scenarios             list dataset presets\n"
                "  run                   run a discovery campaign\n"
                "  campaign              parallel seed sweep, metrics export\n"
                "  loss-sweep            completeness vs injected capture "
                "loss\n"
+               "  explain <addr:port>   evidence timeline for one service\n"
                "  replay <pcap>         offline passive analysis\n"
                "  filter <expr> <pcap>  count matching packets\n"
                "  dump <pcap>           print packets, tcpdump-style\n"
