@@ -1,0 +1,59 @@
+// Fuzz harness: capture/Filter parse→compile→specialize, differential
+// against the postfix interpreter.
+//
+// Input layout: everything up to the first '\n' is the filter
+// expression; remaining bytes parameterize generated packets. The
+// differential oracle evaluates the compiled filter's specialized path
+// (matches(), which may be a LUT, a conjunction loop, or the
+// interpreter) against matches_interpreted() — the reference semantics —
+// over a fixed edge-case battery plus fuzz-chosen packets. Compile
+// failures must produce a diagnostic; deep nesting must fail cleanly
+// (tests/fuzz/corpus/filter/crash_deep_nesting.txt used to overflow the
+// compiler's stack before kMaxFilterNesting existed).
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "capture/filter.h"
+#include "fuzz/fuzz_input.h"
+#include "fuzz/oracles.h"
+
+using svcdisc::capture::Filter;
+using svcdisc::fuzz::FuzzInput;
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  // Bound program size so the battery sweep stays within fuzzer
+  // timeouts. Kept large deliberately: the two historical crashers
+  // (compiler recursion on deep nesting, specialize() recursion on long
+  // and-chains) only bite past ~10^5 tokens.
+  if (size > 1 << 20) return 0;
+  const std::string_view whole(reinterpret_cast<const char*>(data), size);
+  const std::size_t newline = whole.find('\n');
+  const std::string_view expression =
+      newline == std::string_view::npos ? whole : whole.substr(0, newline);
+
+  std::string error;
+  const auto filter = Filter::compile(expression, &error);
+  if (!filter) {
+    SVCDISC_FUZZ_CHECK(!error.empty(),
+                       "compile failure must carry a diagnostic");
+    return 0;
+  }
+  // Disassembly of any compiled program must not crash and is non-empty.
+  SVCDISC_FUZZ_CHECK(!filter->disassemble().empty(),
+                     "disassemble returned empty");
+
+  auto packets = svcdisc::fuzz::edge_packets();
+  if (newline != std::string_view::npos) {
+    FuzzInput in(data + newline + 1, size - newline - 1);
+    while (!in.done() && packets.size() < 96) {
+      packets.push_back(svcdisc::fuzz::packet_from_bytes(in));
+    }
+  }
+  const std::string divergence =
+      svcdisc::fuzz::filter_divergence(*filter, packets);
+  SVCDISC_FUZZ_CHECK(divergence.empty(), divergence);
+  return 0;
+}

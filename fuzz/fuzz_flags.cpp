@@ -1,0 +1,95 @@
+// Fuzz harness: util/Flags (the CLI argument parser behind every
+// svcdisc_cli subcommand) on attacker-chosen argv vectors.
+//
+// Input layout: bytes split on '\n' (or '\0') become argv entries after
+// the program name. Oracles:
+//  1. Outcome classification — parse() returning false implies either a
+//     help request or a non-empty diagnostic; returning true implies no
+//     diagnostic. A silent failure would make every tool exit 2 with no
+//     message.
+//  2. Determinism — reparsing the same argv against a fresh parser with
+//     identical registrations reproduces the outcome, the error text,
+//     and the positional split.
+//  3. usage() always renders.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/oracles.h"
+#include "util/flags.h"
+
+using svcdisc::util::Flags;
+
+namespace {
+
+struct Bound {
+  std::string text = "default";
+  std::int64_t count = 7;
+  double ratio = 0.5;
+  bool verbose = false;
+};
+
+struct Outcome {
+  bool ok;
+  bool help;
+  std::string error;
+  std::vector<std::string> positional;
+  Bound values;
+};
+
+Outcome run_parse(const std::vector<std::string>& tokens) {
+  Bound bound;
+  Flags flags("fuzz_flags", "argument-parser fuzz harness");
+  flags.add_string("text", "a string flag", &bound.text);
+  flags.add_int64("count", "an integer flag", &bound.count);
+  flags.add_double("ratio", "a double flag", &bound.ratio);
+  flags.add_bool("verbose", "a boolean flag", &bound.verbose);
+
+  std::vector<const char*> argv;
+  argv.push_back("fuzz_flags");
+  for (const auto& t : tokens) argv.push_back(t.c_str());
+  const bool ok =
+      flags.parse(static_cast<int>(argv.size()), argv.data());
+  SVCDISC_FUZZ_CHECK(!flags.usage().empty(), "usage() rendered empty");
+  return {ok, flags.help_requested(), flags.error(), flags.positional(),
+          bound};
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size > 1 << 14) return 0;
+  std::vector<std::string> tokens(1);
+  for (std::size_t i = 0; i < size && tokens.size() <= 64; ++i) {
+    const char c = static_cast<char>(data[i]);
+    if (c == '\n' || c == '\0') {
+      tokens.emplace_back();
+    } else {
+      tokens.back().push_back(c);
+    }
+  }
+
+  const Outcome first = run_parse(tokens);
+  if (!first.ok) {
+    SVCDISC_FUZZ_CHECK(first.help || !first.error.empty(),
+                       "parse failed silently: no help, no diagnostic");
+  } else {
+    SVCDISC_FUZZ_CHECK(first.error.empty(),
+                       "successful parse left diagnostic: " + first.error);
+  }
+
+  const Outcome second = run_parse(tokens);
+  SVCDISC_FUZZ_CHECK(first.ok == second.ok && first.help == second.help,
+                     "parse outcome not deterministic");
+  SVCDISC_FUZZ_CHECK(first.error == second.error,
+                     "diagnostic not deterministic: '" + first.error +
+                         "' vs '" + second.error + "'");
+  SVCDISC_FUZZ_CHECK(first.positional == second.positional,
+                     "positional split not deterministic");
+  SVCDISC_FUZZ_CHECK(first.values.text == second.values.text &&
+                         first.values.count == second.values.count &&
+                         first.values.verbose == second.values.verbose,
+                     "bound values not deterministic");
+  return 0;
+}

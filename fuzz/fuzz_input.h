@@ -1,0 +1,43 @@
+// Deterministic byte-stream consumer for fuzz harnesses.
+//
+// Turns the raw fuzzer input into typed values with total functions:
+// past the end of the buffer every take returns zero, so a harness never
+// branches on uninitialized data and a truncated corpus entry still
+// replays the same prefix behaviour. Little-endian assembly keeps a
+// corpus file's bytes readable in a hex dump.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace svcdisc::fuzz {
+
+class FuzzInput {
+ public:
+  FuzzInput(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::size_t remaining() const { return size_ - pos_; }
+  bool done() const { return pos_ >= size_; }
+
+  std::uint8_t u8() { return pos_ < size_ ? data_[pos_++] : 0; }
+
+  std::uint16_t u16() {
+    return static_cast<std::uint16_t>(u8() | (std::uint16_t{u8()} << 8));
+  }
+
+  std::uint32_t u32() { return u16() | (std::uint32_t{u16()} << 16); }
+
+  std::uint64_t u64() { return u32() | (std::uint64_t{u32()} << 32); }
+
+  std::int16_t i16() { return static_cast<std::int16_t>(u16()); }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_{0};
+};
+
+}  // namespace svcdisc::fuzz

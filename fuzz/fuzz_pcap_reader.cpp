@@ -1,0 +1,45 @@
+// Fuzz harness: capture/PcapReader on arbitrary bytes, plus a wire-codec
+// differential on every packet it yields.
+//
+// Oracles:
+//  1. Bounded work — the packet count is bounded by the input size (a
+//     record costs at least its 16-byte header), and a lying incl_len
+//     must stop the reader instead of allocating what a corrupt 32-bit
+//     field demands (tests/fuzz/corpus/pcap_reader/lying_incl_len.pcap).
+//  2. Wire round-trip — any packet the reader accepts came from bytes
+//     net::parse validated, so net::serialize(packet) must re-parse to
+//     an identical packet (timestamps excluded; parse leaves them to the
+//     capture layer).
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "capture/pcap_file.h"
+#include "fuzz/oracles.h"
+#include "net/wire.h"
+
+using svcdisc::capture::PcapReader;
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size > 1 << 20) return 0;
+  std::istringstream in(
+      std::string(reinterpret_cast<const char*>(data), size));
+  const auto result = PcapReader::read_stream(in);
+
+  SVCDISC_FUZZ_CHECK(result.packets.size() <= size / 16 + 1,
+                     "more packets than the input could frame: " +
+                         std::to_string(result.packets.size()));
+  for (const auto& p : result.packets) {
+    const auto bytes = svcdisc::net::serialize(p);
+    const auto reparsed = svcdisc::net::parse(bytes);
+    SVCDISC_FUZZ_CHECK(reparsed.has_value(),
+                       "accepted packet failed to re-parse: " + p.to_string());
+    svcdisc::net::Packet normalized = *reparsed;
+    normalized.time = p.time;  // parse leaves timestamps zero by contract
+    SVCDISC_FUZZ_CHECK(svcdisc::fuzz::packets_identical(p, normalized),
+                       "wire round-trip changed packet: " + p.to_string() +
+                           " -> " + normalized.to_string());
+  }
+  return 0;
+}

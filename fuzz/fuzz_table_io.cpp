@@ -1,0 +1,75 @@
+// Fuzz harness: passive/table_io on arbitrary bytes.
+//
+// Oracles:
+//  1. Accounting — every non-comment, non-empty line is either a loaded
+//     row or a malformed row; clamped rows are loaded rows.
+//  2. Fixpoint — save(load(input)) is a fixpoint of save∘load: loading
+//     the first save and saving again must be byte-identical, with a
+//     structurally equal table, zero malformed rows, and zero clamping
+//     (a table we saved never needs repair). This is the property whose
+//     violation by "icmp" rows, Ipv4(0) placeholder collisions, and
+//     silent first_seen>last_activity rows motivated this harness.
+//  3. Termination within fuzzer timeouts — a row carrying
+//     clients/flows near UINT64_MAX used to replay ~2^64 count_flow
+//     calls (tests/fuzz/corpus/table_io/crash_huge_clients.tsv).
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "fuzz/oracles.h"
+#include "passive/table_io.h"
+
+using svcdisc::fuzz::tables_equal;
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  // Bound line-splitting cost; a corpus line is never this long.
+  if (size > 1 << 20) return 0;
+  const std::string text(reinterpret_cast<const char*>(data), size);
+
+  std::istringstream in(text);
+  const auto loaded = svcdisc::passive::load_table(in);
+
+  std::size_t parseable_lines = 0;
+  {
+    std::istringstream recount(text);
+    std::string line;
+    while (std::getline(recount, line)) {
+      if (!line.empty() && line[0] != '#') ++parseable_lines;
+    }
+  }
+  SVCDISC_FUZZ_CHECK(loaded.rows + loaded.malformed == parseable_lines,
+                     "rows=" + std::to_string(loaded.rows) +
+                         " malformed=" + std::to_string(loaded.malformed) +
+                         " lines=" + std::to_string(parseable_lines));
+  SVCDISC_FUZZ_CHECK(loaded.clamped <= loaded.rows,
+                     "clamped rows must be loaded rows");
+
+  std::ostringstream first_save;
+  SVCDISC_FUZZ_CHECK(svcdisc::passive::save_table(loaded.table, first_save),
+                     "saving a loaded table must succeed");
+
+  std::istringstream reload_stream(first_save.str());
+  const auto reloaded = svcdisc::passive::load_table(reload_stream);
+  SVCDISC_FUZZ_CHECK(reloaded.ok, "reload of own save must succeed");
+  SVCDISC_FUZZ_CHECK(reloaded.malformed == 0,
+                     "own save contained " +
+                         std::to_string(reloaded.malformed) +
+                         " malformed rows:\n" + first_save.str());
+  SVCDISC_FUZZ_CHECK(reloaded.clamped == 0,
+                     "own save required clamping on reload");
+  SVCDISC_FUZZ_CHECK(reloaded.rows == loaded.table.size(),
+                     "reload row count != table size");
+
+  std::string why;
+  SVCDISC_FUZZ_CHECK(tables_equal(loaded.table, reloaded.table, &why), why);
+
+  std::ostringstream second_save;
+  SVCDISC_FUZZ_CHECK(svcdisc::passive::save_table(reloaded.table, second_save),
+                     "second save must succeed");
+  SVCDISC_FUZZ_CHECK(first_save.str() == second_save.str(),
+                     "save->load->save is not byte-identical:\n--- first\n" +
+                         first_save.str() + "--- second\n" +
+                         second_save.str());
+  return 0;
+}

@@ -1,0 +1,156 @@
+#include "fuzz/oracles.h"
+
+#include <algorithm>
+
+namespace svcdisc::fuzz {
+namespace {
+
+std::string key_name(const passive::ServiceKey& key) {
+  return key.addr.to_string() + ":" + std::to_string(key.port) + "/" +
+         std::string(net::proto_name(key.proto));
+}
+
+}  // namespace
+
+bool tables_equal(const passive::ServiceTable& a,
+                  const passive::ServiceTable& b, std::string* why) {
+  std::string reason;
+  a.for_each([&](const passive::ServiceKey& key,
+                 const passive::ServiceRecord& ra) {
+    if (!reason.empty()) return;
+    const passive::ServiceRecord* rb = b.find(key);
+    if (!rb) {
+      reason = "service " + key_name(key) + " missing from second table";
+      return;
+    }
+    if (ra.first_seen != rb->first_seen) {
+      reason = "first_seen differs for " + key_name(key);
+    } else if (ra.last_activity != rb->last_activity) {
+      reason = "last_activity differs for " + key_name(key);
+    } else if (ra.flows != rb->flows) {
+      reason = "flows differ for " + key_name(key) + ": " +
+               std::to_string(ra.flows) + " vs " + std::to_string(rb->flows);
+    } else if (ra.clients.size() != rb->clients.size()) {
+      reason = "client count differs for " + key_name(key) + ": " +
+               std::to_string(ra.clients.size()) + " vs " +
+               std::to_string(rb->clients.size());
+    }
+  });
+  if (reason.empty() && a.size() != b.size()) {
+    reason = "table sizes differ: " + std::to_string(a.size()) + " vs " +
+             std::to_string(b.size());
+  }
+  if (!reason.empty() && why) *why = reason;
+  return reason.empty();
+}
+
+std::vector<net::Packet> reference_merge(
+    const std::vector<std::vector<net::Packet>>& streams,
+    const std::vector<util::Duration>& skews) {
+  std::vector<net::Packet> all;
+  std::size_t total = 0;
+  for (const auto& s : streams) total += s.size();
+  all.reserve(total);
+  for (std::size_t i = 0; i < streams.size(); ++i) {
+    const util::Duration skew =
+        i < skews.size() ? skews[i] : util::Duration{0};
+    for (net::Packet p : streams[i]) {
+      p.time = p.time - skew;
+      all.push_back(p);
+    }
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const net::Packet& a, const net::Packet& b) {
+                     return a.time < b.time;
+                   });
+  return all;
+}
+
+bool packets_identical(const net::Packet& a, const net::Packet& b) {
+  return a.time == b.time && a.src == b.src && a.dst == b.dst &&
+         a.proto == b.proto && a.sport == b.sport && a.dport == b.dport &&
+         a.flags == b.flags && a.seq == b.seq && a.ack_no == b.ack_no &&
+         a.payload_len == b.payload_len;
+}
+
+net::Packet packet_from_bytes(FuzzInput& in) {
+  net::Packet p;
+  const std::uint8_t kind = in.u8();
+  p.proto = kind % 4 == 0   ? net::Proto::kIcmp
+            : kind % 4 == 1 ? net::Proto::kUdp
+                            : net::Proto::kTcp;
+  p.flags.bits = in.u8();
+  // Half the draws come from a tiny address pool so filter predicates
+  // over specific hosts/nets see both hits and misses; the rest are
+  // arbitrary 32-bit addresses.
+  const auto draw_addr = [&]() {
+    const std::uint8_t sel = in.u8();
+    if (sel & 1) return net::Ipv4(in.u32());
+    static constexpr std::uint32_t kPool[] = {
+        0x00000000u, 0xffffffffu,
+        0x807d0001u,  // 128.125.0.1 (campus net used across tests)
+        0x807dffffu,  // 128.125.255.255
+        0x0a000001u,  // 10.0.0.1
+        0x01020304u,  // 1.2.3.4
+    };
+    return net::Ipv4(kPool[(sel >> 1) % 6]);
+  };
+  p.src = draw_addr();
+  p.dst = draw_addr();
+  const auto draw_port = [&]() -> net::Port {
+    const std::uint8_t sel = in.u8();
+    if (sel & 1) return in.u16();
+    static constexpr net::Port kPool[] = {0, 22, 53, 80, 443, 65535};
+    return kPool[(sel >> 1) % 6];
+  };
+  p.sport = draw_port();
+  p.dport = draw_port();
+  p.time = util::TimePoint{in.i32()};
+  return p;
+}
+
+std::vector<net::Packet> edge_packets() {
+  std::vector<net::Packet> out;
+  const net::Ipv4 addrs[] = {
+      net::Ipv4(0), net::Ipv4(0xffffffffu),
+      net::Ipv4::from_octets(128, 125, 0, 1), net::Ipv4::from_octets(1, 2, 3, 4)};
+  const net::Port ports[] = {0, 80, 65535};
+  const net::Proto protos[] = {net::Proto::kTcp, net::Proto::kUdp,
+                               net::Proto::kIcmp};
+  const std::uint8_t flag_sets[] = {
+      0, net::TcpFlags::kSyn, net::TcpFlags::kAck, net::TcpFlags::kRst,
+      net::TcpFlags::kFin,
+      static_cast<std::uint8_t>(net::TcpFlags::kSyn | net::TcpFlags::kAck),
+      0xff};
+  for (const net::Proto proto : protos) {
+    for (const std::uint8_t bits : flag_sets) {
+      net::Packet p;
+      p.proto = proto;
+      p.flags.bits = bits;
+      p.src = addrs[(bits + 1) % 4];
+      p.dst = addrs[bits % 4];
+      p.sport = ports[bits % 3];
+      p.dport = ports[(bits + 1) % 3];
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+std::string filter_divergence(const capture::Filter& filter,
+                              const std::vector<net::Packet>& packets) {
+  for (const net::Packet& p : packets) {
+    const bool fast = filter.matches(p);
+    const bool reference = filter.matches_interpreted(p);
+    if (fast != reference) {
+      return "path " + std::string(filter_path_name(filter.path())) +
+             " disagrees with interpreter on packet " + p.to_string() +
+             " (specialized=" + (fast ? "true" : "false") +
+             ", interpreted=" + (reference ? "true" : "false") +
+             ") for program: " + filter.disassemble();
+    }
+  }
+  return {};
+}
+
+}  // namespace svcdisc::fuzz

@@ -1,0 +1,75 @@
+// Shared differential-testing oracles.
+//
+// Each untrusted-input surface gets a reference implementation or an
+// equivalence predicate here, used from three places with identical
+// semantics: the libFuzzer harnesses (fuzz_*.cpp), the corpus replay
+// runners built with any compiler, and the gtest property suites
+// (tests/test_table_io_property.cpp, tests/test_faults.cpp). Keeping
+// the oracle in one translation unit means a bug fixed against the
+// fuzzer cannot silently diverge from what the unit tests assert.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "capture/filter.h"
+#include "fuzz/fuzz_input.h"
+#include "net/packet.h"
+#include "passive/service_table.h"
+#include "util/sim_time.h"
+
+// Harness assertion: prints the oracle's explanation and aborts, which
+// libFuzzer records as a crash and the replay runner reports as a test
+// failure. Not a gtest macro so the oracles stay usable without gtest.
+#define SVCDISC_FUZZ_CHECK(cond, why)                                     \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "FUZZ_CHECK failed: %s\n  at %s:%d\n  %s\n",   \
+                   #cond, __FILE__, __LINE__, std::string(why).c_str());  \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+namespace svcdisc::fuzz {
+
+/// Structural equality of two service tables: same discovered-service
+/// set, and per service identical first_seen / last_activity / flow
+/// tally / client count (client identities are anonymized on save, so
+/// only the count is observable). On mismatch returns false and, when
+/// `why` is non-null, describes the first difference.
+bool tables_equal(const passive::ServiceTable& a,
+                  const passive::ServiceTable& b, std::string* why = nullptr);
+
+/// Reference merge: subtract skews (missing entries = zero), concatenate
+/// in stream order, stable-sort by time. Stability yields exactly the
+/// documented (time, stream index, intra-stream order) tie-break of
+/// capture::merge_streams, in O(n log n) with no heap logic to share
+/// bugs with the production k-way merge.
+std::vector<net::Packet> reference_merge(
+    const std::vector<std::vector<net::Packet>>& streams,
+    const std::vector<util::Duration>& skews);
+
+/// Field-wise packet identity as the merger must preserve it.
+bool packets_identical(const net::Packet& a, const net::Packet& b);
+
+/// Deterministic packet drawn from fuzzer bytes: protocol, flags,
+/// addresses, and ports all attacker-chosen, with addresses biased
+/// toward a small pool so host/net filter predicates actually hit.
+net::Packet packet_from_bytes(FuzzInput& in);
+
+/// Fixed battery of edge-case packets every filter is evaluated
+/// against: each protocol, every interesting TCP flag combination,
+/// boundary addresses (0.0.0.0, 255.255.255.255) and ports (0, 65535).
+std::vector<net::Packet> edge_packets();
+
+/// Differential oracle for one compiled filter: evaluates the
+/// specialized path against the postfix interpreter on every packet.
+/// Returns a description of the first divergence, or the empty string
+/// when all packets agree.
+std::string filter_divergence(const capture::Filter& filter,
+                              const std::vector<net::Packet>& packets);
+
+}  // namespace svcdisc::fuzz

@@ -1,0 +1,72 @@
+// Compiler-agnostic corpus replay driver.
+//
+// libFuzzer supplies main() only when compiling with clang's
+// -fsanitize=fuzzer. Linking this file instead gives every harness a
+// plain standalone binary — buildable by gcc, runnable under any
+// sanitizer — that replays each corpus entry through the exact same
+// LLVMFuzzerTestOneInput the fuzzer drives. ctest's `fuzz` label runs
+// these over tests/fuzz/corpus/<harness>/, so every checked-in crasher
+// is a deterministic regression test on every build.
+//
+// Usage: replay_<harness> <corpus-dir-or-file>...
+// Exits 0 when every input ran to completion (a failing oracle aborts),
+// 2 on usage/IO errors.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+bool replay_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "replay: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  std::fprintf(stderr, "replay: %s (%zu bytes)\n", path.c_str(),
+               bytes.size());
+  LLVMFuzzerTestOneInput(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                         bytes.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <corpus-dir-or-file>...\n", argv[0]);
+    return 2;
+  }
+  std::size_t replayed = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::filesystem::path arg(argv[i]);
+    std::error_code ec;
+    if (std::filesystem::is_directory(arg, ec)) {
+      // Sorted traversal keeps replay order (and any failure) stable
+      // across filesystems.
+      std::vector<std::filesystem::path> files;
+      for (const auto& entry : std::filesystem::directory_iterator(arg)) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      }
+      std::sort(files.begin(), files.end());
+      for (const auto& file : files) {
+        if (!replay_file(file)) return 2;
+        ++replayed;
+      }
+    } else {
+      if (!replay_file(arg)) return 2;
+      ++replayed;
+    }
+  }
+  std::fprintf(stderr, "replay: %zu inputs OK\n", replayed);
+  return 0;
+}

@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Fuzzing driver.
+#
+# With clang available, builds the libFuzzer harnesses (SVCDISC_FUZZ=ON,
+# ASan+UBSan baked in) and runs each for a bounded wall-clock slice,
+# seeded from and writing new coverage back to tests/fuzz/corpus/<name>/.
+# Without clang, falls back to building the gcc replay runners and
+# replaying the checked-in corpora — no coverage feedback, but every
+# oracle still executes, so it doubles as a portable regression pass.
+#
+# Usage: scripts/fuzz.sh [--smoke] [seconds-per-harness] [harness...]
+#   --smoke   cheap CI mode: 5 s per harness with clang, corpus replay
+#             only without — bounded to well under a minute end to end
+#   default per-harness budget: 60 s; default harness set: all five
+#
+# Examples:
+#   scripts/fuzz.sh                  # 60 s per harness, all harnesses
+#   scripts/fuzz.sh 600 filter       # 10 min hammering the filter VM
+#   scripts/fuzz.sh --smoke          # CI smoke
+#
+# Crashing inputs land in tests/fuzz/corpus/<name>/ (libFuzzer writes
+# crash-* files into the corpus dir we pass) — minimize and commit them
+# so the fuzz ctest label replays the regression forever.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+harnesses=(pcap_reader filter table_io merger flags)
+budget=60
+smoke=0
+
+args=()
+for arg in "$@"; do
+  case "$arg" in
+    --smoke) smoke=1 ;;
+    -h|--help) sed -n '2,23p' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
+    *) args+=("$arg") ;;
+  esac
+done
+if [[ ${#args[@]} -gt 0 && ${args[0]} =~ ^[0-9]+$ ]]; then
+  budget="${args[0]}"
+  args=("${args[@]:1}")
+fi
+if [[ ${#args[@]} -gt 0 ]]; then
+  harnesses=("${args[@]}")
+fi
+[[ "$smoke" -eq 1 ]] && budget=5
+
+clangxx="${CLANGXX:-clang++}"
+if command -v "$clangxx" >/dev/null 2>&1; then
+  echo "== libFuzzer sessions ($budget s per harness, compiler: $clangxx) =="
+  cmake -B build-fuzz -S . \
+    -DCMAKE_CXX_COMPILER="$clangxx" -DSVCDISC_FUZZ=ON >/dev/null
+  cmake --build build-fuzz -j "$jobs" \
+    $(printf -- '--target fuzz_%s ' "${harnesses[@]}")
+  for h in "${harnesses[@]}"; do
+    corpus="tests/fuzz/corpus/$h"
+    mkdir -p "$corpus"
+    echo "== fuzz_$h ($budget s) =="
+    # -max_total_time bounds wall clock; new coverage-increasing inputs
+    # are written back into the corpus directory itself.
+    ./build-fuzz/fuzz/"fuzz_$h" -max_total_time="$budget" \
+      -print_final_stats=1 "$corpus"
+  done
+else
+  echo "== clang not found: corpus replay fallback (no coverage feedback) =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$jobs" \
+    $(printf -- '--target replay_%s ' "${harnesses[@]}")
+  for h in "${harnesses[@]}"; do
+    echo "== replay_$h =="
+    ./build/fuzz/"replay_$h" "tests/fuzz/corpus/$h"
+  done
+fi
+echo "fuzz: OK"

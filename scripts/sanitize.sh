@@ -28,6 +28,11 @@ run_asan() {
   # and the provenance ledger's export paths.
   echo "== ASan + UBSan: observability label =="
   (cd build-asan && ctest --output-on-failure -j "$jobs" -L observability)
+  # The fuzz label replays every checked-in fuzz corpus (including each
+  # crasher that produced a fix) through the harness oracles — this is
+  # the pass that caught the merge_streams use-after-free.
+  echo "== ASan + UBSan: fuzz corpus replay =="
+  (cd build-asan && ctest --output-on-failure -j "$jobs" -L fuzz)
 }
 
 run_tsan() {

@@ -55,21 +55,24 @@ std::vector<std::pair<double, double>> Cdf::curve(std::size_t points) const {
   std::vector<std::pair<double, double>> out;
   if (samples_.empty() || points == 0) return out;
   ensure_sorted();
-  const std::size_t stride =
-      std::max<std::size_t>(1, samples_.size() / points);
-  for (std::size_t i = 0; i < samples_.size(); i += stride) {
-    const double frac = static_cast<double>(i + 1) /
-                        static_cast<double>(samples_.size());
-    if (!out.empty() && out.back().first == samples_[i]) {
+  // Quantile-style sampling: the k-th output (k = 1..count) is the
+  // sample at index floor(k*n/count)-1, so exactly min(points, n)
+  // indices are visited and the last one is always n-1 (fraction 1.0).
+  // The previous truncated-stride loop (stride = n/points) emitted up to
+  // 2x the requested points — 150 samples at points=100 gave stride 1
+  // and 150 pairs — violating the "at most `points` entries" contract.
+  const std::size_t n = samples_.size();
+  const std::size_t count = std::min(points, n);
+  out.reserve(count);
+  for (std::size_t k = 1; k <= count; ++k) {
+    const std::size_t idx = k * n / count - 1;
+    const double frac =
+        static_cast<double>(idx + 1) / static_cast<double>(n);
+    if (!out.empty() && out.back().first == samples_[idx]) {
       out.back().second = frac;
     } else {
-      out.emplace_back(samples_[i], frac);
+      out.emplace_back(samples_[idx], frac);
     }
-  }
-  if (out.empty() || out.back().first != samples_.back()) {
-    out.emplace_back(samples_.back(), 1.0);
-  } else {
-    out.back().second = 1.0;
   }
   return out;
 }

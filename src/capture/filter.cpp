@@ -91,6 +91,21 @@ class FilterCompiler {
   }
 
   bool parse_unary(std::vector<Instr>& out) {
+    // Every recursive production passes through here, so one depth
+    // guard bounds both the compiler's own call stack and the nesting
+    // of the emitted program (fuzz-found: ~10^5 '(' or "not" tokens
+    // overflowed the stack before any semantic check ran).
+    if (depth_ >= kMaxFilterNesting) {
+      return fail("expression nested deeper than " +
+                  std::to_string(kMaxFilterNesting) + " levels");
+    }
+    ++depth_;
+    const bool ok = parse_unary_inner(out);
+    --depth_;
+    return ok;
+  }
+
+  bool parse_unary_inner(std::vector<Instr>& out) {
     if (accept("not")) {
       if (!parse_unary(out)) return false;
       out.push_back({Op::kNot});
@@ -160,6 +175,7 @@ class FilterCompiler {
 
   std::vector<std::string_view> tokens_;
   std::size_t pos_{0};
+  std::size_t depth_{0};
   std::string error_;
 };
 
@@ -227,6 +243,12 @@ void Filter::specialize() {
     path_ = FilterPath::kMatchAll;
     return;
   }
+  // The tree walks below recurse once per and/or in a chain, and the
+  // parser builds those chains iteratively — so chain length, unlike
+  // nesting depth, is unbounded (fuzz-found: 10^5 "and"s overflowed the
+  // stack here, not in the parser). Programs too large to be hot-path
+  // tap filters just stay on the iterative interpreter.
+  if (program_.size() > 256) return;
 
   // Rebuild the expression tree from the postfix program (the compiler
   // guarantees well-formed arity; bail to the interpreter otherwise).

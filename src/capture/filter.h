@@ -48,6 +48,13 @@ enum class FilterPath : std::uint8_t {
 
 std::string_view filter_path_name(FilterPath path);
 
+/// Maximum parenthesis/"not" nesting depth compile() accepts. Bounds the
+/// recursive-descent compiler's call stack on hostile input and keeps
+/// the interpreter's fixed 64-slot evaluation stack provably sufficient
+/// (postfix depth never exceeds nesting depth + 1). Deeper expressions
+/// fail to compile with a diagnostic instead of crashing.
+inline constexpr std::size_t kMaxFilterNesting = 48;
+
 /// Compiled filter: a postfix program over boolean predicates, plus a
 /// specialized fast path selected at compile time.
 class Filter {

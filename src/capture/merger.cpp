@@ -32,7 +32,13 @@ std::vector<net::Packet> merge_streams(
   };
 
   // Pre-sort any unsorted input (copied once, merged from the copy).
+  // sorted_copies must never reallocate: sources holds pointers into it,
+  // and a second unsorted stream's push_back used to invalidate the
+  // first one's pointer (fuzz-found use-after-free — two impaired or
+  // skew-corrected taps were enough to trigger it;
+  // tests/fuzz/corpus/merger/ties_and_skew.bin is the crasher).
   std::vector<std::vector<net::Packet>> sorted_copies;
+  sorted_copies.reserve(streams.size());
   std::vector<const std::vector<net::Packet>*> sources;
   sources.reserve(streams.size());
   for (const auto& s : streams) {

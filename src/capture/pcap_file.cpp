@@ -21,7 +21,7 @@ void put16le(std::ofstream& out, std::uint16_t v) {
   out.write(bytes, 2);
 }
 
-bool get32le(std::ifstream& in, std::uint32_t& v) {
+bool get32le(std::istream& in, std::uint32_t& v) {
   unsigned char bytes[4];
   if (!in.read(reinterpret_cast<char*>(bytes), 4)) return false;
   v = std::uint32_t{bytes[0]} | (std::uint32_t{bytes[1]} << 8) |
@@ -29,7 +29,7 @@ bool get32le(std::ifstream& in, std::uint32_t& v) {
   return true;
 }
 
-bool get16le(std::ifstream& in, std::uint16_t& v) {
+bool get16le(std::istream& in, std::uint16_t& v) {
   unsigned char bytes[2];
   if (!in.read(reinterpret_cast<char*>(bytes), 2)) return false;
   v = static_cast<std::uint16_t>(bytes[0] | (bytes[1] << 8));
@@ -90,10 +90,15 @@ void PcapWriter::flush() {
 
 PcapReader::Result PcapReader::read_file(const std::string& path,
                                          std::uint64_t epoch_offset_sec) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Result{};
+  return read_stream(in, epoch_offset_sec);
+}
+
+PcapReader::Result PcapReader::read_stream(std::istream& in,
+                                           std::uint64_t epoch_offset_sec) {
   util::trace::ScopedSpan span("pcap.read_file");
   Result result;
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return result;
 
   std::uint32_t magic = 0;
   std::uint16_t vmaj = 0, vmin = 0;

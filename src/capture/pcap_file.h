@@ -77,6 +77,12 @@ class PcapReader {
   /// timestamps.
   static Result read_file(const std::string& path,
                           std::uint64_t epoch_offset_sec = 1158663600ULL);
+
+  /// Parses a pcap byte stream (the file variant opens `path` and
+  /// delegates here). Lets the fuzz harness and in-memory tests drive
+  /// the parser on arbitrary bytes without touching the filesystem.
+  static Result read_stream(std::istream& in,
+                            std::uint64_t epoch_offset_sec = 1158663600ULL);
 };
 
 }  // namespace svcdisc::capture

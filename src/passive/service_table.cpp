@@ -27,6 +27,34 @@ void ServiceTable::count_flow(const ServiceKey& key, net::Ipv4 client,
   }
 }
 
+std::uint64_t ServiceTable::restore(const ServiceKey& key,
+                                    util::TimePoint first_seen,
+                                    util::TimePoint last_activity,
+                                    std::uint64_t flows,
+                                    std::uint64_t client_count,
+                                    std::uint64_t max_clients) {
+  discover(key, first_seen);
+  Entry& e = services_[key];
+  e.record.flows += flows;
+  const std::uint64_t placeholders = std::min(client_count, max_clients);
+  for (std::uint64_t i = 0; i < placeholders; ++i) {
+    e.record.clients.emplace(net::Ipv4(static_cast<std::uint32_t>(i)),
+                             first_seen);
+  }
+  // Flow recency: persisted rows carry no per-flow timestamps, so the
+  // best reconstruction is "some flow happened by first_seen" when any
+  // flows existed at all.
+  if (flows > 0 && e.record.last_flow <= first_seen) {
+    e.record.last_flow = first_seen;
+    e.record.last_flow_client =
+        placeholders > 0 ? net::Ipv4(0) : e.record.last_flow_client;
+  }
+  if (e.record.last_activity < last_activity) {
+    e.record.last_activity = last_activity;
+  }
+  return placeholders;
+}
+
 void ServiceTable::touch(const ServiceKey& key, util::TimePoint t) {
   const auto it = services_.find(key);
   if (it == services_.end()) return;
@@ -63,10 +91,14 @@ ServiceTable::chronological() const {
   for (const auto& [key, entry] : services_) {
     if (entry.discovered) out.emplace_back(key, entry.record.first_seen);
   }
+  // Full-key tiebreak: without the proto term, two services differing
+  // only in protocol sort unstably, and save→load→save of a table is not
+  // byte-identical.
   std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
     if (a.second != b.second) return a.second < b.second;
     if (a.first.addr != b.first.addr) return a.first.addr < b.first.addr;
-    return a.first.port < b.first.port;
+    if (a.first.port != b.first.port) return a.first.port < b.first.port;
+    return a.first.proto < b.first.proto;
   });
   return out;
 }

@@ -90,6 +90,21 @@ class ServiceTable {
   /// discovery). Advances last_activity only.
   void touch(const ServiceKey& key, util::TimePoint t);
 
+  /// Reinstates a persisted record in one step (the table_io load path).
+  /// Unlike replaying count_flow per tally — which is O(flows) work an
+  /// attacker-controlled row can drive to ~2^64 iterations — this sets
+  /// `flows` directly and materializes at most
+  /// min(client_count, max_clients) synthetic placeholder clients
+  /// (identities are not persisted, only the count matters). Placeholder
+  /// addresses are Ipv4(0..n-1) stamped at `first_seen`; last_activity is
+  /// advanced to `last_activity`. First discover() wins as usual: if
+  /// `key` was already discovered, tallies are still added on top.
+  /// Returns the number of placeholder clients actually inserted.
+  std::uint64_t restore(const ServiceKey& key, util::TimePoint first_seen,
+                        util::TimePoint last_activity, std::uint64_t flows,
+                        std::uint64_t client_count,
+                        std::uint64_t max_clients);
+
   /// True when `key` has been *discovered* (flow-only entries don't
   /// count).
   bool contains(const ServiceKey& key) const { return find(key) != nullptr; }

@@ -23,9 +23,7 @@ bool parse_i64(const std::string& text, std::int64_t& out) {
 
 }  // namespace
 
-bool save_table(const ServiceTable& table, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return false;
+bool save_table(const ServiceTable& table, std::ostream& out) {
   out << "# addr\tproto\tport\tfirst_seen_usec\tlast_activity_usec\tflows\t"
          "clients\n";
   // Chronological order keeps diffs stable across identical campaigns.
@@ -43,10 +41,14 @@ bool save_table(const ServiceTable& table, const std::string& path) {
   return out.good();
 }
 
-LoadResult load_table(const std::string& path) {
+bool save_table(const ServiceTable& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  return save_table(table, out);
+}
+
+LoadResult load_table(std::istream& in) {
   LoadResult result;
-  std::ifstream in(path);
-  if (!in) return result;
   result.ok = true;
 
   std::string line;
@@ -68,29 +70,40 @@ LoadResult load_table(const std::string& path) {
                            parse_i64(cols[4], last_activity) &&
                            parse_u64(cols[5], flows) &&
                            parse_u64(cols[6], clients);
+    // Every protocol save_table emits must load back — rejecting "icmp"
+    // here made the round-trip lossy.
+    const bool proto_ok =
+        cols[1] == "tcp" || cols[1] == "udp" || cols[1] == "icmp";
     const net::Proto proto = cols[1] == "tcp"   ? net::Proto::kTcp
                              : cols[1] == "udp" ? net::Proto::kUdp
                                                 : net::Proto::kIcmp;
-    if (!fields_ok || (cols[1] != "tcp" && cols[1] != "udp")) {
+    // A service cannot have been discovered after its latest activity;
+    // such a row is corrupt, not merely unusual.
+    if (!fields_ok || !proto_ok || first_seen > last_activity) {
       ++result.malformed;
       continue;
     }
 
     const ServiceKey key{*addr, proto, static_cast<net::Port>(port)};
-    result.table.discover(key, util::TimePoint{first_seen});
-    // Restore tallies: placeholder clients stand in for anonymized ones.
-    for (std::uint64_t i = 0; i < clients; ++i) {
-      result.table.count_flow(key, net::Ipv4(static_cast<std::uint32_t>(i)),
-                              util::TimePoint{first_seen});
-    }
-    for (std::uint64_t i = clients; i < flows; ++i) {
-      result.table.count_flow(key, net::Ipv4(0),
-                              util::TimePoint{first_seen});
-    }
-    result.table.touch(key, util::TimePoint{last_activity});
+    // restore() sets the flow tally directly and materializes at most
+    // kMaxRestoredClients placeholders — the old count_flow replay loop
+    // ran once per flow/client, i.e. up to ~2^64 times for a hostile
+    // row, and its Ipv4(0) flow-only placeholder collided with the
+    // first anonymized client (clients=0, flows>0 reloaded as
+    // clients=1).
+    result.table.restore(key, util::TimePoint{first_seen},
+                         util::TimePoint{last_activity}, flows, clients,
+                         kMaxRestoredClients);
+    if (clients > kMaxRestoredClients) ++result.clamped;
     ++result.rows;
   }
   return result;
+}
+
+LoadResult load_table(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return LoadResult{};
+  return load_table(in);
 }
 
 TableDiff diff_tables(const ServiceTable& before, const ServiceTable& after) {

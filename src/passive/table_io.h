@@ -7,8 +7,20 @@
 //   last_activity_usec <tab> flows <tab> client_count
 // Per-client detail is intentionally dropped: the paper anonymizes
 // clients before analysis, and operators care about counts.
+//
+// Round-trip contract (enforced by tests and the fuzz_table_io harness):
+// save→load→save is byte-identical for any table, and load accepts every
+// row save emits — including "icmp" protocol rows. Rows that fail
+// validation (unparseable fields, port > 65535, unknown protocol,
+// first_seen > last_activity) are counted in `malformed` and skipped;
+// rows whose client tally exceeds kMaxRestoredClients are loaded with
+// the tally clamped and counted in `clamped` — the alternative is a
+// reconstruction loop an attacker-controlled row can drive to ~2^64
+// iterations.
 #pragma once
 
+#include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -16,14 +28,24 @@
 
 namespace svcdisc::passive {
 
+/// Ceiling on the synthetic placeholder clients materialized per loaded
+/// row. Client identities are anonymized at save time, so beyond this
+/// the count no longer changes any analysis — it only costs memory and
+/// load time linear in an untrusted 64-bit field.
+inline constexpr std::uint64_t kMaxRestoredClients = 65536;
+
 /// Writes every discovered service in `table` to `path`. Returns false
-/// if the file cannot be opened.
+/// if the file cannot be opened or a write fails.
 bool save_table(const ServiceTable& table, const std::string& path);
+/// Stream variant (used by the fuzz harnesses and in-memory round-trip
+/// tests). Returns stream health after the final write.
+bool save_table(const ServiceTable& table, std::ostream& out);
 
 struct LoadResult {
   ServiceTable table;
-  std::size_t rows{0};
-  std::size_t malformed{0};
+  std::size_t rows{0};       ///< rows loaded (including clamped ones)
+  std::size_t malformed{0};  ///< rows rejected by validation
+  std::size_t clamped{0};    ///< rows loaded with client tally clamped
   bool ok{false};
 };
 
@@ -31,6 +53,8 @@ struct LoadResult {
 /// preserved (counts are restored as synthetic placeholder clients so
 /// weighted analyses keep working).
 LoadResult load_table(const std::string& path);
+/// Stream variant: parses from `in` (ok is true — the "file" opened).
+LoadResult load_table(std::istream& in);
 
 /// Difference between two survey snapshots — the paper's first
 /// motivation is exactly this: "preemptive surveys can track an

@@ -56,10 +56,32 @@ TEST(Cdf, CurveEndsAtOne) {
   const auto curve = cdf.curve(50);
   ASSERT_FALSE(curve.empty());
   EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
-  EXPECT_LE(curve.size(), 52u);
+  EXPECT_LE(curve.size(), 50u);
   for (std::size_t i = 1; i < curve.size(); ++i) {
     EXPECT_LE(curve[i - 1].first, curve[i].first);
     EXPECT_LE(curve[i - 1].second, curve[i].second);
+  }
+}
+
+TEST(Cdf, CurveNeverExceedsRequestedPoints) {
+  // The old integer-truncated stride (n / points, rounded down) walked
+  // the sample array in steps that were too small whenever points did
+  // not divide n, returning up to 2x the requested resolution (150
+  // samples at points=100 gave stride 1 -> 150 pairs).
+  Cdf cdf;
+  for (int i = 0; i < 150; ++i) cdf.add(i);
+  EXPECT_LE(cdf.curve(100).size(), 100u);
+
+  for (int n : {1, 2, 7, 99, 150, 1000, 1021}) {
+    Cdf c;
+    for (int i = 0; i < n; ++i) c.add(i * 3);
+    for (std::size_t points : {1u, 2u, 49u, 100u, 1000u}) {
+      const auto curve = c.curve(points);
+      ASSERT_FALSE(curve.empty()) << "n=" << n << " points=" << points;
+      EXPECT_LE(curve.size(), points) << "n=" << n;
+      EXPECT_DOUBLE_EQ(curve.back().second, 1.0) << "n=" << n;
+      EXPECT_DOUBLE_EQ(curve.back().first, (n - 1) * 3.0) << "n=" << n;
+    }
   }
 }
 

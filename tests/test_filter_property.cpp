@@ -257,6 +257,50 @@ TEST(FilterCompileErrors, MalformedExpressionsAreRejected) {
   }
 }
 
+TEST(FilterCompileErrors, DeepNestingRejectedNotStackOverflow) {
+  // Regression for a fuzz-found crasher: ~3*10^5 nested parentheses
+  // recursed the compiler off the stack. The parser now fails cleanly
+  // past kMaxFilterNesting levels.
+  const std::size_t depth = 300000;
+  std::string expr(depth, '(');
+  expr += "tcp";
+  expr.append(depth, ')');
+  std::string error;
+  const auto f = Filter::compile(expr, &error);
+  EXPECT_FALSE(f.has_value());
+  EXPECT_NE(error.find("nested"), std::string::npos) << error;
+
+  // At-the-limit nesting still compiles and evaluates correctly.
+  std::string ok_expr(kMaxFilterNesting - 1, '(');
+  ok_expr += "tcp";
+  ok_expr.append(kMaxFilterNesting - 1, ')');
+  const auto ok = Filter::compile(ok_expr);
+  ASSERT_TRUE(ok.has_value());
+  Packet p;
+  p.proto = Proto::kTcp;
+  EXPECT_TRUE(ok->matches(p));
+}
+
+TEST(FilterCompileErrors, LongAndChainCompilesAndStaysCorrect) {
+  // Second fuzz-found crasher: and/or chains parse iteratively (no
+  // nesting), but specialize() used to recurse per conjunct — ~6*10^4
+  // terms overflowed its stack. Oversized programs now skip
+  // specialization and run interpreted; semantics must not change.
+  std::string expr = "tcp";
+  for (int i = 0; i < 60000; ++i) expr += " and syn and tcp";
+  const auto f = Filter::compile(expr);
+  ASSERT_TRUE(f.has_value());
+  Packet syn;
+  syn.proto = Proto::kTcp;
+  syn.flags = net::flags_syn();
+  Packet plain;
+  plain.proto = Proto::kTcp;
+  EXPECT_TRUE(f->matches(syn));
+  EXPECT_FALSE(f->matches(plain));
+  EXPECT_EQ(f->matches(syn), f->matches_interpreted(syn));
+  EXPECT_EQ(f->matches(plain), f->matches_interpreted(plain));
+}
+
 TEST(FilterCompileErrors, EmptyAndWhitespaceCompileToMatchAll) {
   const auto empty = Filter::compile("");
   ASSERT_TRUE(empty.has_value());

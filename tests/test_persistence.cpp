@@ -73,12 +73,21 @@ TEST(TableIo, MalformedRowsCountedNotFatal) {
     out << "not-an-addr\ttcp\t80\t100\t200\t3\t2\n";
     out << "128.125.0.2\ttcp\t99999\t100\t200\t3\t2\n";  // bad port
     out << "128.125.0.3\ttcp\t80\t100\n";                // short row
-    out << "128.125.0.4\ticmp\t80\t100\t200\t3\t2\n";    // bad proto
+    out << "128.125.0.4\ticmp\t0\t100\t200\t3\t2\n";     // valid: icmp rows
+                                                         // reload since the
+                                                         // save/load asymmetry
+                                                         // fix
+    out << "128.125.0.5\tsctp\t80\t100\t200\t3\t2\n";    // unknown proto
+    out << "128.125.0.6\ttcp\t80\t300\t200\t3\t2\n";     // first_seen after
+                                                         // last_activity
   }
   const auto loaded = passive::load_table(path);
   ASSERT_TRUE(loaded.ok);
-  EXPECT_EQ(loaded.rows, 1u);
-  EXPECT_EQ(loaded.malformed, 4u);
+  EXPECT_EQ(loaded.rows, 2u);
+  EXPECT_EQ(loaded.malformed, 5u);
+  EXPECT_EQ(loaded.clamped, 0u);
+  EXPECT_TRUE(loaded.table.contains(
+      {Ipv4::from_octets(128, 125, 0, 4), net::Proto::kIcmp, 0}));
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,192 @@
+// Property tests for table persistence, sharing the structural-equality
+// oracle with the fuzz_table_io harness (fuzz/oracles.h). The contract
+// under test: for any table T, load(save(T)) is structurally equal to T
+// and save(load(save(T))) is byte-identical to save(T) — i.e. save∘load
+// is a fixpoint after one round. Plus the golden corpus files that
+// pin the satellite bugfixes (clamping, icmp rows, backwards time,
+// flow-only rows).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/engine.h"
+#include "fuzz/oracles.h"
+#include "net/packet.h"
+#include "passive/table_io.h"
+#include "util/rng.h"
+#include "workload/campus.h"
+
+namespace svcdisc::passive {
+namespace {
+
+using net::Ipv4;
+using util::hours;
+using util::kEpoch;
+
+std::string corpus(const char* name) {
+  return std::string(SVCDISC_FUZZ_CORPUS_DIR) + "/table_io/" + name;
+}
+
+// Random table with fuzz-shaped contents: several protocols, varied
+// client counts (including zero-client flow-only services), spread
+// timestamps.
+ServiceTable random_table(util::Rng& rng) {
+  ServiceTable table;
+  const std::size_t services = 1 + rng.below(40);
+  for (std::size_t i = 0; i < services; ++i) {
+    constexpr net::Proto kProtos[] = {net::Proto::kTcp, net::Proto::kUdp,
+                                      net::Proto::kIcmp};
+    const net::Proto proto = kProtos[rng.below(3)];
+    const ServiceKey key{Ipv4(static_cast<std::uint32_t>(rng())), proto,
+                         static_cast<net::Port>(rng.below(65536))};
+    const auto first = kEpoch + hours(rng.below(1000));
+    table.discover(key, first);
+    const std::size_t flows = rng.below(6);
+    for (std::size_t f = 0; f < flows; ++f) {
+      table.count_flow(key, Ipv4(static_cast<std::uint32_t>(rng())),
+                       first + hours(1 + rng.below(100)));
+    }
+  }
+  return table;
+}
+
+std::string save_to_string(const ServiceTable& table) {
+  std::ostringstream out;
+  EXPECT_TRUE(save_table(table, out));
+  return out.str();
+}
+
+TEST(TableIoProperty, RandomTablesRoundTripStructurally) {
+  util::Rng rng(20260806);
+  for (int trial = 0; trial < 50; ++trial) {
+    const ServiceTable table = random_table(rng);
+    const std::string first = save_to_string(table);
+    std::istringstream in(first);
+    const auto loaded = load_table(in);
+    ASSERT_TRUE(loaded.ok);
+    EXPECT_EQ(loaded.malformed, 0u) << "trial " << trial;
+    EXPECT_EQ(loaded.clamped, 0u) << "trial " << trial;
+    EXPECT_EQ(loaded.rows, table.size()) << "trial " << trial;
+
+    std::string why;
+    EXPECT_TRUE(fuzz::tables_equal(table, loaded.table, &why))
+        << "trial " << trial << ": " << why;
+
+    // Fixpoint: a second save of the reloaded table is byte-identical.
+    EXPECT_EQ(save_to_string(loaded.table), first) << "trial " << trial;
+  }
+}
+
+TEST(TableIoProperty, CampaignTableSaveLoadSaveByteIdentical) {
+  // The acceptance-level golden: a table produced by an actual
+  // simulated campaign (not hand-built rows) survives save→load→save
+  // byte-identically.
+  auto cfg = workload::CampusConfig::tiny();
+  cfg.duration = util::days(1);
+  workload::Campus campus(cfg);
+  core::DiscoveryEngine engine(campus, core::EngineConfig{});
+  engine.run();
+  const ServiceTable& table = engine.monitor().table();
+  ASSERT_GT(table.size(), 0u);
+
+  const std::string first = save_to_string(table);
+  std::istringstream in(first);
+  const auto loaded = load_table(in);
+  ASSERT_TRUE(loaded.ok);
+  EXPECT_EQ(loaded.malformed, 0u);
+  EXPECT_EQ(loaded.clamped, 0u);
+  std::string why;
+  EXPECT_TRUE(fuzz::tables_equal(table, loaded.table, &why)) << why;
+  EXPECT_EQ(save_to_string(loaded.table), first);
+}
+
+TEST(TableIoProperty, MalformedMixCorpusGolden) {
+  // Exact accounting for the checked-in mixed corpus file: 3 loadable
+  // rows (one of which clamps its client tally), 5 malformed.
+  const auto loaded = load_table(corpus("malformed_mix.tsv"));
+  ASSERT_TRUE(loaded.ok);
+  EXPECT_EQ(loaded.rows, 3u);
+  EXPECT_EQ(loaded.malformed, 5u);
+  EXPECT_EQ(loaded.clamped, 1u);
+  EXPECT_EQ(loaded.table.size(), 3u);
+}
+
+TEST(TableIoProperty, HugeClientCountClampsInsteadOfSpinning) {
+  // Regression for the ~2^64-iteration reconstruction loop: a row
+  // claiming UINT64_MAX clients/flows must load promptly with the
+  // client tally clamped to kMaxRestoredClients.
+  const auto start = std::chrono::steady_clock::now();
+  const auto loaded = load_table(corpus("crash_huge_clients.tsv"));
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_TRUE(loaded.ok);
+  EXPECT_EQ(loaded.rows, 1u);
+  EXPECT_EQ(loaded.clamped, 1u);
+  // Generous bound — the old code would not finish in the lifetime of
+  // the machine.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(elapsed).count(),
+            30);
+
+  const auto* record = loaded.table.find(
+      {Ipv4::from_octets(128, 125, 0, 9), net::Proto::kTcp, 443});
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(record->clients.size(), kMaxRestoredClients);
+  // The flow tally is restored exactly — only client placeholders clamp.
+  EXPECT_EQ(record->flows, std::uint64_t(-1));
+}
+
+TEST(TableIoProperty, IcmpRowsRoundTrip) {
+  // save emitted "icmp" but load rejected it — every icmp service
+  // silently vanished across a checkpoint/restore cycle.
+  ServiceTable table;
+  const ServiceKey icmp{Ipv4::from_octets(128, 125, 0, 7),
+                        net::Proto::kIcmp, 0};
+  table.discover(icmp, kEpoch + hours(1));
+  const std::string text = save_to_string(table);
+  EXPECT_NE(text.find("icmp"), std::string::npos);
+
+  std::istringstream in(text);
+  const auto loaded = load_table(in);
+  ASSERT_TRUE(loaded.ok);
+  EXPECT_EQ(loaded.malformed, 0u);
+  EXPECT_TRUE(loaded.table.contains(icmp));
+
+  const auto from_corpus = load_table(corpus("icmp_row.tsv"));
+  ASSERT_TRUE(from_corpus.ok);
+  EXPECT_EQ(from_corpus.rows, 1u);
+  EXPECT_EQ(from_corpus.malformed, 0u);
+}
+
+TEST(TableIoProperty, FlowOnlyServiceKeepsZeroClients) {
+  // clients=0/flows>0 used to reload as clients=1: the flow-replay
+  // reconstruction charged every flow to placeholder client Ipv4(0).
+  const auto loaded = load_table(corpus("flow_only_zero_clients.tsv"));
+  ASSERT_TRUE(loaded.ok);
+  EXPECT_EQ(loaded.rows, 1u);
+  const auto* record = loaded.table.find(
+      {Ipv4::from_octets(128, 125, 0, 8), net::Proto::kTcp, 22});
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(record->clients.size(), 0u);
+  EXPECT_EQ(record->flows, 3u);
+
+  // And it round-trips: the reloaded table saves to the same bytes.
+  const std::string text = save_to_string(loaded.table);
+  std::istringstream in(text);
+  const auto again = load_table(in);
+  ASSERT_TRUE(again.ok);
+  EXPECT_EQ(save_to_string(again.table), text);
+}
+
+TEST(TableIoProperty, BackwardsTimeRejectedAsMalformed) {
+  // first_seen > last_activity was accepted silently, poisoning uptime
+  // and lifetime analyses downstream.
+  const auto loaded = load_table(corpus("backwards_time.tsv"));
+  ASSERT_TRUE(loaded.ok);
+  EXPECT_EQ(loaded.rows, 0u);
+  EXPECT_EQ(loaded.malformed, 1u);
+}
+
+}  // namespace
+}  // namespace svcdisc::passive

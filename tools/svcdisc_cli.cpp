@@ -956,17 +956,36 @@ int cmd_diff(int argc, const char* const* argv) {
                      .c_str());
     return 1;
   }
+  // A diff over partially-loaded tables can fabricate appearances or
+  // disappearances, so degraded input is surfaced before the verdict.
+  for (std::size_t i = 0; i < 2; ++i) {
+    const auto& loaded = i == 0 ? before : after;
+    if (loaded.malformed > 0) {
+      std::fprintf(stderr, "warning: %s: %zu malformed row(s) skipped\n",
+                   flags.positional()[i].c_str(), loaded.malformed);
+    }
+    if (loaded.clamped > 0) {
+      std::fprintf(stderr,
+                   "warning: %s: %zu row(s) with client tally clamped to "
+                   "%llu\n",
+                   flags.positional()[i].c_str(), loaded.clamped,
+                   static_cast<unsigned long long>(
+                       passive::kMaxRestoredClients));
+    }
+  }
   const auto diff = passive::diff_tables(before.table, after.table);
   std::printf("%zu unchanged, %zu appeared, %zu disappeared\n",
               diff.unchanged, diff.appeared.size(),
               diff.disappeared.size());
   for (const auto& key : diff.appeared) {
-    std::printf("+ %s %s/%u\n", key.addr.to_string().c_str(),
-                key.proto == net::Proto::kTcp ? "tcp" : "udp", key.port);
+    std::printf("+ %s %.*s/%u\n", key.addr.to_string().c_str(),
+                static_cast<int>(net::proto_name(key.proto).size()),
+                net::proto_name(key.proto).data(), key.port);
   }
   for (const auto& key : diff.disappeared) {
-    std::printf("- %s %s/%u\n", key.addr.to_string().c_str(),
-                key.proto == net::Proto::kTcp ? "tcp" : "udp", key.port);
+    std::printf("- %s %.*s/%u\n", key.addr.to_string().c_str(),
+                static_cast<int>(net::proto_name(key.proto).size()),
+                net::proto_name(key.proto).data(), key.port);
   }
   return diff.appeared.empty() && diff.disappeared.empty() ? 0 : 3;
 }
