@@ -33,6 +33,10 @@ run_asan() {
   # the pass that caught the merge_streams use-after-free.
   echo "== ASan + UBSan: fuzz corpus replay =="
   (cd build-asan && ctest --output-on-failure -j "$jobs" -L fuzz)
+  # The scenario label re-runs every checked-in scenario pack and
+  # byte-compares against its goldens — full campaigns under ASan.
+  echo "== ASan + UBSan: scenario packs =="
+  (cd build-asan && ctest --output-on-failure -j "$jobs" -L scenario)
 }
 
 run_tsan() {

@@ -93,6 +93,31 @@ void Host::disconnect() {
   schedule_next_connect();
 }
 
+void Host::force_offline() {
+  if (!online_) return;
+  online_ = false;
+  if (on_state_change) on_state_change(*this, false);
+  if (address_) {
+    network_.detach(*address_, this);
+    if (pool_) pool_->release(id_, *address_);
+  }
+  address_.reset();
+  // Unlike disconnect(), no reconnect timer: the host stays dark until
+  // force_online(). (A stale lifecycle timer firing while forced offline
+  // is harmless — connect()/disconnect() both early-return as needed.)
+}
+
+void Host::force_online(std::optional<net::Ipv4> new_static_addr) {
+  if (online_) return;
+  if (new_static_addr) {
+    if (pool_) {
+      throw std::logic_error("Host: cannot renumber a pooled host");
+    }
+    static_addr_ = new_static_addr;
+  }
+  connect();
+}
+
 void Host::schedule_next_connect() {
   network_.simulator().after_timer(draw_offline_gap(), this, kTimerConnect);
 }
@@ -123,6 +148,35 @@ void Host::on_packet(const net::Packet& p) {
   switch (p.proto) {
     case net::Proto::kTcp: {
       if (!p.flags.is_syn_only()) return;  // only handshake opens matter
+      if (syn_policy_ != SynPolicy::kNormal &&
+          !find_service(net::Proto::kTcp, p.dport, now)) {
+        // Middlebox/tarpit gear: complete the handshake even though no
+        // service listens. The tarpit holds the SYN-ACK for a fixed
+        // delay — long past any probe timeout — before letting it out.
+        if (syn_policy_ == SynPolicy::kSynAckAll) {
+          net::Packet reply = net::make_tcp(p.dst, p.dport, p.src, p.sport,
+                                            net::flags_syn_ack());
+          reply.ack_no = p.seq + 1;
+          network_.send(reply);
+          return;
+        }
+        // Capture scalars, not the Packet: rebuild the reply inside the
+        // deferred closure so it fits SmallFn's inline buffer.
+        const net::Ipv4 src = p.dst;
+        const net::Port sport = p.dport;
+        const net::Ipv4 dst = p.src;
+        const net::Port dport = p.sport;
+        const std::uint32_t ack_no = p.seq + 1;
+        network_.simulator().after(
+            tarpit_delay_, [this, src, sport, dst, dport, ack_no] {
+              if (!online_) return;  // went dark while holding the SYN
+              net::Packet reply = net::make_tcp(src, sport, dst, dport,
+                                                net::flags_syn_ack());
+              reply.ack_no = ack_no;
+              network_.send(reply);
+            });
+        return;
+      }
       if (find_service(net::Proto::kTcp, p.dport, now)) {
         net::Packet reply =
             net::make_tcp(p.dst, p.dport, p.src, p.sport, net::flags_syn_ack());

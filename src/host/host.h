@@ -37,6 +37,19 @@ enum class LifecycleKind : std::uint8_t {
   kTransient,  ///< alternates online/offline periods (laptops, dial-up)
 };
 
+/// How the host answers TCP SYNs that reach no live service.
+///
+/// kNormal is the honest stack the paper assumes; the other two model
+/// hostile-network gear from the scenario zoo: LZR-style DPI middleboxes
+/// that complete the handshake on *every* port (inflating active
+/// discovery with phantom services), and tarpits/honeypots that answer
+/// everything but only after a long delay (past any sane probe timeout).
+enum class SynPolicy : std::uint8_t {
+  kNormal,     ///< SYN-ACK iff a live service listens, else RST
+  kSynAckAll,  ///< SYN-ACK on every port (DPI middlebox, LZR §5)
+  kTarpit,     ///< SYN-ACK on every port after a fixed delay
+};
+
 struct LifecycleConfig {
   LifecycleKind kind{LifecycleKind::kAlwaysOn};
   /// Mean online session length for transient hosts.
@@ -79,6 +92,25 @@ class Host final : public sim::PacketSink, public sim::TimerTarget {
 
   /// Whether closed UDP ports elicit ICMP port-unreachable (default on).
   void set_udp_icmp(bool enabled) { udp_icmp_ = enabled; }
+
+  /// Overrides how TCP SYNs to serviceless ports are answered. `delay`
+  /// only matters for kTarpit (how long the handshake is held before the
+  /// SYN-ACK escapes).
+  void set_syn_policy(SynPolicy policy,
+                      util::Duration delay = util::seconds(40)) {
+    syn_policy_ = policy;
+    tarpit_delay_ = delay;
+  }
+  SynPolicy syn_policy() const { return syn_policy_; }
+
+  /// Takes the host down immediately *without* scheduling a reconnect —
+  /// an outage, not a lifecycle gap. Pair with force_online().
+  void force_offline();
+  /// Brings a forced-offline host back. For static hosts,
+  /// `new_static_addr` renumbers the host as part of the recovery (the
+  /// Internet-Heartbeat outage+renumbering workload); pooled hosts must
+  /// pass nullopt.
+  void force_online(std::optional<net::Ipv4> new_static_addr = std::nullopt);
 
   /// Whether ICMP echo requests are answered (default on). Hosts that
   /// drop pings are invisible to ping-based host discovery even though
@@ -124,6 +156,8 @@ class Host final : public sim::PacketSink, public sim::TimerTarget {
   util::Rng rng_;
   Firewall firewall_;
   std::vector<Service> services_;
+  SynPolicy syn_policy_{SynPolicy::kNormal};
+  util::Duration tarpit_delay_{util::seconds(40)};
   bool udp_icmp_{true};
   bool icmp_echo_{true};
   bool online_{false};

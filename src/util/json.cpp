@@ -1,0 +1,394 @@
+#include "util/json.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace svcdisc::util {
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+std::string_view JsonValue::kind_name() const {
+  switch (kind_) {
+    case Kind::kNull: return "null";
+    case Kind::kBool: return "bool";
+    case Kind::kNumber: return "number";
+    case Kind::kString: return "string";
+    case Kind::kArray: return "array";
+    case Kind::kObject: return "object";
+  }
+  return "?";
+}
+
+JsonValue JsonValue::make_null() { return {}; }
+
+JsonValue JsonValue::make_bool(bool v) {
+  JsonValue out;
+  out.kind_ = Kind::kBool;
+  out.bool_ = v;
+  return out;
+}
+
+JsonValue JsonValue::make_number(double v) {
+  JsonValue out;
+  out.kind_ = Kind::kNumber;
+  out.number_ = v;
+  return out;
+}
+
+JsonValue JsonValue::make_integer(std::int64_t v) {
+  JsonValue out;
+  out.kind_ = Kind::kNumber;
+  out.number_ = static_cast<double>(v);
+  out.int_ = v;
+  out.is_int_ = true;
+  return out;
+}
+
+JsonValue JsonValue::make_string(std::string v) {
+  JsonValue out;
+  out.kind_ = Kind::kString;
+  out.string_ = std::move(v);
+  return out;
+}
+
+JsonValue JsonValue::make_array(std::vector<JsonValue> items) {
+  JsonValue out;
+  out.kind_ = Kind::kArray;
+  out.items_ = std::move(items);
+  return out;
+}
+
+JsonValue JsonValue::make_object(
+    std::vector<std::pair<std::string, JsonValue>> members) {
+  JsonValue out;
+  out.kind_ = Kind::kObject;
+  out.members_ = std::move(members);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> parse(std::string* error) {
+    JsonValue value;
+    if (!parse_value(value, 0)) {
+      emit(error);
+      return std::nullopt;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing characters after JSON value");
+      emit(error);
+      return std::nullopt;
+    }
+    return value;
+  }
+
+ private:
+  bool parse_value(JsonValue& out, int depth) {
+    if (depth > kMaxJsonDepth) return fail("nesting too deep");
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{': return parse_object(out, depth);
+      case '[': return parse_array(out, depth);
+      case '"': return parse_string_value(out);
+      case 't':
+        if (!literal("true")) return false;
+        out = JsonValue::make_bool(true);
+        return true;
+      case 'f':
+        if (!literal("false")) return false;
+        out = JsonValue::make_bool(false);
+        return true;
+      case 'n':
+        if (!literal("null")) return false;
+        out = JsonValue::make_null();
+        return true;
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_object(JsonValue& out, int depth) {
+    ++pos_;  // '{'
+    std::vector<std::pair<std::string, JsonValue>> members;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      out = JsonValue::make_object(std::move(members));
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (peek() != '"') return fail("expected object key string");
+      std::string key;
+      if (!parse_string_raw(key)) return false;
+      skip_ws();
+      if (peek() != ':') return fail("expected ':' after object key");
+      ++pos_;
+      JsonValue value;
+      if (!parse_value(value, depth + 1)) return false;
+      members.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        out = JsonValue::make_object(std::move(members));
+        return true;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool parse_array(JsonValue& out, int depth) {
+    ++pos_;  // '['
+    std::vector<JsonValue> items;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      out = JsonValue::make_array(std::move(items));
+      return true;
+    }
+    while (true) {
+      JsonValue value;
+      if (!parse_value(value, depth + 1)) return false;
+      items.push_back(std::move(value));
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        out = JsonValue::make_array(std::move(items));
+        return true;
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool parse_string_value(JsonValue& out) {
+    std::string s;
+    if (!parse_string_raw(s)) return false;
+    out = JsonValue::make_string(std::move(s));
+    return true;
+  }
+
+  bool parse_string_raw(std::string& out) {
+    ++pos_;  // opening quote
+    out.clear();
+    while (pos_ < text_.size()) {
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        if (!parse_escape(out)) return false;
+        continue;
+      }
+      if (c < 0x20) return fail("unescaped control character in string");
+      out.push_back(static_cast<char>(c));
+      ++pos_;
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_escape(std::string& out) {
+    ++pos_;  // backslash
+    if (pos_ >= text_.size()) return fail("unterminated escape");
+    const char c = text_[pos_++];
+    switch (c) {
+      case '"': out.push_back('"'); return true;
+      case '\\': out.push_back('\\'); return true;
+      case '/': out.push_back('/'); return true;
+      case 'b': out.push_back('\b'); return true;
+      case 'f': out.push_back('\f'); return true;
+      case 'n': out.push_back('\n'); return true;
+      case 'r': out.push_back('\r'); return true;
+      case 't': out.push_back('\t'); return true;
+      case 'u': {
+        std::uint32_t cp = 0;
+        if (!hex4(cp)) return false;
+        // Surrogate pair: decode the low half when present; a lone
+        // surrogate is encoded as-is rather than rejected (scenario
+        // files are ASCII in practice; lenience keeps fuzz inputs from
+        // hard-failing on a corner the spec leaves to the application).
+        if (cp >= 0xD800 && cp <= 0xDBFF && pos_ + 1 < text_.size() &&
+            text_[pos_] == '\\' && text_[pos_ + 1] == 'u') {
+          const std::size_t rewind = pos_;
+          pos_ += 2;
+          std::uint32_t low = 0;
+          if (!hex4(low)) return false;
+          if (low >= 0xDC00 && low <= 0xDFFF) {
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          } else {
+            pos_ = rewind;  // not a pair after all
+          }
+        }
+        append_utf8(out, cp);
+        return true;
+      }
+      default: return fail("invalid escape sequence");
+    }
+  }
+
+  bool hex4(std::uint32_t& out) {
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (pos_ >= text_.size()) return fail("unterminated \\u escape");
+      const char c = text_[pos_++];
+      out <<= 4;
+      if (c >= '0' && c <= '9') {
+        out |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        out |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        out |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        return fail("invalid hex digit in \\u escape");
+      }
+    }
+    return true;
+  }
+
+  static void append_utf8(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (!digits()) return fail("invalid number");
+    bool integral = true;
+    if (peek() == '.') {
+      integral = false;
+      ++pos_;
+      if (!digits()) return fail("invalid number: missing fraction digits");
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      integral = false;
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!digits()) return fail("invalid number: missing exponent digits");
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    // Leading zeros (e.g. "0123") are invalid JSON.
+    const std::size_t first = token[0] == '-' ? 1 : 0;
+    if (token.size() > first + 1 && token[first] == '0' &&
+        token[first + 1] >= '0' && token[first + 1] <= '9') {
+      pos_ = start;
+      return fail("invalid number: leading zero");
+    }
+    if (integral) {
+      errno = 0;
+      char* end = nullptr;
+      const long long v = std::strtoll(token.c_str(), &end, 10);
+      if (errno == 0 && end == token.c_str() + token.size()) {
+        out = JsonValue::make_integer(v);
+        return true;
+      }
+    }
+    errno = 0;
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      pos_ = start;
+      return fail("invalid number");
+    }
+    out = JsonValue::make_number(v);
+    return true;
+  }
+
+  bool digits() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      return fail("invalid literal");
+    }
+    pos_ += word.size();
+    return true;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  bool fail(const char* reason) {
+    if (error_.empty()) {
+      error_ = reason;
+      error_pos_ = pos_;
+    }
+    return false;
+  }
+
+  void emit(std::string* error) const {
+    if (!error) return;
+    std::size_t line = 1;
+    std::size_t col = 1;
+    for (std::size_t i = 0; i < error_pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    *error = "line " + std::to_string(line) + " col " + std::to_string(col) +
+             ": " + error_;
+  }
+
+  std::string_view text_;
+  std::size_t pos_{0};
+  std::string error_;
+  std::size_t error_pos_{0};
+};
+
+}  // namespace
+
+std::optional<JsonValue> parse_json(std::string_view text,
+                                    std::string* error) {
+  return Parser(text).parse(error);
+}
+
+}  // namespace svcdisc::util

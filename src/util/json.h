@@ -1,0 +1,93 @@
+// A minimal, dependency-free JSON reader for scenario packs.
+//
+// The repo deliberately carries no third-party JSON library, and scenario
+// files are small hand-written configs, so this parser optimizes for
+// strictness and good error messages over speed: it accepts exactly
+// RFC 8259 JSON (no comments, no trailing commas), preserves object key
+// order for deterministic iteration, bounds nesting depth (the fuzz
+// campaign of PR 5 is the reason every recursive parser here has a depth
+// guard), and reports errors with a line/column position.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace svcdisc::util {
+
+/// Maximum nesting depth of arrays/objects accepted by parse_json.
+inline constexpr int kMaxJsonDepth = 64;
+
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  JsonValue() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return number_; }
+  /// True when the literal was an integer (no fraction/exponent) that
+  /// fits std::int64_t — lets callers read seeds without double rounding.
+  bool is_integer() const { return kind_ == Kind::kNumber && is_int_; }
+  std::int64_t as_integer() const { return int_; }
+  const std::string& as_string() const { return string_; }
+
+  const std::vector<JsonValue>& items() const { return items_; }
+  /// Object members in file order.
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+  /// First member named `key`, or nullptr. Linear scan: scenario objects
+  /// have a handful of keys.
+  const JsonValue* find(std::string_view key) const;
+
+  /// One-word name for diagnostics ("object", "string", ...).
+  std::string_view kind_name() const;
+
+  // Construction helpers used by the parser (and by tests).
+  static JsonValue make_null();
+  static JsonValue make_bool(bool v);
+  static JsonValue make_number(double v);
+  static JsonValue make_integer(std::int64_t v);
+  static JsonValue make_string(std::string v);
+  static JsonValue make_array(std::vector<JsonValue> items);
+  static JsonValue make_object(
+      std::vector<std::pair<std::string, JsonValue>> members);
+
+ private:
+  Kind kind_{Kind::kNull};
+  bool bool_{false};
+  double number_{0.0};
+  std::int64_t int_{0};
+  bool is_int_{false};
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parses one JSON document covering all of `text` (trailing whitespace
+/// allowed, trailing garbage rejected). On failure returns nullopt and,
+/// when `error` is non-null, stores a "line L col C: reason" message.
+std::optional<JsonValue> parse_json(std::string_view text,
+                                    std::string* error = nullptr);
+
+}  // namespace svcdisc::util

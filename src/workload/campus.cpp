@@ -40,7 +40,18 @@ Service udp_service(net::Port port, bool replies_to_probe) {
   return s;
 }
 
+std::uint32_t round_up_pow2(std::uint32_t v) {
+  std::uint32_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
 }  // namespace
+
+bool CampusConfig::zoo_enabled() const {
+  return middlebox_hosts > 0 || tarpit_hosts > 0 || cgnat_hosts > 0 ||
+         iot_burst_hosts > 0 || outage_hosts > 0;
+}
 
 // ---------------------------------------------------------------------------
 // Presets
@@ -172,6 +183,9 @@ Campus::Campus(CampusConfig config)
     build_traffic();
     if (config_.udp_mode) build_udp_population();
   }
+  // After the regular populations so their rng_ draw sequence — and with
+  // it every existing golden — is untouched when the zoo is off.
+  build_zoo_population();
 
   scanners_ = std::make_unique<ExternalScannerFleet>(*network_, scan_targets_);
   build_scanners();
@@ -207,6 +221,39 @@ void Campus::build_address_plan() {
     if (config_.include_wireless_in_scan) {
       for (std::uint32_t i = 0; i < 512; ++i) {
         scan_targets_.push_back(campus.at(kWirelessOffset + i));
+      }
+    }
+  }
+
+  if (config_.zoo_enabled()) {
+    if (config_.static_addresses > kMiddleboxBlockOffset) {
+      throw std::invalid_argument(
+          "campus: zoo blocks need static_addresses <= 12288");
+    }
+    if (config_.middlebox_hosts > 256 || config_.tarpit_hosts > 256 ||
+        config_.cgnat_addresses > 256 || config_.iot_burst_hosts > 256 ||
+        config_.outage_hosts > 256) {
+      throw std::invalid_argument("campus: zoo blocks hold at most 256");
+    }
+    config_.cgnat_addresses =
+        round_up_pow2(std::max<std::uint32_t>(config_.cgnat_addresses, 1));
+    for (std::uint32_t i = 0; i < config_.middlebox_hosts; ++i) {
+      scan_targets_.push_back(campus.at(kMiddleboxBlockOffset + i));
+    }
+    for (std::uint32_t i = 0; i < config_.tarpit_hosts; ++i) {
+      scan_targets_.push_back(campus.at(kTarpitBlockOffset + i));
+    }
+    if (config_.cgnat_hosts > 0) {
+      for (std::uint32_t i = 0; i < config_.cgnat_addresses; ++i) {
+        scan_targets_.push_back(campus.at(kCgnatBlockOffset + i));
+      }
+    }
+    for (std::uint32_t i = 0; i < config_.iot_burst_hosts; ++i) {
+      scan_targets_.push_back(campus.at(kIotBlockOffset + i));
+    }
+    if (config_.outage_renumber) {
+      for (std::uint32_t i = 0; i < config_.outage_hosts; ++i) {
+        scan_targets_.push_back(campus.at(kRenumberBlockOffset + i));
       }
     }
   }
@@ -1009,6 +1056,137 @@ void Campus::build_allports_population() {
   std::sort(tcp_ports_.begin(), tcp_ports_.end());
   tcp_ports_.erase(std::unique(tcp_ports_.begin(), tcp_ports_.end()),
                    tcp_ports_.end());
+}
+
+// ---------------------------------------------------------------------------
+// Hostile-network zoo (scenario packs)
+// ---------------------------------------------------------------------------
+
+void Campus::build_zoo_population() {
+  if (!config_.zoo_enabled()) return;  // must not touch rng_ when off
+  const net::Prefix campus(config_.campus_base, 16);
+  const LifecycleConfig always_on{LifecycleKind::kAlwaysOn, {}, {}, false};
+  util::Rng zoo = rng_.fork(0x200);
+  const double dur_sec = static_cast<double>(config_.duration.usec) / 1e6;
+
+  // DPI middleboxes: every port looks open to the prober, but real
+  // traffic through the box touches only genuine service ports — the
+  // LZR failure mode where active discovery inflates and passive does
+  // not.
+  for (std::uint32_t i = 0; i < config_.middlebox_hosts; ++i) {
+    const net::Ipv4 addr = campus.at(kMiddleboxBlockOffset + i);
+    Host* h = new_static_host(addr, always_on);
+    h->set_syn_policy(host::SynPolicy::kSynAckAll);
+    track(h, AddressClass::kStatic);
+    // A couple of genuine client contacts pass through the box on the
+    // web port, so the passive monitor sees it as exactly one service.
+    const int contacts = 1 + static_cast<int>(zoo.below(2));
+    for (int c = 0; c < contacts; ++c) {
+      const util::TimePoint at =
+          util::kEpoch + util::seconds_f(dur_sec * zoo.uniform());
+      const net::Ipv4 client =
+          external_address(0x200C0000ULL + i * 8ULL + static_cast<std::uint64_t>(c));
+      sim_.at(at, [this, addr, client, c] {
+        net::Packet syn =
+            net::make_tcp(client, static_cast<net::Port>(31000 + c), addr,
+                          net::kPortHttp, net::flags_syn());
+        network_->send(syn);
+      });
+    }
+  }
+
+  // Tarpits: the handshake completes, but only after tarpit_delay_sec —
+  // far past the prober timeout, so probes resolve kFiltered and the
+  // late SYN-ACKs must be ignored without stalling anything.
+  for (std::uint32_t i = 0; i < config_.tarpit_hosts; ++i) {
+    Host* h = new_static_host(campus.at(kTarpitBlockOffset + i), always_on);
+    h->set_syn_policy(host::SynPolicy::kTarpit,
+                      util::seconds_f(config_.tarpit_delay_sec));
+    track(h, AddressClass::kStatic);
+  }
+
+  // CGNAT: many short-session hosts leased out of a tiny non-sticky pool,
+  // so one address fronts different machines (and different service
+  // sets) over the campaign.
+  if (config_.cgnat_hosts > 0) {
+    int bits = 32;
+    for (std::uint32_t s = config_.cgnat_addresses; s > 1; s >>= 1) --bits;
+    cgnat_pool_ = std::make_unique<host::AddressPool>(
+        AddressClass::kDhcp,
+        net::Prefix(campus.at(kCgnatBlockOffset), bits), false,
+        config_.seed ^ 0x5555);
+    for (std::uint32_t i = 0; i < config_.cgnat_hosts; ++i) {
+      const LifecycleConfig lc{LifecycleKind::kTransient, util::minutes(40),
+                               util::hours(3), true};
+      Host* h = new_pool_host(*cgnat_pool_, lc);
+      const bool serves = zoo.chance(config_.cgnat_service_frac);
+      if (serves) {
+        h->add_service(zoo.chance(0.7)
+                           ? tcp_service(net::kPortHttp, WebContent::kDefault)
+                           : tcp_service(net::kPortSsh));
+      }
+      track(h, AddressClass::kDhcp);
+      if (serves && zoo.chance(0.5)) {
+        const Service& s = h->services().front();
+        TrafficTarget t;
+        t.target = h;
+        t.proto = s.proto;
+        t.port = s.port;
+        t.flows_per_hour = 0.1 * config_.traffic_scale;
+        t.clients = make_client_pool(1 + zoo.below(3), 0x26A70000ULL + i);
+        flows_->add_target(std::move(t));
+      }
+    }
+  }
+
+  // IoT burst: a fleet of identical devices arrives together
+  // mid-campaign; a fraction churns away a day later. Each is overheard
+  // once shortly after arriving, so passive discovery shows the arrival
+  // step while active only catches whichever scan lands inside the
+  // window.
+  const util::TimePoint burst =
+      util::kEpoch + util::seconds_f(config_.iot_burst_day * 86400.0);
+  for (std::uint32_t i = 0; i < config_.iot_burst_hosts; ++i) {
+    const net::Ipv4 addr = campus.at(kIotBlockOffset + i);
+    Host* h = new_static_host(addr, always_on);
+    Service s = tcp_service(net::kPortHttp, WebContent::kMinimal);
+    s.birth = burst + util::seconds_f(zoo.uniform() * 3600.0);
+    if (zoo.chance(config_.iot_churn_frac)) s.death = s.birth + util::days(1);
+    h->add_service(s);
+    track(h, AddressClass::kStatic);
+    const util::TimePoint heard = s.birth + util::seconds_f(
+        60.0 + zoo.uniform() * 7200.0);
+    const net::Ipv4 client = external_address(0x107B0000ULL + i);
+    sim_.at(heard, [this, addr, client] {
+      net::Packet syn = net::make_tcp(client, net::Port{32000}, addr,
+                                      net::kPortHttp, net::flags_syn());
+      network_->send(syn);
+    });
+  }
+
+  // Outage: the hottest servers (front of the traffic-slot list) go dark
+  // together and come back hours later — optionally renumbered into the
+  // reserved block, the Internet-Heartbeat event that splits an
+  // address's history in two.
+  if (config_.outage_hosts > 0 && !traffic_slots_.empty()) {
+    const util::TimePoint down_at =
+        util::kEpoch + util::seconds_f(config_.outage_day * 86400.0);
+    const util::TimePoint up_at =
+        down_at + util::seconds_f(config_.outage_duration_hours * 3600.0);
+    const auto count = std::min<std::size_t>(config_.outage_hosts,
+                                             traffic_slots_.size());
+    for (std::size_t i = 0; i < count; ++i) {
+      Host* h = traffic_slots_[i].host;
+      sim_.at(down_at, [h] { h->force_offline(); });
+      if (config_.outage_renumber) {
+        const net::Ipv4 fresh =
+            campus.at(kRenumberBlockOffset + static_cast<std::uint32_t>(i));
+        sim_.at(up_at, [h, fresh] { h->force_online(fresh); });
+      } else {
+        sim_.at(up_at, [h] { h->force_online(); });
+      }
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------

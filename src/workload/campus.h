@@ -40,6 +40,16 @@
 
 namespace svcdisc::workload {
 
+/// Hostile-network zoo block offsets inside the campus /16. Like the
+/// transient blocks they sit at fixed, aligned offsets — in the gap
+/// between the static region and the VPN block — so scenario goldens
+/// stay stable as counts change. Each block holds at most 256 addresses.
+inline constexpr std::uint32_t kMiddleboxBlockOffset = 12288;
+inline constexpr std::uint32_t kTarpitBlockOffset = 12544;
+inline constexpr std::uint32_t kCgnatBlockOffset = 12800;
+inline constexpr std::uint32_t kIotBlockOffset = 13056;
+inline constexpr std::uint32_t kRenumberBlockOffset = 13312;
+
 struct CampusConfig {
   std::uint64_t seed{0x5eedULL};
   util::Duration duration{util::days(18)};
@@ -142,6 +152,37 @@ struct CampusConfig {
   /// DTCPall: one /24 of lab machines, services on arbitrary ports.
   bool all_ports_mode{false};
 
+  // ---- hostile-network zoo (scenario packs; DESIGN.md §12) ----------------
+  // All counts default to 0, and the builders draw no randomness when the
+  // zoo is off, so ordinary presets stay byte-identical with the zoo
+  // compiled in. Enabling any zoo feature requires
+  // static_addresses <= kMiddleboxBlockOffset (the blocks live in the gap
+  // above the static region) and counts of at most 256 per block.
+  /// LZR-style DPI gear: SYN-ACKs on every port, inflating active
+  /// discovery with phantom services the passive monitor never confirms.
+  std::uint32_t middlebox_hosts{0};
+  /// Tarpits/honeypots: SYN-ACK everything, but only after a delay that
+  /// outlasts any sane probe timeout.
+  std::uint32_t tarpit_hosts{0};
+  double tarpit_delay_sec{40.0};
+  /// CGNAT block: many short-session hosts behind a tiny shared pool.
+  std::uint32_t cgnat_hosts{0};
+  std::uint32_t cgnat_addresses{16};  ///< pool size (rounded up to 2^k)
+  double cgnat_service_frac{0.35};
+  /// IoT fleet arriving mid-campaign (tenant churn / burst onboarding).
+  std::uint32_t iot_burst_hosts{0};
+  double iot_burst_day{0.5};
+  double iot_churn_frac{0.5};  ///< fraction gone again one day later
+  /// Outage event: the hottest servers go dark mid-campaign and — with
+  /// outage_renumber — come back under fresh addresses.
+  std::uint32_t outage_hosts{0};
+  double outage_day{1.0};
+  double outage_duration_hours{6.0};
+  bool outage_renumber{false};
+
+  /// True when any zoo population is configured.
+  bool zoo_enabled() const;
+
   // Presets (paper Table 1).
   static CampusConfig dtcp1_18d();
   static CampusConfig dtcp1_90d();
@@ -213,6 +254,7 @@ class Campus {
   void build_scanners();
   void build_udp_population();
   void build_allports_population();
+  void build_zoo_population();
 
   host::Host* new_static_host(net::Ipv4 addr, host::LifecycleConfig lc);
   host::Host* new_pool_host(host::AddressPool& pool, host::LifecycleConfig lc);
@@ -239,6 +281,7 @@ class Campus {
   std::unique_ptr<host::AddressPool> dhcp_pool_;
   std::unique_ptr<host::AddressPool> ppp_pool_;
   std::unique_ptr<host::AddressPool> wireless_pool_;
+  std::unique_ptr<host::AddressPool> cgnat_pool_;
 
   std::vector<std::unique_ptr<host::Host>> hosts_;
   std::vector<HostInfo> host_infos_;

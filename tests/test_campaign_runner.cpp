@@ -2,15 +2,15 @@
 //
 // A campaign is a pure function of (config, seed): the same job must
 // produce byte-identical exports whether run serially, run twice, or
-// run on a multi-threaded CampaignRunner. A golden snapshot under
-// tests/data/ pins the output across commits — if a change legitimately
-// alters campaign behaviour, regenerate it with
-//   SVCDISC_REGOLDEN=1 ./test_campaign_runner
+// run on a multi-threaded CampaignRunner. The byte-level golden for the
+// tiny campaign lives in the usc_tiny scenario pack
+// (tests/scenarios/usc_tiny/, see DESIGN.md §12); this suite pins the
+// runner against those goldens through the same verify oracle the CLI
+// uses, so there is exactly one source of truth. Re-record with
+//   svcdisc_cli scenario record tests/scenarios/usc_tiny --force
 #include <gtest/gtest.h>
 
 #include <algorithm>
-#include <cstdlib>
-#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -20,6 +20,7 @@
 #include "core/categorize.h"
 #include "core/completeness.h"
 #include "core/report.h"
+#include "core/scenario.h"
 #include "workload/campus.h"
 
 namespace svcdisc::core {
@@ -162,31 +163,38 @@ TEST(CampaignRunner, SetupHookRunsBeforeDrive) {
   EXPECT_EQ(drive_at, 1);
 }
 
-// Golden snapshot: pins the tiny-campaign export byte for byte. The
-// snapshot lives in the repo, so any behavioural drift — intended or
-// not — shows up as a reviewable diff.
-TEST(CampaignRunner, GoldenSnapshotUnchanged) {
-  const std::string path =
-      std::string(SVCDISC_TEST_DATA_DIR) + "/campaign_tiny_seed42.golden";
-  const auto results = CampaignRunner(1).run(golden_jobs(1));
-  ASSERT_EQ(results.size(), 1u);
-  const std::string got = export_campaign(results[0]);
+// Golden snapshot: the usc_tiny scenario pack mirrors golden_campus() /
+// golden_engine() exactly, so verifying it here pins the runner's
+// byte-level output across commits through the same oracle
+// `svcdisc_cli scenario verify` and `ctest -L scenario` use. Any
+// behavioural drift — intended or not — shows up as a reviewable diff
+// in tests/scenarios/usc_tiny/expected/.
+TEST(CampaignRunner, UscTinyScenarioPackMatchesGoldens) {
+  const std::string dir = std::string(SVCDISC_SCENARIO_DIR) + "/usc_tiny";
+  ScenarioSpec spec;
+  std::string error;
+  ASSERT_TRUE(load_scenario(dir, &spec, &error)) << error;
 
-  if (std::getenv("SVCDISC_REGOLDEN")) {
-    std::ofstream out(path, std::ios::binary);
-    ASSERT_TRUE(out) << "cannot write " << path;
-    out << got;
-    GTEST_SKIP() << "regenerated " << path;
-  }
+  // The pack must describe the same campaign this suite's determinism
+  // tests run — otherwise the golden would silently pin something else.
+  const auto campus = golden_campus();
+  EXPECT_EQ(spec.campus.seed, kGoldenSeed);
+  EXPECT_EQ(spec.campus.duration, campus.duration);
+  EXPECT_EQ(spec.campus.static_addresses, campus.static_addresses);
+  const auto engine = golden_engine();
+  EXPECT_EQ(spec.engine.scan_count, engine.scan_count);
+  EXPECT_EQ(spec.engine.scan_period, engine.scan_period);
+  EXPECT_EQ(spec.engine.first_scan_offset, engine.first_scan_offset);
 
-  std::ifstream in(path, std::ios::binary);
-  ASSERT_TRUE(in) << "missing golden file " << path
-                  << " (regenerate with SVCDISC_REGOLDEN=1)";
-  std::ostringstream want;
-  want << in.rdbuf();
-  EXPECT_EQ(got, want.str())
-      << "campaign output drifted from the golden snapshot; if the "
-         "change is intentional, rerun with SVCDISC_REGOLDEN=1";
+  ScenarioArtifacts artifacts;
+  ASSERT_TRUE(run_scenario(spec, &artifacts, &error)) << error;
+  const VerifyReport report = verify_scenario(spec, artifacts);
+  EXPECT_TRUE(report.ok())
+      << "campaign output drifted from the usc_tiny goldens; if the "
+         "change is intentional, re-record with `svcdisc_cli scenario "
+         "record "
+      << dir << " --force`\n"
+      << report.to_string();
 }
 
 }  // namespace

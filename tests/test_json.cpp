@@ -1,0 +1,81 @@
+// util::parse_json — the strict RFC 8259 reader behind scenario packs.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/json.h"
+
+namespace svcdisc::util {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(parse_json("null")->is_null());
+  EXPECT_TRUE(parse_json("true")->as_bool());
+  EXPECT_FALSE(parse_json("false")->as_bool());
+  EXPECT_DOUBLE_EQ(parse_json("-2.5e2")->as_number(), -250.0);
+  EXPECT_EQ(parse_json("\"hi\"")->as_string(), "hi");
+}
+
+TEST(Json, IntegerLiteralsKeepExactValue) {
+  const auto v = parse_json("9007199254740993");  // 2^53 + 1
+  ASSERT_TRUE(v && v->is_integer());
+  EXPECT_EQ(v->as_integer(), 9007199254740993LL);
+  // A fraction or exponent is not an integer literal.
+  EXPECT_FALSE(parse_json("1.0")->is_integer());
+  EXPECT_FALSE(parse_json("1e3")->is_integer());
+}
+
+TEST(Json, ObjectPreservesKeyOrderAndFindsKeys) {
+  const auto v = parse_json(R"({"z": 1, "a": 2, "m": [3, 4]})");
+  ASSERT_TRUE(v && v->is_object());
+  ASSERT_EQ(v->members().size(), 3u);
+  EXPECT_EQ(v->members()[0].first, "z");
+  EXPECT_EQ(v->members()[1].first, "a");
+  EXPECT_EQ(v->members()[2].first, "m");
+  ASSERT_NE(v->find("m"), nullptr);
+  EXPECT_EQ(v->find("m")->items().size(), 2u);
+  EXPECT_EQ(v->find("missing"), nullptr);
+}
+
+TEST(Json, StringEscapes) {
+  EXPECT_EQ(parse_json(R"("a\"b\\c\n\t")")->as_string(), "a\"b\\c\n\t");
+  EXPECT_EQ(parse_json(R"("Aé")")->as_string(), "A\xc3\xa9");
+  // Surrogate pair → one astral code point (UTF-8: f0 9f 98 80).
+  EXPECT_EQ(parse_json(R"("😀")")->as_string(),
+            "\xf0\x9f\x98\x80");
+}
+
+TEST(Json, RejectsMalformedInputWithPosition) {
+  std::string error;
+  EXPECT_FALSE(parse_json("{\"a\": 1,}", &error));
+  EXPECT_NE(error.find("line 1"), std::string::npos) << error;
+  EXPECT_FALSE(parse_json("{\n  \"a\": bogus\n}", &error));
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+  EXPECT_FALSE(parse_json("", &error));
+  EXPECT_FALSE(parse_json("01", &error));       // leading zero
+  EXPECT_FALSE(parse_json("1 2", &error));      // trailing garbage
+  EXPECT_FALSE(parse_json("\"abc", &error));    // unterminated string
+  EXPECT_FALSE(parse_json("{\"a\" 1}", &error));  // missing colon
+}
+
+TEST(Json, TruncatedDocumentFails) {
+  std::string error;
+  EXPECT_FALSE(parse_json(R"({"name": "x", "campus": {"dur)", &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(Json, DepthGuardStopsRunawayNesting) {
+  std::string deep;
+  for (int i = 0; i < kMaxJsonDepth + 8; ++i) deep += '[';
+  std::string error;
+  EXPECT_FALSE(parse_json(deep, &error));
+  EXPECT_NE(error.find("too deep"), std::string::npos) << error;
+  // Exactly at the limit is fine.
+  std::string ok;
+  for (int i = 0; i < kMaxJsonDepth; ++i) ok += '[';
+  for (int i = 0; i < kMaxJsonDepth; ++i) ok += ']';
+  EXPECT_TRUE(parse_json(ok, &error)) << error;
+}
+
+}  // namespace
+}  // namespace svcdisc::util

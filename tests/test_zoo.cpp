@@ -1,0 +1,312 @@
+// Hostile-network zoo: SYN-policy middleboxes/tarpits, forced outages
+// with renumbering, and the campus-level zoo blocks that feed the
+// scenario packs (DESIGN.md §12).
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "core/engine.h"
+#include "host/host.h"
+#include "net/packet.h"
+#include "passive/service_table.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "workload/campus.h"
+
+namespace svcdisc {
+namespace {
+
+using host::Host;
+using host::LifecycleConfig;
+using host::LifecycleKind;
+using host::Service;
+using host::SynPolicy;
+using net::Ipv4;
+using net::Packet;
+using net::Prefix;
+using util::kEpoch;
+using util::seconds;
+
+// Records every delivered packet together with the simulated time it
+// arrived — the tarpit tests are about *when* the SYN-ACK escapes.
+class TimedRecorder : public sim::PacketSink {
+ public:
+  explicit TimedRecorder(sim::Simulator& sim) : sim_(sim) {}
+  void on_packet(const Packet& p) override {
+    received.push_back(p);
+    times.push_back(sim_.now());
+  }
+  std::vector<Packet> received;
+  std::vector<util::TimePoint> times;
+
+ private:
+  sim::Simulator& sim_;
+};
+
+struct ZooHostFixture : ::testing::Test {
+  ZooHostFixture()
+      : network(sim, {Prefix(Ipv4::from_octets(128, 125, 0, 0), 16),
+                      Prefix(Ipv4::from_octets(10, 1, 0, 0), 24)}),
+        rec(sim) {}
+
+  Host make_host(Ipv4 addr) {
+    return Host(next_id++, network, nullptr, addr,
+                LifecycleConfig{LifecycleKind::kAlwaysOn, {}, {}, false},
+                util::Rng(99));
+  }
+
+  void attach_client() { network.attach(client, &rec); }
+
+  void send_syn(Ipv4 dst, net::Port port, std::uint32_t seq = 1000) {
+    Packet syn = net::make_tcp(client, 1234, dst, port, net::flags_syn());
+    syn.seq = seq;
+    network.send(syn);
+  }
+
+  sim::Simulator sim;
+  sim::Network network;
+  host::HostId next_id{1};
+  TimedRecorder rec;
+  const Ipv4 host_addr = Ipv4::from_octets(128, 125, 5, 5);
+  const Ipv4 client = Ipv4::from_octets(66, 2, 3, 4);
+};
+
+Service tcp80() {
+  Service s;
+  s.proto = net::Proto::kTcp;
+  s.port = 80;
+  return s;
+}
+
+TEST_F(ZooHostFixture, SynAckAllAnswersEveryServicelessPort) {
+  Host h = make_host(host_addr);
+  h.set_syn_policy(SynPolicy::kSynAckAll);
+  h.start();
+  attach_client();
+  for (const net::Port port : {net::Port{80}, net::Port{22},
+                               net::Port{12345}}) {
+    send_syn(host_addr, port, 5000);
+  }
+  sim.run();
+  ASSERT_EQ(rec.received.size(), 3u);
+  for (const Packet& reply : rec.received) {
+    EXPECT_TRUE(reply.flags.is_syn_ack());
+    EXPECT_FALSE(reply.flags.rst());
+    EXPECT_EQ(reply.src, host_addr);
+    EXPECT_EQ(reply.ack_no, 5001u);  // acks the probe's ISN
+  }
+}
+
+TEST_F(ZooHostFixture, SynAckAllStillIgnoresNonSynTcp) {
+  Host h = make_host(host_addr);
+  h.set_syn_policy(SynPolicy::kSynAckAll);
+  h.start();
+  attach_client();
+  network.send(
+      net::make_tcp(client, 1234, host_addr, 80, net::flags_ack()));
+  sim.run();
+  EXPECT_TRUE(rec.received.empty());
+}
+
+TEST_F(ZooHostFixture, RealServiceStillAnswersUnderSynAckAll) {
+  Host h = make_host(host_addr);
+  h.add_service(tcp80());
+  h.set_syn_policy(SynPolicy::kSynAckAll);
+  h.start();
+  attach_client();
+  send_syn(host_addr, 80);
+  sim.run();
+  ASSERT_EQ(rec.received.size(), 1u);
+  EXPECT_TRUE(rec.received[0].flags.is_syn_ack());
+  EXPECT_EQ(rec.received[0].sport, 80);
+}
+
+TEST_F(ZooHostFixture, TarpitHoldsTheSynAckForTheConfiguredDelay) {
+  Host h = make_host(host_addr);
+  h.set_syn_policy(SynPolicy::kTarpit, seconds(45));
+  h.start();
+  attach_client();
+  send_syn(host_addr, 22);
+  sim.run();
+  ASSERT_EQ(rec.received.size(), 1u);
+  EXPECT_TRUE(rec.received[0].flags.is_syn_ack());
+  ASSERT_EQ(rec.times.size(), 1u);
+  EXPECT_GE(rec.times[0], kEpoch + seconds(45));
+}
+
+TEST_F(ZooHostFixture, TarpitReplyIsDroppedIfTheHostWentOffline) {
+  Host h = make_host(host_addr);
+  h.set_syn_policy(SynPolicy::kTarpit, seconds(45));
+  h.start();
+  attach_client();
+  send_syn(host_addr, 22);
+  sim.after(seconds(10), [&h] { h.force_offline(); });
+  sim.run();
+  EXPECT_TRUE(rec.received.empty());
+}
+
+TEST_F(ZooHostFixture, ForceOfflineSilencesAndForceOnlineRestores) {
+  Host h = make_host(host_addr);
+  h.add_service(tcp80());
+  h.start();
+  h.force_offline();
+  attach_client();
+  send_syn(host_addr, 80);
+  sim.run();
+  EXPECT_TRUE(rec.received.empty());
+  h.force_online();
+  send_syn(host_addr, 80);
+  sim.run();
+  ASSERT_EQ(rec.received.size(), 1u);
+  EXPECT_TRUE(rec.received[0].flags.is_syn_ack());
+}
+
+TEST_F(ZooHostFixture, ForceOnlineCanRenumberAStaticHost) {
+  const Ipv4 new_addr = Ipv4::from_octets(128, 125, 52, 1);
+  Host h = make_host(host_addr);
+  h.add_service(tcp80());
+  h.start();
+  h.force_offline();
+  h.force_online(new_addr);
+  attach_client();
+  send_syn(new_addr, 80);
+  send_syn(host_addr, 80);
+  sim.run();
+  ASSERT_EQ(rec.received.size(), 1u);  // only the new address answers
+  EXPECT_EQ(rec.received[0].src, new_addr);
+}
+
+// --- Campus-level zoo blocks -------------------------------------------
+
+workload::CampusConfig zoo_tiny() {
+  auto cfg = workload::CampusConfig::tiny();
+  cfg.duration = util::days(1);
+  return cfg;
+}
+
+core::EngineConfig one_scan() {
+  core::EngineConfig cfg;
+  cfg.scan_count = 1;
+  cfg.first_scan_offset = util::hours(1);
+  return cfg;
+}
+
+std::size_t services_in_block(const passive::ServiceTable& table,
+                              const workload::CampusConfig& cfg,
+                              std::uint32_t offset, std::uint32_t count) {
+  const Prefix campus(cfg.campus_base, 16);
+  std::size_t n = 0;
+  table.for_each([&](const passive::ServiceKey& key,
+                     const passive::ServiceRecord&) {
+    const std::uint32_t delta = key.addr.value() - campus.base().value();
+    if (campus.contains(key.addr) && delta >= offset &&
+        delta < offset + count) {
+      ++n;
+    }
+  });
+  return n;
+}
+
+TEST(CampusZoo, MiddleboxInflatesActiveButNotPassive) {
+  auto cfg = zoo_tiny();
+  cfg.middlebox_hosts = 4;
+  workload::Campus campus(cfg);
+  core::DiscoveryEngine engine(campus, one_scan());
+  engine.run();
+  const std::size_t active = services_in_block(
+      engine.prober().table(), cfg, workload::kMiddleboxBlockOffset, 4);
+  const std::size_t passive = services_in_block(
+      engine.monitor().table(), cfg, workload::kMiddleboxBlockOffset, 4);
+  // The prober sees a phantom service on every probed port; the monitor
+  // sees only the single real HTTP contact per middlebox.
+  EXPECT_GE(active, 4u * 3u);
+  EXPECT_LE(passive, 8u);
+  EXPECT_LT(passive, active);
+}
+
+TEST(CampusZoo, TarpitsDoNotStallTheScanAndStayOutOfTheTable) {
+  auto cfg = zoo_tiny();
+  cfg.tarpit_hosts = 4;
+  cfg.tarpit_delay_sec = 120.0;  // far past any probe timeout
+  workload::Campus campus(cfg);
+  core::DiscoveryEngine engine(campus, one_scan());
+  engine.run();
+  ASSERT_EQ(engine.prober().scans().size(), 1u);
+  // The delayed SYN-ACKs arrive after the probes resolved as timeouts;
+  // the late replies must neither stall the engine nor fabricate
+  // services on tarpit addresses.
+  EXPECT_EQ(services_in_block(engine.prober().table(), cfg,
+                              workload::kTarpitBlockOffset, 4),
+            0u);
+}
+
+TEST(CampusZoo, CgnatBlockScansOnlyThePoolAddresses) {
+  auto cfg = zoo_tiny();
+  cfg.cgnat_hosts = 16;
+  cfg.cgnat_addresses = 4;
+  workload::Campus campus(cfg);
+  const Prefix campus_net(cfg.campus_base, 16);
+  std::size_t cgnat_targets = 0;
+  for (const Ipv4 addr : campus.scan_targets()) {
+    const std::uint32_t delta = addr.value() - campus_net.base().value();
+    if (campus_net.contains(addr) &&
+        delta >= workload::kCgnatBlockOffset &&
+        delta < workload::kCgnatBlockOffset + 256) {
+      ++cgnat_targets;
+    }
+  }
+  // 16 hosts time-share exactly 4 scannable addresses.
+  EXPECT_EQ(cgnat_targets, 4u);
+}
+
+TEST(CampusZoo, RenumberBlockIsScannedOnlyWhenOutageRenumbers) {
+  auto plain = zoo_tiny();
+  plain.outage_hosts = 4;
+  auto renumbering = plain;
+  renumbering.outage_renumber = true;
+  const auto targets_in_renumber_block = [](const workload::Campus& c) {
+    const Prefix net(c.config().campus_base, 16);
+    std::size_t n = 0;
+    for (const Ipv4 addr : c.scan_targets()) {
+      const std::uint32_t delta = addr.value() - net.base().value();
+      if (net.contains(addr) && delta >= workload::kRenumberBlockOffset &&
+          delta < workload::kRenumberBlockOffset + 256) {
+        ++n;
+      }
+    }
+    return n;
+  };
+  workload::Campus c1(plain);
+  workload::Campus c2(renumbering);
+  EXPECT_EQ(targets_in_renumber_block(c1), 0u);
+  EXPECT_EQ(targets_in_renumber_block(c2), 4u);
+}
+
+TEST(CampusZoo, ZooBlocksRejectOversizedConfigs) {
+  auto overlapping = zoo_tiny();
+  overlapping.static_addresses = workload::kMiddleboxBlockOffset + 1;
+  overlapping.middlebox_hosts = 1;
+  EXPECT_THROW(workload::Campus{overlapping}, std::invalid_argument);
+  auto oversized = zoo_tiny();
+  oversized.tarpit_hosts = 257;
+  EXPECT_THROW(workload::Campus{oversized}, std::invalid_argument);
+}
+
+TEST(CampusZoo, DisabledZooLeavesTheCampaignByteIdentical) {
+  // CampusConfig::zoo_enabled() gates every zoo code path; with all
+  // counts zero the rng stream and the address plan must be untouched.
+  auto cfg = zoo_tiny();
+  EXPECT_FALSE(cfg.zoo_enabled());
+  auto zoo = zoo_tiny();
+  zoo.middlebox_hosts = 1;
+  EXPECT_TRUE(zoo.zoo_enabled());
+  workload::Campus plain_campus(cfg);
+  workload::Campus zoo_campus(zoo);
+  EXPECT_EQ(zoo_campus.scan_targets().size(),
+            plain_campus.scan_targets().size() + 1);
+}
+
+}  // namespace
+}  // namespace svcdisc

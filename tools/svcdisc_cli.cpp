@@ -2,6 +2,8 @@
 //
 // Subcommands:
 //   scenarios                      list the built-in dataset presets
+//   scenario <action> <dir>        scenario packs: run, record goldens,
+//                                  verify byte-for-byte, list a zoo dir
 //   run [flags]                    run a campaign, print the summary
 //   campaign [flags]               parallel seed sweep + metrics export
 //   loss-sweep [flags]             completeness vs capture loss (§4 under
@@ -46,6 +48,7 @@
 #include "core/engine.h"
 #include "core/provenance.h"
 #include "core/report.h"
+#include "core/scenario.h"
 #include "passive/table_io.h"
 #include "util/flags.h"
 #include "util/logging.h"
@@ -83,7 +86,43 @@ const Scenario* find_scenario(const std::string& name) {
   return nullptr;
 }
 
-int cmd_scenarios() {
+// Uniform argument handling for every subcommand: parse flags, require
+// exactly `positionals` non-flag arguments, and on any problem print the
+// usage (stdout for --help, stderr + non-zero otherwise). Returns true
+// when the command may proceed; otherwise *exit_code holds its result.
+// Centralized because the pre-audit CLI accepted unknown flags or stray
+// positionals as success (exit 0) on several paths, which silently
+// swallowed typos in scripts and CI.
+bool parse_or_usage(util::Flags& flags, int argc, const char* const* argv,
+                    std::size_t positionals, const char* pos_usage,
+                    int* exit_code) {
+  const bool parsed = flags.parse(argc, argv);
+  if (parsed && flags.positional().size() == positionals) {
+    *exit_code = 0;
+    return true;
+  }
+  std::FILE* out = flags.help_requested() ? stdout : stderr;
+  std::fputs(flags.usage().c_str(), out);
+  if (pos_usage != nullptr) std::fputs(pos_usage, out);
+  if (!flags.help_requested()) {
+    if (!parsed) {
+      std::fprintf(stderr, "error: %s\n", flags.error().c_str());
+    } else {
+      std::fprintf(stderr,
+                   "error: expected %zu positional argument(s), got %zu\n",
+                   positionals, flags.positional().size());
+    }
+  }
+  *exit_code = flags.help_requested() ? 0 : 2;
+  return false;
+}
+
+int cmd_scenarios(int argc, const char* const* argv) {
+  util::Flags flags("svcdisc_cli scenarios", "list the dataset presets");
+  int exit_code = 0;
+  if (!parse_or_usage(flags, argc, argv, 0, nullptr, &exit_code)) {
+    return exit_code;
+  }
   analysis::TextTable table({"name", "description"});
   for (const Scenario& s : kScenarios) table.add_row({s.name, s.summary});
   std::fputs(table.render().c_str(), stdout);
@@ -158,13 +197,9 @@ int cmd_run(int argc, const char* const* argv) {
                    "write the per-service evidence ledger (JSONL) here",
                    &provenance_path);
   add_log_level_flag(flags, &log_level_text);
-  if (!flags.parse(argc, argv)) {
-    std::fputs(flags.usage().c_str(),
-               flags.help_requested() ? stdout : stderr);
-    if (!flags.help_requested()) {
-      std::fprintf(stderr, "error: %s\n", flags.error().c_str());
-    }
-    return flags.help_requested() ? 0 : 2;
+  int exit_code = 0;
+  if (!parse_or_usage(flags, argc, argv, 0, nullptr, &exit_code)) {
+    return exit_code;
   }
   const Scenario* scenario = find_scenario(scenario_name);
   if (!scenario) {
@@ -333,13 +368,9 @@ int cmd_campaign(int argc, const char* const* argv) {
                    "write every job's evidence ledger (labelled JSONL) here",
                    &provenance_path);
   add_log_level_flag(flags, &log_level_text);
-  if (!flags.parse(argc, argv)) {
-    std::fputs(flags.usage().c_str(),
-               flags.help_requested() ? stdout : stderr);
-    if (!flags.help_requested()) {
-      std::fprintf(stderr, "error: %s\n", flags.error().c_str());
-    }
-    return flags.help_requested() ? 0 : 2;
+  int exit_code = 0;
+  if (!parse_or_usage(flags, argc, argv, 0, nullptr, &exit_code)) {
+    return exit_code;
   }
   const Scenario* scenario = find_scenario(scenario_name);
   if (!scenario) {
@@ -499,13 +530,9 @@ int cmd_loss_sweep(int argc, const char* const* argv) {
                    "write every row's evidence ledger (labelled JSONL) here",
                    &provenance_path);
   add_log_level_flag(flags, &log_level_text);
-  if (!flags.parse(argc, argv)) {
-    std::fputs(flags.usage().c_str(),
-               flags.help_requested() ? stdout : stderr);
-    if (!flags.help_requested()) {
-      std::fprintf(stderr, "error: %s\n", flags.error().c_str());
-    }
-    return flags.help_requested() ? 0 : 2;
+  int exit_code = 0;
+  if (!parse_or_usage(flags, argc, argv, 0, nullptr, &exit_code)) {
+    return exit_code;
   }
   const Scenario* scenario = find_scenario(scenario_name);
   if (!scenario) {
@@ -755,12 +782,11 @@ int cmd_explain(int argc, const char* const* argv) {
                   &scans);
   flags.add_double("days", "override campaign duration in days", &days);
   add_log_level_flag(flags, &log_level_text);
-  if (!flags.parse(argc, argv) || flags.positional().size() != 1) {
-    std::fputs(flags.usage().c_str(),
-               flags.help_requested() ? stdout : stderr);
-    std::fputs("usage: explain <addr:port[/tcp|/udp]> [flags]\n",
-               flags.help_requested() ? stdout : stderr);
-    return flags.help_requested() ? 0 : 2;
+  int exit_code = 0;
+  if (!parse_or_usage(flags, argc, argv, 1,
+                      "usage: explain <addr:port[/tcp|/udp]> [flags]\n",
+                      &exit_code)) {
+    return exit_code;
   }
   passive::ServiceKey key;
   if (!parse_service_key(flags.positional()[0], &key)) {
@@ -817,10 +843,10 @@ int cmd_replay(int argc, const char* const* argv) {
                    &table_path);
   flags.add_bool("all-ports", "record services on any port", &all_ports);
   add_log_level_flag(flags, &log_level_text);
-  if (!flags.parse(argc, argv) || flags.positional().size() != 1) {
-    std::fputs(flags.usage().c_str(), stderr);
-    std::fputs("usage: replay <capture.pcap>\n", stderr);
-    return flags.help_requested() ? 0 : 2;
+  int exit_code = 0;
+  if (!parse_or_usage(flags, argc, argv, 1, "usage: replay <capture.pcap>\n",
+                      &exit_code)) {
+    return exit_code;
   }
   if (!apply_log_level(log_level_text)) return 2;
   const auto prefix = net::Prefix::parse(net_text);
@@ -873,9 +899,11 @@ int cmd_filter(int argc, const char* const* argv) {
   util::Flags flags("svcdisc_cli filter",
                     "count pcap packets matching a capture filter");
   add_log_level_flag(flags, &log_level_text);
-  if (!flags.parse(argc, argv) || flags.positional().size() != 2) {
-    std::fputs("usage: filter <expression> <capture.pcap>\n", stderr);
-    return flags.help_requested() ? 0 : 2;
+  int exit_code = 0;
+  if (!parse_or_usage(flags, argc, argv, 2,
+                      "usage: filter <expression> <capture.pcap>\n",
+                      &exit_code)) {
+    return exit_code;
   }
   if (!apply_log_level(log_level_text)) return 2;
   std::string error;
@@ -905,10 +933,10 @@ int cmd_dump(int argc, const char* const* argv) {
   flags.add_int64("limit", "max packets to print (0 = all)", &limit);
   flags.add_string("filter", "only print matching packets", &expr);
   add_log_level_flag(flags, &log_level_text);
-  if (!flags.parse(argc, argv) || flags.positional().size() != 1) {
-    std::fputs(flags.usage().c_str(), stderr);
-    std::fputs("usage: dump <capture.pcap>\n", stderr);
-    return flags.help_requested() ? 0 : 2;
+  int exit_code = 0;
+  if (!parse_or_usage(flags, argc, argv, 1, "usage: dump <capture.pcap>\n",
+                      &exit_code)) {
+    return exit_code;
   }
   if (!apply_log_level(log_level_text)) return 2;
   std::string error;
@@ -943,9 +971,10 @@ int cmd_diff(int argc, const char* const* argv) {
                     "compare two saved service tables (surface-area "
                     "tracking)");
   add_log_level_flag(flags, &log_level_text);
-  if (!flags.parse(argc, argv) || flags.positional().size() != 2) {
-    std::fputs("usage: diff <before.tsv> <after.tsv>\n", stderr);
-    return flags.help_requested() ? 0 : 2;
+  int exit_code = 0;
+  if (!parse_or_usage(flags, argc, argv, 2,
+                      "usage: diff <before.tsv> <after.tsv>\n", &exit_code)) {
+    return exit_code;
   }
   if (!apply_log_level(log_level_text)) return 2;
   const auto before = passive::load_table(flags.positional()[0]);
@@ -990,9 +1019,183 @@ int cmd_diff(int argc, const char* const* argv) {
   return diff.appeared.empty() && diff.disappeared.empty() ? 0 : 3;
 }
 
+// ---------------------------------------------------------------------------
+// scenario — replayable workload bundles (scenario packs, DESIGN.md §12)
+// ---------------------------------------------------------------------------
+
+// Exit codes: 0 ok, 1 run/record failure, 2 usage or bad spec, 3 golden
+// mismatch (distinct so CI can tell "scenario drifted" from "scenario
+// broken"; mirrors `diff`'s exit 3 for table differences).
+constexpr int kExitVerifyMismatch = 3;
+
+int cmd_scenario_list(int argc, const char* const* argv) {
+  std::string root = "tests/scenarios";
+  std::string log_level_text;
+  util::Flags flags("svcdisc_cli scenario list",
+                    "list the scenario packs under a directory");
+  flags.add_string("root", "directory holding scenario pack subdirectories",
+                   &root);
+  add_log_level_flag(flags, &log_level_text);
+  int exit_code = 0;
+  if (!parse_or_usage(flags, argc, argv, 0, nullptr, &exit_code)) {
+    return exit_code;
+  }
+  if (!apply_log_level(log_level_text)) return 2;
+  const auto dirs = core::discover_scenarios(root);
+  if (dirs.empty()) {
+    std::fprintf(stderr, "no scenario packs under %s\n", root.c_str());
+    return 1;
+  }
+  analysis::TextTable table({"name", "preset", "goldens", "description"});
+  bool load_failed = false;
+  for (const std::string& dir : dirs) {
+    core::ScenarioSpec spec;
+    std::string error;
+    if (!core::load_scenario(dir, &spec, &error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      load_failed = true;
+      continue;
+    }
+    core::ScenarioArtifacts none;
+    // Recorded = every golden file present (content not checked here).
+    bool recorded = true;
+    for (const char* name : core::kScenarioArtifactNames) {
+      std::FILE* f =
+          std::fopen((dir + "/expected/" + name).c_str(), "rb");
+      if (!f) {
+        recorded = false;
+        break;
+      }
+      std::fclose(f);
+    }
+    table.add_row({spec.name, spec.preset, recorded ? "yes" : "no",
+                   spec.description});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  return load_failed ? 2 : 0;
+}
+
+int cmd_scenario_run(int argc, const char* const* argv) {
+  std::string log_level_text;
+  util::Flags flags("svcdisc_cli scenario run",
+                    "run a scenario pack and print its artifacts");
+  add_log_level_flag(flags, &log_level_text);
+  int exit_code = 0;
+  if (!parse_or_usage(flags, argc, argv, 1,
+                      "usage: scenario run <dir> [flags]\n", &exit_code)) {
+    return exit_code;
+  }
+  if (!apply_log_level(log_level_text)) return 2;
+  core::ScenarioSpec spec;
+  std::string error;
+  if (!core::load_scenario(flags.positional()[0], &spec, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 2;
+  }
+  core::ScenarioArtifacts artifacts;
+  if (!core::run_scenario(spec, &artifacts, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  if (const std::string* summary = artifacts.find("summary.txt")) {
+    std::fputs(summary->c_str(), stdout);
+  }
+  for (const auto& [file, bytes] : artifacts.files) {
+    std::printf("artifact %s: %zu bytes\n", file.c_str(), bytes.size());
+  }
+  return 0;
+}
+
+int cmd_scenario_record(int argc, const char* const* argv) {
+  bool force = false;
+  std::string log_level_text;
+  util::Flags flags("svcdisc_cli scenario record",
+                    "run a scenario pack and write its expected/ goldens");
+  flags.add_bool("force", "overwrite existing goldens", &force);
+  add_log_level_flag(flags, &log_level_text);
+  int exit_code = 0;
+  if (!parse_or_usage(flags, argc, argv, 1,
+                      "usage: scenario record <dir> [--force]\n",
+                      &exit_code)) {
+    return exit_code;
+  }
+  if (!apply_log_level(log_level_text)) return 2;
+  core::ScenarioSpec spec;
+  std::string error;
+  if (!core::load_scenario(flags.positional()[0], &spec, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 2;
+  }
+  core::ScenarioArtifacts artifacts;
+  if (!core::run_scenario(spec, &artifacts, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  if (!core::record_scenario(spec, artifacts, force, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("scenario %s: %zu golden(s) -> %s/expected\n",
+              spec.name.c_str(), artifacts.files.size(), spec.dir.c_str());
+  return 0;
+}
+
+int cmd_scenario_verify(int argc, const char* const* argv) {
+  std::string log_level_text;
+  util::Flags flags("svcdisc_cli scenario verify",
+                    "run a scenario pack and byte-compare against its "
+                    "goldens");
+  add_log_level_flag(flags, &log_level_text);
+  int exit_code = 0;
+  if (!parse_or_usage(flags, argc, argv, 1,
+                      "usage: scenario verify <dir>\n", &exit_code)) {
+    return exit_code;
+  }
+  if (!apply_log_level(log_level_text)) return 2;
+  core::ScenarioSpec spec;
+  std::string error;
+  if (!core::load_scenario(flags.positional()[0], &spec, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 2;
+  }
+  core::ScenarioArtifacts artifacts;
+  if (!core::run_scenario(spec, &artifacts, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  const core::VerifyReport report = core::verify_scenario(spec, artifacts);
+  if (!report.ok()) {
+    std::fprintf(stderr, "scenario %s: verification FAILED\n%s",
+                 spec.name.c_str(), report.to_string().c_str());
+    return kExitVerifyMismatch;
+  }
+  std::printf("scenario %s: %zu artifact(s) match the goldens\n",
+              spec.name.c_str(), artifacts.files.size());
+  return 0;
+}
+
+int cmd_scenario(int argc, const char* const* argv) {
+  const std::string action = argc > 1 ? argv[1] : "";
+  if (action == "list") return cmd_scenario_list(argc - 1, argv + 1);
+  if (action == "run") return cmd_scenario_run(argc - 1, argv + 1);
+  if (action == "record") return cmd_scenario_record(argc - 1, argv + 1);
+  if (action == "verify") return cmd_scenario_verify(argc - 1, argv + 1);
+  std::fprintf(stderr,
+               "usage: scenario <list|run|record|verify> [args]\n"
+               "  list [--root=DIR]    list scenario packs (default "
+               "tests/scenarios)\n"
+               "  run <dir>            run and print the artifacts\n"
+               "  record <dir>         write expected/ goldens (--force to "
+               "overwrite)\n"
+               "  verify <dir>         byte-compare a fresh run against the "
+               "goldens\n");
+  return 2;
+}
+
 int dispatch(int argc, const char* const* argv) {
   const std::string command = argc > 1 ? argv[1] : "";
-  if (command == "scenarios") return cmd_scenarios();
+  if (command == "scenarios") return cmd_scenarios(argc - 1, argv + 1);
+  if (command == "scenario") return cmd_scenario(argc - 1, argv + 1);
   if (command == "run") return cmd_run(argc - 1, argv + 1);
   if (command == "campaign") return cmd_campaign(argc - 1, argv + 1);
   if (command == "loss-sweep") return cmd_loss_sweep(argc - 1, argv + 1);
@@ -1002,9 +1205,11 @@ int dispatch(int argc, const char* const* argv) {
   if (command == "dump") return cmd_dump(argc - 1, argv + 1);
   if (command == "diff") return cmd_diff(argc - 1, argv + 1);
   std::fprintf(stderr,
-               "usage: %s <scenarios|run|campaign|loss-sweep|explain|replay|"
-               "filter|dump|diff> [flags]\n"
+               "usage: %s <scenarios|scenario|run|campaign|loss-sweep|explain|"
+               "replay|filter|dump|diff> [flags]\n"
                "  scenarios             list dataset presets\n"
+               "  scenario <action>     scenario packs: list|run|record|"
+               "verify\n"
                "  run                   run a discovery campaign\n"
                "  campaign              parallel seed sweep, metrics export\n"
                "  loss-sweep            completeness vs injected capture "
