@@ -258,6 +258,65 @@ CampaignFigures bench_campaign() {
   return fig;
 }
 
+/// One single-seed campaign at `threads` engine shards — the
+/// intra-campaign parallelism figure (serial simulator producer, sharded
+/// passive monitors, deterministic merge; DESIGN.md §13). Same workload
+/// at every thread count, so figures divide into speedups directly.
+double bench_campaign_sharded(std::size_t threads) {
+  auto campus_cfg = workload::CampusConfig::tiny();
+  campus_cfg.duration = smoke() ? util::hours(6) : util::days(4);
+  core::EngineConfig engine_cfg;
+  engine_cfg.scan_count = smoke() ? 1 : 6;
+  engine_cfg.scan_period = util::hours(12);
+  engine_cfg.first_scan_offset = util::hours(1);
+  engine_cfg.threads = threads;
+
+  double tap_packets = 0;
+  const double wall = best_of([&] {
+    const auto results = core::CampaignRunner(1).run(
+        core::seed_sweep_jobs(campus_cfg, engine_cfg, 1, 1));
+    tap_packets = 0;
+    for (const auto& v : results.at(0).snapshot.values()) {
+      if (v.name.rfind("tap.", 0) == 0 && v.name.size() > 13 &&
+          v.name.compare(v.name.size() - 13, 13, ".packets_seen") == 0) {
+        tap_packets += v.value;
+      }
+    }
+  });
+  return tap_packets / wall;
+}
+
+/// The deterministic end-of-campaign merge in isolation: 8 key-disjoint
+/// shard tables absorbed into one. Reported as merged entries/s — the
+/// cost the parallel path pays once per campaign.
+double bench_shard_merge(std::size_t entries_per_shard) {
+  constexpr std::size_t kShards = 8;
+  const int reps = smoke() ? 1 : 3;
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    std::vector<passive::ServiceTable> shards(kShards);
+    for (std::size_t s = 0; s < kShards; ++s) {
+      for (std::size_t i = 0; i < entries_per_shard; ++i) {
+        // Stride by shard count: disjoint keys, as the pipeline's
+        // address partition guarantees.
+        const passive::ServiceKey key{
+            Ipv4(0x80000000u + static_cast<std::uint32_t>(i * kShards + s)),
+            net::Proto::kTcp, 80};
+        const auto t = util::kEpoch + util::usec(static_cast<std::int64_t>(i));
+        shards[s].discover(key, t);
+        shards[s].count_flow(key, Ipv4(0x42000000u), t);
+      }
+    }
+    passive::ServiceTable merged;
+    const double t0 = now_sec();
+    for (auto& sh : shards) merged.absorb(std::move(sh));
+    const double dt = now_sec() - t0;
+    if (merged.size() != kShards * entries_per_shard) std::abort();
+    if (dt < best) best = dt;
+  }
+  return static_cast<double>(kShards * entries_per_shard) / best;
+}
+
 // ---------------------------------------------------------------- JSON --
 
 struct Figure {
@@ -392,6 +451,19 @@ int run() {
               "(%.3f s wall)\n",
               campaign.packets_per_sec, campaign.events_per_sec,
               campaign.wall_sec);
+
+  // Intra-campaign parallelism: the same single campaign at 1/2/4/8
+  // engine shards. Scaling depends on the cores actually present —
+  // figures on a small box are honest, not aspirational.
+  for (const std::size_t t : {1u, 2u, 4u, 8u}) {
+    const double pps = bench_campaign_sharded(t);
+    figures.push_back({"campaign_pps_t" + std::to_string(t), pps});
+    std::printf("campaign %zu-shard:   %12.0f packets/s\n", t, pps);
+  }
+
+  const double merge_ops = bench_shard_merge(smoke() ? 1'000 : 50'000);
+  figures.push_back({"shard_merge_entries_per_sec", merge_ops});
+  std::printf("shard merge:        %12.0f entries/s\n", merge_ops);
 
   write_json(figures);
   return 0;

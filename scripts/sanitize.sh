@@ -3,7 +3,7 @@
 # test suite plus an explicit pass over the fault-injection label
 # (corrupt pcap corpus, impairment stage), then builds under TSan and
 # runs the concurrency-heavy tests (metrics registry, campaign runner,
-# ring buffer).
+# ring buffer, sharded campaign pipeline).
 #
 # Usage: scripts/sanitize.sh [asan|tsan|all]   (default: all)
 #
@@ -44,12 +44,15 @@ run_tsan() {
   cmake -B build-tsan -S . -DSVCDISC_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$jobs" \
     --target test_metrics test_campaign_runner test_ring_buffer \
-    test_trace test_provenance
+    test_trace test_provenance test_parallel_campaign
   ./build-tsan/tests/test_metrics
   ./build-tsan/tests/test_campaign_runner
   ./build-tsan/tests/test_ring_buffer
   ./build-tsan/tests/test_trace
   ./build-tsan/tests/test_provenance
+  # The sharded pipeline's producer/consumer window, worker pool, and
+  # shard merge — the subsystem TSan exists for in this repo.
+  ./build-tsan/tests/test_parallel_campaign
 }
 
 case "$mode" in

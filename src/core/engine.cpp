@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/shard_pipeline.h"
+#include "core/worker_pool.h"
 #include "util/trace.h"
 
 namespace svcdisc::core {
@@ -60,21 +62,16 @@ DiscoveryEngine::DiscoveryEngine(workload::Campus& campus, EngineConfig config)
     config_.provenance->set_tap_names(std::move(names));
   }
 
+  // The merge-target monitors exist in both modes; in parallel mode
+  // they never consume taps — shard monitors do the observation work
+  // and absorb into these at the end of run().
+  const std::size_t shards = config_.threads == 0
+                                 ? WorkerPool::hardware_threads()
+                                 : config_.threads;
   monitor_ =
       std::make_unique<passive::PassiveMonitor>(monitor_config(false));
   monitor_->set_scan_detector(detector_);
   if (metrics) monitor_->attach_metrics(*metrics, "passive");
-  for (auto& tap : taps_) tap->add_consumer(monitor_.get());
-  if (ProvenanceLedger* ledger = config_.provenance) {
-    monitor_->on_evidence = [ledger](const passive::ServiceKey& key,
-                                     util::TimePoint t) {
-      ledger->record(key, t,
-                     key.proto == net::Proto::kUdp ? EvidenceKind::kUdp
-                                                   : EvidenceKind::kSynAck,
-                     Discoverer::kPassive, ledger->current_tap());
-    };
-  }
-
   if (config_.scanner_excluded_monitor) {
     excluded_monitor_ =
         std::make_unique<passive::PassiveMonitor>(monitor_config(true));
@@ -82,7 +79,35 @@ DiscoveryEngine::DiscoveryEngine(workload::Campus& campus, EngineConfig config)
     if (metrics) {
       excluded_monitor_->attach_metrics(*metrics, "passive_excluded");
     }
-    for (auto& tap : taps_) tap->add_consumer(excluded_monitor_.get());
+  }
+  if (shards > 1) {
+    ShardPipelineConfig pcfg;
+    pcfg.shards = shards;
+    pcfg.combined = monitor_config(false);
+    pcfg.excluded_monitor = config_.scanner_excluded_monitor;
+    if (pcfg.excluded_monitor) pcfg.excluded = monitor_config(true);
+    pcfg.metrics = metrics;
+    pcfg.provenance = config_.provenance != nullptr;
+    pipeline_ = std::make_unique<ShardPipeline>(std::move(pcfg), detector_);
+    for (std::size_t i = 0; i < taps_.size(); ++i) {
+      taps_[i]->add_consumer(
+          &pipeline_->recorder(static_cast<std::uint16_t>(i)));
+    }
+    if (!config_.pool) owned_pool_ = std::make_unique<WorkerPool>(shards);
+  } else {
+    for (auto& tap : taps_) tap->add_consumer(monitor_.get());
+    if (ProvenanceLedger* ledger = config_.provenance) {
+      monitor_->on_evidence = [ledger](const passive::ServiceKey& key,
+                                       util::TimePoint t) {
+        ledger->record(key, t,
+                       key.proto == net::Proto::kUdp ? EvidenceKind::kUdp
+                                                     : EvidenceKind::kSynAck,
+                       Discoverer::kPassive, ledger->current_tap());
+      };
+    }
+    if (excluded_monitor_) {
+      for (auto& tap : taps_) tap->add_consumer(excluded_monitor_.get());
+    }
   }
 
   if (config_.per_link_monitors) {
@@ -104,13 +129,26 @@ DiscoveryEngine::DiscoveryEngine(workload::Campus& campus, EngineConfig config)
   if (metrics) prober_->attach_metrics(*metrics, "active");
   if (metrics) campus_.simulator().attach_metrics(*metrics, "sim");
   if (ProvenanceLedger* ledger = config_.provenance) {
-    prober_->on_open_response = [ledger](const passive::ServiceKey& key,
+    if (pipeline_) {
+      // Parallel mode: active evidence is buffered at its stream
+      // position and replayed into the ledger at the merge, interleaved
+      // with the shards' passive evidence in serial arrival order.
+      ShardPipeline* pipe = pipeline_.get();
+      prober_->on_open_response = [pipe](const passive::ServiceKey& key,
                                          util::TimePoint t, bool udp) {
-      ledger->record(key, t,
-                     udp ? EvidenceKind::kProbeReplyUdp
-                         : EvidenceKind::kProbeReplyTcp,
-                     Discoverer::kActive);
-    };
+        pipe->record_active_evidence(key, t,
+                                     udp ? EvidenceKind::kProbeReplyUdp
+                                         : EvidenceKind::kProbeReplyTcp);
+      };
+    } else {
+      prober_->on_open_response = [ledger](const passive::ServiceKey& key,
+                                           util::TimePoint t, bool udp) {
+        ledger->record(key, t,
+                       udp ? EvidenceKind::kProbeReplyUdp
+                           : EvidenceKind::kProbeReplyTcp,
+                       Discoverer::kActive);
+      };
+    }
   }
 
   if (config_.scan_count > 0) {
@@ -174,8 +212,15 @@ void DiscoveryEngine::add_tap_consumer(sim::PacketObserver* consumer) {
   for (auto& tap : taps_) tap->add_consumer(consumer);
 }
 
+std::size_t DiscoveryEngine::shard_count() const {
+  return pipeline_ ? pipeline_->shard_count() : 1;
+}
+
 void DiscoveryEngine::run() {
   SVCDISC_TRACE_SPAN("engine.run");
+  if (pipeline_) {
+    pipeline_->start(config_.pool ? *config_.pool : *owned_pool_);
+  }
   {
     SVCDISC_TRACE_SPAN("engine.start");
     if (!campus_.started()) campus_.start();
@@ -197,6 +242,11 @@ void DiscoveryEngine::run() {
     // Release any packets still parked in reorder delay lines, so the
     // conservation ledger balances (held == 0 after a campaign).
     for (auto& imp : impairments_) imp->flush();
+  }
+  if (pipeline_) {
+    SVCDISC_TRACE_SPAN("engine.merge");
+    pipeline_->finish(*monitor_, excluded_monitor_.get(),
+                      config_.provenance);
   }
 }
 

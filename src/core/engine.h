@@ -30,6 +30,9 @@
 
 namespace svcdisc::core {
 
+class ShardPipeline;
+class WorkerPool;
+
 struct EngineConfig {
   /// Number of periodic scans (0 disables active probing).
   int scan_count{35};
@@ -63,6 +66,21 @@ struct EngineConfig {
   /// combined monitor's on_evidence and the prober's on_open_response
   /// callbacks.
   ProvenanceLedger* provenance{nullptr};
+  /// Intra-campaign parallelism: number of shard consumers for the
+  /// combined/excluded passive monitors (DESIGN.md §13). 1 (default)
+  /// keeps the classic serial wiring; 0 means "all hardware threads";
+  /// N >= 2 shards the monitor work across N consumers with a
+  /// deterministic end-of-run merge — every artifact stays
+  /// byte-identical to the serial engine. A parallel engine must be
+  /// driven through run(): stepping the simulator by hand would leave
+  /// the shard pipeline unmerged.
+  std::size_t threads{1};
+  /// Worker pool for the shard tasks. Not owned; must outlive the
+  /// engine. When null and `threads` resolves above 1, the engine
+  /// creates a private pool. CampaignRunner injects its own pool here so
+  /// a seed sweep of parallel engines shares one set of workers instead
+  /// of oversubscribing the host.
+  WorkerPool* pool{nullptr};
 };
 
 class DiscoveryEngine {
@@ -112,6 +130,12 @@ class DiscoveryEngine {
   /// Starts the campus and runs the campaign to its configured duration.
   void run();
 
+  /// True when the combined/excluded monitors run on the sharded
+  /// pipeline (EngineConfig::threads resolved above 1).
+  bool parallel() const { return pipeline_ != nullptr; }
+  /// Shard consumers the pipeline runs with (1 in serial mode).
+  std::size_t shard_count() const;
+
   workload::Campus& campus() { return campus_; }
   /// The registry every component reports into, or nullptr.
   util::MetricsRegistry* metrics() const { return config_.metrics; }
@@ -137,6 +161,10 @@ class DiscoveryEngine {
   std::vector<std::unique_ptr<passive::PassiveMonitor>> sampled_monitors_;
   std::unique_ptr<active::Prober> prober_;
   std::unique_ptr<active::ScanScheduler> scheduler_;
+  /// Sharded monitor pipeline; null in serial mode.
+  std::unique_ptr<ShardPipeline> pipeline_;
+  /// Private pool when the config supplies none.
+  std::unique_ptr<WorkerPool> owned_pool_;
 };
 
 }  // namespace svcdisc::core

@@ -1,0 +1,272 @@
+#include "core/shard_pipeline.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/worker_pool.h"
+
+namespace svcdisc::core {
+namespace {
+
+/// Packets per chunk. Large enough to amortize the queue handoff, small
+/// enough that shards start consuming long before a simulated day ends.
+constexpr std::size_t kChunkPackets = 2048;
+
+}  // namespace
+
+ShardPipeline::ShardPipeline(ShardPipelineConfig config,
+                             std::shared_ptr<passive::ScanDetector> detector)
+    : config_(std::move(config)), detector_(std::move(detector)) {
+  dedup_ = config_.combined.drop_exact_duplicates;
+  consumed_.assign(config_.shards, 0);
+  shards_.reserve(config_.shards);
+  for (std::size_t s = 0; s < config_.shards; ++s) {
+    auto sh = std::make_unique<Shard>();
+    sh->monitor = std::make_unique<passive::PassiveMonitor>(config_.combined);
+    if (config_.metrics) sh->monitor->attach_metrics(*config_.metrics, "passive");
+    if (config_.excluded_monitor) {
+      sh->excluded =
+          std::make_unique<passive::PassiveMonitor>(config_.excluded);
+      if (config_.metrics) {
+        sh->excluded->attach_metrics(*config_.metrics, "passive_excluded");
+      }
+    }
+    // Scanner verdicts come from the replayed flag log, never from a
+    // live detector (the producer already fed it).
+    Shard* raw = sh.get();
+    sh->monitor->scanner_verdict = [raw](net::Ipv4 addr) {
+      return raw->flagged.contains(addr);
+    };
+    if (sh->excluded) {
+      sh->excluded->scanner_verdict = [raw](net::Ipv4 addr) {
+        return raw->flagged.contains(addr);
+      };
+    }
+    if (config_.provenance) {
+      sh->monitor->on_evidence = [raw](const passive::ServiceKey& key,
+                                       util::TimePoint t) {
+        raw->evidence.push_back(
+            {raw->cur_idx, 0, 1, key, t,
+             key.proto == net::Proto::kUdp ? EvidenceKind::kUdp
+                                           : EvidenceKind::kSynAck,
+             Discoverer::kPassive, raw->cur_tap});
+      };
+    }
+    shards_.push_back(std::move(sh));
+  }
+  cur_ = make_chunk();
+}
+
+ShardPipeline::~ShardPipeline() {
+  // An engine destroyed without finishing (custom drive hooks, error
+  // paths) must still unblock its consumer tasks before the pool joins.
+  if (started_ && !finished_) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+    pool_->help_until(
+        [this] { return shards_done_.load() == shards_.size(); });
+  }
+}
+
+std::unique_ptr<ShardPipeline::Chunk> ShardPipeline::make_chunk() const {
+  auto chunk = std::make_unique<Chunk>();
+  chunk->per_shard.resize(shards_.size());
+  return chunk;
+}
+
+sim::PacketObserver& ShardPipeline::recorder(std::uint16_t tap_idx) {
+  while (recorders_.size() <= tap_idx) {
+    recorders_.push_back(std::make_unique<TapRecorder>(
+        this, static_cast<std::uint16_t>(recorders_.size())));
+  }
+  return *recorders_[tap_idx];
+}
+
+bool ShardPipeline::is_internal(net::Ipv4 addr) const {
+  for (const auto& prefix : config_.combined.internal_prefixes) {
+    if (prefix.contains(addr)) return true;
+  }
+  return false;
+}
+
+std::size_t ShardPipeline::shard_of(const net::Packet& p) const {
+  // Shard by the internal endpoint: border traffic has exactly one, and
+  // both directions of a flow (the inbound SYN and the outbound
+  // SYN-ACK) name the same internal address, so all evidence about one
+  // service stays in one shard, in stream order.
+  const net::Ipv4 owner =
+      is_internal(p.src) ? p.src : (is_internal(p.dst) ? p.dst : p.src);
+  return static_cast<std::size_t>(util::hash_mix(owner.value()) %
+                                  shards_.size());
+}
+
+void ShardPipeline::export_new_flags(std::uint64_t at_idx) {
+  const auto& scanners = detector_->scanners();  // flagging order
+  auto it = scanners.begin();
+  for (std::size_t skip = 0; skip < flags_exported_; ++skip) ++it;
+  for (; it != scanners.end(); ++it) {
+    cur_->flags.push_back({at_idx, *it});
+    ++flags_exported_;
+  }
+}
+
+void ShardPipeline::record(const net::Packet& p, std::uint16_t tap_idx) {
+  const std::uint64_t idx = n_recorded_++;
+  // Replicate the monitors' dedup decision: the detector must observe
+  // exactly the packets the (identically configured) monitors would
+  // have fed it.
+  bool kept = true;
+  if (dedup_) {
+    if (have_last_packet_ && passive::same_observation(last_packet_, p)) {
+      kept = false;
+    } else {
+      last_packet_ = p;
+      have_last_packet_ = true;
+    }
+  }
+  if (kept) {
+    detector_->observe(p);
+    // The serial excluded monitor feeds the shared detector a second
+    // time per packet; a repeat observation adds nothing to the unique
+    // target/RST sets, so flag timing is unchanged — but the detector's
+    // own packet counter must match the serial wiring.
+    if (config_.excluded_monitor) detector_->observe(p);
+    if (flags_exported_ < detector_->scanner_count()) export_new_flags(idx);
+  }
+  cur_->per_shard[shard_of(p)].push_back({p, idx, tap_idx});
+  if (++cur_->total >= kChunkPackets) publish_chunk();
+}
+
+void ShardPipeline::record_active_evidence(const passive::ServiceKey& key,
+                                           util::TimePoint when,
+                                           EvidenceKind kind) {
+  if (!config_.provenance) return;
+  active_evidence_.push_back({n_recorded_, active_seq_++, 0, key, when, kind,
+                              Discoverer::kActive, Evidence::kNoTap});
+}
+
+void ShardPipeline::publish_chunk() {
+  auto next = make_chunk();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    window_.push_back(std::move(cur_));
+    ++published_;
+  }
+  cv_.notify_all();
+  cur_ = std::move(next);
+}
+
+void ShardPipeline::start(WorkerPool& pool) {
+  if (started_) return;
+  started_ = true;
+  pool_ = &pool;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    pool.submit([this, s] {
+      run_shard(s);
+      shards_done_.fetch_add(1, std::memory_order_release);
+    });
+  }
+}
+
+void ShardPipeline::run_shard(std::size_t s) {
+  Shard& sh = *shards_[s];
+  for (;;) {
+    const Chunk* chunk = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [&] { return sh.next_chunk < published_ || closed_; });
+      if (sh.next_chunk >= published_) return;  // closed and drained
+      chunk = window_[static_cast<std::size_t>(sh.next_chunk - window_base_)]
+                  .get();
+      ++sh.next_chunk;
+    }
+    process_chunk(sh, s, *chunk);
+    {
+      // Retire chunks every shard has fully consumed, so buffered
+      // memory tracks the slowest consumer rather than the stream.
+      std::lock_guard<std::mutex> lk(mu_);
+      consumed_[s] = sh.next_chunk;
+      const std::uint64_t min_consumed =
+          *std::min_element(consumed_.begin(), consumed_.end());
+      while (window_base_ < min_consumed) {
+        window_.pop_front();
+        ++window_base_;
+      }
+    }
+  }
+}
+
+void ShardPipeline::process_chunk(Shard& sh, std::size_t s,
+                                  const Chunk& chunk) {
+  std::size_t f = 0;
+  for (const Rec& rec : chunk.per_shard[s]) {
+    // Inclusive replay: the detector observes a packet *before* the
+    // rules consult verdicts, so a flag raised at this very index is
+    // already visible to this packet's rules.
+    while (f < chunk.flags.size() && chunk.flags[f].at_idx <= rec.idx) {
+      sh.flagged.insert(chunk.flags[f++].addr);
+    }
+    sh.cur_idx = rec.idx;
+    sh.cur_tap = rec.tap;
+    sh.monitor->observe_indexed(rec.p, rec.idx);
+    if (sh.excluded) sh.excluded->observe_indexed(rec.p, rec.idx);
+  }
+  // Flags past this shard's last packet in the chunk still precede
+  // every packet of later chunks — flush them now so the chunk can
+  // retire.
+  for (; f < chunk.flags.size(); ++f) sh.flagged.insert(chunk.flags[f].addr);
+}
+
+void ShardPipeline::finish(passive::PassiveMonitor& combined,
+                           passive::PassiveMonitor* excluded,
+                           ProvenanceLedger* ledger) {
+  if (finished_ || !started_) return;
+  finished_ = true;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (cur_ && cur_->total > 0) {
+      window_.push_back(std::move(cur_));
+      ++published_;
+    }
+    closed_ = true;
+  }
+  cv_.notify_all();
+  pool_->help_until([this] { return shards_done_.load() == shards_.size(); });
+
+  // Deterministic merge, in shard order. Shard tables are key-disjoint
+  // by construction; absorb order only decides FlatMap insertion order,
+  // which no serializer observes (all exports sort).
+  for (auto& sh : shards_) {
+    combined.absorb_shard(std::move(*sh->monitor));
+    if (excluded && sh->excluded) {
+      excluded->absorb_shard(std::move(*sh->excluded));
+    }
+  }
+
+  if (ledger) {
+    std::vector<PendingEvidence> all = std::move(active_evidence_);
+    for (auto& sh : shards_) {
+      all.insert(all.end(), sh->evidence.begin(), sh->evidence.end());
+      sh->evidence.clear();
+    }
+    // Reconstruct the serial arrival order: by stream position, active
+    // (side 0, recorded before the next packet) ahead of that packet's
+    // passive evidence (side 1), then submission order for active
+    // records that share a position. The ledger's evidence chains are
+    // append-ordered, so replay order is part of the golden bytes.
+    std::sort(all.begin(), all.end(),
+              [](const PendingEvidence& a, const PendingEvidence& b) {
+                if (a.order != b.order) return a.order < b.order;
+                if (a.side != b.side) return a.side < b.side;
+                return a.seq < b.seq;
+              });
+    for (const PendingEvidence& e : all) {
+      ledger->record(e.key, e.when, e.kind, e.via, e.tap);
+    }
+  }
+}
+
+}  // namespace svcdisc::core

@@ -1,0 +1,220 @@
+// core::ShardPipeline — intra-campaign parallelism with a deterministic
+// merge (DESIGN.md §13).
+//
+// The golden scenario artifacts pin the simulator's own metrics
+// (events_processed, queue depth) and the flow generators share one rng
+// stream, so the event loop itself cannot be partitioned without
+// changing every golden. What *can* move off the producer thread is the
+// passive observation work — dedup, detection rules, service-table and
+// client-set updates — which consumes the tap output but feeds nothing
+// back into the simulation.
+//
+// Execution model:
+//   * The producer (simulator) thread runs unchanged: sim -> impairment
+//     -> tap filter. Behind each tap, a recorder shim replaces the
+//     combined/excluded monitors. It assigns every delivered packet a
+//     global stream index, replicates the monitors' dedup decision,
+//     feeds the shared ScanDetector inline (the detector's verdict
+//     timeline is inherently serial: it depends on packets from every
+//     shard), logs each newly flagged scanner as (stream index, addr),
+//     and appends the packet to the chunk slot of its address shard.
+//   * Shard ownership: a packet belongs to the shard of its *internal*
+//     endpoint, so every packet touching a given service — SYN and
+//     SYN-ACK of one flow included — lands in the same shard, in global
+//     stream order. Each shard task runs a private PassiveMonitor pair
+//     (combined + optional scanner-excluded) over its sub-stream via
+//     observe_indexed, with scanner verdicts answered from the flag log
+//     ("flagged iff flag index <= current packet index" — the detector
+//     observes a packet before the rules consult it, so the comparison
+//     is inclusive).
+//   * The merge: shard tables absorb into the engine's monitors in
+//     shard order (key-disjoint, so byte-identical to serial), the
+//     table-size gauge is recomputed, and buffered provenance evidence
+//     — passive records tagged with their packet's stream index, active
+//     prober records tagged with the stream position they interleaved
+//     at — is sorted into the exact serial arrival order and replayed
+//     into the ledger (its evidence chains are order-sensitive).
+//
+// Determinism argument, in one line per hazard: packet order within a
+// shard is global stream order (producer appends in order); dedup is
+// index-adjacency (provably equal to serial adjacency); detector state
+// is computed serially and replayed by index; tables merge key-disjoint
+// into sort-on-export serializers; counters are atomic sums of the same
+// increments; provenance replays in a total order reconstructed from
+// stream indices. Every artifact is therefore byte-identical at any
+// shard count, and the scenario-pack goldens double as the oracle.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/provenance.h"
+#include "net/packet.h"
+#include "passive/monitor.h"
+#include "passive/scan_detector.h"
+#include "sim/node.h"
+#include "util/flat_hash.h"
+#include "util/metrics.h"
+
+namespace svcdisc::core {
+
+class WorkerPool;
+
+struct ShardPipelineConfig {
+  /// Number of shard consumers (>= 2; 1 means "use the serial path" and
+  /// never reaches the pipeline).
+  std::size_t shards{2};
+  /// Config for the combined monitor shards (DiscoveryEngine's
+  /// monitor_config(false)).
+  passive::MonitorConfig combined;
+  /// Build scanner-excluded twins per shard.
+  bool excluded_monitor{false};
+  passive::MonitorConfig excluded;
+  /// Shard monitors attach to the same registry names as the engine's
+  /// monitors, so counters aggregate atomically during the run.
+  util::MetricsRegistry* metrics{nullptr};
+  /// Buffer evidence for the deterministic ledger replay at finish().
+  bool provenance{false};
+};
+
+class ShardPipeline {
+ public:
+  ShardPipeline(ShardPipelineConfig config,
+                std::shared_ptr<passive::ScanDetector> detector);
+  ~ShardPipeline();
+
+  ShardPipeline(const ShardPipeline&) = delete;
+  ShardPipeline& operator=(const ShardPipeline&) = delete;
+
+  /// The tap consumer for peering `tap_idx` (created on first call;
+  /// stable thereafter). Registered by the engine in place of the
+  /// combined/excluded monitors.
+  sim::PacketObserver& recorder(std::uint16_t tap_idx);
+
+  /// Producer side: one post-filter packet from `tap_idx`.
+  void record(const net::Packet& p, std::uint16_t tap_idx);
+
+  /// Producer side: a prober open-response at the current stream
+  /// position (replayed into the ledger, interleaved with passive
+  /// evidence, at finish()).
+  void record_active_evidence(const passive::ServiceKey& key,
+                              util::TimePoint when, EvidenceKind kind);
+
+  /// Launches one long-running consumer task per shard on `pool`. Call
+  /// before the simulation starts producing (engine.run does).
+  void start(WorkerPool& pool);
+
+  /// Seals the stream, drains the shard tasks (helping on the calling
+  /// thread if the pool is busy), then merges: shard tables into
+  /// `combined`/`excluded` and buffered evidence into `ledger` (either
+  /// may be null only as wired — ledger null when provenance is off).
+  /// Idempotent; called from engine.run after the impairment flush.
+  void finish(passive::PassiveMonitor& combined,
+              passive::PassiveMonitor* excluded, ProvenanceLedger* ledger);
+
+  std::size_t shard_count() const { return shards_.size(); }
+
+ private:
+  struct Rec {
+    net::Packet p;
+    std::uint64_t idx;  ///< global index in the canonical stream
+    std::uint16_t tap;
+  };
+  /// A scanner flagged by the detector while observing packet `at_idx`.
+  struct FlagEntry {
+    std::uint64_t at_idx;
+    net::Ipv4 addr;
+  };
+  struct Chunk {
+    std::vector<std::vector<Rec>> per_shard;
+    std::vector<FlagEntry> flags;
+    std::size_t total{0};
+  };
+  /// One buffered ledger record. `order` is the stream index of the
+  /// packet behind passive evidence, or the number of packets recorded
+  /// so far for producer-side (active) evidence; `side` breaks the tie
+  /// so an active record interleaved after packet k-1 and before packet
+  /// k sorts between their evidence (active=0 at order k, passive=1 at
+  /// order k-1 and k).
+  struct PendingEvidence {
+    std::uint64_t order;
+    std::uint32_t seq;
+    std::uint8_t side;
+    passive::ServiceKey key;
+    util::TimePoint when;
+    EvidenceKind kind;
+    Discoverer via;
+    std::uint16_t tap;
+  };
+  struct Shard {
+    std::unique_ptr<passive::PassiveMonitor> monitor;
+    std::unique_ptr<passive::PassiveMonitor> excluded;
+    /// Scanners whose flag index <= the packet currently processed.
+    util::FlatSet<net::Ipv4> flagged;
+    std::vector<PendingEvidence> evidence;
+    /// Stream index / tap of the packet currently in the rules (read by
+    /// the on_evidence callback).
+    std::uint64_t cur_idx{0};
+    std::uint16_t cur_tap{0};
+    std::uint64_t next_chunk{0};
+  };
+  class TapRecorder final : public sim::PacketObserver {
+   public:
+    TapRecorder(ShardPipeline* pipe, std::uint16_t tap)
+        : pipe_(pipe), tap_(tap) {}
+    void observe(const net::Packet& p) override { pipe_->record(p, tap_); }
+    void observe_batch(std::span<const net::Packet> packets) override {
+      for (const net::Packet& p : packets) pipe_->record(p, tap_);
+    }
+
+   private:
+    ShardPipeline* pipe_;
+    std::uint16_t tap_;
+  };
+
+  bool is_internal(net::Ipv4 addr) const;
+  std::size_t shard_of(const net::Packet& p) const;
+  std::unique_ptr<Chunk> make_chunk() const;
+  void publish_chunk();
+  void export_new_flags(std::uint64_t at_idx);
+  void run_shard(std::size_t s);
+  void process_chunk(Shard& sh, std::size_t s, const Chunk& chunk);
+
+  ShardPipelineConfig config_;
+  std::shared_ptr<passive::ScanDetector> detector_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<TapRecorder>> recorders_;
+
+  // Producer-only state (simulator thread).
+  std::uint64_t n_recorded_{0};
+  bool dedup_{false};
+  net::Packet last_packet_{};
+  bool have_last_packet_{false};
+  std::size_t flags_exported_{0};
+  std::unique_ptr<Chunk> cur_;
+  std::vector<PendingEvidence> active_evidence_;
+  std::uint32_t active_seq_{0};
+  WorkerPool* pool_{nullptr};
+  bool started_{false};
+  bool finished_{false};
+
+  // Chunk window shared with the shard tasks.
+  std::mutex mu_;
+  std::condition_variable cv_;
+  /// Published chunks not yet consumed by every shard; front() has
+  /// sequence number window_base_. Retired (freed) once all shards are
+  /// past them, so memory tracks the slowest consumer, not the stream.
+  std::deque<std::unique_ptr<Chunk>> window_;
+  std::uint64_t window_base_{0};
+  std::uint64_t published_{0};
+  std::vector<std::uint64_t> consumed_;
+  bool closed_{false};
+  std::atomic<std::size_t> shards_done_{0};
+};
+
+}  // namespace svcdisc::core

@@ -1,0 +1,76 @@
+#include "core/worker_pool.h"
+
+#include <chrono>
+#include <utility>
+
+namespace svcdisc::core {
+
+WorkerPool::WorkerPool(std::size_t workers) {
+  const std::size_t n = workers == 0 ? hardware_threads() : workers;
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+std::size_t WorkerPool::hardware_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void WorkerPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    queue_.push_back(std::move(task));
+  }
+  task_ready_.notify_one();
+}
+
+void WorkerPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      task_ready_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      // Drain-before-stop: shutdown still executes queued tasks, so a
+      // submitted task is never silently dropped.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    task_done_.notify_all();
+  }
+}
+
+void WorkerPool::help_until(const std::function<bool()>& done) {
+  while (!done()) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      if (!queue_.empty()) {
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      } else {
+        // The wait_for timeout is a belt-and-braces re-check of done():
+        // every task completion notifies, so the normal wake path is
+        // the condition variable, not the timeout.
+        task_done_.wait_for(lk, std::chrono::milliseconds(10));
+        continue;
+      }
+    }
+    task();
+    task_done_.notify_all();
+  }
+}
+
+}  // namespace svcdisc::core

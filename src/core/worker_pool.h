@@ -1,0 +1,69 @@
+// core::WorkerPool — one shared thread pool for every axis of campaign
+// parallelism.
+//
+// Two layers fan work out: CampaignRunner spreads whole jobs (seed
+// sweeps) and ShardPipeline spreads shard consumers *inside* one
+// campaign. If each layer spawned its own threads, a sweep of S jobs at
+// K shards each would run S*K+S threads on the same cores. Both layers
+// instead submit to one pool, so the total worker count is fixed no
+// matter how the two dimensions multiply.
+//
+// The pool supports *caller participation*: a thread waiting for its
+// tasks to finish (help_until) pops and runs queued tasks instead of
+// sleeping. That rule is what makes nesting deadlock-free down to a
+// single worker: a producer that submitted shard tasks and then waits
+// for them will execute them itself if no worker is free, and a worker
+// blocked inside a shard task always has that shard's producer running
+// (or queued where a helper will reach it) somewhere else.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace svcdisc::core {
+
+class WorkerPool {
+ public:
+  /// `workers` == 0 picks hardware_threads(). The pool spawns exactly
+  /// `workers` threads; callers add themselves via help_until.
+  explicit WorkerPool(std::size_t workers = 0);
+  /// Joins after draining: queued tasks still run before destruction.
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  std::size_t worker_count() const { return workers_.size(); }
+
+  /// Enqueues a task (FIFO). A task may block on external state, but
+  /// only if whatever unblocks it is driven by a non-pool thread or by
+  /// a producer that never itself blocks on pool capacity — the
+  /// ShardPipeline contract.
+  void submit(std::function<void()> task);
+
+  /// Runs queued tasks on the calling thread until `done()` returns
+  /// true. Between tasks it sleeps on the task-completion signal, so a
+  /// caller waiting on work finishing elsewhere in the pool wakes
+  /// promptly. `done` is evaluated without the pool lock held.
+  void help_until(const std::function<bool()>& done);
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static std::size_t hardware_threads();
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable task_ready_;  // workers: queue non-empty / stop
+  std::condition_variable task_done_;   // helpers: a task finished
+  std::deque<std::function<void()>> queue_;
+  bool stop_{false};
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace svcdisc::core

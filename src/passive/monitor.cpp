@@ -57,17 +57,11 @@ void PassiveMonitor::observe_batch(std::span<const net::Packet> packets) {
   for (const net::Packet& p : packets) ingest(p);
 }
 
-namespace {
-
-/// Field-wise identity for the fields the detection rules read — two
-/// such packets carry zero extra evidence.
 bool same_observation(const net::Packet& a, const net::Packet& b) {
   return a.time == b.time && a.src == b.src && a.dst == b.dst &&
          a.proto == b.proto && a.sport == b.sport && a.dport == b.dport &&
          a.flags == b.flags && a.seq == b.seq;
 }
-
-}  // namespace
 
 void PassiveMonitor::ingest(const net::Packet& p) {
   if (config_.drop_exact_duplicates) {
@@ -80,14 +74,58 @@ void PassiveMonitor::ingest(const net::Packet& p) {
     have_last_packet_ = true;
   }
   if (scan_detector_) scan_detector_->observe(p);
+  apply_rules(p);
+}
 
+void PassiveMonitor::observe_indexed(const net::Packet& p,
+                                     std::uint64_t stream_idx) {
+  ++packets_seen_;
+  if (m_packets_) m_packets_->inc();
+  if (config_.drop_exact_duplicates) {
+    // Global-stream adjacency: the serial monitor drops a packet iff it
+    // equals the packet ingested immediately before it. In a shard, the
+    // globally-preceding packet is in this shard exactly when it is an
+    // identical twin (identical packets share the internal endpoint and
+    // hence the shard), so `previous index + 1` plus field equality
+    // reproduces the serial decision bit-for-bit. A run of N twins stays
+    // index-adjacent throughout, so advancing last_stream_idx_ on drops
+    // keeps collapsing the whole run just as the serial path does.
+    const bool dup = have_last_packet_ && last_stream_idx_ + 1 == stream_idx &&
+                     same_observation(last_packet_, p);
+    if (!dup) {
+      last_packet_ = p;
+      have_last_packet_ = true;
+    }
+    last_stream_idx_ = stream_idx;
+    if (dup) {
+      ++duplicates_dropped_;
+      if (m_duplicates_) m_duplicates_->inc();
+      return;
+    }
+  }
+  apply_rules(p);
+}
+
+void PassiveMonitor::absorb_shard(PassiveMonitor&& shard) {
+  table_.absorb(std::move(shard.table_));
+  packets_seen_ += shard.packets_seen_;
+  suppressed_ += shard.suppressed_;
+  unmatched_syn_acks_ += shard.unmatched_syn_acks_;
+  duplicates_dropped_ += shard.duplicates_dropped_;
+  // Shards raced on the shared gauge during the run; after the last
+  // absorb this lands on the merged (= serial final) table size.
+  if (m_table_size_) {
+    m_table_size_->set(static_cast<std::int64_t>(table_.size()));
+  }
+}
+
+void PassiveMonitor::apply_rules(const net::Packet& p) {
   switch (p.proto) {
     case net::Proto::kTcp: {
       if (p.flags.is_syn_ack()) {
         // A positive response from an internal address: service present.
         if (!is_internal(p.src) || !tcp_port_selected(p.sport)) return;
-        if (config_.exclude_scanner_triggered && scan_detector_ &&
-            scan_detector_->is_scanner(p.dst)) {
+        if (config_.exclude_scanner_triggered && scanner_flagged(p.dst)) {
           ++suppressed_;
           if (m_suppressed_) m_suppressed_->inc();
           return;
@@ -126,7 +164,7 @@ void PassiveMonitor::ingest(const net::Packet& p) {
         if (config_.require_syn_before_synack) {
           pending_syns_.insert(net::FlowKey::of(p));
         }
-        if (scan_detector_ && scan_detector_->is_scanner(p.src)) return;
+        if (scanner_flagged(p.src)) return;
         table_.count_flow({p.dst, net::Proto::kTcp, p.dport}, p.src, p.time);
         if (m_flows_) m_flows_->inc();
       }
@@ -136,8 +174,7 @@ void PassiveMonitor::ingest(const net::Packet& p) {
       if (!config_.detect_udp) return;
       // Traffic *from* a well-known port on an internal host.
       if (is_internal(p.src) && udp_port_selected(p.sport)) {
-        if (config_.exclude_scanner_triggered && scan_detector_ &&
-            scan_detector_->is_scanner(p.dst)) {
+        if (config_.exclude_scanner_triggered && scanner_flagged(p.dst)) {
           ++suppressed_;
           if (m_suppressed_) m_suppressed_->inc();
           return;
