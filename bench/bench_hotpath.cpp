@@ -17,6 +17,7 @@
 #include <span>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "capture/filter.h"
@@ -335,6 +336,14 @@ bool json_number(const std::string& text, const std::string& key,
   return true;
 }
 
+/// Keys whose value is a function of how many cores the host has, not
+/// just of the code: the intra-campaign sharding sweep. Comparing one
+/// of these against a baseline measured on a different core count says
+/// nothing about the code, so the speedup table refuses to.
+bool core_count_sensitive(const std::string& key) {
+  return key.rfind("campaign_pps_t", 0) == 0;
+}
+
 void write_json(const std::vector<Figure>& figures) {
   std::string baseline_text;
   if (const char* path = std::getenv("SVCDISC_BASELINE_JSON")) {
@@ -362,10 +371,31 @@ void write_json(const std::vector<Figure>& figures) {
   }
   out << "  }";
   if (!baseline_text.empty()) {
+    // Cross-core-count guard: the sharding sweep measures the host as
+    // much as the code. If the baseline records a different core count
+    // (or none at all), its campaign_pps_t* figures are not comparable
+    // and are left out of the speedup table.
+    double current_cores = 0;
+    double baseline_cores = 0;
+    for (const auto& fig : figures) {
+      if (fig.key == "host_cores") current_cores = fig.value;
+    }
+    const bool cores_known =
+        json_number(baseline_text, "host_cores", &baseline_cores);
+    const bool cores_match =
+        cores_known && baseline_cores == current_cores && current_cores != 0;
+    if (!cores_match) {
+      std::printf("note: baseline host_cores %s current host_cores %.0f; "
+                  "skipping campaign_pps_t* speedups (not comparable "
+                  "across core counts)\n",
+                  cores_known ? "!=" : "unknown vs", current_cores);
+    }
     out << ",\n  \"baseline\": " << baseline_text;
     out << ",\n  \"speedup\": {\n";
     bool first = true;
     for (const auto& fig : figures) {
+      if (fig.key == "host_cores") continue;  // a fact, not a figure
+      if (!cores_match && core_count_sensitive(fig.key)) continue;
       double base = 0;
       if (!json_number(baseline_text, fig.key, &base) || base == 0 ||
           fig.value == 0) {
@@ -406,7 +436,13 @@ int run() {
   const auto mix = make_traffic_mix(4096);
   std::vector<Figure> figures;
 
-  std::printf("== Hot-path benchmarks%s ==\n", smoke() ? " (smoke)" : "");
+  // Recorded alongside the figures so a later run can tell whether the
+  // sharding sweep below was measured on comparable hardware.
+  const unsigned host_cores = std::thread::hardware_concurrency();
+  figures.push_back({"host_cores", static_cast<double>(host_cores)});
+
+  std::printf("== Hot-path benchmarks%s (%u cores) ==\n",
+              smoke() ? " (smoke)" : "", host_cores);
 
   const double events_ps = bench_event_queue(events_total);
   figures.push_back({"events_per_sec", events_ps});

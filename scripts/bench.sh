@@ -10,6 +10,10 @@
 #
 # The regular build/ (RelWithDebInfo, used by ctest) is untouched;
 # Release figures live in build-bench/.
+#
+# The emitted JSON records host_cores; speedups for the sharding sweep
+# (campaign_pps_t*) are only computed when the baseline was measured on
+# a host with the same core count.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

@@ -37,6 +37,12 @@ run_asan() {
   # byte-compares against its goldens — full campaigns under ASan.
   echo "== ASan + UBSan: scenario packs =="
   (cd build-asan && ctest --output-on-failure -j "$jobs" -L scenario)
+  # The scale label runs the universe suite; SVCDISC_SCALE_SMOKE shrinks
+  # its million-address campaign to one /16 block so the ASan pass stays
+  # fast (the RSS ceiling is skipped under ASan anyway — shadow memory
+  # would dominate it).
+  echo "== ASan + UBSan: scale universe =="
+  (cd build-asan && SVCDISC_SCALE_SMOKE=1 ctest --output-on-failure -L scale)
 }
 
 run_tsan() {

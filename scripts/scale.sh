@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Scale smoke: proves the internet-scale address layer end to end
+# (DESIGN.md §14).
+#
+#  1. `ctest -L scale` — the test_scale suite: ScaleUniverse profile and
+#     reply semantics, lazy materialization, and a full million-address
+#     campaign with an in-process peak-RSS ceiling (getrusage) and
+#     byte-identical artifacts at 1 vs 2 shards.
+#  2. A CLI pass over the scale1m scenario at two thread counts, with the
+#     JSON exports diffed — `wall_sec` is the only field allowed to
+#     differ (it is the one intentionally nondeterministic export field).
+#
+# Usage: scripts/scale.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+cmake -B build -S . >/dev/null
+cmake --build build -j "$jobs" --target test_scale svcdisc_cli
+
+echo "== scale: ctest -L scale =="
+(cd build && ctest --output-on-failure -L scale)
+
+echo "== scale: scale1m CLI campaign, threads 1 vs 2 =="
+out1="$(mktemp)" out2="$(mktemp)"
+trap 'rm -f "$out1" "$out2"' EXIT
+./build/tools/svcdisc_cli campaign --scenario scale1m --seeds 1 --scans 1 \
+  --threads 1 --json "$out1"
+./build/tools/svcdisc_cli campaign --scenario scale1m --seeds 1 --scans 1 \
+  --threads 2 --json "$out2"
+if ! diff <(grep -v '"wall_sec"' "$out1") <(grep -v '"wall_sec"' "$out2"); then
+  echo "scale: FAIL (thread count changed campaign output)" >&2
+  exit 1
+fi
+
+echo "scale: OK"

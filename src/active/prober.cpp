@@ -71,7 +71,7 @@ void Prober::start_scan(ScanSpec spec,
   unresolved_ = 0;
 
   const std::size_t machines = config_.source_addrs.size();
-  work_.assign(machines, {});
+  plan_.assign(machines, {});
   cursor_.assign(machines, 0);
   machines_done_ = 0;
   // One pacing bucket per machine (the paper's per-machine rate limit);
@@ -86,31 +86,22 @@ void Prober::start_scan(ScanSpec spec,
     }
   }
 
+  phase_targets_ = &spec_.targets;
   if (spec_.host_discovery) {
     // Phase 1: one ICMP echo per target address; port probes follow for
     // responders only.
     pinging_ = true;
     current_.hosts_pinged =
         static_cast<std::uint32_t>(spec_.targets.size());
-    const std::size_t per_machine =
-        (spec_.targets.size() + machines - 1) /
-        std::max<std::size_t>(machines, 1);
-    for (std::size_t m = 0; m < machines; ++m) {
-      const std::size_t begin = m * per_machine;
-      const std::size_t end =
-          std::min(spec_.targets.size(), begin + per_machine);
-      for (std::size_t i = begin; i < end; ++i) {
-        work_[m].push_back({spec_.targets[i], 0, net::Proto::kIcmp});
-      }
-    }
+    plan_phase(/*ping=*/true, spec_.targets.size());
   } else {
     pinging_ = false;
-    build_port_work(spec_.targets);
+    plan_phase(/*ping=*/false, spec_.targets.size());
   }
 
   bool any = false;
   for (std::size_t m = 0; m < machines; ++m) {
-    if (work_[m].empty()) {
+    if (plan_[m].task_count == 0) {
       ++machines_done_;
     } else {
       any = true;
@@ -134,48 +125,64 @@ void Prober::on_timer(std::uint64_t tag) {
   }
 }
 
-void Prober::build_port_work(const std::vector<net::Ipv4>& targets) {
+void Prober::plan_phase(bool ping, std::size_t target_count) {
   // Split targets evenly across prober machines, preserving probe order
-  // within each machine's share (address-major, port-minor).
-  const std::size_t machines = work_.size();
+  // within each machine's share (address-major, port-minor). Only the
+  // split is computed here; task_at() materializes individual probes on
+  // demand, so a million-address phase costs three integers per machine
+  // instead of a (targets x ports) task vector.
+  const std::size_t machines = plan_.size();
   const std::size_t per_machine =
-      (targets.size() + machines - 1) / std::max<std::size_t>(machines, 1);
+      (target_count + machines - 1) / std::max<std::size_t>(machines, 1);
+  const std::size_t tasks_per_target =
+      ping ? 1 : spec_.tcp_ports.size() + spec_.udp_ports.size();
   std::size_t total = 0;
   for (std::size_t m = 0; m < machines; ++m) {
     const std::size_t begin = m * per_machine;
-    const std::size_t end = std::min(targets.size(), begin + per_machine);
-    auto& tasks = work_[m];
-    tasks.clear();
-    tasks.reserve((end > begin ? end - begin : 0) *
-                  (spec_.tcp_ports.size() + spec_.udp_ports.size()));
-    for (std::size_t i = begin; i < end; ++i) {
-      for (const net::Port port : spec_.tcp_ports) {
-        tasks.push_back({targets[i], port, net::Proto::kTcp});
-      }
-      for (const net::Port port : spec_.udp_ports) {
-        tasks.push_back({targets[i], port, net::Proto::kUdp});
-      }
-    }
-    total += tasks.size();
+    const std::size_t end = std::min(target_count, begin + per_machine);
+    MachinePlan& plan = plan_[m];
+    plan.first_target = begin;
+    plan.target_count = end > begin ? end - begin : 0;
+    plan.task_count = plan.target_count * tasks_per_target;
+    total += plan.task_count;
   }
-  current_.outcomes.reserve(current_.outcomes.size() + total);
+  if (!ping) current_.outcomes.reserve(current_.outcomes.size() + total);
+}
+
+Prober::ProbeTask Prober::task_at(std::size_t machine,
+                                  std::size_t cursor) const {
+  const MachinePlan& plan = plan_[machine];
+  const std::vector<net::Ipv4>& targets = *phase_targets_;
+  if (pinging_) {
+    return {targets[plan.first_target + cursor], 0, net::Proto::kIcmp};
+  }
+  const std::size_t per_addr =
+      spec_.tcp_ports.size() + spec_.udp_ports.size();
+  const net::Ipv4 addr = targets[plan.first_target + cursor / per_addr];
+  const std::size_t pi = cursor % per_addr;
+  if (pi < spec_.tcp_ports.size()) {
+    return {addr, spec_.tcp_ports[pi], net::Proto::kTcp};
+  }
+  return {addr, spec_.udp_ports[pi - spec_.tcp_ports.size()],
+          net::Proto::kUdp};
 }
 
 void Prober::begin_port_phase() {
   pinging_ = false;
   current_.hosts_alive = static_cast<std::uint32_t>(alive_hosts_.size());
   // Keep the original target order, filtered to responding hosts.
-  std::vector<net::Ipv4> alive;
-  alive.reserve(alive_hosts_.size());
+  alive_targets_.clear();
+  alive_targets_.reserve(alive_hosts_.size());
   for (const net::Ipv4 addr : spec_.targets) {
-    if (alive_hosts_.contains(addr)) alive.push_back(addr);
+    if (alive_hosts_.contains(addr)) alive_targets_.push_back(addr);
   }
-  build_port_work(alive);
-  cursor_.assign(work_.size(), 0);
+  phase_targets_ = &alive_targets_;
+  plan_phase(/*ping=*/false, alive_targets_.size());
+  cursor_.assign(plan_.size(), 0);
   machines_done_ = 0;
   bool any = false;
-  for (std::size_t m = 0; m < work_.size(); ++m) {
-    if (work_[m].empty()) {
+  for (std::size_t m = 0; m < plan_.size(); ++m) {
+    if (plan_[m].task_count == 0) {
       ++machines_done_;
     } else {
       any = true;
@@ -188,9 +195,8 @@ void Prober::begin_port_phase() {
 }
 
 void Prober::send_next(std::size_t machine) {
-  auto& tasks = work_[machine];
   std::size_t& cursor = cursor_[machine];
-  const ProbeTask task = tasks[cursor];
+  const ProbeTask task = task_at(machine, cursor);
   const net::Ipv4 source = config_.source_addrs[machine];
   const util::TimePoint now = network_.simulator().now();
 
@@ -234,8 +240,8 @@ void Prober::send_next(std::size_t machine) {
   buckets_[machine].consume(now);
 
   ++cursor;
-  if (cursor >= tasks.size()) {
-    if (++machines_done_ == work_.size()) {
+  if (cursor >= plan_[machine].task_count) {
+    if (++machines_done_ == plan_.size()) {
       // All packets of this phase sent; allow stragglers to answer.
       network_.simulator().after_timer(
           spec_.timeout + util::msec(100), this,

@@ -166,8 +166,19 @@ class Prober final : public sim::PacketSink, public sim::TimerTarget {
     net::Port port{0};
     net::Proto proto{net::Proto::kTcp};
   };
+  /// One machine's share of the current phase. Tasks are never
+  /// materialized: a 1M-address scan used to build a vector of every
+  /// (addr, port) pair per machine up front; the plan is three integers
+  /// and task_at() computes probe `cursor` on demand, in the identical
+  /// address-major, port-minor order.
+  struct MachinePlan {
+    std::size_t first_target{0};  ///< index into *phase_targets_
+    std::size_t target_count{0};
+    std::size_t task_count{0};
+  };
 
-  void build_port_work(const std::vector<net::Ipv4>& targets);
+  void plan_phase(bool ping, std::size_t target_count);
+  ProbeTask task_at(std::size_t machine, std::size_t cursor) const;
   void begin_port_phase();
   void send_next(std::size_t machine);
   void resolve(const PendingKey& key, ProbeStatus status);
@@ -184,15 +195,19 @@ class Prober final : public sim::PacketSink, public sim::TimerTarget {
   ScanRecord current_;
   std::function<void(const ScanRecord&)> on_complete_;
   util::FlatMap<PendingKey, std::size_t, PendingKeyHash> pending_;
-  std::vector<std::vector<ProbeTask>> work_;  // per machine probe list
-  std::vector<std::size_t> cursor_;           // per machine: next probe
-  std::vector<TokenBucket> buckets_;          // per machine pacing
+  std::vector<MachinePlan> plan_;    // per machine share of the phase
+  std::vector<std::size_t> cursor_;  // per machine: next probe
+  std::vector<TokenBucket> buckets_;  // per machine pacing
+  /// Targets of the current phase: spec_.targets, or alive_targets_
+  /// after a host-discovery pre-pass. Both outlive the phase.
+  const std::vector<net::Ipv4>* phase_targets_{nullptr};
   std::size_t machines_done_{0};
   std::size_t unresolved_{0};
   net::Port next_ephemeral_{40000};
   // Host-discovery phase state.
   bool pinging_{false};
   util::FlatSet<net::Ipv4> alive_hosts_;
+  std::vector<net::Ipv4> alive_targets_;
   // Optional metrics (null until attach_metrics).
   util::MetricsRegistry* metrics_{nullptr};
   std::string metrics_prefix_;

@@ -248,6 +248,21 @@ void DiscoveryEngine::run() {
     pipeline_->finish(*monitor_, excluded_monitor_.get(),
                       config_.provenance);
   }
+  // Scale-universe gauges: all deterministic (materialization happens on
+  // the single simulator thread), so they are safe inside the golden,
+  // thread-count-compared metrics.json — and only present when a
+  // universe exists, so existing scenario goldens carry no new keys.
+  if (config_.metrics && campus_.universe()) {
+    const host::ScaleUniverse& u = *campus_.universe();
+    config_.metrics->gauge("scale.universe_addresses")
+        .set(static_cast<std::int64_t>(u.universe_size()));
+    config_.metrics->gauge("scale.materialized_addresses")
+        .set(static_cast<std::int64_t>(u.materialized_count()));
+    config_.metrics->gauge("scale.replies_sent")
+        .set(static_cast<std::int64_t>(u.replies_sent()));
+    config_.metrics->gauge("scale.universe_bytes")
+        .set(static_cast<std::int64_t>(u.memory_bytes()));
+  }
 }
 
 }  // namespace svcdisc::core

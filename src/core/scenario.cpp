@@ -44,6 +44,8 @@ bool resolve_preset(const std::string& name, workload::CampusConfig* cfg) {
     *cfg = CampusConfig::dtcp_all();
   } else if (name == "dudp") {
     *cfg = CampusConfig::dudp();
+  } else if (name == "scale1m") {
+    *cfg = CampusConfig::scale1m();
   } else {
     return false;
   }
@@ -201,6 +203,14 @@ bool apply_campus_overrides(const util::JsonValue& obj,
   r.read_double("outage_day", &cfg->outage_day);
   r.read_double("outage_duration_hours", &cfg->outage_duration_hours);
   r.read_bool("outage_renumber", &cfg->outage_renumber);
+  // Internet-scale universe.
+  r.read_u32("scale_blocks", &cfg->scale_blocks);
+  r.read_int("scale_block_bits", &cfg->scale_block_bits);
+  r.read_double("scale_live_frac", &cfg->scale_live_frac);
+  r.read_double("scale_service_frac", &cfg->scale_service_frac);
+  r.read_double("scale_echo_frac", &cfg->scale_echo_frac);
+  r.read_bool("scale_scan", &cfg->scale_scan);
+  r.read_u32("scale_oneshot_contacts", &cfg->scale_oneshot_contacts);
   if (!r.reject_unknown()) return false;
   if (duration_days > 0) {
     cfg->duration = util::seconds_f(duration_days * 86400.0);

@@ -244,6 +244,12 @@ void ShardPipeline::finish(passive::PassiveMonitor& combined,
     if (excluded && sh->excluded) {
       excluded->absorb_shard(std::move(*sh->excluded));
     }
+    // Free each shard's tables the moment they are merged: holding all
+    // shard copies until pipeline destruction kept ~2x the final table
+    // in memory at once, which is exactly the peak the scale campaigns
+    // must bound.
+    sh->monitor.reset();
+    sh->excluded.reset();
   }
 
   if (ledger) {

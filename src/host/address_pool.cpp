@@ -15,26 +15,23 @@ std::string_view address_class_name(AddressClass cls) {
 
 AddressPool::AddressPool(AddressClass cls, net::Prefix prefix, bool sticky,
                          std::uint64_t seed)
-    : cls_(cls), prefix_(prefix), sticky_(sticky), rng_(seed) {
-  const std::uint64_t n = prefix.size();
-  free_.reserve(n);
-  free_index_.reserve(n);
-  for (std::uint64_t i = 0; i < n; ++i) {
-    const net::Ipv4 addr = prefix.at(i);
-    free_index_[addr] = free_.size();
-    free_.push_back(addr);
-  }
+    : cls_(cls),
+      prefix_(prefix),
+      sticky_(sticky),
+      rng_(seed),
+      free_size_(prefix.size()) {}
+
+net::Ipv4 AddressPool::slot(std::uint64_t i) const {
+  const auto it = override_.find(i);
+  return it != override_.end() ? it->second : prefix_.at(i);
 }
 
-void AddressPool::remove_free(net::Ipv4 addr) {
-  const auto it = free_index_.find(addr);
-  if (it == free_index_.end()) return;
-  const std::size_t idx = it->second;
-  const net::Ipv4 last = free_.back();
-  free_[idx] = last;
-  free_index_[last] = idx;
-  free_.pop_back();
-  free_index_.erase(it);
+bool AddressPool::is_free(net::Ipv4 addr) const {
+  if (pos_.contains(addr)) return true;
+  if (!prefix_.contains(addr)) return false;
+  // At its home slot: free iff the slot is live and not displaced.
+  const std::uint64_t home = addr - prefix_.base();
+  return home < free_size_ && !override_.contains(home);
 }
 
 std::optional<net::Ipv4> AddressPool::acquire(std::uint32_t host_id) {
@@ -45,11 +42,26 @@ std::optional<net::Ipv4> AddressPool::acquire(std::uint32_t host_id) {
       return it->second;
     }
   }
-  if (free_.empty()) return std::nullopt;
-  const std::size_t pick =
-      static_cast<std::size_t>(rng_.below(free_.size()));
-  const net::Ipv4 addr = free_[pick];
-  remove_free(addr);
+  if (free_size_ == 0) return std::nullopt;
+  const std::uint64_t pick = rng_.below(free_size_);
+  const net::Ipv4 addr = slot(pick);
+  const std::uint64_t last_idx = free_size_ - 1;
+  if (pick != last_idx) {
+    // Swap-remove: the last slot's address moves into the vacated slot,
+    // exactly as the materialized free list did, so the seeded lease
+    // sequence is byte-identical to the eager implementation.
+    const net::Ipv4 last = slot(last_idx);
+    if (last == prefix_.at(pick)) {
+      override_.erase(pick);
+      pos_.erase(last);
+    } else {
+      override_[pick] = last;
+      pos_[last] = pick;
+    }
+  }
+  override_.erase(last_idx);
+  pos_.erase(addr);
+  --free_size_;
   if (sticky_) reservations_[host_id] = addr;
   return addr;
 }
@@ -61,9 +73,15 @@ void AddressPool::release(std::uint32_t host_id, net::Ipv4 addr) {
     const auto it = reservations_.find(host_id);
     if (it != reservations_.end() && it->second == addr) return;
   }
-  if (!prefix_.contains(addr) || free_index_.contains(addr)) return;
-  free_index_[addr] = free_.size();
-  free_.push_back(addr);
+  if (!prefix_.contains(addr) || is_free(addr)) return;
+  // Append at the end of the virtual free list (matching the eager
+  // push_back). When the address happens to belong at that slot, the
+  // identity mapping covers it and no override is stored.
+  if (addr != prefix_.at(free_size_)) {
+    override_[free_size_] = addr;
+    pos_[addr] = free_size_;
+  }
+  ++free_size_;
 }
 
 }  // namespace svcdisc::host

@@ -14,9 +14,9 @@
 #include <optional>
 #include <string_view>
 #include <unordered_map>
-#include <vector>
 
 #include "net/ipv4.h"
+#include "util/flat_hash.h"
 #include "util/rng.h"
 
 namespace svcdisc::host {
@@ -59,20 +59,30 @@ class AddressPool {
   void release(std::uint32_t host_id, net::Ipv4 addr);
 
   /// Addresses currently leasable.
-  std::size_t free_count() const { return free_.size(); }
+  std::size_t free_count() const {
+    return static_cast<std::size_t>(free_size_);
+  }
   std::size_t size() const { return static_cast<std::size_t>(prefix_.size()); }
+  /// True when `addr` is currently on the free list.
+  bool is_free(net::Ipv4 addr) const;
 
  private:
-  // Swap-remove free list with an index map for O(1) acquire/release of
-  // arbitrary addresses.
-  void remove_free(net::Ipv4 addr);
+  // The free list is a virtual swap-remove array of free_size_ slots.
+  // Slot i holds prefix_.at(i) unless an entry in override_ says
+  // otherwise, so a fresh pool needs no per-address storage at all — a
+  // /12 block costs nothing until leases start churning. override_ maps
+  // slot -> address for displaced slots; pos_ is its inverse
+  // (address -> slot) so release/acquire stay O(1). Both stay O(churn),
+  // never O(prefix.size()).
+  net::Ipv4 slot(std::uint64_t i) const;
 
   AddressClass cls_;
   net::Prefix prefix_;
   bool sticky_;
   util::Rng rng_;
-  std::vector<net::Ipv4> free_;
-  std::unordered_map<net::Ipv4, std::size_t> free_index_;
+  std::uint64_t free_size_{0};
+  util::FlatMap<std::uint64_t, net::Ipv4> override_;
+  util::FlatMap<net::Ipv4, std::uint64_t> pos_;
   std::unordered_map<std::uint32_t, net::Ipv4> reservations_;
 };
 

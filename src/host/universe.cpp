@@ -1,0 +1,137 @@
+#include "host/universe.h"
+
+#include <iterator>
+#include <utility>
+
+#include "sim/network.h"
+#include "util/rng.h"
+
+namespace svcdisc::host {
+namespace {
+
+/// Ports the universe's services listen on (weighted toward the web/ssh
+/// mix the paper's campus ran; which one an address gets is part of its
+/// stateless profile).
+constexpr net::Port kServicePorts[] = {80, 22, 443};
+
+constexpr double to_unit(std::uint64_t r) {
+  // Top 53 bits -> [0, 1), the standard doubles-from-bits construction.
+  return static_cast<double>(r >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+ScaleUniverse::ScaleUniverse(sim::Network& network, ScaleUniverseConfig config)
+    : network_(network), config_(std::move(config)) {
+  for (const net::Prefix& block : config_.blocks) {
+    network_.attach_prefix(block, this);
+  }
+}
+
+ScaleProfile ScaleUniverse::profile(net::Ipv4 addr) const {
+  // Stateless per-address randomness: scramble the (sequential) address
+  // into a splitmix64 stream keyed by the universe seed. Two draws cover
+  // every profile decision; no generator state is shared with the
+  // simulation's rng tree, so enabling a universe perturbs nothing else.
+  std::uint64_t state =
+      config_.seed ^ (std::uint64_t{addr.value()} * 0x9E3779B97F4A7C15ULL);
+  const std::uint64_t r1 = util::splitmix64(state);
+  const std::uint64_t r2 = util::splitmix64(state);
+
+  ScaleProfile prof;
+  prof.live = to_unit(r1) < config_.live_frac;
+  if (!prof.live) return prof;
+  prof.service = to_unit(r2) < config_.service_frac;
+  prof.icmp_echo = to_unit(r1 ^ r2) < config_.echo_frac;
+  if (prof.service) {
+    prof.port = kServicePorts[(r2 >> 32) % std::size(kServicePorts)];
+  }
+  return prof;
+}
+
+bool ScaleUniverse::contains(net::Ipv4 addr) const {
+  for (const net::Prefix& block : config_.blocks) {
+    if (block.contains(addr)) return true;
+  }
+  return false;
+}
+
+std::uint64_t ScaleUniverse::universe_size() const {
+  std::uint64_t n = 0;
+  for (const net::Prefix& block : config_.blocks) n += block.size();
+  return n;
+}
+
+std::size_t ScaleUniverse::memory_bytes() const {
+  // Capacity, not size: the bound must cover what the allocator actually
+  // holds. The FlatMap term estimates entry storage plus the open-
+  // addressing slot array at its ~50% max load factor.
+  return addrs_.capacity() * sizeof(net::Ipv4) +
+         packets_in_.capacity() * sizeof(std::uint32_t) +
+         replies_out_.capacity() * sizeof(std::uint32_t) +
+         index_.size() * (sizeof(std::pair<net::Ipv4, std::uint32_t>) +
+                          2 * sizeof(std::uint32_t));
+}
+
+std::uint32_t ScaleUniverse::materialize(net::Ipv4 addr) {
+  const auto it = index_.find(addr);
+  if (it != index_.end()) return it->second;
+  const auto slot = static_cast<std::uint32_t>(addrs_.size());
+  addrs_.push_back(addr);
+  packets_in_.push_back(0);
+  replies_out_.push_back(0);
+  index_.emplace(addr, slot);
+  return slot;
+}
+
+void ScaleUniverse::on_packet(const net::Packet& p) {
+  const std::uint32_t slot = materialize(p.dst);
+  ++packets_in_[slot];
+  const ScaleProfile prof = profile(p.dst);
+
+  // Mirrors Host::on_packet under SynPolicy::kNormal with a permissive
+  // firewall, so discovery methods see the same protocol surface either
+  // way; keep the two in sync.
+  switch (p.proto) {
+    case net::Proto::kTcp: {
+      if (!p.flags.is_syn_only() || !prof.live) return;
+      if (prof.service && p.dport == prof.port) {
+        net::Packet reply =
+            net::make_tcp(p.dst, p.dport, p.src, p.sport, net::flags_syn_ack());
+        reply.ack_no = p.seq + 1;
+        network_.send(reply);
+      } else {
+        network_.send(
+            net::make_tcp(p.dst, p.dport, p.src, p.sport, net::flags_rst()));
+      }
+      break;
+    }
+    case net::Proto::kUdp: {
+      // No universe address runs a UDP service; live machines answer
+      // with port-unreachable (Host's udp_icmp default), dark ones stay
+      // silent.
+      if (!prof.live) return;
+      network_.send(net::make_icmp_port_unreachable(p));
+      break;
+    }
+    case net::Proto::kIcmp: {
+      if (p.icmp_type != net::IcmpType::kEchoRequest || !prof.live ||
+          !prof.icmp_echo) {
+        return;
+      }
+      net::Packet reply;
+      reply.src = p.dst;
+      reply.dst = p.src;
+      reply.proto = net::Proto::kIcmp;
+      reply.icmp_type = net::IcmpType::kEchoReply;
+      network_.send(reply);
+      break;
+    }
+    default:
+      return;
+  }
+  ++replies_out_[slot];
+  ++replies_sent_;
+}
+
+}  // namespace svcdisc::host

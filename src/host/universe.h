@@ -1,0 +1,110 @@
+// ScaleUniverse: an Internet-scale address block served without
+// per-address state (ROADMAP item 1).
+//
+// The paper's campus is ~16k addresses; pushing the campaign past a
+// million addresses with one Host object per address would cost gigabytes
+// before the first packet moves (Host carries a firewall, an rng, service
+// vectors, lifecycle timers, and a Network map entry each). The universe
+// inverts the representation: every address's behavior profile — live or
+// dark, which service listens where, whether it answers ping — is a pure
+// function of (seed, address) computed on demand via splitmix64, so the
+// whole block needs zero construction-time storage. The only per-address
+// state ever allocated is a struct-of-arrays materialization of the
+// addresses that actually participate: a slot is appended the first time
+// a packet reaches an address, and the arrays therefore grow with
+// *contacted* addresses (probe targets, flow endpoints), never with the
+// block size. RSS is bounded by traffic, not by the address plan.
+//
+// Reply semantics mirror Host's default (SynPolicy::kNormal, permissive
+// firewall): SYN to a listening port -> SYN-ACK; SYN to a live host's
+// closed port -> RST; UDP to a live host -> ICMP port-unreachable; ICMP
+// echo to a ping-visible live host -> echo reply; dark addresses are
+// silent. A prober or passive monitor cannot distinguish a universe
+// address from a materialized Host.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "net/packet.h"
+#include "net/ports.h"
+#include "sim/node.h"
+#include "util/flat_hash.h"
+
+namespace svcdisc::sim {
+class Network;
+}
+
+namespace svcdisc::host {
+
+struct ScaleUniverseConfig {
+  /// Address blocks served by this universe (routed via
+  /// Network::attach_prefix; must also be listed as internal prefixes so
+  /// probe traffic stays on-campus and inbound contacts cross the
+  /// border exactly once).
+  std::vector<net::Prefix> blocks;
+  /// Profile seed: the same (seed, address) always yields the same
+  /// behavior, across runs and thread counts.
+  std::uint64_t seed{0};
+  /// Fraction of addresses that host a live machine.
+  double live_frac{0.3};
+  /// Fraction of *live* addresses that run a listening TCP service.
+  double service_frac{0.02};
+  /// Fraction of live addresses that answer ICMP echo.
+  double echo_frac{0.8};
+};
+
+/// Deterministic behavior profile of one universe address.
+struct ScaleProfile {
+  bool live{false};
+  bool service{false};
+  bool icmp_echo{false};
+  net::Port port{0};  ///< listening TCP port when `service`
+};
+
+class ScaleUniverse final : public sim::PacketSink {
+ public:
+  ScaleUniverse(sim::Network& network, ScaleUniverseConfig config);
+
+  /// The stateless profile of `addr` (valid for any address, but only
+  /// meaningful inside the universe's blocks). Pure: no allocation, no
+  /// rng state consumed.
+  ScaleProfile profile(net::Ipv4 addr) const;
+
+  bool contains(net::Ipv4 addr) const;
+
+  /// Total addresses covered by the blocks.
+  std::uint64_t universe_size() const;
+  /// Addresses materialized so far (contacted at least once).
+  std::size_t materialized_count() const { return addrs_.size(); }
+  /// Packets the universe answered (SYN-ACK, RST, ICMP, UDP replies).
+  std::uint64_t replies_sent() const { return replies_sent_; }
+  /// Bytes held by the materialized struct-of-arrays state (the
+  /// memory-bound the scale smoke test asserts on).
+  std::size_t memory_bytes() const;
+
+  // sim::PacketSink — any packet to an unmaterialized address
+  // materializes it, then the profile decides the reply.
+  void on_packet(const net::Packet& p) override;
+
+ private:
+  /// Index of `addr` in the SoA arrays, appending a slot on first
+  /// contact.
+  std::uint32_t materialize(net::Ipv4 addr);
+
+  sim::Network& network_;
+  ScaleUniverseConfig config_;
+
+  // Struct-of-arrays state for contacted addresses only. Parallel
+  // vectors keep the hot counters dense (a single AoS vector of
+  // per-host structs is what the pre-scale host table did, and its
+  // padding alone dwarfed the payload).
+  std::vector<net::Ipv4> addrs_;
+  std::vector<std::uint32_t> packets_in_;
+  std::vector<std::uint32_t> replies_out_;
+  util::FlatMap<net::Ipv4, std::uint32_t> index_;
+  std::uint64_t replies_sent_{0};
+};
+
+}  // namespace svcdisc::host

@@ -4,6 +4,7 @@
 // address-space walks (scans, pool allocation) is explicit and cheap.
 #pragma once
 
+#include <cassert>
 #include <compare>
 #include <cstdint>
 #include <functional>
@@ -62,13 +63,58 @@ class Prefix {
     if (bits_ == 0) return true;
     return (addr.value() & mask_for(bits_)) == base_.value();
   }
-  /// i-th address within the prefix; requires i < size().
+  /// i-th address within the prefix; requires i < size(). In-contract
+  /// indices are < 2^32, so the narrowing below is exact; out-of-range
+  /// indices would silently wrap, hence the assert.
   constexpr Ipv4 at(std::uint64_t i) const {
+    assert(i < size());
     return Ipv4(base_.value() + static_cast<std::uint32_t>(i));
   }
+  /// Last covered address (size() >= 1 always, so this is well-defined).
+  constexpr Ipv4 last() const { return at(size() - 1); }
+
+  /// Forward iterator over every address in the prefix. Counts a 64-bit
+  /// index instead of comparing addresses: `base + size()` truncates to
+  /// a uint32, so for a /0 prefix an address-valued `end()` equals
+  /// `base()` and any `addr != end()` loop is empty — the index form
+  /// covers all 2^32 addresses of a /0 and the single address of a /32.
+  class AddressIterator {
+   public:
+    using value_type = Ipv4;
+    using difference_type = std::int64_t;
+    constexpr AddressIterator() = default;
+    constexpr AddressIterator(Ipv4 base, std::uint64_t index)
+        : base_(base), index_(index) {}
+    constexpr Ipv4 operator*() const {
+      return Ipv4(base_.value() + static_cast<std::uint32_t>(index_));
+    }
+    constexpr AddressIterator& operator++() {
+      ++index_;
+      return *this;
+    }
+    constexpr AddressIterator operator++(int) {
+      AddressIterator old = *this;
+      ++index_;
+      return old;
+    }
+    constexpr std::uint64_t index() const { return index_; }
+    constexpr bool operator==(const AddressIterator&) const = default;
+    constexpr difference_type operator-(const AddressIterator& o) const {
+      return static_cast<difference_type>(index_) -
+             static_cast<difference_type>(o.index_);
+    }
+
+   private:
+    Ipv4 base_{};
+    std::uint64_t index_{0};
+  };
+
+  constexpr AddressIterator begin() const {
+    return AddressIterator(base_, 0);
+  }
   /// One past the last covered address (for iteration).
-  constexpr Ipv4 end() const {
-    return Ipv4(base_.value() + static_cast<std::uint32_t>(size()));
+  constexpr AddressIterator end() const {
+    return AddressIterator(base_, size());
   }
 
   std::string to_string() const;

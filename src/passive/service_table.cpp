@@ -56,6 +56,19 @@ std::uint64_t ServiceTable::restore(const ServiceKey& key,
 }
 
 void ServiceTable::absorb(ServiceTable&& other) {
+  if (services_.empty()) {
+    // Steal wholesale: the sharded merge absorbs the first (often
+    // largest) shard into an empty engine table, and moving the map
+    // avoids a transient second copy of every entry — the peak-RSS term
+    // that made 1M-address campaigns double their table footprint at
+    // finish. FlatMap iterates in insertion order, so the stolen table
+    // is indistinguishable from a per-entry replay.
+    services_ = std::move(other.services_);
+    discovered_count_ = other.discovered_count_;
+    other.services_.clear();
+    other.discovered_count_ = 0;
+    return;
+  }
   for (auto& [key, theirs] : other.services_) {
     auto [it, inserted] = services_.emplace(key, std::move(theirs));
     if (inserted) {
@@ -101,6 +114,21 @@ const ServiceRecord* ServiceTable::find(const ServiceKey& key) const {
   const auto it = services_.find(key);
   if (it == services_.end() || !it->second.discovered) return nullptr;
   return &it->second.record;
+}
+
+std::size_t ServiceTable::memory_bytes() const {
+  std::size_t clients = 0;
+  for (const auto& [key, entry] : services_) {
+    clients += entry.record.clients.size();
+  }
+  // Entry storage plus the open-addressing slot arrays at their ~50% max
+  // load factor; an estimate, not an accounting — the scale smoke test
+  // compares orders of magnitude, not bytes.
+  constexpr std::size_t kSlotOverhead = 2 * sizeof(std::uint32_t);
+  return services_.size() *
+             (sizeof(std::pair<ServiceKey, Entry>) + kSlotOverhead) +
+         clients * (sizeof(std::pair<net::Ipv4, util::TimePoint>) +
+                    kSlotOverhead);
 }
 
 std::size_t ServiceTable::address_count() const {

@@ -125,6 +125,9 @@ class ServiceTable {
   std::size_t size() const { return discovered_count_; }
   /// Number of distinct server addresses discovered.
   std::size_t address_count() const;
+  /// Estimated bytes held by the table (entries plus per-service client
+  /// maps). O(entries); feeds the scale campaign's memory gauges.
+  std::size_t memory_bytes() const;
 
   /// Visits every discovered service (key, record).
   void for_each(

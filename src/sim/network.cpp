@@ -16,9 +16,17 @@ void Network::detach(net::Ipv4 addr, const PacketSink* sink) {
   if (it != owners_.end() && it->second == sink) owners_.erase(it);
 }
 
+void Network::attach_prefix(net::Prefix prefix, PacketSink* sink) {
+  prefix_owners_.emplace_back(prefix, sink);
+}
+
 PacketSink* Network::owner(net::Ipv4 addr) const {
   const auto it = owners_.find(addr);
-  return it == owners_.end() ? nullptr : it->second;
+  if (it != owners_.end()) return it->second;
+  for (const auto& [prefix, sink] : prefix_owners_) {
+    if (prefix.contains(addr)) return sink;
+  }
+  return nullptr;
 }
 
 bool Network::is_internal(net::Ipv4 addr) const {

@@ -33,6 +33,13 @@ class Network final : public PacketEventTarget {
   /// Unregisters `addr` if owned by `sink` (no-op otherwise, so a host
   /// releasing a reassigned lease cannot evict the new owner).
   void detach(net::Ipv4 addr, const PacketSink* sink);
+  /// Registers `sink` as the owner of every address in `prefix` that has
+  /// no per-address owner. One entry routes an arbitrarily large block —
+  /// the scale universes use this so a /8 of probe-able addresses costs
+  /// one vector slot instead of 16M map entries. Per-address attach()
+  /// always wins (checked first), so individual hosts can still be
+  /// carved out of an owned block.
+  void attach_prefix(net::Prefix prefix, PacketSink* sink);
   /// Current owner of `addr`, or nullptr.
   PacketSink* owner(net::Ipv4 addr) const;
 
@@ -67,6 +74,10 @@ class Network final : public PacketEventTarget {
   std::vector<net::Prefix> internal_;
   BorderRouter border_;
   std::unordered_map<net::Ipv4, PacketSink*> owners_;
+  /// Block owners, consulted after the exact map misses. A handful of
+  /// entries at most (one per scale block), so a linear scan beats any
+  /// trie here.
+  std::vector<std::pair<net::Prefix, PacketSink*>> prefix_owners_;
   util::Duration internal_latency_{util::msec(1)};
   util::Duration external_latency_{util::msec(20)};
   std::uint64_t packets_sent_{0};

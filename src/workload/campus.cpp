@@ -160,6 +160,22 @@ CampusConfig CampusConfig::tiny() {
   return cfg;
 }
 
+CampusConfig CampusConfig::scale1m() {
+  CampusConfig cfg = tiny();
+  cfg.duration = util::days(1);
+  // 16 x /16 = 1,048,576 universe addresses on top of the tiny campus.
+  cfg.scale_blocks = 16;
+  cfg.scale_block_bits = 16;
+  cfg.scale_oneshot_contacts = 160;
+  // Probe the whole space within the (single-day) campaign: ~2.6M probes
+  // per machine per scan finish in a few simulated minutes at this rate.
+  cfg.probe_rate_per_sec = 16000.0;
+  // External sweeps walk the full target list per sweep; at 1M+ targets
+  // they would dominate runtime without adding scale coverage.
+  cfg.external_scans = false;
+  return cfg;
+}
+
 // ---------------------------------------------------------------------------
 // Construction
 // ---------------------------------------------------------------------------
@@ -186,6 +202,8 @@ Campus::Campus(CampusConfig config)
   // After the regular populations so their rng_ draw sequence — and with
   // it every existing golden — is untouched when the zoo is off.
   build_zoo_population();
+  // Last of the builders, same rng-neutral-when-off contract.
+  build_scale_universe();
 
   scanners_ = std::make_unique<ExternalScannerFleet>(*network_, scan_targets_);
   build_scanners();
@@ -254,6 +272,33 @@ void Campus::build_address_plan() {
     if (config_.outage_renumber) {
       for (std::uint32_t i = 0; i < config_.outage_hosts; ++i) {
         scan_targets_.push_back(campus.at(kRenumberBlockOffset + i));
+      }
+    }
+  }
+
+  if (config_.scale_enabled()) {
+    if (config_.scale_block_bits < 8 || config_.scale_block_bits > 30) {
+      throw std::invalid_argument("campus: scale_block_bits must be 8..30");
+    }
+    const std::uint64_t per_block =
+        std::uint64_t{1} << (32 - config_.scale_block_bits);
+    if (config_.scale_blocks * per_block > (std::uint64_t{1} << 28)) {
+      throw std::invalid_argument("campus: scale universe capped at 2^28");
+    }
+    if (config_.scale_scan) {
+      scan_targets_.reserve(scan_targets_.size() +
+                            config_.scale_blocks * per_block);
+    }
+    for (std::uint32_t b = 0; b < config_.scale_blocks; ++b) {
+      const net::Prefix block(
+          net::Ipv4(config_.scale_base.value() +
+                    static_cast<std::uint32_t>(b * per_block)),
+          config_.scale_block_bits);
+      // Universe blocks are campus space: probes stay internal and
+      // inbound contacts cross the border once, like any other target.
+      internal_prefixes_.push_back(block);
+      if (config_.scale_scan) {
+        for (const net::Ipv4 addr : block) scan_targets_.push_back(addr);
       }
     }
   }
@@ -1186,6 +1231,62 @@ void Campus::build_zoo_population() {
         sim_.at(up_at, [h] { h->force_online(); });
       }
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Internet-scale universe (DESIGN.md §14)
+// ---------------------------------------------------------------------------
+
+void Campus::build_scale_universe() {
+  if (!config_.scale_enabled()) return;  // must not touch rng_ when off
+  host::ScaleUniverseConfig ucfg;
+  const std::uint64_t per_block =
+      std::uint64_t{1} << (32 - config_.scale_block_bits);
+  for (std::uint32_t b = 0; b < config_.scale_blocks; ++b) {
+    ucfg.blocks.emplace_back(
+        net::Ipv4(config_.scale_base.value() +
+                  static_cast<std::uint32_t>(b * per_block)),
+        config_.scale_block_bits);
+  }
+  // Profiles key off the scenario seed (not rng_ state) so the same
+  // address behaves identically at any thread count and config tweak.
+  ucfg.seed = config_.seed ^ 0x5CA1E00000000000ULL;
+  ucfg.live_frac = config_.scale_live_frac;
+  ucfg.service_frac = config_.scale_service_frac;
+  ucfg.echo_frac = config_.scale_echo_frac;
+  universe_ = std::make_unique<host::ScaleUniverse>(*network_, ucfg);
+
+  if (config_.scale_oneshot_contacts == 0) return;
+  // One-shot external contacts to universe services, mirroring the
+  // campus "overheard once" population: rejection-sample the contiguous
+  // universe range for service profiles, then schedule a single SYN at a
+  // heavy-tailed time. Bounded attempts keep a sparse-service config
+  // from spinning forever.
+  util::Rng gen = rng_.fork(0x5CA1EF00ULL);
+  const std::uint64_t span = config_.scale_blocks * per_block;
+  std::uint32_t scheduled = 0;
+  const std::uint64_t max_attempts =
+      std::uint64_t{config_.scale_oneshot_contacts} * 4096;
+  for (std::uint64_t attempt = 0;
+       attempt < max_attempts && scheduled < config_.scale_oneshot_contacts;
+       ++attempt) {
+    const net::Ipv4 addr(config_.scale_base.value() +
+                         static_cast<std::uint32_t>(gen.below(span)));
+    const host::ScaleProfile prof = universe_->profile(addr);
+    if (!prof.service) continue;
+    const double u = gen.uniform();
+    const util::TimePoint when =
+        util::kEpoch +
+        util::seconds_f(config_.duration.usec / 1e6 *
+                        std::pow(u, config_.oneshot_exponent));
+    const net::Ipv4 client = external_address(0x5CA1E0000ULL + scheduled);
+    const net::Port port = prof.port;
+    sim_.at(when, [this, client, addr, port] {
+      network_->send(net::make_tcp(client, net::Port{31000}, addr, port,
+                                   net::flags_syn()));
+    });
+    ++scheduled;
   }
 }
 

@@ -29,6 +29,7 @@
 
 #include "host/address_pool.h"
 #include "host/host.h"
+#include "host/universe.h"
 #include "net/ipv4.h"
 #include "net/ports.h"
 #include "sim/network.h"
@@ -183,6 +184,36 @@ struct CampusConfig {
   /// True when any zoo population is configured.
   bool zoo_enabled() const;
 
+  // ---- internet-scale universe (DESIGN.md §14) ----------------------------
+  // Blocks of stateless, profile-driven addresses served by a
+  // ScaleUniverse instead of per-address Host objects, pushing campaigns
+  // past a million probe targets with RSS bounded by contacted addresses.
+  // All defaults keep the universe off, and the builder draws no
+  // randomness when disabled, so existing goldens stay byte-identical.
+  /// Number of scale blocks (0 disables the universe).
+  std::uint32_t scale_blocks{0};
+  /// Prefix length of each block (16 -> 65,536 addresses per block).
+  int scale_block_bits{16};
+  /// Base of the first block; block b starts at base + b * 2^(32-bits),
+  /// so the blocks tile a contiguous range. Must not overlap the campus
+  /// /16 or the prober management /24.
+  net::Ipv4 scale_base{net::Ipv4::from_octets(11, 0, 0, 0)};
+  /// Fraction of universe addresses hosting a live machine.
+  double scale_live_frac{0.3};
+  /// Fraction of live universe addresses running a TCP service.
+  double scale_service_frac{0.02};
+  /// Fraction of live universe addresses answering ICMP echo.
+  double scale_echo_frac{0.8};
+  /// Include every universe address in the probe target list.
+  bool scale_scan{true};
+  /// One-shot external client contacts aimed at universe services
+  /// (exercises passive discovery at scale; same heavy-tailed timing as
+  /// the campus one-shot population).
+  std::uint32_t scale_oneshot_contacts{0};
+
+  /// True when a scale universe is configured.
+  bool scale_enabled() const { return scale_blocks > 0; }
+
   // Presets (paper Table 1).
   static CampusConfig dtcp1_18d();
   static CampusConfig dtcp1_90d();
@@ -191,6 +222,8 @@ struct CampusConfig {
   static CampusConfig dudp();
   /// A small, fast scenario for unit/integration tests.
   static CampusConfig tiny();
+  /// tiny() plus a 16 x /16 scale universe: 1,048,576+ probe targets.
+  static CampusConfig scale1m();
 };
 
 /// What a host was built as (ground-truth bookkeeping for the benches).
@@ -230,6 +263,8 @@ class Campus {
   const std::vector<net::Port>& udp_ports() const { return udp_ports_; }
 
   const std::vector<HostInfo>& hosts() const { return host_infos_; }
+  /// The scale universe, or nullptr when scale_blocks == 0.
+  const host::ScaleUniverse* universe() const { return universe_.get(); }
   /// Address-block class of `addr` (by block layout, address need not be
   /// live).
   host::AddressClass class_of(net::Ipv4 addr) const;
@@ -255,6 +290,7 @@ class Campus {
   void build_udp_population();
   void build_allports_population();
   void build_zoo_population();
+  void build_scale_universe();
 
   host::Host* new_static_host(net::Ipv4 addr, host::LifecycleConfig lc);
   host::Host* new_pool_host(host::AddressPool& pool, host::LifecycleConfig lc);
@@ -282,6 +318,7 @@ class Campus {
   std::unique_ptr<host::AddressPool> ppp_pool_;
   std::unique_ptr<host::AddressPool> wireless_pool_;
   std::unique_ptr<host::AddressPool> cgnat_pool_;
+  std::unique_ptr<host::ScaleUniverse> universe_;
 
   std::vector<std::unique_ptr<host::Host>> hosts_;
   std::vector<HostInfo> host_infos_;

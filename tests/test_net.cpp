@@ -88,7 +88,67 @@ TEST(Prefix, AtWalksAddresses) {
   const Prefix p(Ipv4::from_octets(10, 0, 0, 0), 30);
   EXPECT_EQ(p.at(0).to_string(), "10.0.0.0");
   EXPECT_EQ(p.at(3).to_string(), "10.0.0.3");
-  EXPECT_EQ(p.end().to_string(), "10.0.0.4");
+  EXPECT_EQ(p.last().to_string(), "10.0.0.3");
+  EXPECT_EQ((*p.end()).to_string(), "10.0.0.4");
+}
+
+TEST(Prefix, IterationCoversSmallPrefixes) {
+  const Prefix p(Ipv4::from_octets(10, 0, 0, 0), 30);
+  std::vector<std::string> walked;
+  for (auto it = p.begin(); it != p.end(); ++it) {
+    walked.push_back((*it).to_string());
+  }
+  EXPECT_EQ(walked, (std::vector<std::string>{"10.0.0.0", "10.0.0.1",
+                                              "10.0.0.2", "10.0.0.3"}));
+}
+
+// Regression: end() used to return base + uint32(size()), which wraps to
+// base() for a /0 prefix, making iteration empty. The index-counting
+// iterator must cover all 2^32 addresses without wrapping.
+TEST(Prefix, SlashZeroIterationSpansWholeSpace) {
+  const Prefix p(Ipv4::from_octets(1, 2, 3, 4), 0);
+  EXPECT_EQ(p.size(), std::uint64_t{1} << 32);
+  EXPECT_NE(p.begin(), p.end());
+  EXPECT_EQ(p.end() - p.begin(), std::int64_t{1} << 32);
+  EXPECT_EQ((*p.begin()).value(), 0u);
+  EXPECT_EQ(p.last().value(), 0xFFFFFFFFu);
+  // Walk the last few addresses by index to show no wraparound short of
+  // the true end.
+  auto it = Prefix::AddressIterator(p.base(), p.size() - 2);
+  EXPECT_EQ((*it).value(), 0xFFFFFFFEu);
+  ++it;
+  EXPECT_EQ((*it).value(), 0xFFFFFFFFu);
+  ++it;
+  EXPECT_EQ(it, p.end());
+}
+
+TEST(Prefix, SlashOneIteration) {
+  const Prefix p(Ipv4::from_octets(128, 0, 0, 0), 1);
+  EXPECT_EQ(p.size(), std::uint64_t{1} << 31);
+  EXPECT_EQ(p.end() - p.begin(), std::int64_t{1} << 31);
+  EXPECT_EQ((*p.begin()).value(), 0x80000000u);
+  EXPECT_EQ(p.last().value(), 0xFFFFFFFFu);
+}
+
+TEST(Prefix, Slash31Iteration) {
+  const Prefix p(Ipv4::from_octets(10, 0, 0, 2), 31);
+  std::vector<std::uint32_t> walked;
+  for (auto it = p.begin(); it != p.end(); ++it) {
+    walked.push_back((*it).value());
+  }
+  EXPECT_EQ(walked.size(), 2u);
+  EXPECT_EQ(walked[0], p.base().value());
+  EXPECT_EQ(walked[1], p.base().value() + 1);
+}
+
+TEST(Prefix, Slash32Iteration) {
+  const Prefix p(Ipv4::from_octets(9, 9, 9, 9), 32);
+  std::vector<std::uint32_t> walked;
+  for (auto it = p.begin(); it != p.end(); ++it) {
+    walked.push_back((*it).value());
+  }
+  EXPECT_EQ(walked, (std::vector<std::uint32_t>{p.base().value()}));
+  EXPECT_EQ(p.last(), p.base());
 }
 
 // ---------------------------------------------------------------- Ports --

@@ -77,6 +77,8 @@ const Scenario kScenarios[] = {
      "one /24 of lab machines, services on any port, 10 days"},
     {"dudp", &workload::CampusConfig::dudp,
      "UDP service discovery, 24 hours"},
+    {"scale1m", &workload::CampusConfig::scale1m,
+     "tiny campus + 1,048,576-address scale universe, 1 day"},
 };
 
 const Scenario* find_scenario(const std::string& name) {
