@@ -13,12 +13,22 @@
 #
 # The emitted JSON records host_cores; speedups for the sharding sweep
 # (campaign_pps_t*) are only computed when the baseline was measured on
-# a host with the same core count.
+# a host with the same core count. The sweep itself is record-and-compare
+# only on hosts with >= 8 cores — anything smaller measures the host, not
+# the code, so the script skips it with an explicit note.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 jobs="$(nproc 2>/dev/null || echo 2)"
 native="${NATIVE:-0}"
+
+host_cores="$(nproc 2>/dev/null || echo 1)"
+shard_sweep=1
+if [ "$host_cores" -lt 8 ]; then
+  shard_sweep=0
+  echo "campaign_pps_t{1,2,4,8}: skipped: $host_cores cores" \
+    "(record-and-compare needs >= 8; figures would measure the host)"
+fi
 
 cmake -B build-bench -S . \
   -DCMAKE_BUILD_TYPE=Release \
@@ -29,4 +39,5 @@ cmake --build build-bench -j "$jobs" --target bench_hotpath
 SVCDISC_BASELINE_JSON="${SVCDISC_BASELINE_JSON:-bench/baseline_hotpath.json}" \
 SVCDISC_BENCH_OUT="${SVCDISC_BENCH_OUT:-BENCH_hotpath.json}" \
 SVCDISC_BENCH_SMOKE="${SMOKE:-0}" \
+SVCDISC_BENCH_SHARD_SWEEP="${SVCDISC_BENCH_SHARD_SWEEP:-$shard_sweep}" \
   ./build-bench/bench/bench_hotpath

@@ -37,6 +37,11 @@ run_asan() {
   # byte-compares against its goldens — full campaigns under ASan.
   echo "== ASan + UBSan: scenario packs =="
   (cd build-asan && ctest --output-on-failure -j "$jobs" -L scenario)
+  # The streaming label covers the sketch layer (HLL/CMS buffers, the
+  # per-service map) and the change-point detector — heavy buffer
+  # arithmetic worth an explicit sanitized pass.
+  echo "== ASan + UBSan: streaming label =="
+  (cd build-asan && ctest --output-on-failure -j "$jobs" -L streaming)
   # The scale label runs the universe suite; SVCDISC_SCALE_SMOKE shrinks
   # its million-address campaign to one /16 block so the ASan pass stays
   # fast (the RSS ceiling is skipped under ASan anyway — shadow memory
@@ -50,7 +55,7 @@ run_tsan() {
   cmake -B build-tsan -S . -DSVCDISC_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$jobs" \
     --target test_metrics test_campaign_runner test_ring_buffer \
-    test_trace test_provenance test_parallel_campaign
+    test_trace test_provenance test_parallel_campaign test_streaming
   ./build-tsan/tests/test_metrics
   ./build-tsan/tests/test_campaign_runner
   ./build-tsan/tests/test_ring_buffer
@@ -59,6 +64,9 @@ run_tsan() {
   # The sharded pipeline's producer/consumer window, worker pool, and
   # shard merge — the subsystem TSan exists for in this repo.
   ./build-tsan/tests/test_parallel_campaign
+  # Streaming analytics ride the producer thread of that same pipeline;
+  # the thread-identity tests here run sharded campaigns under TSan.
+  ./build-tsan/tests/test_streaming
 }
 
 case "$mode" in

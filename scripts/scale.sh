@@ -9,6 +9,11 @@
 #  2. A CLI pass over the scale1m scenario at two thread counts, with the
 #     JSON exports diffed — `wall_sec` is the only field allowed to
 #     differ (it is the one intentionally nondeterministic export field).
+#  3. A `run --streaming` pass over scale1m (DESIGN.md §15): the
+#     streaming artifact must be byte-identical at 1/2/4 shards, detect
+#     at least one scan burst (tiny's external scanner fleet), and the
+#     sketch layer must stay O(services) next to the RSS ceiling the
+#     suite already asserts.
 #
 # Usage: scripts/scale.sh
 set -euo pipefail
@@ -33,5 +38,38 @@ if ! diff <(grep -v '"wall_sec"' "$out1") <(grep -v '"wall_sec"' "$out2"); then
   echo "scale: FAIL (thread count changed campaign output)" >&2
   exit 1
 fi
+
+echo "== scale: scale1m --streaming, threads 1 vs 2 vs 4 =="
+s1="$(mktemp)" s2="$(mktemp)" s4="$(mktemp)" summary="$(mktemp)"
+trap 'rm -f "$out1" "$out2" "$s1" "$s2" "$s4" "$summary"' EXIT
+./build/tools/svcdisc_cli run --scenario scale1m --seed 1 --scans 1 \
+  --threads 1 --streaming-out "$s1" | tee "$summary"
+./build/tools/svcdisc_cli run --scenario scale1m --seed 1 --scans 1 \
+  --threads 2 --streaming-out "$s2" >/dev/null
+./build/tools/svcdisc_cli run --scenario scale1m --seed 1 --scans 1 \
+  --threads 4 --streaming-out "$s4" >/dev/null
+if ! cmp -s "$s1" "$s2" || ! cmp -s "$s1" "$s4"; then
+  echo "scale: FAIL (streaming artifact differs across thread counts)" >&2
+  exit 1
+fi
+if ! grep -q '"kind":"scan_burst"' "$s1"; then
+  echo "scale: FAIL (no scan burst detected over the scanner fleet)" >&2
+  exit 1
+fi
+
+# Sketch memory must scale with services, not with the million-address
+# universe: parse "sketches N bytes" from the run summary and hold it to
+# a fixed budget (global sketches + a few KB per discovered service).
+sketch_bytes="$(sed -n 's/.*sketches \([0-9]*\) bytes.*/\1/p' "$summary")"
+services="$(sed -n 's/^streaming: [0-9]* windows, \([0-9]*\) services.*/\1/p' \
+  "$summary")"
+budget=$(( 1024 * 1024 + services * 4096 ))
+if [ -z "$sketch_bytes" ] || [ "$sketch_bytes" -gt "$budget" ]; then
+  echo "scale: FAIL (sketch memory ${sketch_bytes:-?} bytes exceeds" \
+    "O(services) budget $budget for $services services)" >&2
+  exit 1
+fi
+echo "scale: streaming sketches $sketch_bytes bytes for $services services" \
+  "(budget $budget)"
 
 echo "scale: OK"

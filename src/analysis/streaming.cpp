@@ -1,0 +1,434 @@
+#include "analysis/streaming.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/trace.h"
+
+namespace svcdisc::analysis {
+namespace {
+
+std::uint64_t service_key_hash64(const passive::ServiceKey& key) {
+  return util::hash_mix((std::uint64_t{key.addr.value()} << 24) ^
+                        (std::uint64_t{key.port} << 8) ^
+                        static_cast<std::uint8_t>(key.proto));
+}
+
+std::int64_t basis_points(std::uint64_t num, std::uint64_t den) {
+  if (den == 0) return 0;
+  const double bp =
+      10000.0 * static_cast<double>(num) / static_cast<double>(den);
+  return static_cast<std::int64_t>(std::llround(bp));
+}
+
+void append_key_json(std::string& out, const passive::ServiceKey& key) {
+  out += "\"addr\":\"";
+  out += key.addr.to_string();
+  out += "\",\"proto\":\"";
+  out += net::proto_name(key.proto);
+  out += "\",\"port\":";
+  out += std::to_string(key.port);
+}
+
+}  // namespace
+
+const char* change_point_kind_name(ChangePoint::Kind kind) {
+  switch (kind) {
+    case ChangePoint::Kind::kScanBurst: return "scan_burst";
+    case ChangePoint::Kind::kDiscoveryJump: return "discovery_jump";
+    case ChangePoint::Kind::kServiceAppeared: return "service_appeared";
+    case ChangePoint::Kind::kServiceDied: return "service_died";
+    case ChangePoint::Kind::kServiceReturned: return "service_returned";
+  }
+  return "?";
+}
+
+StreamingAnalytics::StreamingAnalytics(StreamingConfig config)
+    : config_(std::move(config)) {
+  passive_addrs_.init(config_.hll_precision);
+  active_addrs_.init(config_.hll_precision);
+  union_addrs_.init(config_.hll_precision);
+  clients_.init(config_.hll_precision);
+  flow_sketch_.init(config_.cms_width, config_.cms_depth);
+}
+
+bool StreamingAnalytics::is_internal(net::Ipv4 addr) const {
+  for (const auto& prefix : config_.internal_prefixes) {
+    if (prefix.contains(addr)) return true;
+  }
+  return false;
+}
+
+bool StreamingAnalytics::tcp_port_selected(net::Port port) const {
+  if (config_.tcp_ports.empty()) return true;
+  return std::find(config_.tcp_ports.begin(), config_.tcp_ports.end(),
+                   port) != config_.tcp_ports.end();
+}
+
+bool StreamingAnalytics::udp_port_selected(net::Port port) const {
+  if (config_.udp_ports.empty()) return net::is_well_known(port);
+  return std::find(config_.udp_ports.begin(), config_.udp_ports.end(),
+                   port) != config_.udp_ports.end();
+}
+
+void StreamingAnalytics::observe(const net::Packet& p) { ingest(p); }
+
+void StreamingAnalytics::observe_batch(std::span<const net::Packet> packets) {
+  for (const net::Packet& p : packets) ingest(p);
+}
+
+StreamingAnalytics::ServiceState& StreamingAnalytics::touch_service(
+    const passive::ServiceKey& key, util::TimePoint t, bool active) {
+  auto [it, inserted] = table_.emplace(key, ServiceState{});
+  ServiceState& s = it->second;
+  if (inserted) {
+    s.first_seen = t;
+    s.activity = util::DecayRate(config_.decay_half_life);
+    record_service_event(ChangePoint::Kind::kServiceAppeared, key, t, 0);
+  }
+  if (s.dead) {
+    s.dead = false;
+    ++returns_;
+    if (m_services_returned_) m_services_returned_->inc();
+    if (m_change_points_) m_change_points_->inc();
+    record_service_event(ChangePoint::Kind::kServiceReturned, key, t,
+                         s.sightings + s.flows);
+    SVCDISC_TRACE_INSTANT("stream.service_returned", t.usec);
+  }
+  if (s.last_activity < t) s.last_activity = t;
+  s.activity.observe(t);
+  if (active && !s.seen_active) {
+    s.seen_active = true;
+    // Promote the flows this service accumulated before active probing
+    // confirmed it — the weighted-completeness numerator is "flows to
+    // services active found", not "flows after it found them".
+    flows_active_covered_ += s.flows;
+  }
+  if (!active) s.seen_passive = true;
+  return s;
+}
+
+void StreamingAnalytics::record_service_event(ChangePoint::Kind kind,
+                                              const passive::ServiceKey& key,
+                                              util::TimePoint t,
+                                              std::uint64_t observed) {
+  ChangePoint cp;
+  cp.kind = kind;
+  cp.at = t;
+  cp.key = key;
+  cp.observed = observed;
+  key_events_[key].push_back(static_cast<std::uint32_t>(events_.size()));
+  events_.push_back(cp);
+}
+
+void StreamingAnalytics::count_flow(const passive::ServiceKey& key,
+                                    net::Ipv4 client, util::TimePoint t) {
+  ServiceState& s = touch_service(key, t, /*active=*/false);
+  ++s.flows;
+  ++flows_total_;
+  ++window_flows_;
+  if (s.seen_active) ++flows_active_covered_;
+  clients_.add(util::hash_mix(client.value()));
+  flow_sketch_.add(service_key_hash64(key));
+}
+
+void StreamingAnalytics::ingest(const net::Packet& p) {
+  roll_windows(p.time);
+  switch (p.proto) {
+    case net::Proto::kTcp:
+      if (p.flags.is_syn_ack()) {
+        // Outbound positive response: passive service evidence.
+        if (!is_internal(p.src) || !tcp_port_selected(p.sport)) return;
+        const passive::ServiceKey key{p.src, net::Proto::kTcp, p.sport};
+        const std::uint64_t addr_hash = util::hash_mix(p.src.value());
+        const bool known = table_.find(key) != table_.end();
+        ServiceState& s = touch_service(key, p.time, /*active=*/false);
+        ++s.sightings;
+        passive_addrs_.add(addr_hash);
+        union_addrs_.add(addr_hash);
+        if (!known) ++window_discoveries_;
+      } else if (p.flags.is_syn_only()) {
+        // Inbound connection attempt: a client flow (and the signal the
+        // scan-burst detector watches).
+        if (is_internal(p.src) || !is_internal(p.dst)) return;
+        ++window_syns_;
+        if (!tcp_port_selected(p.dport)) return;
+        if (detector_ && detector_->is_scanner(p.src)) return;
+        count_flow({p.dst, net::Proto::kTcp, p.dport}, p.src, p.time);
+      }
+      return;
+    case net::Proto::kUdp:
+      if (!config_.detect_udp) return;
+      if (is_internal(p.src) && udp_port_selected(p.sport)) {
+        const passive::ServiceKey key{p.src, net::Proto::kUdp, p.sport};
+        const std::uint64_t addr_hash = util::hash_mix(p.src.value());
+        const bool known = table_.find(key) != table_.end();
+        ServiceState& s = touch_service(key, p.time, /*active=*/false);
+        ++s.sightings;
+        passive_addrs_.add(addr_hash);
+        union_addrs_.add(addr_hash);
+        if (!known) ++window_discoveries_;
+      } else if (!is_internal(p.src) && is_internal(p.dst) &&
+                 udp_port_selected(p.dport)) {
+        count_flow({p.dst, net::Proto::kUdp, p.dport}, p.src, p.time);
+      }
+      return;
+    case net::Proto::kIcmp:
+      return;
+  }
+}
+
+void StreamingAnalytics::on_probe_reply(const passive::ServiceKey& key,
+                                        util::TimePoint t) {
+  roll_windows(t);
+  ServiceState& s = touch_service(key, t, /*active=*/true);
+  ++s.sightings;
+  const std::uint64_t addr_hash = util::hash_mix(key.addr.value());
+  active_addrs_.add(addr_hash);
+  union_addrs_.add(addr_hash);
+}
+
+void StreamingAnalytics::roll_windows(util::TimePoint t) {
+  if (!window_open_) {
+    // Anchor the window grid at the epoch, not the first observation, so
+    // window boundaries are a pure function of configuration.
+    window_start_ = util::kEpoch;
+    window_open_ = true;
+  }
+  while (t.usec >= (window_start_ + config_.window).usec) {
+    close_window(window_start_ + config_.window);
+    window_start_ = window_start_ + config_.window;
+  }
+}
+
+void StreamingAnalytics::close_window(util::TimePoint window_end) {
+  // Burst tests run against the EWMA of *previous* windows; the first
+  // closed window only seeds the baseline.
+  const auto burst = [&](std::uint64_t observed, double baseline) {
+    return baseline >= 0.0 && observed >= config_.burst_floor &&
+           static_cast<double>(observed) >
+               config_.burst_factor * std::max(baseline, 1.0);
+  };
+  if (burst(window_syns_, baseline_syns_)) {
+    ChangePoint cp;
+    cp.kind = ChangePoint::Kind::kScanBurst;
+    cp.at = window_end;
+    cp.observed = window_syns_;
+    cp.baseline = baseline_syns_;
+    events_.push_back(cp);
+    ++bursts_;
+    if (m_scan_bursts_) m_scan_bursts_->inc();
+    if (m_change_points_) m_change_points_->inc();
+    SVCDISC_TRACE_INSTANT_V("stream.scan_burst", window_end.usec,
+                            static_cast<std::int64_t>(window_syns_));
+  }
+  if (burst(window_discoveries_, baseline_discoveries_)) {
+    ChangePoint cp;
+    cp.kind = ChangePoint::Kind::kDiscoveryJump;
+    cp.at = window_end;
+    cp.observed = window_discoveries_;
+    cp.baseline = baseline_discoveries_;
+    events_.push_back(cp);
+    ++bursts_;
+    if (m_discovery_jumps_) m_discovery_jumps_->inc();
+    if (m_change_points_) m_change_points_->inc();
+    SVCDISC_TRACE_INSTANT_V("stream.discovery_jump", window_end.usec,
+                            static_cast<std::int64_t>(window_discoveries_));
+  }
+
+  // Death scan: services with real history that went silent. FlatMap
+  // iterates in insertion order, so the scan (and the event order it
+  // produces) is deterministic.
+  const util::Duration silence = config_.window *
+      static_cast<std::int64_t>(config_.death_windows);
+  for (auto& [key, s] : table_) {
+    if (s.dead) continue;
+    if (s.sightings + s.flows < config_.death_min_activity) continue;
+    if ((window_end - s.last_activity).usec < silence.usec) continue;
+    s.dead = true;
+    ++deaths_;
+    if (m_services_died_) m_services_died_->inc();
+    if (m_change_points_) m_change_points_->inc();
+    record_service_event(ChangePoint::Kind::kServiceDied, key, window_end,
+                         s.sightings + s.flows);
+    SVCDISC_TRACE_INSTANT("stream.service_died", window_end.usec);
+  }
+
+  StreamSnapshot snap;
+  snap.at = window_end;
+  snap.services = table_.size();
+  snap.passive_addrs = passive_addrs_.count();
+  snap.active_addrs = active_addrs_.count();
+  snap.union_addrs = union_addrs_.count();
+  const std::uint64_t sum = snap.passive_addrs + snap.active_addrs;
+  snap.both_addrs = sum > snap.union_addrs ? sum - snap.union_addrs : 0;
+  snap.overlap_bp = basis_points(snap.both_addrs, snap.union_addrs);
+  snap.flow_weighted_active_bp =
+      basis_points(flows_active_covered_, flows_total_);
+  snap.clients = clients_.count();
+  snap.flows = flows_total_;
+  snap.window_flows = window_flows_;
+  snap.window_discoveries = window_discoveries_;
+  snap.change_points = bursts_ + deaths_ + returns_;
+  snapshots_.push_back(snap);
+  if (m_snapshots_) m_snapshots_->inc();
+  SVCDISC_TRACE_INSTANT("stream.snapshot", window_end.usec);
+
+  // Roll the baselines and reset per-window tallies.
+  const double a = config_.baseline_alpha;
+  const auto roll = [a](double baseline, std::uint64_t observed) {
+    const double x = static_cast<double>(observed);
+    return baseline < 0.0 ? x : a * x + (1.0 - a) * baseline;
+  };
+  baseline_syns_ = roll(baseline_syns_, window_syns_);
+  baseline_discoveries_ = roll(baseline_discoveries_, window_discoveries_);
+  window_syns_ = 0;
+  window_flows_ = 0;
+  window_discoveries_ = 0;
+}
+
+void StreamingAnalytics::finish(util::TimePoint end) {
+  roll_windows(end);
+  // A trailing partial window (end not on a boundary) still closes, so
+  // late activity reaches the snapshot log.
+  if (window_open_ && end.usec > window_start_.usec) {
+    close_window(end);
+    window_start_ = end;
+  }
+  if (m_passive_est_ && !snapshots_.empty()) {
+    m_passive_est_->set(static_cast<std::int64_t>(passive_addrs_.count()));
+    m_active_est_->set(static_cast<std::int64_t>(active_addrs_.count()));
+    m_union_est_->set(static_cast<std::int64_t>(union_addrs_.count()));
+    const StreamSnapshot& last = snapshots_.back();
+    m_both_est_->set(static_cast<std::int64_t>(last.both_addrs));
+    m_overlap_bp_->set(last.overlap_bp);
+    m_flow_weighted_bp_->set(last.flow_weighted_active_bp);
+    m_clients_est_->set(static_cast<std::int64_t>(clients_.count()));
+    m_services_->set(static_cast<std::int64_t>(table_.size()));
+    m_flows_->set(static_cast<std::int64_t>(flows_total_));
+    m_sketch_bytes_->set(static_cast<std::int64_t>(memory_bytes()));
+  }
+}
+
+void StreamingAnalytics::attach_metrics(util::MetricsRegistry& registry) {
+  m_snapshots_ = &registry.counter("stream.snapshots");
+  m_change_points_ = &registry.counter("stream.change_points");
+  m_scan_bursts_ = &registry.counter("stream.scan_bursts");
+  m_discovery_jumps_ = &registry.counter("stream.discovery_jumps");
+  m_services_died_ = &registry.counter("stream.services_died");
+  m_services_returned_ = &registry.counter("stream.services_returned");
+  m_passive_est_ = &registry.gauge("stream.passive_addrs_est");
+  m_active_est_ = &registry.gauge("stream.active_addrs_est");
+  m_union_est_ = &registry.gauge("stream.union_addrs_est");
+  m_both_est_ = &registry.gauge("stream.both_addrs_est");
+  m_clients_est_ = &registry.gauge("stream.clients_est");
+  m_services_ = &registry.gauge("stream.services");
+  m_flows_ = &registry.gauge("stream.flows");
+  m_overlap_bp_ = &registry.gauge("stream.overlap_bp");
+  m_flow_weighted_bp_ = &registry.gauge("stream.flow_weighted_active_bp");
+  m_sketch_bytes_ = &registry.gauge("stream.sketch_bytes");
+}
+
+std::uint64_t StreamingAnalytics::flow_estimate(
+    const passive::ServiceKey& key) const {
+  return flow_sketch_.estimate(service_key_hash64(key));
+}
+
+std::uint64_t StreamingAnalytics::flow_exact(
+    const passive::ServiceKey& key) const {
+  const auto it = table_.find(key);
+  return it == table_.end() ? 0 : it->second.flows;
+}
+
+std::size_t StreamingAnalytics::memory_bytes() const {
+  constexpr std::size_t kSlotOverhead = 2 * sizeof(std::uint32_t);
+  return passive_addrs_.memory_bytes() + active_addrs_.memory_bytes() +
+         union_addrs_.memory_bytes() + clients_.memory_bytes() +
+         flow_sketch_.memory_bytes() +
+         table_.size() * (sizeof(std::pair<passive::ServiceKey, ServiceState>) +
+                          kSlotOverhead);
+}
+
+std::string StreamingAnalytics::snapshots_jsonl() const {
+  std::string out;
+  for (const StreamSnapshot& s : snapshots_) {
+    out += "{\"t_usec\":";
+    out += std::to_string(s.at.usec);
+    out += ",\"services\":";
+    out += std::to_string(s.services);
+    out += ",\"passive_addrs\":";
+    out += std::to_string(s.passive_addrs);
+    out += ",\"active_addrs\":";
+    out += std::to_string(s.active_addrs);
+    out += ",\"union_addrs\":";
+    out += std::to_string(s.union_addrs);
+    out += ",\"both_addrs\":";
+    out += std::to_string(s.both_addrs);
+    out += ",\"overlap_bp\":";
+    out += std::to_string(s.overlap_bp);
+    out += ",\"flow_weighted_active_bp\":";
+    out += std::to_string(s.flow_weighted_active_bp);
+    out += ",\"clients\":";
+    out += std::to_string(s.clients);
+    out += ",\"flows\":";
+    out += std::to_string(s.flows);
+    out += ",\"window_flows\":";
+    out += std::to_string(s.window_flows);
+    out += ",\"window_discoveries\":";
+    out += std::to_string(s.window_discoveries);
+    out += ",\"change_points\":";
+    out += std::to_string(s.change_points);
+    out += "}\n";
+  }
+  return out;
+}
+
+std::string StreamingAnalytics::events_jsonl() const {
+  std::string out;
+  for (const ChangePoint& e : events_) {
+    out += "{\"t_usec\":";
+    out += std::to_string(e.at.usec);
+    out += ",\"kind\":\"";
+    out += change_point_kind_name(e.kind);
+    out += '"';
+    const bool keyed = e.kind != ChangePoint::Kind::kScanBurst &&
+                       e.kind != ChangePoint::Kind::kDiscoveryJump;
+    if (keyed) {
+      out += ',';
+      append_key_json(out, e.key);
+    }
+    out += ",\"observed\":";
+    out += std::to_string(e.observed);
+    if (!keyed) {
+      // Baseline as integer tenths: byte-stable without float formatting.
+      out += ",\"baseline_tenths\":";
+      out += std::to_string(
+          static_cast<std::int64_t>(std::llround(e.baseline * 10.0)));
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+std::vector<std::string> StreamingAnalytics::explain_lines(
+    const passive::ServiceKey& key, const util::Calendar& calendar) const {
+  std::vector<std::string> lines;
+  const auto it = key_events_.find(key);
+  if (it == key_events_.end()) return lines;
+  for (const std::uint32_t idx : it->second) {
+    const ChangePoint& e = events_[idx];
+    std::string line = calendar.month_day_time(e.at);
+    line += "  stream/";
+    line += change_point_kind_name(e.kind);
+    if (e.observed > 0) {
+      line += "  (activity ";
+      line += std::to_string(e.observed);
+      line += ')';
+    }
+    lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
+}  // namespace svcdisc::analysis

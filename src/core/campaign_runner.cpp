@@ -40,6 +40,12 @@ void execute_job(const CampaignJob& job, CampaignResult& result,
       result.provenance = std::make_unique<ProvenanceLedger>();
       engine_cfg.provenance = result.provenance.get();
     }
+    if (job.streaming) {
+      result.streaming = std::make_unique<analysis::StreamingAnalytics>(
+          streaming_config_for(*result.campus));
+      engine_cfg.streaming = result.streaming.get();
+      engine_cfg.sketch_tables = true;
+    }
     result.engine =
         std::make_unique<DiscoveryEngine>(*result.campus, engine_cfg);
     if (job.setup) job.setup(*result.campus, *result.engine);

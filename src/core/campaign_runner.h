@@ -45,6 +45,11 @@ struct CampaignJob {
   /// job because concurrent jobs must not share a ledger; the result
   /// carries it after the run.
   bool provenance{false};
+  /// Build a per-job StreamingAnalytics (configured from the job's
+  /// campus via streaming_config_for) and wire it into the engine,
+  /// together with sketch-backed monitor tables
+  /// (EngineConfig::sketch_tables). The result carries it after the run.
+  bool streaming{false};
 };
 
 /// A finished campaign. Owns the whole apparatus so callers can compute
@@ -58,6 +63,8 @@ struct CampaignResult {
   std::unique_ptr<util::MetricsRegistry> metrics;
   /// The job's evidence ledger (null unless job.provenance was set).
   std::unique_ptr<ProvenanceLedger> provenance;
+  /// The job's streaming layer (null unless job.streaming was set).
+  std::unique_ptr<analysis::StreamingAnalytics> streaming;
   /// Registry state right after the campaign finished.
   util::MetricsSnapshot snapshot;
   /// Wall-clock seconds this job took on its worker.

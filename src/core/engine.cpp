@@ -110,6 +110,17 @@ DiscoveryEngine::DiscoveryEngine(workload::Campus& campus, EngineConfig config)
     }
   }
 
+  // Streaming analytics consume the same tap fanout, added after the
+  // monitors/recorder so the shared detector's verdict state at
+  // observation time matches what the monitors consulted — identically
+  // in serial and sharded mode (both feed the detector upstream of this
+  // consumer, on the simulator thread).
+  if (analysis::StreamingAnalytics* stream = config_.streaming) {
+    stream->set_scan_detector(detector_);
+    for (auto& tap : taps_) tap->add_consumer(stream);
+    if (metrics) stream->attach_metrics(*metrics);
+  }
+
   if (config_.per_link_monitors) {
     for (auto& tap : taps_) {
       auto link_monitor =
@@ -128,27 +139,30 @@ DiscoveryEngine::DiscoveryEngine(workload::Campus& campus, EngineConfig config)
   prober_ = std::make_unique<active::Prober>(campus_.network(), prober_config);
   if (metrics) prober_->attach_metrics(*metrics, "active");
   if (metrics) campus_.simulator().attach_metrics(*metrics, "sim");
-  if (ProvenanceLedger* ledger = config_.provenance) {
-    if (pipeline_) {
-      // Parallel mode: active evidence is buffered at its stream
-      // position and replayed into the ledger at the merge, interleaved
-      // with the shards' passive evidence in serial arrival order.
-      ShardPipeline* pipe = pipeline_.get();
-      prober_->on_open_response = [pipe](const passive::ServiceKey& key,
-                                         util::TimePoint t, bool udp) {
-        pipe->record_active_evidence(key, t,
-                                     udp ? EvidenceKind::kProbeReplyUdp
-                                         : EvidenceKind::kProbeReplyTcp);
-      };
-    } else {
-      prober_->on_open_response = [ledger](const passive::ServiceKey& key,
-                                           util::TimePoint t, bool udp) {
-        ledger->record(key, t,
-                       udp ? EvidenceKind::kProbeReplyUdp
-                           : EvidenceKind::kProbeReplyTcp,
-                       Discoverer::kActive);
-      };
-    }
+  if (config_.provenance || config_.streaming) {
+    // The prober callback fires on the simulator thread; streaming sees
+    // it first (live, deterministic order), then the evidence takes the
+    // provenance path for its mode.
+    ProvenanceLedger* ledger = config_.provenance;
+    analysis::StreamingAnalytics* stream = config_.streaming;
+    ShardPipeline* pipe = ledger ? pipeline_.get() : nullptr;
+    prober_->on_open_response = [ledger, stream, pipe](
+                                    const passive::ServiceKey& key,
+                                    util::TimePoint t, bool udp) {
+      if (stream) stream->on_probe_reply(key, t);
+      if (!ledger) return;
+      const EvidenceKind kind =
+          udp ? EvidenceKind::kProbeReplyUdp : EvidenceKind::kProbeReplyTcp;
+      if (pipe) {
+        // Parallel mode: active evidence is buffered at its stream
+        // position and replayed into the ledger at the merge,
+        // interleaved with the shards' passive evidence in serial
+        // arrival order.
+        pipe->record_active_evidence(key, t, kind);
+      } else {
+        ledger->record(key, t, kind, Discoverer::kActive);
+      }
+    };
   }
 
   if (config_.scan_count > 0) {
@@ -184,6 +198,21 @@ passive::MonitorConfig DiscoveryEngine::monitor_config(
   // Injected duplication delivers exact twins back-to-back; the monitor
   // must not double-count them.
   cfg.drop_exact_duplicates = config_.impairment.dup_rate > 0;
+  if (config_.sketch_tables) {
+    cfg.client_accounting = passive::ClientAccounting::kSketch;
+  }
+  return cfg;
+}
+
+analysis::StreamingConfig streaming_config_for(
+    const workload::Campus& campus) {
+  analysis::StreamingConfig cfg;
+  cfg.internal_prefixes = campus.internal_prefixes();
+  if (!campus.config().all_ports_mode) {
+    cfg.tcp_ports = campus.tcp_ports();
+    cfg.udp_ports = campus.udp_ports();
+  }
+  cfg.detect_udp = campus.config().udp_mode;
   return cfg;
 }
 
@@ -262,6 +291,19 @@ void DiscoveryEngine::run() {
         .set(static_cast<std::int64_t>(u.replies_sent()));
     config_.metrics->gauge("scale.universe_bytes")
         .set(static_cast<std::int64_t>(u.memory_bytes()));
+  }
+  if (analysis::StreamingAnalytics* stream = config_.streaming) {
+    SVCDISC_TRACE_SPAN("engine.stream_finish");
+    stream->finish(end);
+    // Table-side gauges live here (not in the analytics layer): the
+    // sketch-backed monitor table is the engine's, and like the scale.*
+    // gauges these keys only appear when the feature is on.
+    if (config_.metrics) {
+      config_.metrics->gauge("stream.table_bytes")
+          .set(static_cast<std::int64_t>(monitor_->table().memory_bytes()));
+      config_.metrics->gauge("stream.table_services")
+          .set(static_cast<std::int64_t>(monitor_->table().size()));
+    }
   }
 }
 

@@ -19,6 +19,7 @@
 
 #include "active/prober.h"
 #include "active/scan_scheduler.h"
+#include "analysis/streaming.h"
 #include "capture/impairment.h"
 #include "capture/sampler.h"
 #include "capture/tap.h"
@@ -81,6 +82,21 @@ struct EngineConfig {
   /// a seed sweep of parallel engines shares one set of workers instead
   /// of oversubscribing the host.
   WorkerPool* pool{nullptr};
+  /// Streaming analytics (DESIGN.md §15): when set, the engine attaches
+  /// it after the monitors on every tap (so scanner verdicts match what
+  /// the monitors saw), feeds it every open probe reply, and closes its
+  /// windows at end of run. The feed runs on the simulator thread in
+  /// both serial and sharded mode, so streaming artifacts are
+  /// byte-identical at every --threads count. Not owned; must outlive
+  /// the engine. When null (default), no stream.* metrics are
+  /// registered and no per-packet work is added.
+  analysis::StreamingAnalytics* streaming{nullptr};
+  /// Constant-memory tables: every monitor's ServiceTable tracks unique
+  /// clients with a per-service HyperLogLog instead of an exact client
+  /// map (passive::ClientAccounting::kSketch), bounding table memory at
+  /// O(services). The --streaming CLI mode enables this together with
+  /// `streaming`; default off preserves exact historical artifacts.
+  bool sketch_tables{false};
 };
 
 class DiscoveryEngine {
@@ -141,6 +157,10 @@ class DiscoveryEngine {
   util::MetricsRegistry* metrics() const { return config_.metrics; }
   /// The provenance ledger the engine feeds, or nullptr.
   ProvenanceLedger* provenance() const { return config_.provenance; }
+  /// The streaming analytics layer the engine feeds, or nullptr.
+  analysis::StreamingAnalytics* streaming() const {
+    return config_.streaming;
+  }
 
  private:
   passive::MonitorConfig monitor_config(bool exclude_scanners) const;
@@ -166,5 +186,11 @@ class DiscoveryEngine {
   /// Private pool when the config supplies none.
   std::unique_ptr<WorkerPool> owned_pool_;
 };
+
+/// The streaming configuration matching a campus: same internal
+/// prefixes, port selection and UDP mode as the engine's monitors, so
+/// the streaming rules see the same service universe the exact tables
+/// record. Callers may tighten window/threshold fields afterwards.
+analysis::StreamingConfig streaming_config_for(const workload::Campus& campus);
 
 }  // namespace svcdisc::core

@@ -56,7 +56,7 @@ AddressWeights address_weights(const passive::ServiceTable& table,
                      const passive::ServiceRecord& record) {
     if (!filter.accepts(key)) return;
     weights.flows[key.addr] += static_cast<double>(record.flows);
-    weights.clients[key.addr] += static_cast<double>(record.clients.size());
+    weights.clients[key.addr] += static_cast<double>(record.client_count());
   });
   return weights;
 }

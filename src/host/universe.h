@@ -78,6 +78,11 @@ class ScaleUniverse final : public sim::PacketSink {
   std::uint64_t universe_size() const;
   /// Addresses materialized so far (contacted at least once).
   std::size_t materialized_count() const { return addrs_.size(); }
+  /// Packets delivered to `addr` this campaign (0 = never contacted).
+  std::uint32_t packets_received(net::Ipv4 addr) const {
+    const auto it = index_.find(addr);
+    return it != index_.end() ? packets_in_[it->second] : 0;
+  }
   /// Packets the universe answered (SYN-ACK, RST, ICMP, UDP replies).
   std::uint64_t replies_sent() const { return replies_sent_; }
   /// Bytes held by the materialized struct-of-arrays state (the

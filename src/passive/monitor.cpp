@@ -7,7 +7,7 @@
 namespace svcdisc::passive {
 
 PassiveMonitor::PassiveMonitor(MonitorConfig config)
-    : config_(std::move(config)) {}
+    : config_(std::move(config)), table_(config_.client_accounting) {}
 
 bool PassiveMonitor::is_internal(net::Ipv4 addr) const {
   for (const auto& prefix : config_.internal_prefixes) {

@@ -58,6 +58,11 @@ struct MonitorConfig {
   /// injected. Off by default: flow accounting stays byte-identical to
   /// the historical behaviour on clean captures.
   bool drop_exact_duplicates{false};
+  /// Client-set backend of the service table (DESIGN.md §15): kExact
+  /// keeps the per-client FlatMap (historical behaviour), kSketch swaps
+  /// it for a per-service HyperLogLog so table memory stays O(services).
+  /// DiscoveryEngine selects kSketch under EngineConfig::sketch_tables.
+  ClientAccounting client_accounting{ClientAccounting::kExact};
 };
 
 /// Field-wise identity over the fields the detection rules read — two

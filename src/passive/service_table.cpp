@@ -18,8 +18,15 @@ void ServiceTable::count_flow(const ServiceKey& key, net::Ipv4 client,
                               util::TimePoint t) {
   Entry& e = services_[key];
   ++e.record.flows;
-  auto [it, inserted] = e.record.clients.emplace(client, t);
-  if (!inserted && it->second < t) it->second = t;
+  if (accounting_ == ClientAccounting::kSketch) {
+    if (!e.record.client_sketch.enabled()) {
+      e.record.client_sketch.init(kClientSketchPrecision);
+    }
+    e.record.client_sketch.add(util::hash_mix(client.value()));
+  } else {
+    auto [it, inserted] = e.record.clients.emplace(client, t);
+    if (!inserted && it->second < t) it->second = t;
+  }
   if (e.record.last_activity < t) e.record.last_activity = t;
   if (e.record.last_flow <= t) {
     e.record.last_flow = t;
@@ -38,8 +45,15 @@ std::uint64_t ServiceTable::restore(const ServiceKey& key,
   e.record.flows += flows;
   const std::uint64_t placeholders = std::min(client_count, max_clients);
   for (std::uint64_t i = 0; i < placeholders; ++i) {
-    e.record.clients.emplace(net::Ipv4(static_cast<std::uint32_t>(i)),
-                             first_seen);
+    const net::Ipv4 placeholder(static_cast<std::uint32_t>(i));
+    if (accounting_ == ClientAccounting::kSketch) {
+      if (!e.record.client_sketch.enabled()) {
+        e.record.client_sketch.init(kClientSketchPrecision);
+      }
+      e.record.client_sketch.add(util::hash_mix(placeholder.value()));
+    } else {
+      e.record.clients.emplace(placeholder, first_seen);
+    }
   }
   // Flow recency: persisted rows carry no per-flow timestamps, so the
   // best reconstruction is "some flow happened by first_seen" when any
@@ -99,6 +113,9 @@ void ServiceTable::absorb(ServiceTable&& other) {
       auto [cit, cinserted] = a.clients.emplace(client, t);
       if (!cinserted && cit->second < t) cit->second = t;
     }
+    // Register-max merge: order-independent, so the sharded campaign's
+    // shard-order absorb is byte-identical at every shard count.
+    a.client_sketch.merge(b.client_sketch);
   }
   other.services_.clear();
   other.discovered_count_ = 0;
@@ -118,17 +135,24 @@ const ServiceRecord* ServiceTable::find(const ServiceKey& key) const {
 
 std::size_t ServiceTable::memory_bytes() const {
   std::size_t clients = 0;
+  std::size_t sketch_bytes = 0;
   for (const auto& [key, entry] : services_) {
     clients += entry.record.clients.size();
+    if (entry.record.client_sketch.enabled()) {
+      sketch_bytes += entry.record.client_sketch.memory_bytes();
+    }
   }
   // Entry storage plus the open-addressing slot arrays at their ~50% max
   // load factor; an estimate, not an accounting — the scale smoke test
-  // compares orders of magnitude, not bytes.
+  // compares orders of magnitude, not bytes. In kSketch mode the client
+  // term is a fixed sketch per service, so the total is O(services)
+  // regardless of how many distinct clients contacted the campus.
   constexpr std::size_t kSlotOverhead = 2 * sizeof(std::uint32_t);
   return services_.size() *
              (sizeof(std::pair<ServiceKey, Entry>) + kSlotOverhead) +
          clients * (sizeof(std::pair<net::Ipv4, util::TimePoint>) +
-                    kSlotOverhead);
+                    kSlotOverhead) +
+         sketch_bytes;
 }
 
 std::size_t ServiceTable::address_count() const {

@@ -16,8 +16,27 @@
 #include "net/packet.h"
 #include "util/flat_hash.h"
 #include "util/sim_time.h"
+#include "util/sketch.h"
 
 namespace svcdisc::passive {
+
+/// How a table tracks the per-service unique-client set (DESIGN.md §15).
+///   kExact:  one FlatMap entry per client — exact counts and per-client
+///            recency, memory O(total client entries). The default; every
+///            historical artifact is produced in this mode.
+///   kSketch: a fixed-size HyperLogLog per service — estimated counts,
+///            memory O(services). The constant-memory backend behind
+///            --streaming; client *identities* and per-client recency are
+///            not retained (last_flow_excluding degrades to last_flow).
+enum class ClientAccounting : std::uint8_t { kExact, kSketch };
+
+/// Registers of the per-service client HLL in kSketch mode: 2^14 = 16 KiB
+/// per service. Per-service client sets run tens to a few thousand, which
+/// keeps a p=14 sketch in its near-exact linear-counting regime — the
+/// ±2% bound the streaming test suite enforces needs that margin. Still a
+/// bargain: an exact client map crosses 16 KiB at ~1k clients and keeps
+/// growing, while the sketch never does.
+inline constexpr int kClientSketchPrecision = 14;
 
 /// Identity of one service instance.
 struct ServiceKey {
@@ -56,7 +75,16 @@ struct ServiceRecord {
   net::Ipv4 last_flow_client{};
   std::uint64_t flows{0};
   /// Client address -> time of its most recent flow, insertion-ordered.
+  /// Empty (never populated) in ClientAccounting::kSketch tables.
   util::FlatMap<net::Ipv4, util::TimePoint> clients;
+  /// Unique-client HLL; disabled (zero memory) in kExact tables.
+  util::HyperLogLog client_sketch;
+
+  /// Unique clients: exact map size, or the sketch estimate in kSketch
+  /// tables. The one accessor reporting/serialization paths should use.
+  std::uint64_t client_count() const {
+    return client_sketch.enabled() ? client_sketch.count() : clients.size();
+  }
 
   /// Latest flow from a client not in `exclude` (kEpoch when none) —
   /// retroactive scanner cleaning for re-observation analyses.
@@ -77,6 +105,14 @@ struct ServiceRecord {
 /// Timestamped registry of discovered services with activity tallies.
 class ServiceTable {
  public:
+  ServiceTable() = default;
+  /// Selects the client-accounting backend; kExact reproduces historical
+  /// behaviour byte-for-byte, kSketch bounds memory at O(services).
+  explicit ServiceTable(ClientAccounting accounting)
+      : accounting_(accounting) {}
+
+  ClientAccounting accounting() const { return accounting_; }
+
   /// Marks `key` discovered at `t` (first call wins). Returns true when
   /// this was a new discovery.
   bool discover(const ServiceKey& key, util::TimePoint t);
@@ -144,6 +180,7 @@ class ServiceTable {
   };
   util::FlatMap<ServiceKey, Entry, ServiceKeyHash> services_;
   std::size_t discovered_count_{0};
+  ClientAccounting accounting_{ClientAccounting::kExact};
 };
 
 }  // namespace svcdisc::passive

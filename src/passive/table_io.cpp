@@ -36,7 +36,7 @@ bool save_table(const ServiceTable& table, std::ostream& out) {
                                             : "icmp")
         << '\t' << key.port << '\t' << record->first_seen.usec << '\t'
         << record->last_activity.usec << '\t' << record->flows << '\t'
-        << record->clients.size() << '\n';
+        << record->client_count() << '\n';
   }
   return out.good();
 }

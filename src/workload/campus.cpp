@@ -170,9 +170,12 @@ CampusConfig CampusConfig::scale1m() {
   // Probe the whole space within the (single-day) campaign: ~2.6M probes
   // per machine per scan finish in a few simulated minutes at this rate.
   cfg.probe_rate_per_sec = 16000.0;
-  // External sweeps walk the full target list per sweep; at 1M+ targets
-  // they would dominate runtime without adding scale coverage.
-  cfg.external_scans = false;
+  // External scanners stay on: sweeps are rate-limited cursors (small
+  // sweeps slice 600-2400 targets; the one big partial sweep that fits
+  // a single day sends ~280k probes in its last two hours), so over 12M
+  // simulated events they cost a few percent — and that late wide sweep
+  // is the scripted scan burst the streaming change-point detector must
+  // flag at scale.
   return cfg;
 }
 

@@ -16,6 +16,8 @@
 //   --trace-out=FILE       flight-recorder trace as Chrome trace-event
 //                          JSON (chrome://tracing, Perfetto)
 //   --provenance-out=FILE  per-service evidence ledger as sorted JSONL
+//   --streaming[-out=FILE] sketch-backed online inference: incremental
+//                          completeness snapshots + change-points (JSONL)
 //   --log-level=LEVEL      stderr threshold: debug|info|warn|error
 //
 // Examples:
@@ -39,6 +41,7 @@
 #include "active/scan_report.h"
 #include "analysis/cdf.h"
 #include "analysis/export.h"
+#include "analysis/streaming.h"
 #include "analysis/table.h"
 #include "capture/filter.h"
 #include "capture/impairment.h"
@@ -197,8 +200,10 @@ int cmd_run(int argc, const char* const* argv) {
   std::string trace_path;
   std::string provenance_path;
   std::string log_level_text;
+  std::string streaming_path;
   std::int64_t threads = 1;
   bool scan_report = false;
+  bool streaming = false;
   bool verbose = false;
 
   util::Flags flags("svcdisc_cli run", "run a discovery campaign");
@@ -221,12 +226,21 @@ int cmd_run(int argc, const char* const* argv) {
   flags.add_string("provenance-out",
                    "write the per-service evidence ledger (JSONL) here",
                    &provenance_path);
+  flags.add_bool("streaming",
+                 "sketch-backed online inference: constant-memory tables, "
+                 "incremental completeness, change-point detection",
+                 &streaming);
+  flags.add_string("streaming-out",
+                   "write streaming snapshots + change-points (JSONL) here "
+                   "(implies --streaming)",
+                   &streaming_path);
   add_threads_flag(flags, &threads);
   add_log_level_flag(flags, &log_level_text);
   int exit_code = 0;
   if (!parse_or_usage(flags, argc, argv, 0, nullptr, &exit_code)) {
     return exit_code;
   }
+  if (!streaming_path.empty()) streaming = true;
   if (!validate_threads(threads)) return 2;
   const Scenario* scenario = find_scenario(scenario_name);
   if (!scenario) {
@@ -250,6 +264,13 @@ int cmd_run(int argc, const char* const* argv) {
                  : static_cast<int>(cfg.duration.days() * 2);
   engine_cfg.threads = static_cast<std::size_t>(threads);
   if (!provenance_path.empty()) engine_cfg.provenance = &ledger;
+  std::unique_ptr<analysis::StreamingAnalytics> stream;
+  if (streaming) {
+    stream = std::make_unique<analysis::StreamingAnalytics>(
+        core::streaming_config_for(campus));
+    engine_cfg.streaming = stream.get();
+    engine_cfg.sketch_tables = true;
+  }
   core::DiscoveryEngine engine(campus, engine_cfg);
 
   std::unique_ptr<capture::PcapWriter> writer;
@@ -306,6 +327,38 @@ int cmd_run(int argc, const char* const* argv) {
                   engine.monitor().table().size(), table_path.c_str());
     } else {
       std::fprintf(stderr, "cannot write %s\n", table_path.c_str());
+    }
+  }
+  if (stream) {
+    const auto& snaps = stream->snapshots();
+    std::printf(
+        "streaming: %zu windows, %llu services, "
+        "overlap %.2f%%, flow-weighted active %.2f%%, "
+        "%llu change-points (%llu bursts), sketches %zu bytes\n",
+        snaps.size(),
+        static_cast<unsigned long long>(stream->services_seen()),
+        snaps.empty() ? 0.0 : static_cast<double>(snaps.back().overlap_bp) /
+                                  100.0,
+        snaps.empty() ? 0.0
+                      : static_cast<double>(
+                            snaps.back().flow_weighted_active_bp) /
+                            100.0,
+        static_cast<unsigned long long>(stream->change_points().size()),
+        static_cast<unsigned long long>(stream->burst_count()),
+        stream->memory_bytes());
+    if (!streaming_path.empty()) {
+      const std::string body =
+          stream->snapshots_jsonl() + stream->events_jsonl();
+      std::FILE* f = std::fopen(streaming_path.c_str(), "wb");
+      if (!f || std::fwrite(body.data(), 1, body.size(), f) != body.size()) {
+        std::fprintf(stderr, "cannot write %s\n", streaming_path.c_str());
+        if (f) std::fclose(f);
+        return 1;
+      }
+      std::fclose(f);
+      std::printf("streaming: %zu snapshots + %zu events -> %s\n",
+                  snaps.size(), stream->change_points().size(),
+                  streaming_path.c_str());
     }
   }
   if (scan_report && !engine.prober().scans().empty()) {
@@ -374,6 +427,7 @@ int cmd_campaign(int argc, const char* const* argv) {
   std::string json_path;
   std::string trace_path;
   std::string provenance_path;
+  std::string streaming_path;
   std::string log_level_text;
 
   util::Flags flags("svcdisc_cli campaign",
@@ -397,6 +451,10 @@ int cmd_campaign(int argc, const char* const* argv) {
   flags.add_string("provenance-out",
                    "write every job's evidence ledger (labelled JSONL) here",
                    &provenance_path);
+  flags.add_string("streaming-out",
+                   "run every job with streaming analytics and write the "
+                   "concatenated snapshots + change-points (JSONL) here",
+                   &streaming_path);
   add_log_level_flag(flags, &log_level_text);
   int exit_code = 0;
   if (!parse_or_usage(flags, argc, argv, 0, nullptr, &exit_code)) {
@@ -431,6 +489,9 @@ int cmd_campaign(int argc, const char* const* argv) {
       core::seed_sweep_jobs(cfg, engine_cfg, first_seed, seed_count);
   if (!provenance_path.empty()) {
     for (auto& job : sweep_jobs) job.provenance = true;
+  }
+  if (!streaming_path.empty()) {
+    for (auto& job : sweep_jobs) job.streaming = true;
   }
   const core::CampaignRunner runner(
       jobs > 0 ? static_cast<std::size_t>(jobs) : 0);
@@ -504,6 +565,27 @@ int cmd_campaign(int argc, const char* const* argv) {
     std::fclose(f);
     std::printf("provenance: %zu services over %zu campaign(s) -> %s\n",
                 services, results.size(), provenance_path.c_str());
+  }
+  if (!streaming_path.empty()) {
+    // Jobs concatenated in job (= seed) order; each job's stream is
+    // already deterministic, so the file is too.
+    std::string body;
+    std::size_t events = 0;
+    for (const auto& result : results) {
+      if (!result.ok() || !result.streaming) continue;
+      body += result.streaming->snapshots_jsonl();
+      body += result.streaming->events_jsonl();
+      events += result.streaming->change_points().size();
+    }
+    std::FILE* f = std::fopen(streaming_path.c_str(), "wb");
+    if (!f || std::fwrite(body.data(), 1, body.size(), f) != body.size()) {
+      std::fprintf(stderr, "cannot write %s\n", streaming_path.c_str());
+      if (f) std::fclose(f);
+      return 1;
+    }
+    std::fclose(f);
+    std::printf("streaming: %zu change-points over %zu campaign(s) -> %s\n",
+                events, results.size(), streaming_path.c_str());
   }
   return failures == 0 ? 0 : 1;
 }
@@ -803,6 +885,7 @@ int cmd_explain(int argc, const char* const* argv) {
   std::int64_t seed = 24301;
   std::int64_t scans = -1;
   double days = 0;
+  bool streaming = false;
   std::string log_level_text;
   util::Flags flags("svcdisc_cli explain",
                     "re-run a campaign with the provenance ledger on and "
@@ -813,6 +896,10 @@ int cmd_explain(int argc, const char* const* argv) {
   flags.add_int64("scans", "number of 12-hourly scans (-1 = preset)",
                   &scans);
   flags.add_double("days", "override campaign duration in days", &days);
+  flags.add_bool("streaming",
+                 "also run streaming analytics and merge its change-point "
+                 "events into the timeline",
+                 &streaming);
   add_log_level_flag(flags, &log_level_text);
   int exit_code = 0;
   if (!parse_or_usage(flags, argc, argv, 1,
@@ -847,11 +934,52 @@ int cmd_explain(int argc, const char* const* argv) {
       scans >= 0 ? static_cast<int>(scans)
                  : static_cast<int>(cfg.duration.days() * 2);
   engine_cfg.provenance = &ledger;
+  std::unique_ptr<analysis::StreamingAnalytics> stream;
+  if (streaming) {
+    stream = std::make_unique<analysis::StreamingAnalytics>(
+        core::streaming_config_for(campus));
+    engine_cfg.streaming = stream.get();
+    engine_cfg.sketch_tables = true;
+  }
   core::DiscoveryEngine engine(campus, engine_cfg);
   engine.run();
 
   const std::string out = ledger.explain(key, campus.calendar());
-  if (out.empty()) {
+  std::vector<std::string> stream_lines;
+  if (stream) stream_lines = stream->explain_lines(key, campus.calendar());
+  if (out.empty() && stream_lines.empty()) {
+    // Scale-universe addresses have no Host and may never be contacted,
+    // but their behavior is still fully determined — explain it instead
+    // of presenting an empty timeline as "nothing known".
+    if (const host::ScaleUniverse* u = campus.universe();
+        u != nullptr && u->contains(key.addr)) {
+      const host::ScaleProfile profile = u->profile(key.addr);
+      std::printf("%s: synthetic block member (scale universe, %llu addrs)\n",
+                  flags.positional()[0].c_str(),
+                  static_cast<unsigned long long>(u->universe_size()));
+      if (!profile.live) {
+        std::printf("  profile: dark (never answers)\n");
+      } else if (profile.service) {
+        std::printf("  profile: live, tcp service on port %u%s\n",
+                    static_cast<unsigned>(profile.port),
+                    profile.icmp_echo ? ", answers ping" : "");
+      } else {
+        std::printf("  profile: live, no listening service%s\n",
+                    profile.icmp_echo ? ", answers ping" : "");
+      }
+      const std::uint32_t contacted = u->packets_received(key.addr);
+      if (contacted == 0) {
+        std::printf("  no evidence this campaign (seed %lld): "
+                    "the address was never contacted\n",
+                    static_cast<long long>(seed));
+      } else {
+        std::printf("  no service evidence this campaign (seed %lld): "
+                    "%u packets reached the address but none proved a "
+                    "service on this port\n",
+                    static_cast<long long>(seed), contacted);
+      }
+      return 0;
+    }
     std::fprintf(stderr,
                  "%s: no evidence recorded (scenario %s, seed %lld, "
                  "%zu services seen)\n",
@@ -860,6 +988,12 @@ int cmd_explain(int argc, const char* const* argv) {
     return 1;
   }
   std::fputs(out.c_str(), stdout);
+  if (!stream_lines.empty()) {
+    std::printf("streaming events:\n");
+    for (const std::string& line : stream_lines) {
+      std::printf("  %s\n", line.c_str());
+    }
+  }
   return 0;
 }
 
@@ -912,7 +1046,7 @@ int cmd_replay(int argc, const char* const* argv) {
     table.add_row({key.addr.to_string(), std::string(proto_name(key.proto)),
                    std::to_string(key.port),
                    analysis::fmt_count(record ? record->flows : 0),
-                   analysis::fmt_count(record ? record->clients.size() : 0)});
+                   analysis::fmt_count(record ? record->client_count() : 0)});
     if (++shown >= 20) break;
   }
   std::fputs(table.render().c_str(), stdout);
