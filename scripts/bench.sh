@@ -34,10 +34,15 @@ cmake -B build-bench -S . \
   -DCMAKE_BUILD_TYPE=Release \
   -DSVCDISC_NATIVE="$([ "$native" = 1 ] && echo ON || echo OFF)" \
   >/dev/null
-cmake --build build-bench -j "$jobs" --target bench_hotpath
+cmake --build build-bench -j "$jobs" --target bench_hotpath bench_adaptive
 
 SVCDISC_BASELINE_JSON="${SVCDISC_BASELINE_JSON:-bench/baseline_hotpath.json}" \
 SVCDISC_BENCH_OUT="${SVCDISC_BENCH_OUT:-BENCH_hotpath.json}" \
 SVCDISC_BENCH_SMOKE="${SMOKE:-0}" \
 SVCDISC_BENCH_SHARD_SWEEP="${SVCDISC_BENCH_SHARD_SWEEP:-$shard_sweep}" \
   ./build-bench/bench/bench_hotpath
+
+# Completeness-per-probe for the budgeted adaptive prober (Release
+# figures; exits non-zero if recall at half budget drops below 90%).
+echo "== bench_adaptive: completeness per probe =="
+SVCDISC_BENCH_SMOKE="${SMOKE:-0}" ./build-bench/bench/bench_adaptive

@@ -42,6 +42,12 @@ run_asan() {
   # arithmetic worth an explicit sanitized pass.
   echo "== ASan + UBSan: streaming label =="
   (cd build-asan && ctest --output-on-failure -j "$jobs" -L streaming)
+  # The adaptive label covers the budgeted prober: priority-queue
+  # draining, the verification state machine's pending/verifying maps,
+  # and full fixed-vs-adaptive campaigns — plus the completeness bench
+  # smoke, which asserts the recall-at-half-budget bar.
+  echo "== ASan + UBSan: adaptive prober =="
+  (cd build-asan && ctest --output-on-failure -j "$jobs" -L adaptive)
   # The scale label runs the universe suite; SVCDISC_SCALE_SMOKE shrinks
   # its million-address campaign to one /16 block so the ASan pass stays
   # fast (the RSS ceiling is skipped under ASan anyway — shadow memory
@@ -55,7 +61,8 @@ run_tsan() {
   cmake -B build-tsan -S . -DSVCDISC_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$jobs" \
     --target test_metrics test_campaign_runner test_ring_buffer \
-    test_trace test_provenance test_parallel_campaign test_streaming
+    test_trace test_provenance test_parallel_campaign test_streaming \
+    test_adaptive
   ./build-tsan/tests/test_metrics
   ./build-tsan/tests/test_campaign_runner
   ./build-tsan/tests/test_ring_buffer
@@ -67,6 +74,10 @@ run_tsan() {
   # Streaming analytics ride the producer thread of that same pipeline;
   # the thread-identity tests here run sharded campaigns under TSan.
   ./build-tsan/tests/test_streaming
+  # The adaptive prober's passive feed is a tap consumer on the sharded
+  # pipeline's producer thread; its determinism tests run serial vs
+  # 4-thread campaigns under TSan.
+  ./build-tsan/tests/test_adaptive
 }
 
 case "$mode" in

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <stdexcept>
-#include <unordered_set>
 
 #include "util/logging.h"
 #include "util/trace.h"
@@ -25,7 +24,11 @@ std::vector<passive::ServiceKey> ScanRecord::open_services() const {
   return open;
 }
 
-Prober::Prober(sim::Network& network, ProberConfig config)
+// ---------------------------------------------------------------------------
+// ProberBase
+// ---------------------------------------------------------------------------
+
+ProberBase::ProberBase(sim::Network& network, ProberConfig config)
     : network_(network), config_(std::move(config)) {
   if (config_.source_addrs.empty()) {
     throw std::invalid_argument("Prober: need at least one source address");
@@ -35,14 +38,14 @@ Prober::Prober(sim::Network& network, ProberConfig config)
   }
 }
 
-Prober::~Prober() {
+ProberBase::~ProberBase() {
   for (const net::Ipv4 addr : config_.source_addrs) {
     network_.detach(addr, this);
   }
 }
 
-void Prober::attach_metrics(util::MetricsRegistry& registry,
-                            std::string_view prefix) {
+void ProberBase::attach_metrics(util::MetricsRegistry& registry,
+                                std::string_view prefix) {
   metrics_ = &registry;
   metrics_prefix_ = std::string(prefix);
   m_probes_tcp_ = &registry.counter(metrics_prefix_ + ".probes_tcp_sent");
@@ -53,8 +56,8 @@ void Prober::attach_metrics(util::MetricsRegistry& registry,
   m_scans_ = &registry.counter(metrics_prefix_ + ".scans_completed");
 }
 
-void Prober::start_scan(ScanSpec spec,
-                        std::function<void(const ScanRecord&)> on_complete) {
+void ProberBase::begin_scan_record(
+    ScanSpec spec, std::function<void(const ScanRecord&)> on_complete) {
   if (in_progress_) throw std::logic_error("Prober: scan already in flight");
   in_progress_ = true;
   spec_ = std::move(spec);
@@ -62,29 +65,90 @@ void Prober::start_scan(ScanSpec spec,
   current_ = ScanRecord{};
   current_.index = static_cast<int>(scans_.size());
   current_.started = network_.simulator().now();
-  // One async span per scan round: begin here, end in finalize_scan.
+  // One async span per scan round: begin here, end in finish_scan_record.
   util::trace::async_begin("prober.scan",
                            static_cast<std::uint64_t>(current_.index) + 1,
                            current_.started.usec);
   pending_.clear();
-  alive_hosts_.clear();
-  unresolved_ = 0;
+}
 
-  const std::size_t machines = config_.source_addrs.size();
-  plan_.assign(machines, {});
-  cursor_.assign(machines, 0);
-  machines_done_ = 0;
-  // One pacing bucket per machine (the paper's per-machine rate limit);
-  // burst 1 reproduces strict 1/rate spacing.
+void ProberBase::finish_scan_record() {
+  pending_.clear();
+  current_.finished = network_.simulator().now();
+  util::trace::async_end("prober.scan",
+                         static_cast<std::uint64_t>(current_.index) + 1,
+                         current_.finished.usec);
+  in_progress_ = false;
+  scans_.push_back(std::move(current_));
+  if (m_scans_) m_scans_->inc();
+  SVCDISC_LOG(kInfo) << "scan " << scans_.back().index << " finished: "
+                     << scans_.back().count(ProbeStatus::kOpen)
+                     << " open TCP services";
+  if (on_complete_) on_complete_(scans_.back());
+}
+
+void ProberBase::reset_buckets() {
   buckets_.clear();
-  buckets_.reserve(machines);
-  for (std::size_t m = 0; m < machines; ++m) {
+  buckets_.reserve(config_.source_addrs.size());
+  for (std::size_t m = 0; m < config_.source_addrs.size(); ++m) {
     buckets_.emplace_back(spec_.probes_per_sec, 1.0);
     if (metrics_) {
       buckets_.back().attach_metrics(*metrics_,
                                      metrics_prefix_ + ".rate_limiter");
     }
   }
+}
+
+void ProberBase::resolve(const PendingKey& key, ProbeStatus status) {
+  const auto it = pending_.find(key);
+  if (it == pending_.end()) return;  // late/duplicate response
+  ProbeOutcome& outcome = current_.outcomes[it->second];
+  outcome.status = status;
+  outcome.when = network_.simulator().now();
+  pending_.erase(key);
+  if (m_responses_) m_responses_->inc();
+
+  if (status == ProbeStatus::kOpen || status == ProbeStatus::kOpenUdp) {
+    record_open(outcome, status == ProbeStatus::kOpenUdp);
+  }
+  note_outcome(outcome);
+}
+
+void ProberBase::record_open(const ProbeOutcome& outcome, bool udp) {
+  if (table_.discover(outcome.key, outcome.when)) {
+    SVCDISC_TRACE_INSTANT("prober.discover", outcome.when.usec);
+    if (m_discoveries_) m_discoveries_->inc();
+    if (on_discovery) on_discovery(outcome.key, outcome.when);
+  }
+  if (on_open_response) on_open_response(outcome.key, outcome.when, udp);
+}
+
+void ProberBase::note_outcome(const ProbeOutcome& /*outcome*/) {}
+
+net::Port ProberBase::take_ephemeral() {
+  next_ephemeral_ = next_ephemeral_ >= 60000 ? net::Port{40000}
+                                             : net::Port(next_ephemeral_ + 1);
+  return next_ephemeral_;
+}
+
+// ---------------------------------------------------------------------------
+// Prober — the fixed exhaustive sweep
+// ---------------------------------------------------------------------------
+
+Prober::Prober(sim::Network& network, ProberConfig config)
+    : ProberBase(network, std::move(config)) {}
+
+void Prober::start_scan(ScanSpec spec,
+                        std::function<void(const ScanRecord&)> on_complete) {
+  begin_scan_record(std::move(spec), std::move(on_complete));
+  alive_hosts_.clear();
+
+  const std::size_t machines = config_.source_addrs.size();
+  plan_.assign(machines, {});
+  cursor_.assign(machines, 0);
+  machines_done_ = 0;
+  // One pacing bucket per machine (the paper's per-machine rate limit).
+  reset_buckets();
 
   phase_targets_ = &spec_.targets;
   if (spec_.host_discovery) {
@@ -215,24 +279,21 @@ void Prober::send_next(std::size_t machine) {
     // keeping the first pending entry.
     if (!pending_.contains(pkey)) {
       pending_[pkey] = current_.outcomes.size();
-      ++unresolved_;
       current_.outcomes.push_back(
           {{task.addr, task.proto, task.port}, ProbeStatus::kPending, now});
     }
 
-    next_ephemeral_ = next_ephemeral_ >= 60000
-                          ? net::Port{40000}
-                          : net::Port(next_ephemeral_ + 1);
+    const net::Port sport = take_ephemeral();
     if (task.proto == net::Proto::kTcp) {
-      network_.send(net::make_tcp(source, next_ephemeral_, task.addr,
-                                  task.port, net::flags_syn()));
+      network_.send(net::make_tcp(source, sport, task.addr, task.port,
+                                  net::flags_syn()));
       if (m_probes_tcp_) m_probes_tcp_->inc();
     } else {
       // Generic (zero-payload) UDP probe by default (§4.5); a
       // service-specific probe carries a well-formed application request
       // that any live implementation answers.
       const std::uint16_t payload = spec_.udp_service_probes ? 48 : 0;
-      network_.send(net::make_udp(source, next_ephemeral_, task.addr,
+      network_.send(net::make_udp(source, sport, task.addr,
                                   task.port, payload));
       if (m_probes_udp_) m_probes_udp_->inc();
     }
@@ -258,29 +319,6 @@ void Prober::send_next(std::size_t machine) {
                                (next - now).usec);
   }
   network_.simulator().at_timer(next, this, machine);
-}
-
-void Prober::resolve(const PendingKey& key, ProbeStatus status) {
-  const auto it = pending_.find(key);
-  if (it == pending_.end()) return;  // late/duplicate response
-  ProbeOutcome& outcome = current_.outcomes[it->second];
-  outcome.status = status;
-  outcome.when = network_.simulator().now();
-  pending_.erase(key);
-  --unresolved_;
-  if (m_responses_) m_responses_->inc();
-
-  if (status == ProbeStatus::kOpen || status == ProbeStatus::kOpenUdp) {
-    if (table_.discover(outcome.key, outcome.when)) {
-      SVCDISC_TRACE_INSTANT("prober.discover", outcome.when.usec);
-      if (m_discoveries_) m_discoveries_->inc();
-      if (on_discovery) on_discovery(outcome.key, outcome.when);
-    }
-    if (on_open_response) {
-      on_open_response(outcome.key, outcome.when,
-                       status == ProbeStatus::kOpenUdp);
-    }
-  }
 }
 
 void Prober::on_packet(const net::Packet& p) {
@@ -314,8 +352,11 @@ void Prober::on_packet(const net::Packet& p) {
 
 void Prober::finalize_scan() {
   // Hosts that answered anything are alive; their unanswered UDP probes
-  // are "possibly open", everyone else's are "no host" (§4.5).
-  std::unordered_set<net::Ipv4> alive;
+  // are "possibly open", everyone else's are "no host" (§4.5). A host
+  // that answered only the ICMP host-discovery ping proved itself alive
+  // too — alive_hosts_ joins the port-probe responders.
+  util::FlatSet<net::Ipv4> alive;
+  for (const net::Ipv4 addr : alive_hosts_) alive.insert(addr);
   for (const ProbeOutcome& o : current_.outcomes) {
     if (o.status != ProbeStatus::kPending) alive.insert(o.key.addr);
   }
@@ -329,19 +370,7 @@ void Prober::finalize_scan() {
                            : ProbeStatus::kNoHost;
     }
   }
-  pending_.clear();
-  unresolved_ = 0;
-  current_.finished = network_.simulator().now();
-  util::trace::async_end("prober.scan",
-                         static_cast<std::uint64_t>(current_.index) + 1,
-                         current_.finished.usec);
-  in_progress_ = false;
-  scans_.push_back(std::move(current_));
-  if (m_scans_) m_scans_->inc();
-  SVCDISC_LOG(kInfo) << "scan " << scans_.back().index << " finished: "
-                     << scans_.back().count(ProbeStatus::kOpen)
-                     << " open TCP services";
-  if (on_complete_) on_complete_(scans_.back());
+  finish_scan_record();
 }
 
 }  // namespace svcdisc::active

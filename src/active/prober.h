@@ -12,10 +12,16 @@
 //     alive on some other port, else no-host (§4.5).
 // Probers are internal campus machines, so probe traffic never crosses
 // the border and is invisible to passive monitoring.
+//
+// Two probers share the ProberBase plumbing (DESIGN.md §16):
+//   * Prober — the paper's fixed exhaustive sweep (this file);
+//   * AdaptiveProber — a budgeted priority-queue prober with learned
+//     priors and LZR-style verification (active/adaptive_prober.h).
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "active/rate_limiter.h"
@@ -39,6 +45,8 @@ enum class ProbeStatus : std::uint8_t {
   kOpenUdp,     ///< UDP reply received
   kMaybeOpen,   ///< UDP: no response, host known alive
   kNoHost,      ///< UDP: no response from any probed port on the host
+  kUnverified,  ///< TCP: SYN-ACK received but the LZR-style data probe
+                ///< went unanswered — middlebox/tarpit, not a service
   kPending,     ///< internal: awaiting response/timeout
 };
 
@@ -95,18 +103,23 @@ struct ProberConfig {
   std::vector<net::Ipv4> source_addrs;
 };
 
-class Prober final : public sim::PacketSink, public sim::TimerTarget {
+/// Shared plumbing of the fixed and adaptive probers: network
+/// attachment, the cumulative discovery table, completed-scan records,
+/// discovery callbacks, probe bookkeeping and the base metric set.
+/// Derived classes implement start_scan / on_packet / on_timer — the
+/// scan strategy — on top of the protected state below.
+class ProberBase : public sim::PacketSink, public sim::TimerTarget {
  public:
-  Prober(sim::Network& network, ProberConfig config);
-  ~Prober() override;
+  ProberBase(sim::Network& network, ProberConfig config);
+  ~ProberBase() override;
 
-  Prober(const Prober&) = delete;
-  Prober& operator=(const Prober&) = delete;
+  ProberBase(const ProberBase&) = delete;
+  ProberBase& operator=(const ProberBase&) = delete;
 
   /// Starts a scan; `on_complete` fires when every probe has resolved.
   /// Only one scan may be in flight at a time.
-  void start_scan(ScanSpec spec,
-                  std::function<void(const ScanRecord&)> on_complete = {});
+  virtual void start_scan(
+      ScanSpec spec, std::function<void(const ScanRecord&)> on_complete = {}) = 0;
 
   bool scan_in_progress() const { return in_progress_; }
 
@@ -130,20 +143,13 @@ class Prober final : public sim::PacketSink, public sim::TimerTarget {
   /// Registers `<prefix>.` counters (probes_tcp_sent, probes_udp_sent,
   /// pings_sent, responses_received, discoveries, scans_completed) plus
   /// the pacing buckets' `<prefix>.rate_limiter.grants/.deferrals`.
-  void attach_metrics(util::MetricsRegistry& registry,
-                      std::string_view prefix);
+  /// Derived probers may extend the set.
+  virtual void attach_metrics(util::MetricsRegistry& registry,
+                              std::string_view prefix);
 
-  // sim::PacketSink — receives probe responses.
-  void on_packet(const net::Packet& p) override;
-
-  // sim::TimerTarget — pacing ticks (tag = machine index) plus the two
-  // phase-transition timeouts below.
-  void on_timer(std::uint64_t tag) override;
-
- private:
-  /// Timer tags above any realistic machine index.
+ protected:
+  /// Timer tag above any realistic machine index.
   static constexpr std::uint64_t kTimerFinalize = ~std::uint64_t{0};
-  static constexpr std::uint64_t kTimerBeginPortPhase = ~std::uint64_t{1};
 
   struct PendingKey {
     net::Ipv4 addr{};
@@ -160,6 +166,77 @@ class Prober final : public sim::PacketSink, public sim::TimerTarget {
                             static_cast<std::uint8_t>(k.proto));
     }
   };
+
+  /// Opens the in-flight ScanRecord (index, start time, trace span).
+  /// Derived start_scan implementations call this exactly once.
+  void begin_scan_record(ScanSpec spec,
+                         std::function<void(const ScanRecord&)> on_complete);
+  /// Closes the in-flight record: stamps finish time, appends to
+  /// scans(), bumps metrics and fires on_complete.
+  void finish_scan_record();
+
+  /// One fresh per-machine pacing bucket per source address (burst 1
+  /// reproduces strict 1/rate spacing).
+  void reset_buckets();
+
+  /// Resolves the pending probe for `key` (no-op on late/duplicate
+  /// responses). Open statuses record into the table and fire the
+  /// discovery callbacks; every resolution reaches note_outcome().
+  void resolve(const PendingKey& key, ProbeStatus status);
+  /// The open-probe bookkeeping shared by resolve() and the adaptive
+  /// prober's verification path: table discovery + callbacks + counters.
+  void record_open(const ProbeOutcome& outcome, bool udp);
+  /// Hook invoked for every resolved outcome (the adaptive prober's
+  /// online prior updates). Default: nothing.
+  virtual void note_outcome(const ProbeOutcome& outcome);
+
+  /// Next client-side source port, cycling through 40000-60000.
+  net::Port take_ephemeral();
+
+  sim::Network& network_;
+  ProberConfig config_;
+  passive::ServiceTable table_;
+  std::vector<ScanRecord> scans_;
+
+  // In-flight scan state shared by both strategies.
+  bool in_progress_{false};
+  ScanSpec spec_;
+  ScanRecord current_;
+  std::function<void(const ScanRecord&)> on_complete_;
+  util::FlatMap<PendingKey, std::size_t, PendingKeyHash> pending_;
+  std::vector<TokenBucket> buckets_;  // per machine pacing
+  net::Port next_ephemeral_{40000};
+
+  // Optional metrics (null until attach_metrics).
+  util::MetricsRegistry* metrics_{nullptr};
+  std::string metrics_prefix_;
+  util::Counter* m_probes_tcp_{nullptr};
+  util::Counter* m_probes_udp_{nullptr};
+  util::Counter* m_pings_{nullptr};
+  util::Counter* m_responses_{nullptr};
+  util::Counter* m_discoveries_{nullptr};
+  util::Counter* m_scans_{nullptr};
+};
+
+/// The paper's fixed exhaustive sweep: every target address x the full
+/// port list, in address-major, port-minor order.
+class Prober final : public ProberBase {
+ public:
+  Prober(sim::Network& network, ProberConfig config);
+
+  void start_scan(ScanSpec spec,
+                  std::function<void(const ScanRecord&)> on_complete = {})
+      override;
+
+  // sim::PacketSink — receives probe responses.
+  void on_packet(const net::Packet& p) override;
+
+  // sim::TimerTarget — pacing ticks (tag = machine index) plus the two
+  // phase-transition timeouts.
+  void on_timer(std::uint64_t tag) override;
+
+ private:
+  static constexpr std::uint64_t kTimerBeginPortPhase = ~std::uint64_t{1};
 
   struct ProbeTask {
     net::Ipv4 addr{};
@@ -181,42 +258,18 @@ class Prober final : public sim::PacketSink, public sim::TimerTarget {
   ProbeTask task_at(std::size_t machine, std::size_t cursor) const;
   void begin_port_phase();
   void send_next(std::size_t machine);
-  void resolve(const PendingKey& key, ProbeStatus status);
   void finalize_scan();
 
-  sim::Network& network_;
-  ProberConfig config_;
-  passive::ServiceTable table_;
-  std::vector<ScanRecord> scans_;
-
-  // In-flight scan state.
-  bool in_progress_{false};
-  ScanSpec spec_;
-  ScanRecord current_;
-  std::function<void(const ScanRecord&)> on_complete_;
-  util::FlatMap<PendingKey, std::size_t, PendingKeyHash> pending_;
   std::vector<MachinePlan> plan_;    // per machine share of the phase
   std::vector<std::size_t> cursor_;  // per machine: next probe
-  std::vector<TokenBucket> buckets_;  // per machine pacing
   /// Targets of the current phase: spec_.targets, or alive_targets_
   /// after a host-discovery pre-pass. Both outlive the phase.
   const std::vector<net::Ipv4>* phase_targets_{nullptr};
   std::size_t machines_done_{0};
-  std::size_t unresolved_{0};
-  net::Port next_ephemeral_{40000};
   // Host-discovery phase state.
   bool pinging_{false};
   util::FlatSet<net::Ipv4> alive_hosts_;
   std::vector<net::Ipv4> alive_targets_;
-  // Optional metrics (null until attach_metrics).
-  util::MetricsRegistry* metrics_{nullptr};
-  std::string metrics_prefix_;
-  util::Counter* m_probes_tcp_{nullptr};
-  util::Counter* m_probes_udp_{nullptr};
-  util::Counter* m_pings_{nullptr};
-  util::Counter* m_responses_{nullptr};
-  util::Counter* m_discoveries_{nullptr};
-  util::Counter* m_scans_{nullptr};
 };
 
 }  // namespace svcdisc::active

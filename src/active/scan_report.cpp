@@ -18,6 +18,7 @@ const char* status_name(ProbeStatus status) {
     case ProbeStatus::kOpenUdp: return "open";
     case ProbeStatus::kMaybeOpen: return "open|filtered";
     case ProbeStatus::kNoHost: return "no-host";
+    case ProbeStatus::kUnverified: return "unverified";
     case ProbeStatus::kPending: return "pending";
   }
   return "?";

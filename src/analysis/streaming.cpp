@@ -46,6 +46,9 @@ const char* change_point_kind_name(ChangePoint::Kind kind) {
 
 StreamingAnalytics::StreamingAnalytics(StreamingConfig config)
     : config_(std::move(config)) {
+  // A non-positive window would make roll_windows() spin forever (each
+  // roll advances the epoch anchor by window); clamp to the default.
+  if (config_.window.usec <= 0) config_.window = util::hours(1);
   passive_addrs_.init(config_.hll_precision);
   active_addrs_.init(config_.hll_precision);
   union_addrs_.init(config_.hll_precision);

@@ -136,7 +136,24 @@ DiscoveryEngine::DiscoveryEngine(workload::Campus& campus, EngineConfig config)
 
   active::ProberConfig prober_config;
   prober_config.source_addrs = campus_.prober_sources();
-  prober_ = std::make_unique<active::Prober>(campus_.network(), prober_config);
+  if (config_.adaptive_prober) {
+    auto adaptive = std::make_unique<active::AdaptiveProber>(
+        campus_.network(), prober_config, config_.adaptive);
+    adaptive->configure_feed(campus_.internal_prefixes(),
+                             campus_.config().udp_mode
+                                 ? campus_.udp_ports()
+                                 : std::vector<net::Port>{});
+    // The seeding feed joins every tap after the monitors/streaming —
+    // it runs on the simulator thread in both serial and sharded mode,
+    // so hint order (and everything scored from it) is identical at any
+    // --threads count.
+    for (auto& tap : taps_) tap->add_consumer(&adaptive->passive_feed());
+    adaptive_ = adaptive.get();
+    prober_ = std::move(adaptive);
+  } else {
+    prober_ =
+        std::make_unique<active::Prober>(campus_.network(), prober_config);
+  }
   if (metrics) prober_->attach_metrics(*metrics, "active");
   if (metrics) campus_.simulator().attach_metrics(*metrics, "sim");
   if (config_.provenance || config_.streaming) {

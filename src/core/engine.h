@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "active/adaptive_prober.h"
 #include "active/prober.h"
 #include "active/scan_scheduler.h"
 #include "analysis/streaming.h"
@@ -97,6 +98,14 @@ struct EngineConfig {
   /// O(services). The --streaming CLI mode enables this together with
   /// `streaming`; default off preserves exact historical artifacts.
   bool sketch_tables{false};
+  /// Budgeted adaptive prober (DESIGN.md §16) instead of the paper's
+  /// fixed exhaustive sweep: passive seeding from the border taps,
+  /// learned priors, probe budget, LZR-style SYN-ACK verification.
+  /// Scan artifacts stay deterministic at every `threads` count (the
+  /// passive feed runs on the simulator thread in both modes).
+  bool adaptive_prober{false};
+  /// Budget / verification knobs; only read when adaptive_prober is on.
+  active::AdaptiveConfig adaptive;
 };
 
 class DiscoveryEngine {
@@ -118,8 +127,12 @@ class DiscoveryEngine {
   passive::PassiveMonitor& link_monitor(std::size_t peering);
   std::size_t link_monitor_count() const { return link_monitors_.size(); }
 
-  active::Prober& prober() { return *prober_; }
-  const active::Prober& prober() const { return *prober_; }
+  active::ProberBase& prober() { return *prober_; }
+  const active::ProberBase& prober() const { return *prober_; }
+  /// The adaptive prober, or nullptr when the engine runs the fixed
+  /// sweep (EngineConfig::adaptive_prober off).
+  active::AdaptiveProber* adaptive_prober() { return adaptive_; }
+  const active::AdaptiveProber* adaptive_prober() const { return adaptive_; }
   active::ScanScheduler* scheduler() { return scheduler_.get(); }
 
   const passive::ScanDetector& scan_detector() const { return *detector_; }
@@ -179,7 +192,9 @@ class DiscoveryEngine {
   std::vector<std::unique_ptr<passive::PassiveMonitor>> link_monitors_;
   std::vector<std::unique_ptr<capture::SampledStream>> sampled_streams_;
   std::vector<std::unique_ptr<passive::PassiveMonitor>> sampled_monitors_;
-  std::unique_ptr<active::Prober> prober_;
+  std::unique_ptr<active::ProberBase> prober_;
+  /// Non-owning view of prober_ when it is an AdaptiveProber.
+  active::AdaptiveProber* adaptive_{nullptr};
   std::unique_ptr<active::ScanScheduler> scheduler_;
   /// Sharded monitor pipeline; null in serial mode.
   std::unique_ptr<ShardPipeline> pipeline_;

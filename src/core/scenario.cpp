@@ -224,11 +224,29 @@ bool apply_engine_overrides(const util::JsonValue& obj, EngineConfig* cfg,
   int scans = -1;
   double period_hours = -1;
   double offset_hours = -1;
+  std::string prober = "fixed";
   r.read_int("scans", &scans);
   r.read_double("scan_period_hours", &period_hours);
   r.read_double("first_scan_offset_hours", &offset_hours);
   r.read_bool("scanner_excluded_monitor", &cfg->scanner_excluded_monitor);
+  r.read_string("prober", &prober);
+  r.read_u64("probe_budget", &cfg->adaptive.probe_budget);
+  r.read_bool("adaptive_verify", &cfg->adaptive.verify);
   if (!r.reject_unknown()) return false;
+  if (prober == "adaptive") {
+    cfg->adaptive_prober = true;
+  } else if (prober != "fixed") {
+    if (error) *error = "engine.prober: expected \"fixed\" or \"adaptive\"";
+    return false;
+  }
+  if (!cfg->adaptive_prober &&
+      (obj.find("probe_budget") || obj.find("adaptive_verify"))) {
+    if (error) {
+      *error = "engine.probe_budget/adaptive_verify require "
+               "\"prober\": \"adaptive\"";
+    }
+    return false;
+  }
   if (scans >= 0) {
     cfg->scan_count = scans;
     *scans_set = true;

@@ -147,6 +147,25 @@ void Host::on_packet(const net::Packet& p) {
 
   switch (p.proto) {
     case net::Proto::kTcp: {
+      if (p.flags.ack() && !p.flags.syn() && p.payload_len > 0) {
+        // Post-handshake data (an LZR-style verification probe). A live
+        // service completes the exchange with application data; a normal
+        // host with no listener resets; SYN-ACK-everything middleboxes
+        // and tarpits never speak past the handshake — silence is what
+        // distinguishes them from a real service.
+        if (find_service(net::Proto::kTcp, p.dport, now)) {
+          net::Packet reply = net::make_tcp(p.dst, p.dport, p.src, p.sport,
+                                            net::flags_ack());
+          reply.seq = p.ack_no;
+          reply.ack_no = p.seq + p.payload_len;
+          reply.payload_len = 128;
+          network_.send(reply);
+        } else if (syn_policy_ == SynPolicy::kNormal) {
+          network_.send(net::make_tcp(p.dst, p.dport, p.src, p.sport,
+                                      net::flags_rst()));
+        }
+        return;
+      }
       if (!p.flags.is_syn_only()) return;  // only handshake opens matter
       if (syn_policy_ != SynPolicy::kNormal &&
           !find_service(net::Proto::kTcp, p.dport, now)) {

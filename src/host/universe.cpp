@@ -94,7 +94,24 @@ void ScaleUniverse::on_packet(const net::Packet& p) {
   // way; keep the two in sync.
   switch (p.proto) {
     case net::Proto::kTcp: {
-      if (!p.flags.is_syn_only() || !prof.live) return;
+      if (!prof.live) return;
+      if (p.flags.ack() && !p.flags.syn() && p.payload_len > 0) {
+        // LZR-style post-handshake data probe: a service answers with
+        // data, everything else resets (every universe host is kNormal).
+        if (prof.service && p.dport == prof.port) {
+          net::Packet reply = net::make_tcp(p.dst, p.dport, p.src, p.sport,
+                                            net::flags_ack());
+          reply.seq = p.ack_no;
+          reply.ack_no = p.seq + p.payload_len;
+          reply.payload_len = 128;
+          network_.send(reply);
+        } else {
+          network_.send(net::make_tcp(p.dst, p.dport, p.src, p.sport,
+                                      net::flags_rst()));
+        }
+        break;
+      }
+      if (!p.flags.is_syn_only()) return;
       if (prof.service && p.dport == prof.port) {
         net::Packet reply =
             net::make_tcp(p.dst, p.dport, p.src, p.sport, net::flags_syn_ack());

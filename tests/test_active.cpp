@@ -214,6 +214,31 @@ TEST_F(ProberFixture, UdpScanStatuses) {
   EXPECT_EQ(record->count(ProbeStatus::kNoHost), 2u);    // .3 both ports
 }
 
+TEST_F(ProberFixture, PingAliveHostUpgradesSilentUdpToMaybeOpen) {
+  // Regression: a host that proved itself alive *only* through the
+  // host-discovery ping (no port probe ever answered: no UDP service, no
+  // ICMP port-unreachable) used to classify as kNoHost. §4.5 says
+  // "possibly open IF the host proved alive" — and a ping reply is
+  // proof.
+  Host& h = add_host(Ipv4::from_octets(128, 125, 4, 1));
+  h.set_udp_icmp(false);  // closed ports stay silent
+
+  ScanSpec spec;
+  spec.targets = {Ipv4::from_octets(128, 125, 4, 1)};
+  spec.udp_ports = {137};
+  spec.probes_per_sec = 100.0;
+  spec.host_discovery = true;
+
+  Prober prober(network, {{prober_addr}});
+  std::optional<ScanRecord> record;
+  prober.start_scan(spec, [&](const ScanRecord& r) { record = r; });
+  sim.run();
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->hosts_alive, 1u);
+  ASSERT_EQ(record->outcomes.size(), 1u);
+  EXPECT_EQ(record->outcomes[0].status, ProbeStatus::kMaybeOpen);
+}
+
 TEST_F(ProberFixture, RejectsConcurrentScans) {
   add_host(Ipv4::from_octets(128, 125, 1, 1));
   Prober prober(network, {{prober_addr}});

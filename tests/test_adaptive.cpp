@@ -1,0 +1,528 @@
+// Budgeted adaptive prober (DESIGN.md §16): learned priors, budget
+// draining, LZR-style SYN-ACK verification, passive seeding, and the
+// campaign-level contracts — middlebox deflation, budget efficiency, and
+// thread-count determinism (`ctest -L adaptive`).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "active/adaptive_prober.h"
+#include "active/priors.h"
+#include "active/prober.h"
+#include "core/engine.h"
+#include "core/scenario.h"
+#include "host/host.h"
+#include "net/packet.h"
+#include "passive/service_table.h"
+#include "passive/table_io.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "workload/campus.h"
+
+namespace svcdisc::active {
+namespace {
+
+using host::Host;
+using host::LifecycleConfig;
+using host::LifecycleKind;
+using host::Service;
+using host::SynPolicy;
+using net::Ipv4;
+using net::Prefix;
+using net::Proto;
+
+// ------------------------------------------------------------ ScanPriors --
+
+TEST(ScanPriors, UntrainedScoresAreTheLaplacePrior) {
+  ScanPriors priors;
+  const Ipv4 addr = Ipv4::from_octets(128, 125, 1, 1);
+  EXPECT_DOUBLE_EQ(priors.port_popularity(80, Proto::kTcp), 0.5);
+  EXPECT_DOUBLE_EQ(priors.subnet_affinity(addr, 80, Proto::kTcp), 0.5);
+  EXPECT_DOUBLE_EQ(priors.conditional(addr, 80, Proto::kTcp), 0.0);
+  EXPECT_DOUBLE_EQ(priors.score(addr, 80, Proto::kTcp), 0.5);
+  EXPECT_DOUBLE_EQ(priors.entropy(), 0.0);
+}
+
+TEST(ScanPriors, PortPopularityTracksOutcomes) {
+  ScanPriors priors;
+  for (int i = 0; i < 20; ++i) {
+    const Ipv4 addr = Ipv4::from_octets(128, 125, 1,
+                                        static_cast<std::uint8_t>(i + 1));
+    priors.record(addr, 80, Proto::kTcp, /*open=*/true);
+    priors.record(addr, 23, Proto::kTcp, /*open=*/false);
+  }
+  EXPECT_GT(priors.port_popularity(80, Proto::kTcp), 0.9);
+  EXPECT_LT(priors.port_popularity(23, Proto::kTcp), 0.1);
+  EXPECT_EQ(priors.probes_recorded(), 40u);
+  EXPECT_EQ(priors.opens_recorded(), 20u);
+}
+
+TEST(ScanPriors, SubnetAffinityShrinksTowardGlobalPopularity) {
+  ScanPriors priors(/*subnet_shrinkage=*/8.0);
+  // Port 80 opens half the time globally: hot /24 (all open), cold /24
+  // (all closed), and a third subnet never probed at all.
+  for (int i = 0; i < 16; ++i) {
+    priors.record(Ipv4::from_octets(128, 125, 1,
+                                    static_cast<std::uint8_t>(i + 1)),
+                  80, Proto::kTcp, true);
+    priors.record(Ipv4::from_octets(128, 125, 2,
+                                    static_cast<std::uint8_t>(i + 1)),
+                  80, Proto::kTcp, false);
+  }
+  const double global = priors.port_popularity(80, Proto::kTcp);
+  const double hot =
+      priors.subnet_affinity(Ipv4::from_octets(128, 125, 1, 99), 80,
+                             Proto::kTcp);
+  const double cold =
+      priors.subnet_affinity(Ipv4::from_octets(128, 125, 2, 99), 80,
+                             Proto::kTcp);
+  const double fresh =
+      priors.subnet_affinity(Ipv4::from_octets(128, 125, 3, 99), 80,
+                             Proto::kTcp);
+  EXPECT_GT(hot, global);
+  EXPECT_LT(cold, global);
+  // An unprobed subnet scores exactly the global prior: exploration.
+  EXPECT_DOUBLE_EQ(fresh, global);
+}
+
+TEST(ScanPriors, CrossPortConditionalLiftsCoResidentServices) {
+  ScanPriors priors;
+  // Hosts running SSH overwhelmingly also run HTTP.
+  for (int i = 0; i < 12; ++i) {
+    const Ipv4 addr = Ipv4::from_octets(128, 125, 4,
+                                        static_cast<std::uint8_t>(i + 1));
+    priors.record(addr, 22, Proto::kTcp, true);
+    priors.record(addr, 80, Proto::kTcp, true);
+  }
+  const Ipv4 ssh_host = Ipv4::from_octets(128, 125, 4, 1);
+  const Ipv4 unknown = Ipv4::from_octets(128, 125, 9, 1);
+  EXPECT_GT(priors.conditional(ssh_host, 80, Proto::kTcp), 0.9);
+  EXPECT_DOUBLE_EQ(priors.conditional(unknown, 80, Proto::kTcp), 0.0);
+  EXPECT_GT(priors.score(ssh_host, 80, Proto::kTcp),
+            priors.score(unknown, 80, Proto::kTcp));
+}
+
+TEST(ScanPriors, EntropyMeasuresOpenPortConcentration) {
+  ScanPriors one;
+  ScanPriors two;
+  for (int i = 0; i < 10; ++i) {
+    const Ipv4 addr = Ipv4::from_octets(128, 125, 5,
+                                        static_cast<std::uint8_t>(i + 1));
+    one.record(addr, 80, Proto::kTcp, true);
+    two.record(addr, 80, Proto::kTcp, true);
+    two.record(addr, 22, Proto::kTcp, true);
+  }
+  EXPECT_DOUBLE_EQ(one.entropy(), 0.0);  // all mass on one port
+  EXPECT_NEAR(two.entropy(), std::log(2.0), 1e-9);
+}
+
+// --------------------------------------------------------- AdaptiveProber --
+
+struct World {
+  World()
+      : network(sim, {Prefix(Ipv4::from_octets(128, 125, 0, 0), 16),
+                      Prefix(Ipv4::from_octets(10, 1, 0, 0), 24)}) {}
+
+  Host& add_host(Ipv4 addr) {
+    const host::HostId id = next_id++;
+    hosts.push_back(std::make_unique<Host>(
+        id, network, nullptr, addr,
+        LifecycleConfig{LifecycleKind::kAlwaysOn, {}, {}, false},
+        util::Rng(id)));
+    hosts.back()->start();
+    return *hosts.back();
+  }
+
+  sim::Simulator sim;
+  sim::Network network;
+  std::vector<std::unique_ptr<Host>> hosts;
+  host::HostId next_id{1};
+  const Ipv4 prober_addr = Ipv4::from_octets(10, 1, 0, 1);
+};
+
+Service tcp(net::Port port) {
+  Service s;
+  s.proto = Proto::kTcp;
+  s.port = port;
+  return s;
+}
+
+ScanSpec small_spec(std::vector<Ipv4> targets) {
+  ScanSpec spec;
+  spec.targets = std::move(targets);
+  spec.tcp_ports = {80, 22};
+  spec.probes_per_sec = 100.0;
+  return spec;
+}
+
+TEST(AdaptiveProber, UntrainedUnlimitedBudgetMatchesFixedSweep) {
+  // With no priors, no budget and nothing seeded, the queue's tie-break
+  // degenerates to the fixed sweep: identical outcomes, identical
+  // discoveries.
+  const auto build = [](World& w) {
+    w.add_host(Ipv4::from_octets(128, 125, 1, 1)).add_service(tcp(80));
+    w.add_host(Ipv4::from_octets(128, 125, 1, 2)).add_service(tcp(22));
+    w.add_host(Ipv4::from_octets(128, 125, 1, 3));  // all ports closed
+    // 128.125.1.4 has no host.
+  };
+  const std::vector<Ipv4> targets = {
+      Ipv4::from_octets(128, 125, 1, 1), Ipv4::from_octets(128, 125, 1, 2),
+      Ipv4::from_octets(128, 125, 1, 3), Ipv4::from_octets(128, 125, 1, 4)};
+
+  World wf;
+  build(wf);
+  Prober fixed(wf.network, {{wf.prober_addr}});
+  std::optional<ScanRecord> fixed_rec;
+  fixed.start_scan(small_spec(targets),
+                   [&](const ScanRecord& r) { fixed_rec = r; });
+  wf.sim.run();
+
+  World wa;
+  build(wa);
+  AdaptiveProber adaptive(wa.network, {{wa.prober_addr}}, AdaptiveConfig{});
+  std::optional<ScanRecord> adaptive_rec;
+  adaptive.start_scan(small_spec(targets),
+                      [&](const ScanRecord& r) { adaptive_rec = r; });
+  wa.sim.run();
+
+  ASSERT_TRUE(fixed_rec.has_value());
+  ASSERT_TRUE(adaptive_rec.has_value());
+  EXPECT_EQ(adaptive_rec->outcomes.size(), fixed_rec->outcomes.size());
+  EXPECT_EQ(adaptive_rec->count(ProbeStatus::kOpen),
+            fixed_rec->count(ProbeStatus::kOpen));
+  EXPECT_EQ(adaptive_rec->count(ProbeStatus::kClosed),
+            fixed_rec->count(ProbeStatus::kClosed));
+  EXPECT_EQ(adaptive_rec->count(ProbeStatus::kFiltered),
+            fixed_rec->count(ProbeStatus::kFiltered));
+  EXPECT_EQ(adaptive_rec->count(ProbeStatus::kUnverified), 0u);
+  const auto fixed_open = fixed_rec->open_services();
+  const auto adaptive_open = adaptive_rec->open_services();
+  ASSERT_EQ(adaptive_open.size(), fixed_open.size());
+  for (std::size_t i = 0; i < fixed_open.size(); ++i) {
+    EXPECT_EQ(adaptive_open[i], fixed_open[i]);
+  }
+}
+
+TEST(AdaptiveProber, BudgetCapsFirstStageProbes) {
+  World w;
+  w.add_host(Ipv4::from_octets(128, 125, 1, 1)).add_service(tcp(80));
+  AdaptiveConfig cfg;
+  cfg.probe_budget = 4;  // grid is 3 addresses x 2 ports = 6
+  AdaptiveProber prober(w.network, {{w.prober_addr}}, cfg);
+  std::optional<ScanRecord> record;
+  prober.start_scan(small_spec({Ipv4::from_octets(128, 125, 1, 1),
+                                Ipv4::from_octets(128, 125, 1, 2),
+                                Ipv4::from_octets(128, 125, 1, 3)}),
+                    [&](const ScanRecord& r) { record = r; });
+  w.sim.run();
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->outcomes.size(), 4u);
+  EXPECT_EQ(prober.budget_spent_total(), 4u);
+  // Verification data probes ride for free: the budget counts only
+  // first-stage probes, yet the open service still verified.
+  EXPECT_EQ(prober.verify_confirmed_total(), 1u);
+  EXPECT_EQ(prober.table().size(), 1u);
+}
+
+TEST(AdaptiveProber, VerificationDemotesSynAckEverythingHosts) {
+  World w;
+  Host& middlebox = w.add_host(Ipv4::from_octets(128, 125, 1, 1));
+  middlebox.set_syn_policy(SynPolicy::kSynAckAll);  // no real services
+  w.add_host(Ipv4::from_octets(128, 125, 1, 2)).add_service(tcp(80));
+
+  AdaptiveProber prober(w.network, {{w.prober_addr}}, AdaptiveConfig{});
+  std::optional<ScanRecord> record;
+  prober.start_scan(small_spec({Ipv4::from_octets(128, 125, 1, 1),
+                                Ipv4::from_octets(128, 125, 1, 2)}),
+                    [&](const ScanRecord& r) { record = r; });
+  w.sim.run();
+  ASSERT_TRUE(record.has_value());
+  // The middlebox SYN-ACKed both ports but never speaks past the
+  // handshake: demoted, never a discovery. The real service answered the
+  // data probe and confirmed.
+  EXPECT_EQ(record->count(ProbeStatus::kUnverified), 2u);
+  EXPECT_EQ(record->count(ProbeStatus::kOpen), 1u);
+  EXPECT_EQ(record->count(ProbeStatus::kClosed), 1u);  // 1.2:22 RST
+  EXPECT_EQ(prober.demotions_total(), 2u);
+  EXPECT_EQ(prober.verify_confirmed_total(), 1u);
+  ASSERT_EQ(prober.table().size(), 1u);
+  const auto open = record->open_services();
+  ASSERT_EQ(open.size(), 1u);
+  EXPECT_EQ(open[0].addr, Ipv4::from_octets(128, 125, 1, 2));
+}
+
+TEST(AdaptiveProber, NoVerifyModeCountsSynAcksLikeTheFixedSweep) {
+  World w;
+  Host& middlebox = w.add_host(Ipv4::from_octets(128, 125, 1, 1));
+  middlebox.set_syn_policy(SynPolicy::kSynAckAll);
+  AdaptiveConfig cfg;
+  cfg.verify = false;
+  AdaptiveProber prober(w.network, {{w.prober_addr}}, cfg);
+  std::optional<ScanRecord> record;
+  prober.start_scan(small_spec({Ipv4::from_octets(128, 125, 1, 1)}),
+                    [&](const ScanRecord& r) { record = r; });
+  w.sim.run();
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->count(ProbeStatus::kOpen), 2u);  // phantom services
+  EXPECT_EQ(prober.demotions_total(), 0u);
+  EXPECT_EQ(prober.table().size(), 2u);
+}
+
+TEST(AdaptiveProber, PassiveSeedsOutrankTheGridAndExtendThePortSpace) {
+  World w;
+  // The seeded service listens on a port the scan's own list never
+  // probes (LZR: services on unexpected ports).
+  w.add_host(Ipv4::from_octets(128, 125, 1, 9)).add_service(tcp(8080));
+  for (int i = 1; i <= 4; ++i) {
+    w.add_host(Ipv4::from_octets(128, 125, 1, static_cast<std::uint8_t>(i)));
+  }
+  AdaptiveConfig cfg;
+  cfg.probe_budget = 1;
+  AdaptiveProber prober(w.network, {{w.prober_addr}}, cfg);
+  prober.note_passive({Ipv4::from_octets(128, 125, 1, 9), Proto::kTcp, 8080});
+  EXPECT_EQ(prober.hint_count(), 1u);
+
+  std::optional<ScanRecord> record;
+  prober.start_scan(small_spec({Ipv4::from_octets(128, 125, 1, 1),
+                                Ipv4::from_octets(128, 125, 1, 2),
+                                Ipv4::from_octets(128, 125, 1, 3),
+                                Ipv4::from_octets(128, 125, 1, 4)}),
+                    [&](const ScanRecord& r) { record = r; });
+  w.sim.run();
+  ASSERT_TRUE(record.has_value());
+  // The single budgeted probe went to the seed, not the grid.
+  ASSERT_EQ(record->outcomes.size(), 1u);
+  EXPECT_EQ(record->outcomes[0].key.port, 8080);
+  EXPECT_EQ(record->outcomes[0].status, ProbeStatus::kOpen);
+  EXPECT_EQ(prober.seeds_probed_total(), 1u);
+  EXPECT_EQ(prober.table().size(), 1u);
+}
+
+TEST(AdaptiveProber, OutcomesTrainThePriorsOnline) {
+  World w;
+  for (int i = 1; i <= 4; ++i) {
+    w.add_host(Ipv4::from_octets(128, 125, 1, static_cast<std::uint8_t>(i)))
+        .add_service(tcp(80));
+  }
+  AdaptiveProber prober(w.network, {{w.prober_addr}}, AdaptiveConfig{});
+  std::optional<ScanRecord> record;
+  prober.start_scan(small_spec({Ipv4::from_octets(128, 125, 1, 1),
+                                Ipv4::from_octets(128, 125, 1, 2),
+                                Ipv4::from_octets(128, 125, 1, 3),
+                                Ipv4::from_octets(128, 125, 1, 4)}),
+                    [&](const ScanRecord& r) { record = r; });
+  w.sim.run();
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(prober.priors().probes_recorded(), 8u);
+  EXPECT_EQ(prober.priors().opens_recorded(), 4u);
+  // Port 80 always opened, port 22 never did: the learned ranking.
+  EXPECT_GT(prober.priors().port_popularity(80, Proto::kTcp),
+            prober.priors().port_popularity(22, Proto::kTcp));
+}
+
+// ----------------------------------------------------- campaign contracts --
+
+std::size_t services_in_block(const passive::ServiceTable& table,
+                              const workload::CampusConfig& cfg,
+                              std::uint32_t offset, std::uint32_t count) {
+  const Prefix campus(cfg.campus_base, 16);
+  std::size_t n = 0;
+  table.for_each([&](const passive::ServiceKey& key,
+                     const passive::ServiceRecord&) {
+    const std::uint32_t delta = key.addr.value() - campus.base().value();
+    if (campus.contains(key.addr) && delta >= offset &&
+        delta < offset + count) {
+      ++n;
+    }
+  });
+  return n;
+}
+
+std::vector<passive::ServiceKey> keys_outside_block(
+    const passive::ServiceTable& table, const workload::CampusConfig& cfg,
+    std::uint32_t offset, std::uint32_t count) {
+  const Prefix campus(cfg.campus_base, 16);
+  std::vector<passive::ServiceKey> keys;
+  table.for_each([&](const passive::ServiceKey& key,
+                     const passive::ServiceRecord&) {
+    const std::uint32_t delta = key.addr.value() - campus.base().value();
+    if (campus.contains(key.addr) && delta >= offset &&
+        delta < offset + count) {
+      return;
+    }
+    keys.push_back(key);
+  });
+  return keys;
+}
+
+core::ScenarioSpec load_middlebox_pack() {
+  core::ScenarioSpec spec;
+  std::string error;
+  const bool ok = core::load_scenario(
+      std::string(SVCDISC_SCENARIO_DIR) + "/middlebox_dpi", &spec, &error);
+  EXPECT_TRUE(ok) << error;
+  return spec;
+}
+
+TEST(AdaptiveCampaign, MiddleboxPackDeflatesUnderLzrVerification) {
+  // The satellite contract: on the middlebox_dpi scenario pack the fixed
+  // sweep inflates active counts with one phantom service per probed
+  // middlebox port, while the adaptive prober's verification stage
+  // demotes every one — active falls to the passive-consistent set.
+  const core::ScenarioSpec spec = load_middlebox_pack();
+  const std::uint32_t boxes = spec.campus.middlebox_hosts;
+  ASSERT_GT(boxes, 0u);
+
+  workload::Campus fixed_campus(spec.campus);
+  core::DiscoveryEngine fixed(fixed_campus, spec.engine);
+  fixed.run();
+
+  core::EngineConfig adaptive_cfg = spec.engine;
+  adaptive_cfg.adaptive_prober = true;
+  workload::Campus adaptive_campus(spec.campus);
+  core::DiscoveryEngine adaptive(adaptive_campus, adaptive_cfg);
+  adaptive.run();
+  ASSERT_NE(adaptive.adaptive_prober(), nullptr);
+
+  const std::size_t fixed_active = services_in_block(
+      fixed.prober().table(), spec.campus, workload::kMiddleboxBlockOffset,
+      boxes);
+  const std::size_t adaptive_active = services_in_block(
+      adaptive.prober().table(), spec.campus, workload::kMiddleboxBlockOffset,
+      boxes);
+  const std::size_t passive_seen = services_in_block(
+      adaptive.monitor().table(), spec.campus, workload::kMiddleboxBlockOffset,
+      boxes);
+
+  // Fixed: every probed port on every box fabricates a service.
+  EXPECT_GE(fixed_active, static_cast<std::size_t>(boxes) * 3u);
+  // Adaptive: the SYN-ACKs never pass data-exchange verification.
+  EXPECT_EQ(adaptive_active, 0u);
+  EXPECT_LE(adaptive_active, passive_seen);
+  EXPECT_GT(adaptive.adaptive_prober()->demotions_total(), 0u);
+
+  // Outside the middlebox block, verification must not cost coverage:
+  // everything the fixed sweep found, the adaptive prober confirmed.
+  const auto fixed_rest = keys_outside_block(
+      fixed.prober().table(), spec.campus, workload::kMiddleboxBlockOffset,
+      boxes);
+  const auto adaptive_rest = keys_outside_block(
+      adaptive.prober().table(), spec.campus, workload::kMiddleboxBlockOffset,
+      boxes);
+  for (const passive::ServiceKey& key : fixed_rest) {
+    EXPECT_NE(std::find(adaptive_rest.begin(), adaptive_rest.end(), key),
+              adaptive_rest.end())
+        << "lost " << key.addr.to_string() << ":" << key.port;
+  }
+}
+
+TEST(AdaptiveCampaign, HalfBudgetKeepsNinetyPercentOfFixedDiscoveries) {
+  // The acceptance bar: >= 90% of the fixed sweep's discovered services
+  // at <= 50% of its probe budget, on a scenario-pack campus.
+  auto cfg = workload::CampusConfig::tiny();
+  cfg.duration = util::days(1);
+  cfg.seed = 7;
+  core::EngineConfig engine_cfg;
+  engine_cfg.scan_count = 2;
+
+  workload::Campus fixed_campus(cfg);
+  core::DiscoveryEngine fixed(fixed_campus, engine_cfg);
+  fixed.run();
+  std::uint64_t fixed_probes = 0;
+  for (const ScanRecord& scan : fixed.prober().scans()) {
+    fixed_probes += scan.outcomes.size();
+  }
+  ASSERT_GT(fixed_probes, 0u);
+
+  core::EngineConfig adaptive_cfg = engine_cfg;
+  adaptive_cfg.adaptive_prober = true;
+  adaptive_cfg.adaptive.probe_budget =
+      fixed_probes / (2 * engine_cfg.scan_count);  // half the per-scan sweep
+  workload::Campus adaptive_campus(cfg);
+  core::DiscoveryEngine adaptive(adaptive_campus, adaptive_cfg);
+  adaptive.run();
+  ASSERT_NE(adaptive.adaptive_prober(), nullptr);
+  EXPECT_LE(adaptive.adaptive_prober()->budget_spent_total(),
+            fixed_probes / 2);
+
+  std::size_t covered = 0;
+  std::size_t fixed_total = 0;
+  fixed.prober().table().for_each([&](const passive::ServiceKey& key,
+                                      const passive::ServiceRecord&) {
+    ++fixed_total;
+    if (adaptive.prober().table().find(key) != nullptr) ++covered;
+  });
+  ASSERT_GT(fixed_total, 0u);
+  EXPECT_GE(static_cast<double>(covered),
+            0.9 * static_cast<double>(fixed_total))
+      << covered << "/" << fixed_total << " services at half budget";
+}
+
+TEST(AdaptiveCampaign, AdaptiveBudgetScenarioPackMatchesGoldens) {
+  // Byte-level pin of the whole adaptive pipeline — seeding, priors,
+  // budget draining, verification, adaptive.* metrics — through the
+  // same oracle `svcdisc_cli scenario verify` uses. Behavioural drift
+  // shows up as a reviewable diff under
+  // tests/scenarios/adaptive_budget/expected/.
+  const std::string dir =
+      std::string(SVCDISC_SCENARIO_DIR) + "/adaptive_budget";
+  core::ScenarioSpec spec;
+  std::string error;
+  ASSERT_TRUE(core::load_scenario(dir, &spec, &error)) << error;
+  ASSERT_TRUE(spec.engine.adaptive_prober);
+  EXPECT_GT(spec.engine.adaptive.probe_budget, 0u);
+
+  core::ScenarioArtifacts artifacts;
+  ASSERT_TRUE(core::run_scenario(spec, &artifacts, &error)) << error;
+  const core::VerifyReport report = core::verify_scenario(spec, artifacts);
+  EXPECT_TRUE(report.ok())
+      << "adaptive campaign output drifted from the goldens; if the "
+         "change is intentional, re-record with `svcdisc_cli scenario "
+         "record "
+      << dir << " --force`\n"
+      << report.to_string();
+}
+
+TEST(AdaptiveCampaign, ArtifactsByteIdenticalAcrossThreadCounts) {
+  // The determinism contract: the passive feed and prior updates run on
+  // the simulator thread in producer order, so scan artifacts match
+  // byte-for-byte between the serial and sharded engines.
+  auto cfg = workload::CampusConfig::tiny();
+  cfg.duration = util::seconds_f(0.5 * 86400.0);
+  cfg.seed = 11;
+  const auto run_with_threads = [&cfg](std::size_t threads) {
+    core::EngineConfig engine_cfg;
+    engine_cfg.scan_count = 1;
+    engine_cfg.threads = threads;
+    engine_cfg.adaptive_prober = true;
+    engine_cfg.adaptive.probe_budget = 400;
+    workload::Campus campus(cfg);
+    core::DiscoveryEngine engine(campus, engine_cfg);
+    engine.run();
+    std::ostringstream out;
+    passive::save_table(engine.prober().table(), out);
+    out << "spent " << engine.adaptive_prober()->budget_spent_total()
+        << " seeds " << engine.adaptive_prober()->seeds_probed_total()
+        << " demoted " << engine.adaptive_prober()->demotions_total()
+        << "\n";
+    for (const ScanRecord& scan : engine.prober().scans()) {
+      for (const ProbeOutcome& o : scan.outcomes) {
+        out << o.key.addr.value() << ":" << o.key.port << "/"
+            << static_cast<int>(o.key.proto) << " "
+            << static_cast<int>(o.status) << " " << o.when.usec << "\n";
+      }
+    }
+    return out.str();
+  };
+  const std::string serial = run_with_threads(1);
+  const std::string sharded = run_with_threads(4);
+  EXPECT_EQ(serial, sharded);
+}
+
+}  // namespace
+}  // namespace svcdisc::active

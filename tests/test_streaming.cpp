@@ -324,6 +324,92 @@ TEST(Streaming, ServiceDeathAndReturnTimeline) {
   EXPECT_NE(lines[2].find("stream/service_returned"), std::string::npos);
 }
 
+TEST(Streaming, MultiDayCampaignClosesOneWindowPerDay) {
+  // 90 simulated days under daily windows: every window closes exactly
+  // once, on the epoch-anchored day grid, with no drift across the long
+  // horizon.
+  auto cfg = unit_config();
+  cfg.window = util::days(1);
+  StreamingAnalytics stream(cfg);
+  const Ipv4 client = Ipv4::from_octets(66, 9, 1, 1);
+  for (int day = 0; day < 90; ++day) {
+    stream.observe(syn_ack(kServer, 80, client,
+                           kEpoch + util::days(day) + hours(12)));
+  }
+  stream.finish(kEpoch + util::days(90));
+  ASSERT_EQ(stream.snapshots().size(), 90u);
+  for (int day = 0; day < 90; ++day) {
+    EXPECT_EQ(stream.snapshots()[static_cast<std::size_t>(day)].at,
+              kEpoch + util::days(day + 1));
+  }
+  EXPECT_EQ(stream.burst_count(), 0u);
+}
+
+TEST(Streaming, DeathAndReturnAcrossADailyWindowHorizon) {
+  // The death/return state machine at day granularity: six sightings in
+  // week one, then 50+ days of silence (windows kept rolling by
+  // unrelated background traffic), then a one-day comeback on day 60 —
+  // after which the 30 silent days to the horizon kill it again.
+  auto cfg = unit_config();
+  cfg.window = util::days(1);
+  StreamingAnalytics stream(cfg);
+  const Ipv4 client = Ipv4::from_octets(66, 9, 2, 2);
+  for (int day = 0; day < 6; ++day) {
+    stream.observe(syn_ack(kServer, 80, client, kEpoch + util::days(day)));
+  }
+  const Ipv4 other = Ipv4::from_octets(128, 125, 9, 9);
+  for (int day = 6; day < 60; ++day) {
+    stream.observe(syn(client, other, 443, kEpoch + util::days(day)));
+  }
+  stream.observe(syn_ack(kServer, 80, client, kEpoch + util::days(60)));
+  stream.finish(kEpoch + util::days(90));
+
+  std::vector<ChangePoint::Kind> kinds;
+  for (const ChangePoint& e : stream.change_points()) {
+    if (e.key.addr == kServer && e.key.port == 80) kinds.push_back(e.kind);
+  }
+  ASSERT_EQ(kinds.size(), 4u);
+  EXPECT_EQ(kinds[0], ChangePoint::Kind::kServiceAppeared);
+  EXPECT_EQ(kinds[1], ChangePoint::Kind::kServiceDied);
+  EXPECT_EQ(kinds[2], ChangePoint::Kind::kServiceReturned);
+  EXPECT_EQ(kinds[3], ChangePoint::Kind::kServiceDied);
+}
+
+TEST(Streaming, NinetyDayGapRollsEveryHourlyWindowWithoutDrift) {
+  // One observation after an 89-day silence forces the window clock to
+  // catch up through ~2,100 empty hourly windows in a single roll; every
+  // one must close (the snapshot log has no holes) and land exactly on
+  // the hour grid.
+  StreamingAnalytics stream(unit_config());
+  const Ipv4 client = Ipv4::from_octets(66, 9, 3, 3);
+  stream.observe(syn(client, kServer, 80, kEpoch + minutes(30)));
+  stream.observe(syn(client, kServer, 80, kEpoch + util::days(89)));
+  stream.finish(kEpoch + util::days(90));
+  ASSERT_EQ(stream.snapshots().size(), 90u * 24u);
+  EXPECT_EQ(stream.snapshots().back().at, kEpoch + util::days(90));
+  EXPECT_EQ(stream.burst_count(), 0u);
+}
+
+TEST(Streaming, NonPositiveWindowClampsToDefaultInsteadOfSpinning) {
+  // Regression: a zero (or negative) window advanced the epoch anchor by
+  // nothing in roll_windows() — an infinite loop on the first packet.
+  // The constructor now clamps to the hourly default.
+  auto cfg = unit_config();
+  cfg.window = util::usec(0);
+  StreamingAnalytics stream(cfg);
+  const Ipv4 client = Ipv4::from_octets(66, 9, 4, 4);
+  stream.observe(syn(client, kServer, 80, kEpoch + minutes(90)));
+  stream.finish(kEpoch + hours(3));
+  EXPECT_EQ(stream.snapshots().size(), 3u);
+
+  auto negative = unit_config();
+  negative.window = util::usec(-5);
+  StreamingAnalytics neg(negative);
+  neg.observe(syn(client, kServer, 80, kEpoch + minutes(30)));
+  neg.finish(kEpoch + hours(1));
+  EXPECT_EQ(neg.snapshots().size(), 1u);
+}
+
 TEST(Streaming, CmsFlowEstimateWithinEpsN) {
   StreamingAnalytics stream(unit_config());
   // 40 services on distinct campus addresses with skewed flow counts.

@@ -20,8 +20,17 @@
 //                          completeness snapshots + change-points (JSONL)
 //   --log-level=LEVEL      stderr threshold: debug|info|warn|error
 //
+// Adaptive prober (run, campaign; DESIGN.md §16):
+//   --prober=fixed|adaptive  fixed exhaustive sweep (default) or the
+//                            budgeted prober with passive seeding,
+//                            learned priors and LZR verification
+//   --probe-budget=N         max first-stage probes per scan (0 = off)
+//   --no-verify              count SYN-ACKs as open without the
+//                            second-stage data probe
+//
 // Examples:
 //   svcdisc_cli run --scenario=tiny --scans=4 --seed=7
+//   svcdisc_cli run --scenario=tiny --prober=adaptive --probe-budget=3000
 //   svcdisc_cli run --scenario=dtcp1_18d --pcap=border.pcap
 //   svcdisc_cli run --scenario=tiny --trace-out=trace.json
 //       --provenance-out=services.jsonl
@@ -144,6 +153,50 @@ bool validate_threads(std::int64_t threads) {
   return true;
 }
 
+// Shared prober-selection flags (run, campaign): the paper's fixed
+// exhaustive sweep, or the budgeted adaptive prober (DESIGN.md §16).
+void add_prober_flags(util::Flags& flags, std::string* prober,
+                      std::int64_t* budget, bool* no_verify) {
+  flags.add_string("prober",
+                   "probing strategy: fixed (paper sweep) or adaptive "
+                   "(passive-seeded, prior-ranked, budgeted)",
+                   prober);
+  flags.add_int64("probe-budget",
+                  "adaptive prober: max first-stage probes per scan "
+                  "(0 = unlimited)",
+                  budget);
+  flags.add_bool("no-verify",
+                 "adaptive prober: count SYN-ACKs as open without the "
+                 "LZR-style data-probe verification",
+                 no_verify);
+}
+
+bool apply_prober_flags(const std::string& prober, std::int64_t budget,
+                        bool no_verify, core::EngineConfig* cfg) {
+  if (prober == "adaptive") {
+    cfg->adaptive_prober = true;
+  } else if (prober != "fixed") {
+    std::fprintf(stderr,
+                 "error: --prober must be fixed or adaptive (got %s)\n",
+                 prober.c_str());
+    return false;
+  }
+  if (budget < 0) {
+    std::fprintf(stderr, "error: --probe-budget must be >= 0 (got %lld)\n",
+                 static_cast<long long>(budget));
+    return false;
+  }
+  if (!cfg->adaptive_prober && (budget > 0 || no_verify)) {
+    std::fprintf(
+        stderr,
+        "error: --probe-budget/--no-verify require --prober=adaptive\n");
+    return false;
+  }
+  cfg->adaptive.probe_budget = static_cast<std::uint64_t>(budget);
+  cfg->adaptive.verify = !no_verify;
+  return true;
+}
+
 int cmd_scenarios(int argc, const char* const* argv) {
   util::Flags flags("svcdisc_cli scenarios", "list the dataset presets");
   int exit_code = 0;
@@ -205,6 +258,9 @@ int cmd_run(int argc, const char* const* argv) {
   bool scan_report = false;
   bool streaming = false;
   bool verbose = false;
+  std::string prober = "fixed";
+  std::int64_t probe_budget = 0;
+  bool no_verify = false;
 
   util::Flags flags("svcdisc_cli run", "run a discovery campaign");
   flags.add_string("scenario", "scenario preset (see `scenarios`)",
@@ -235,6 +291,7 @@ int cmd_run(int argc, const char* const* argv) {
                    "(implies --streaming)",
                    &streaming_path);
   add_threads_flag(flags, &threads);
+  add_prober_flags(flags, &prober, &probe_budget, &no_verify);
   add_log_level_flag(flags, &log_level_text);
   int exit_code = 0;
   if (!parse_or_usage(flags, argc, argv, 0, nullptr, &exit_code)) {
@@ -263,6 +320,9 @@ int cmd_run(int argc, const char* const* argv) {
       scans >= 0 ? static_cast<int>(scans)
                  : static_cast<int>(cfg.duration.days() * 2);
   engine_cfg.threads = static_cast<std::size_t>(threads);
+  if (!apply_prober_flags(prober, probe_budget, no_verify, &engine_cfg)) {
+    return 2;
+  }
   if (!provenance_path.empty()) engine_cfg.provenance = &ledger;
   std::unique_ptr<analysis::StreamingAnalytics> stream;
   if (streaming) {
@@ -307,6 +367,15 @@ int cmd_run(int argc, const char* const* argv) {
   table.add_row({"scanners flagged",
                  analysis::fmt_count(engine.scan_detector().scanner_count())});
   std::fputs(table.render().c_str(), stdout);
+  if (const active::AdaptiveProber* adaptive = engine.adaptive_prober()) {
+    std::printf(
+        "adaptive: %llu probes spent (%llu passive-seeded), "
+        "%llu verified open, %llu middlebox demotions\n",
+        static_cast<unsigned long long>(adaptive->budget_spent_total()),
+        static_cast<unsigned long long>(adaptive->seeds_probed_total()),
+        static_cast<unsigned long long>(adaptive->verify_confirmed_total()),
+        static_cast<unsigned long long>(adaptive->demotions_total()));
+  }
   if (writer) {
     if (!writer->ok()) {
       std::fprintf(stderr,
@@ -429,6 +498,9 @@ int cmd_campaign(int argc, const char* const* argv) {
   std::string provenance_path;
   std::string streaming_path;
   std::string log_level_text;
+  std::string prober = "fixed";
+  std::int64_t probe_budget = 0;
+  bool no_verify = false;
 
   util::Flags flags("svcdisc_cli campaign",
                     "run a seed sweep on the parallel campaign runner");
@@ -455,6 +527,7 @@ int cmd_campaign(int argc, const char* const* argv) {
                    "run every job with streaming analytics and write the "
                    "concatenated snapshots + change-points (JSONL) here",
                    &streaming_path);
+  add_prober_flags(flags, &prober, &probe_budget, &no_verify);
   add_log_level_flag(flags, &log_level_text);
   int exit_code = 0;
   if (!parse_or_usage(flags, argc, argv, 0, nullptr, &exit_code)) {
@@ -484,6 +557,9 @@ int cmd_campaign(int argc, const char* const* argv) {
       scans >= 0 ? static_cast<int>(scans)
                  : static_cast<int>(cfg.duration.days() * 2);
   engine_cfg.threads = static_cast<std::size_t>(threads);
+  if (!apply_prober_flags(prober, probe_budget, no_verify, &engine_cfg)) {
+    return 2;
+  }
 
   auto sweep_jobs =
       core::seed_sweep_jobs(cfg, engine_cfg, first_seed, seed_count);
